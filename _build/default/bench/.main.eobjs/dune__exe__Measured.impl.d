@@ -1,0 +1,1 @@
+bench/measured.ml: Char Config Db Hashtbl List Mrdb_core Mrdb_sim Mrdb_storage Mrdb_util Mrdb_wal Printf Sim_exec Stdlib String Workload

@@ -1,0 +1,1 @@
+bench/sim_graphs.ml: Bytes List Mrdb_analysis Mrdb_hw Mrdb_sim

@@ -1,0 +1,187 @@
+(* mrdb — command-line driver for the MM-DBMS recovery reproduction.
+
+   Subcommands:
+     run       drive a workload, report logging/checkpoint statistics
+     crashtest run a workload, crash, recover, verify integrity
+     model     print the Section-3 analytic model at chosen parameters
+
+   Examples:
+     dune exec bin/mrdb_cli.exe -- run --workload bank --txns 1000
+     dune exec bin/mrdb_cli.exe -- crashtest --txns 500 --mode full-reload
+     dune exec bin/mrdb_cli.exe -- model --record-bytes 24 --page-kb 8 *)
+
+open Cmdliner
+module Trace = Mrdb_sim.Trace
+
+let report_stats db =
+  let tr = Mrdb_core.Db.trace db in
+  Printf.printf "commits:                 %d\n" (Trace.count tr "commits");
+  Printf.printf "aborts:                  %d\n" (Trace.count tr "aborts");
+  Printf.printf "log records:             %d\n" (Trace.count tr "log_records");
+  Printf.printf "checkpoints:             %d\n" (Trace.count tr "checkpoints");
+  Printf.printf "  by update count:       %d\n" (Trace.count tr "ckpt_req_update_count");
+  Printf.printf "  by age:                %d\n" (Trace.count tr "ckpt_req_age");
+  Printf.printf "log pages written:       %d\n"
+    (Mrdb_wal.Log_disk.pages_written (Mrdb_core.Db.log_disk db));
+  Printf.printf "simulated time:          %.1f ms\n"
+    (Mrdb_sim.Sim.now (Mrdb_core.Db.sim db) /. 1000.0)
+
+type workload_kind = Bank | Update_heavy | Skewed
+
+let workload_conv =
+  let parse = function
+    | "bank" -> Ok Bank
+    | "update" -> Ok Update_heavy
+    | "skewed" -> Ok Skewed
+    | s -> Error (`Msg ("unknown workload: " ^ s))
+  in
+  let print ppf = function
+    | Bank -> Format.pp_print_string ppf "bank"
+    | Update_heavy -> Format.pp_print_string ppf "update"
+    | Skewed -> Format.pp_print_string ppf "skewed"
+  in
+  Arg.conv (parse, print)
+
+let run_workload db kind txns seed =
+  let rng = Mrdb_util.Rng.of_int seed in
+  match kind with
+  | Bank ->
+      let w = Mrdb_core.Workload.Bank.setup db ~accounts:500 () in
+      for _ = 1 to txns do
+        Mrdb_core.Workload.Bank.run_debit_credit w db ~rng
+      done;
+      Printf.printf "bank account total:      %Ld (initial %Ld)\n"
+        (Mrdb_core.Workload.Bank.audit w db)
+        (Mrdb_core.Workload.Bank.expected_total w);
+      Printf.printf "debit/credit invariant:  %s\n"
+        (if Mrdb_core.Workload.Bank.consistent w db then "holds" else "VIOLATED")
+  | Update_heavy ->
+      let w = Mrdb_core.Workload.Update_heavy.setup db ~rows:500 () in
+      for _ = 1 to txns do
+        Mrdb_core.Workload.Update_heavy.run_one w db ~rng
+      done
+  | Skewed ->
+      let w = Mrdb_core.Workload.Skewed.setup db ~rows:2000 ~theta:1.0 () in
+      for _ = 1 to txns do
+        Mrdb_core.Workload.Skewed.run_one w db ~rng
+      done
+
+let cmd_run workload txns seed =
+  let db = Mrdb_core.Db.create ~config:Mrdb_core.Config.small () in
+  run_workload db workload txns seed;
+  Mrdb_core.Db.quiesce db;
+  report_stats db
+
+let mode_conv =
+  let parse = function
+    | "on-demand" -> Ok Mrdb_core.Config.On_demand
+    | "predeclare" -> Ok Mrdb_core.Config.Predeclare
+    | "full-reload" -> Ok Mrdb_core.Config.Full_reload
+    | s -> Error (`Msg ("unknown recovery mode: " ^ s))
+  in
+  let print ppf = function
+    | Mrdb_core.Config.On_demand -> Format.pp_print_string ppf "on-demand"
+    | Mrdb_core.Config.Predeclare -> Format.pp_print_string ppf "predeclare"
+    | Mrdb_core.Config.Full_reload -> Format.pp_print_string ppf "full-reload"
+  in
+  Arg.conv (parse, print)
+
+let cmd_crashtest workload txns seed mode =
+  let db = Mrdb_core.Db.create ~config:Mrdb_core.Config.small () in
+  (match workload with
+  | Bank ->
+      let w = Mrdb_core.Workload.Bank.setup db ~accounts:500 () in
+      let rng = Mrdb_util.Rng.of_int seed in
+      for _ = 1 to txns do
+        Mrdb_core.Workload.Bank.run_debit_credit w db ~rng
+      done;
+      let before = Mrdb_core.Workload.Bank.audit w db in
+      Mrdb_core.Db.crash db;
+      let t0 = Mrdb_sim.Sim.now (Mrdb_core.Db.sim db) in
+      Mrdb_core.Db.recover ~mode db;
+      let after_catalogs = Mrdb_sim.Sim.now (Mrdb_core.Db.sim db) in
+      let after = Mrdb_core.Workload.Bank.audit w db in
+      let after_first = Mrdb_sim.Sim.now (Mrdb_core.Db.sim db) in
+      Mrdb_core.Db.recover_everything db;
+      Printf.printf "crash+recovery (%s):\n"
+        (Format.asprintf "%a" (Arg.conv_printer mode_conv) mode);
+      Printf.printf "  catalogs restored in:      %8.2f ms\n"
+        ((after_catalogs -. t0) /. 1000.0);
+      Printf.printf "  first audit txn done in:   %8.2f ms\n"
+        ((after_first -. t0) /. 1000.0);
+      Printf.printf "  account total %Ld -> %Ld: %s\n" before after
+        (if Int64.equal before after then "preserved" else "VIOLATED");
+      Printf.printf "  debit/credit invariant:    %s\n"
+        (if Mrdb_core.Workload.Bank.consistent w db then "holds" else "VIOLATED");
+      if not (Int64.equal before after && Mrdb_core.Workload.Bank.consistent w db)
+      then exit 1
+  | Update_heavy | Skewed ->
+      run_workload db workload txns seed;
+      let count_before =
+        Mrdb_core.Db.cardinality db
+          ~rel:(match workload with Update_heavy -> "cells" | _ -> "skewed")
+      in
+      Mrdb_core.Db.crash db;
+      Mrdb_core.Db.recover ~mode db;
+      let rel = match workload with Update_heavy -> "cells" | _ -> "skewed" in
+      let count_after = Mrdb_core.Db.cardinality db ~rel in
+      Printf.printf "rows before/after crash: %d / %d (%s)\n" count_before count_after
+        (if count_before = count_after then "OK" else "MISMATCH");
+      if count_before <> count_after then exit 1);
+  report_stats db
+
+let cmd_model record_bytes page_kb n_update =
+  let module P = Mrdb_analysis.Params in
+  let module LM = Mrdb_analysis.Log_model in
+  let module CM = Mrdb_analysis.Ckpt_model in
+  let p =
+    P.with_sizes ~s_log_record:record_bytes ~s_log_page:(page_kb * 1024) ~n_update
+      P.default
+  in
+  Printf.printf "analytic model at record=%dB page=%dKB N_update=%d:\n" record_bytes
+    page_kb n_update;
+  Printf.printf "  I_record_sort:      %8.1f instructions/record\n" (LM.i_record_sort p);
+  Printf.printf "  I_page_write:       %8.1f instructions/page\n" (LM.i_page_write p);
+  Printf.printf "  logging capacity:   %8.0f records/s (%.0f bytes/s)\n"
+    (LM.records_logged_per_s p) (LM.bytes_logged_per_s p);
+  Printf.printf "  debit/credit rate:  %8.0f txn/s (4 records each)\n"
+    (LM.txn_rate p ~records_per_txn:4);
+  Printf.printf "  checkpoint rate:    %8.2f /s best, %.2f /s worst\n"
+    (CM.best_case p ~records_per_s:(LM.records_logged_per_s p))
+    (CM.worst_case p ~records_per_s:(LM.records_logged_per_s p))
+
+let workload_arg =
+  Arg.(value & opt workload_conv Bank & info [ "workload"; "w" ] ~doc:"bank | update | skewed")
+
+let txns_arg = Arg.(value & opt int 500 & info [ "txns"; "n" ] ~doc:"transactions to run")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Mrdb_core.Config.On_demand
+    & info [ "mode"; "m" ] ~doc:"on-demand | predeclare | full-reload")
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"drive a workload and report recovery-component statistics")
+    Term.(const cmd_run $ workload_arg $ txns_arg $ seed_arg)
+
+let crashtest_cmd =
+  Cmd.v (Cmd.info "crashtest" ~doc:"run a workload, crash, recover, verify integrity")
+    Term.(const cmd_crashtest $ workload_arg $ txns_arg $ seed_arg $ mode_arg)
+
+let model_cmd =
+  Cmd.v (Cmd.info "model" ~doc:"print the Section-3 analytic model")
+    Term.(
+      const cmd_model
+      $ Arg.(value & opt int 24 & info [ "record-bytes" ] ~doc:"log record size")
+      $ Arg.(value & opt int 8 & info [ "page-kb" ] ~doc:"log page size in KB")
+      $ Arg.(value & opt int 1000 & info [ "n-update" ] ~doc:"checkpoint threshold"))
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "mrdb" ~version:"1.0.0"
+             ~doc:"memory-resident DBMS with the Lehman–Carey recovery architecture")
+          [ run_cmd; crashtest_cmd; model_cmd ]))

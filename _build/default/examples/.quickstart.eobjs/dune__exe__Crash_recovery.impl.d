@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Char Config Db Mrdb_core Mrdb_sim Mrdb_storage Printf String

@@ -1,0 +1,1 @@
+examples/debit_credit.ml: Config Db Int64 Mrdb_core Mrdb_sim Mrdb_util Mrdb_wal Printf Workload

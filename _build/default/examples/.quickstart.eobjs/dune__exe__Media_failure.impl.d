@@ -1,0 +1,1 @@
+examples/media_failure.ml: Config Db Mrdb_archive Mrdb_core Mrdb_sim Mrdb_storage Option Printf Schema

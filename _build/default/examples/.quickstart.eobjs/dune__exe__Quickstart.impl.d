@@ -1,0 +1,1 @@
+examples/quickstart.ml: Catalog Config Db Int64 Mrdb_core Mrdb_sim Mrdb_storage Printf Schema Tuple

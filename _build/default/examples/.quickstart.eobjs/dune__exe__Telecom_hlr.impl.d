@@ -1,0 +1,1 @@
+examples/telecom_hlr.ml: Catalog Config Db Mrdb_core Mrdb_sim Mrdb_storage Mrdb_util Mrdb_wal Printf Schema Tuple

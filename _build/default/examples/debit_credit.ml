@@ -1,0 +1,48 @@
+(* Gray-style debit/credit bank — the paper's canonical §3.2 workload
+   ("Gray's notion of a typical debit/credit transaction is one that writes
+   approximately four log records").
+
+   Runs a stream of debit/credit transactions, reports log-record volume per
+   transaction, checkpoint activity, and verifies the money-conservation
+   invariant across a crash.
+
+   Run with: dune exec examples/debit_credit.exe *)
+
+open Mrdb_core
+
+let () =
+  let db = Db.create ~config:Config.small () in
+  let bank = Workload.Bank.setup db ~accounts:400 ~tellers:8 ~branches:2 () in
+  let rng = Mrdb_util.Rng.of_int 2026 in
+
+  let n_txns = 500 in
+  let records_before = Mrdb_sim.Trace.count (Db.trace db) "log_records" in
+  for _ = 1 to n_txns do
+    Workload.Bank.run_debit_credit bank db ~rng
+  done;
+  Db.quiesce db;
+  let records_after = Mrdb_sim.Trace.count (Db.trace db) "log_records" in
+
+  let trace = Db.trace db in
+  Printf.printf "debit/credit: %d transactions\n" n_txns;
+  Printf.printf "  log records per txn (incl. index maintenance): %.1f\n"
+    (float_of_int (records_after - records_before) /. float_of_int n_txns);
+  Printf.printf "  checkpoints: %d (update-count triggers: %d, age triggers: %d)\n"
+    (Mrdb_sim.Trace.count trace "checkpoints")
+    (Mrdb_sim.Trace.count trace "ckpt_req_update_count")
+    (Mrdb_sim.Trace.count trace "ckpt_req_age");
+  Printf.printf "  log pages written: %d\n"
+    (Mrdb_wal.Log_disk.pages_written (Db.log_disk db));
+
+  (* Conservation: debits and credits cancel out in the account total only
+     if every transaction was atomic. *)
+  let total = Workload.Bank.audit bank db in
+  Printf.printf "  account total: %Ld\n" total;
+
+  Db.crash db;
+  Db.recover db;
+  let total_after = Workload.Bank.audit bank db in
+  Printf.printf "  account total after crash+recovery: %Ld (%s)\n" total_after
+    (if Int64.equal total total_after then "conserved" else "VIOLATED");
+  if not (Int64.equal total total_after) then exit 1;
+  print_endline "debit_credit OK"

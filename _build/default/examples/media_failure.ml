@@ -1,0 +1,64 @@
+(* Archive logging and media-failure recovery (§2.6): the log disks are
+   duplexed, and an archive tape receives a copy of every log page and
+   every checkpoint image — so even losing the entire checkpoint disk in
+   the same incident as a crash loses no committed data.
+
+   Run with: dune exec examples/media_failure.exe *)
+
+open Mrdb_storage
+open Mrdb_core
+module Archive = Mrdb_archive.Archive
+
+let () =
+  let config = { Config.small with Config.archive = true } in
+  let db = Db.create ~config () in
+  let schema = Schema.of_list [ ("k", Schema.Int); ("v", Schema.Str) ] in
+  Db.create_relation db ~name:"ledger" ~schema;
+
+  Db.with_txn db (fun tx ->
+      for i = 1 to 50 do
+        ignore
+          (Db.insert db tx ~rel:"ledger"
+             [| Schema.int i; Schema.S (Printf.sprintf "entry-%02d" i) |])
+      done);
+  Db.checkpoint_all db;
+  Db.with_txn db (fun tx ->
+      for i = 51 to 70 do
+        ignore
+          (Db.insert db tx ~rel:"ledger"
+             [| Schema.int i; Schema.S (Printf.sprintf "late-%02d" i) |])
+      done);
+  Db.quiesce db;
+
+  let a = Option.get (Db.archiver db) in
+  Printf.printf "before the incident: %d rows; %s\n"
+    (Db.cardinality db ~rel:"ledger")
+    (Archive.stats a);
+
+  (* The incident: power failure AND the checkpoint disk dies. *)
+  Db.crash db;
+  Db.fail_checkpoint_disk db;
+  print_endline "crash + checkpoint-disk media failure ...";
+
+  (* Recovery falls back to the newest archived image of each partition
+     and replays the surviving (duplexed) log on top. *)
+  Db.recover db;
+  let rows = Db.cardinality db ~rel:"ledger" in
+  Printf.printf "after recovery from archive: %d rows (media recoveries: %d)\n" rows
+    (Mrdb_sim.Trace.count (Db.trace db) "media_recoveries");
+  if rows <> 70 then begin
+    print_endline "DATA LOST — archive recovery failed";
+    exit 1
+  end;
+
+  (* The system re-checkpoints onto the replacement disk and keeps going. *)
+  Db.with_txn db (fun tx ->
+      ignore (Db.insert db tx ~rel:"ledger" [| Schema.int 71; Schema.S "post-incident" |]));
+  Db.checkpoint_all db;
+  Db.quiesce db;
+  Db.crash db;
+  Db.recover db;
+  Printf.printf "after a further ordinary crash: %d rows\n"
+    (Db.cardinality db ~rel:"ledger");
+  if Db.cardinality db ~rel:"ledger" <> 71 then exit 1;
+  print_endline "media_failure OK"

@@ -1,0 +1,76 @@
+(* Telecom home-location-register: the classic memory-resident database
+   motivation — single-record, update-intensive transactions ("one log
+   record over only hundreds of instructions", §3.2) over a linear-hash
+   index, with live checkpoint pressure from the finite log window.
+
+   Run with: dune exec examples/telecom_hlr.exe *)
+
+open Mrdb_storage
+open Mrdb_core
+
+let () =
+  let config = { Config.small with Config.n_update = 32 } in
+  let db = Db.create ~config () in
+
+  let schema =
+    Schema.of_list
+      [ ("msisdn", Schema.Str); ("cell", Schema.Int); ("forward_to", Schema.Str) ]
+  in
+  Db.create_relation db ~name:"hlr" ~schema;
+  Db.create_index db ~rel:"hlr" ~name:"hlr_msisdn" ~kind:Catalog.Lhash
+    ~key_column:"msisdn";
+
+  let subscribers = 300 in
+  let msisdn i = Printf.sprintf "+1555%07d" i in
+  Db.with_txn db (fun tx ->
+      for i = 1 to subscribers do
+        ignore
+          (Db.insert db tx ~rel:"hlr"
+             [| Schema.S (msisdn i); Schema.int 0; Schema.S "" |])
+      done);
+
+  (* Location updates: a skewed stream (commuters bounce between a few hot
+     cells) of single-field updates — the update-intensive extreme. *)
+  let rng = Mrdb_util.Rng.of_int 7 in
+  let updates = 2000 in
+  for _ = 1 to updates do
+    let sub = 1 + Mrdb_util.Rng.zipf rng ~n:subscribers ~theta:1.2 in
+    Db.with_txn db (fun tx ->
+        match Db.lookup db tx ~rel:"hlr" ~index:"hlr_msisdn" (Schema.S (msisdn sub)) with
+        | [ (addr, _) ] ->
+            ignore
+              (Db.update_field db tx ~rel:"hlr" addr ~column:"cell"
+                 (Schema.int (Mrdb_util.Rng.int rng 500)))
+        | _ -> assert false)
+  done;
+  Db.quiesce db;
+
+  let trace = Db.trace db in
+  Printf.printf "HLR: %d subscribers, %d location updates\n" subscribers updates;
+  Printf.printf "  checkpoints: %d (by update count: %d, by age: %d)\n"
+    (Mrdb_sim.Trace.count trace "checkpoints")
+    (Mrdb_sim.Trace.count trace "ckpt_req_update_count")
+    (Mrdb_sim.Trace.count trace "ckpt_req_age");
+  Printf.printf "  log window pressure: %.2f\n"
+    (Mrdb_wal.Slt.window_pressure (Db.slt db));
+
+  (* A call-routing lookup must survive a switch reboot. *)
+  let routed_before =
+    Db.with_txn db (fun tx ->
+        match Db.lookup db tx ~rel:"hlr" ~index:"hlr_msisdn" (Schema.S (msisdn 1)) with
+        | [ (_, tup) ] -> Schema.to_int (Tuple.field tup 1)
+        | _ -> -1)
+  in
+  Db.crash db;
+  Db.recover db;
+  let routed_after =
+    Db.with_txn db (fun tx ->
+        match Db.lookup db tx ~rel:"hlr" ~index:"hlr_msisdn" (Schema.S (msisdn 1)) with
+        | [ (_, tup) ] -> Schema.to_int (Tuple.field tup 1)
+        | _ -> -1)
+  in
+  Printf.printf "  subscriber 1 cell before/after reboot: %d / %d (%s)\n"
+    routed_before routed_after
+    (if routed_before = routed_after then "consistent" else "LOST");
+  if routed_before <> routed_after then exit 1;
+  print_endline "telecom_hlr OK"

@@ -1,0 +1,1 @@
+lib/analysis/ckpt_model.mli: Params

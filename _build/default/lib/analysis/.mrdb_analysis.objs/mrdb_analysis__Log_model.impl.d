@@ -1,0 +1,1 @@
+lib/analysis/log_model.ml: Float List Params

@@ -1,0 +1,1 @@
+lib/analysis/recovery_model.ml: Float List Params

@@ -1,0 +1,1 @@
+lib/analysis/recovery_model.mli: Params

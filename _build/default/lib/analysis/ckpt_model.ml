@@ -1,0 +1,29 @@
+let best_case (p : Params.t) ~records_per_s =
+  records_per_s /. float_of_int p.Params.n_update
+
+let worst_case (p : Params.t) ~records_per_s =
+  records_per_s *. float_of_int p.Params.s_log_record
+  /. float_of_int p.Params.s_log_page
+
+let mixed p ~records_per_s ~f_update =
+  if f_update < 0.0 || f_update > 1.0 then invalid_arg "Ckpt_model.mixed";
+  (f_update *. best_case p ~records_per_s)
+  +. ((1.0 -. f_update) *. worst_case p ~records_per_s)
+
+let checkpoint_load_fraction p ~records_per_txn ~f_update =
+  if records_per_txn < 1 then invalid_arg "Ckpt_model.checkpoint_load_fraction";
+  (* Both the transaction rate and the checkpoint rate are proportional to
+     the logging rate, so the fraction is rate-independent. *)
+  let records_per_s = 1.0 in
+  let txns_per_s = records_per_s /. float_of_int records_per_txn in
+  mixed p ~records_per_s ~f_update /. (txns_per_s +. mixed p ~records_per_s ~f_update)
+
+let graph3 ~logging_rates ~mixes (p : Params.t) =
+  List.map
+    (fun rate ->
+      ( rate,
+        List.map
+          (fun (n_update, f_update) ->
+            mixed (Params.with_sizes ~n_update p) ~records_per_s:rate ~f_update)
+          mixes ))
+    logging_rates

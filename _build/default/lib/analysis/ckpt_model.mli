@@ -1,0 +1,31 @@
+(** Checkpoint-frequency model (§3.3, Graph 3).
+
+    With an infinite log window every checkpoint is triggered by update
+    count (best case: one checkpoint per N_update records); with a finite
+    window some partitions are checkpointed {e by age}, in the worst case
+    after accumulating only a single page of records.  The mixed-trigger
+    frequency is
+
+    R_ckpt = R_records × (f_update / N_update + f_age × S_rec / S_page). *)
+
+val best_case : Params.t -> records_per_s:float -> float
+(** All checkpoints triggered by update count. *)
+
+val worst_case : Params.t -> records_per_s:float -> float
+(** All checkpoints triggered by age after one page of records. *)
+
+val mixed : Params.t -> records_per_s:float -> f_update:float -> float
+(** [f_update] triggered by update count, the rest by age (worst case:
+    a single page each).  @raise Invalid_argument unless 0 ≤ f_update ≤ 1. *)
+
+val checkpoint_load_fraction :
+  Params.t -> records_per_txn:int -> f_update:float -> float
+(** Checkpoint transactions as a fraction of the total transaction load —
+    the §3.3 "1.5 percent" sanity check (independent of the logging rate:
+    both scale linearly with it). *)
+
+val graph3 :
+  logging_rates:float list -> mixes:(int * float) list -> Params.t ->
+  (float * float list) list
+(** Rows (records/s, checkpoint frequency per (N_update, f_update) series)
+    — Graph 3's data. *)

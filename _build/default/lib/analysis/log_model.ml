@@ -1,0 +1,62 @@
+let i_record_sort (p : Params.t) =
+  (* Moving one record: find its bin, check the bin page exists, copy the
+     bytes (read from the SLB and write into the SLT, both in stable memory
+     running [stable_slowdown] times slower than regular memory), and
+     update the bin page information. *)
+  let copy_bytes =
+    2.0 *. p.Params.i_copy_add *. float_of_int p.Params.s_log_record
+    *. p.Params.stable_slowdown
+  in
+  float_of_int p.Params.i_record_lookup
+  +. float_of_int p.Params.i_page_check
+  +. float_of_int p.Params.i_copy_fixed
+  +. copy_bytes
+  +. float_of_int p.Params.i_page_update
+
+let i_page_write (p : Params.t) =
+  (* Per page flush: initiate the write, swap buffers, LSN bookkeeping,
+     plus the checkpoint signal amortized over the pages a partition
+     accumulates before its update-count trigger fires. *)
+  let pages_per_checkpoint =
+    float_of_int (p.Params.n_update * p.Params.s_log_record)
+    /. float_of_int p.Params.s_log_page
+  in
+  float_of_int p.Params.i_write_init
+  +. float_of_int p.Params.i_page_alloc
+  +. float_of_int p.Params.i_process_lsn
+  +. (float_of_int p.Params.i_checkpoint /. Float.max 1.0 pages_per_checkpoint)
+
+let instructions_per_byte p =
+  (i_record_sort p /. float_of_int p.Params.s_log_record)
+  +. (i_page_write p /. float_of_int p.Params.s_log_page)
+
+let bytes_logged_per_s p =
+  p.Params.p_recovery_mips *. 1e6 /. instructions_per_byte p
+
+let records_logged_per_s p =
+  bytes_logged_per_s p /. float_of_int p.Params.s_log_record
+
+let txn_rate p ~records_per_txn =
+  if records_per_txn < 1 then invalid_arg "Log_model.txn_rate";
+  records_logged_per_s p /. float_of_int records_per_txn
+
+let graph1 ~record_sizes ~page_sizes p =
+  List.map
+    (fun s_rec ->
+      ( float_of_int s_rec,
+        List.map
+          (fun s_page ->
+            records_logged_per_s
+              (Params.with_sizes ~s_log_record:s_rec ~s_log_page:s_page p))
+          page_sizes ))
+    record_sizes
+
+let graph2 ~records_per_txn ~record_sizes p =
+  List.map
+    (fun n ->
+      ( float_of_int n,
+        List.map
+          (fun s_rec ->
+            txn_rate (Params.with_sizes ~s_log_record:s_rec p) ~records_per_txn:n)
+          record_sizes ))
+    records_per_txn

@@ -1,0 +1,81 @@
+type t = {
+  i_record_lookup : int;
+  i_copy_fixed : int;
+  i_copy_add : float;
+  i_write_init : int;
+  i_page_alloc : int;
+  i_page_update : int;
+  i_page_check : int;
+  i_process_lsn : int;
+  i_checkpoint : int;
+  s_log_record : int;
+  s_log_page : int;
+  s_partition : int;
+  n_update : int;
+  p_recovery_mips : float;
+  p_main_mips : float;
+  stable_slowdown : float;
+  d_seek_avg_us : float;
+  d_seek_near_us : float;
+  d_page_transfer_us : float;
+  d_track_rate_bytes_per_s : float;
+}
+
+let default =
+  {
+    i_record_lookup = 20;
+    i_copy_fixed = 3;
+    i_copy_add = 0.125;
+    i_write_init = 500;
+    i_page_alloc = 100;
+    i_page_update = 10;
+    i_page_check = 10;
+    i_process_lsn = 40;
+    i_checkpoint = 40;
+    s_log_record = 24;
+    s_log_page = 8 * 1024;
+    s_partition = 48 * 1024;
+    n_update = 1000;
+    p_recovery_mips = 1.0;
+    p_main_mips = 6.0;
+    stable_slowdown = 4.0;
+    d_seek_avg_us = 12_000.0;
+    d_seek_near_us = 4_000.0;
+    d_page_transfer_us = 4_096.0; (* 8 KB at ~2 MB/s *)
+    d_track_rate_bytes_per_s = 4.0e6; (* double the page rate *)
+  }
+
+let with_sizes ?s_log_record ?s_log_page ?s_partition ?n_update t =
+  {
+    t with
+    s_log_record = Option.value s_log_record ~default:t.s_log_record;
+    s_log_page = Option.value s_log_page ~default:t.s_log_page;
+    s_partition = Option.value s_partition ~default:t.s_partition;
+    n_update = Option.value n_update ~default:t.n_update;
+  }
+
+let rows t =
+  let i name v units = (name, string_of_int v, units) in
+  let f name v units = (name, Printf.sprintf "%g" v, units) in
+  [
+    i "I_record_lookup" t.i_record_lookup "instructions / record";
+    i "I_copy_fixed" t.i_copy_fixed "instructions / copy";
+    f "I_copy_add" t.i_copy_add "instructions / byte";
+    i "I_write_init" t.i_write_init "instructions / page write";
+    i "I_page_alloc" t.i_page_alloc "instructions / page write";
+    i "I_page_update" t.i_page_update "instructions / record";
+    i "I_page_check" t.i_page_check "instructions / record";
+    i "I_process_LSN" t.i_process_lsn "instructions / page write";
+    i "I_checkpoint" t.i_checkpoint "instructions / checkpoint";
+    i "S_log_record" t.s_log_record "bytes / record";
+    i "S_log_page" t.s_log_page "bytes / page";
+    i "S_partition" t.s_partition "bytes / partition";
+    i "N_update" t.n_update "log records / partition checkpoint";
+    f "P_recovery" t.p_recovery_mips "MIPS";
+    f "P_main" t.p_main_mips "MIPS (not used by the formulas)";
+    f "stable_slowdown" t.stable_slowdown "x regular memory";
+    f "D_seek_avg" (t.d_seek_avg_us /. 1000.0) "ms";
+    f "D_seek_near" (t.d_seek_near_us /. 1000.0) "ms";
+    f "D_page_transfer" (t.d_page_transfer_us /. 1000.0) "ms / page";
+    f "D_track_rate" (t.d_track_rate_bytes_per_s /. 1e6) "MB/s (track mode)";
+  ]

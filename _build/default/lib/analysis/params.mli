@@ -1,0 +1,45 @@
+(** Table 2 — the parameters of the paper's performance analysis.
+
+    Instruction counts are per the paper's estimates for a specialized
+    recovery component ("the instruction count numbers appear smaller than
+    normal system numbers"); a generic instruction on the 1-MIPS recovery
+    processor executes in ~1 µs and a memory reference in ~1 µs, with
+    stable reliable memory four times slower than regular memory. *)
+
+type t = {
+  (* instruction costs *)
+  i_record_lookup : int;   (** read one log record and find its bin — 20 instr/record *)
+  i_copy_fixed : int;      (** startup cost of a byte-string copy — 3 instr/copy *)
+  i_copy_add : float;      (** additional cost per byte copied — 0.125 instr/byte *)
+  i_write_init : int;      (** initiating a disk write of a full bin page — 500 instr/page *)
+  i_page_alloc : int;      (** allocating a new bin page, releasing the old — 100 instr/page *)
+  i_page_update : int;     (** updating bin page information — 10 instr/record *)
+  i_page_check : int;      (** checking bin page existence — 10 instr/record *)
+  i_process_lsn : int;     (** LSN bookkeeping + age-trigger check — 40 instr/page *)
+  i_checkpoint : int;      (** signalling the main CPU — 40 instr/checkpoint *)
+  (* sizes *)
+  s_log_record : int;      (** average log record size — 24 bytes *)
+  s_log_page : int;        (** log page size — 8 KB *)
+  s_partition : int;       (** partition size — 48 KB *)
+  n_update : int;          (** records before a checkpoint triggers — 1000 *)
+  (* processors and memory *)
+  p_recovery_mips : float; (** recovery CPU — 1.0 MIPS *)
+  p_main_mips : float;     (** main CPU — 6.0 MIPS (unused by the formulas) *)
+  stable_slowdown : float; (** stable memory slowdown vs regular — 4× *)
+  (* disks (§3.1's two-head, interleaved-sector drive) *)
+  d_seek_avg_us : float;   (** average seek (checkpoint disk) *)
+  d_seek_near_us : float;  (** sibling-page seek (log disk) *)
+  d_page_transfer_us : float; (** single-page transfer at the page rate *)
+  d_track_rate_bytes_per_s : float; (** whole-track transfer rate (double) *)
+}
+
+val default : t
+(** Table 2 values. *)
+
+val with_sizes : ?s_log_record:int -> ?s_log_page:int -> ?s_partition:int ->
+  ?n_update:int -> t -> t
+
+val rows : t -> (string * string * string) list
+(** (name, value, units) rows for regenerating Table 2 as text.  The
+    calculated parameters (I_record_sort, I_page_write, rates) come from
+    {!Log_model} / {!Ckpt_model}. *)

@@ -1,0 +1,48 @@
+(** Post-crash recovery time model (§3.4).
+
+    "A partition's recovery time is determined by the time it takes to read
+    its checkpoint image from the checkpoint disk, to read all of its log
+    pages, and to apply those log pages to its checkpoint image.  A
+    partition's checkpoint image and its log pages may be read in parallel,
+    since they are on different disks", and with a large enough page
+    directory the log pages stream in apply order, overlapping replay with
+    I/O.
+
+    Database-level recovery is "a special case of partition-level recovery
+    with one very large partition (the entire database)": every partition
+    image and the whole log must be read before any transaction runs. *)
+
+type partition_estimate = {
+  image_read_us : float;
+  log_read_us : float;
+  apply_us : float;       (** replay CPU time (overlapped when in order) *)
+  total_us : float;       (** with image ∥ log overlap *)
+  log_pages : float;
+}
+
+val partition_recovery :
+  Params.t -> ?log_records:int -> unit -> partition_estimate
+(** Time to restore one partition that accumulated [log_records] since its
+    checkpoint (default: N_update / 2, the expected count under a steady
+    update-count trigger). *)
+
+type comparison = {
+  first_txn_partition_us : float;
+      (** partition-level: a transaction needing one partition runs after
+          one partition restore *)
+  first_txn_db_us : float;
+      (** database-level: after the whole database reloads *)
+  full_restore_partition_us : float;
+      (** background completion, partition at a time *)
+  full_restore_db_us : float;
+  speedup_first_txn : float;
+}
+
+val compare_levels :
+  Params.t -> n_partitions:int -> ?log_records_per_partition:int -> unit -> comparison
+(** Graph/§3.4 comparison for a database of [n_partitions] partitions. *)
+
+val sweep :
+  Params.t -> n_partitions:int list -> (float * float list) list
+(** Rows (partitions, [first-txn partition-level; first-txn db-level]) —
+    the R1 experiment's analytic series. *)

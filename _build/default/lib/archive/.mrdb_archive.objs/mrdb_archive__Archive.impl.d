@@ -1,0 +1,1 @@
+lib/archive/archive.ml: Addr Bytes List Mrdb_ckpt Mrdb_storage Printf

@@ -1,0 +1,1 @@
+lib/archive/archive.mli: Addr Mrdb_ckpt Mrdb_storage

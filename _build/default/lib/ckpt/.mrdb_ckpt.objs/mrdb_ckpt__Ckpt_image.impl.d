@@ -1,0 +1,1 @@
+lib/ckpt/ckpt_image.ml: Addr Bytes Int64 Mrdb_storage Mrdb_util

@@ -1,0 +1,1 @@
+lib/ckpt/ckpt_image.mli: Addr Mrdb_storage

@@ -1,0 +1,1 @@
+lib/ckpt/ckpt_queue.ml: Addr List Mrdb_storage

@@ -1,0 +1,1 @@
+lib/ckpt/ckpt_queue.mli: Addr Mrdb_storage

@@ -1,0 +1,1 @@
+lib/ckpt/disk_map.ml: List Mrdb_util Printf

@@ -1,0 +1,45 @@
+open Mrdb_storage
+
+type t = {
+  part : Addr.partition;
+  watermark : int;
+  snapshot : bytes;
+}
+
+let magic = 0x434B5049 (* "CKPI" *)
+
+(* Header: u32 magic | i64 seg | i64 pno | i64 watermark | u32 snapshot_len |
+   u32 crc(of snapshot) = 36 bytes, then the snapshot, then zero padding. *)
+let header_bytes = 36
+
+let pages_needed ~page_bytes ~snapshot_bytes =
+  (header_bytes + snapshot_bytes + page_bytes - 1) / page_bytes
+
+let encode ~page_bytes t =
+  let total = pages_needed ~page_bytes ~snapshot_bytes:(Bytes.length t.snapshot) * page_bytes in
+  let b = Bytes.make total '\000' in
+  Mrdb_util.Codec.put_u32 b 0 magic;
+  Mrdb_util.Codec.put_i64 b 4 (Int64.of_int t.part.Addr.segment);
+  Mrdb_util.Codec.put_i64 b 12 (Int64.of_int t.part.Addr.partition);
+  Mrdb_util.Codec.put_i64 b 20 (Int64.of_int t.watermark);
+  Mrdb_util.Codec.put_u32 b 28 (Bytes.length t.snapshot);
+  Bytes.set_int32_le b 32 (Mrdb_util.Checksum.crc32_bytes t.snapshot);
+  Bytes.blit t.snapshot 0 b header_bytes (Bytes.length t.snapshot);
+  b
+
+let decode b =
+  if Bytes.length b < header_bytes then Error "image too small"
+  else if Mrdb_util.Codec.get_u32 b 0 <> magic then Error "bad image magic"
+  else begin
+    let segment = Int64.to_int (Mrdb_util.Codec.get_i64 b 4) in
+    let partition = Int64.to_int (Mrdb_util.Codec.get_i64 b 12) in
+    let watermark = Int64.to_int (Mrdb_util.Codec.get_i64 b 20) in
+    let len = Mrdb_util.Codec.get_u32 b 28 in
+    if header_bytes + len > Bytes.length b then Error "truncated image"
+    else begin
+      let snapshot = Bytes.sub b header_bytes len in
+      if Bytes.get_int32_le b 32 <> Mrdb_util.Checksum.crc32_bytes snapshot then
+        Error "image crc mismatch"
+      else Ok { part = { Addr.segment; partition }; watermark; snapshot }
+    end
+  end

@@ -1,0 +1,27 @@
+(** Checkpoint image codec.
+
+    A partition's checkpoint copy as stored on the checkpoint disk: the
+    partition's byte snapshot together with its {e sequence watermark} (the
+    per-partition log-record sequence current when the copy was taken,
+    under the checkpoint's relation read lock).  Recovery applies only log
+    records with seq > watermark, making replay idempotent across crashes
+    that interleave with the checkpoint pipeline.
+
+    Images are padded to whole disk pages ("partitions are written in whole
+    tracks") and carry a CRC. *)
+
+open Mrdb_storage
+
+type t = {
+  part : Addr.partition;
+  watermark : int;
+  snapshot : bytes; (** {!Partition.snapshot} image *)
+}
+
+val encode : page_bytes:int -> t -> bytes
+(** Page-multiple image ready for a track write. *)
+
+val pages_needed : page_bytes:int -> snapshot_bytes:int -> int
+
+val decode : bytes -> (t, string) result
+(** Verify magic + CRC; tolerate trailing page padding. *)

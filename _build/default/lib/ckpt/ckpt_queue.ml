@@ -1,0 +1,58 @@
+open Mrdb_storage
+
+type reason = Update_count | Age
+type status = Requested | In_progress | Finished
+
+type entry = {
+  part : Addr.partition;
+  reason : reason;
+  mutable status : status;
+}
+
+type t = { capacity : int; mutable entries : entry list (* FIFO *) }
+
+let create ?(capacity = 64) () = { capacity; entries = [] }
+
+let is_queued t part =
+  List.exists
+    (fun e -> Addr.equal_partition e.part part && e.status <> Finished)
+    t.entries
+
+let pending t =
+  List.length (List.filter (fun e -> e.status <> Finished) t.entries)
+
+let request t part reason =
+  if pending t >= t.capacity || is_queued t part then false
+  else begin
+    t.entries <- t.entries @ [ { part; reason; status = Requested } ];
+    true
+  end
+
+let next_requested t =
+  match List.find_opt (fun e -> e.status = Requested) t.entries with
+  | None -> None
+  | Some e ->
+      e.status <- In_progress;
+      Some e
+
+let defer t part =
+  List.iter
+    (fun e ->
+      if Addr.equal_partition e.part part && e.status = In_progress then
+        e.status <- Requested)
+    t.entries
+
+let finish t part =
+  match
+    List.find_opt
+      (fun e -> Addr.equal_partition e.part part && e.status = In_progress)
+      t.entries
+  with
+  | None -> raise Not_found
+  | Some e ->
+      e.status <- Finished;
+      t.entries <- List.filter (fun e' -> e' != e) t.entries
+
+let cancel t part =
+  t.entries <-
+    List.filter (fun e -> not (Addr.equal_partition e.part part)) t.entries

@@ -1,0 +1,1 @@
+lib/core/config.ml: Mrdb_index Mrdb_wal Stdlib

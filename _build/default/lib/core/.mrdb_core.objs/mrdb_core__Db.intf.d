@@ -1,0 +1,1 @@
+lib/core/db.mli: Addr Catalog Config Mrdb_archive Mrdb_hw Mrdb_sim Mrdb_storage Mrdb_wal Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/sim_exec.ml: Db Mrdb_sim Mrdb_util

@@ -1,0 +1,1 @@
+lib/core/sim_exec.mli: Db Mrdb_util

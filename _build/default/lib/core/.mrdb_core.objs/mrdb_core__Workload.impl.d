@@ -1,0 +1,1 @@
+lib/core/workload.ml: Addr Array Catalog Db Int64 List Mrdb_storage Mrdb_util Schema Stdlib Tuple

@@ -1,0 +1,68 @@
+(** MM-DBMS configuration.
+
+    Groups every tunable the paper discusses: partition size, log page
+    size, the N_update checkpoint threshold, log window size, stable memory
+    geometry, plus the commit-path and post-crash recovery policies used by
+    the baseline comparisons. *)
+
+(** How transactions reach the committed state (§1.2 / §2.3.1). *)
+type commit_mode =
+  | Instant
+      (** Stable-SLB commit: durable the moment the committed-list entry is
+          written to stable memory — the paper's design. *)
+  | Group of int
+      (** FASTPATH-style group commit: precommit releases locks; the group
+          officially commits when [n] transactions have accumulated (or on
+          an explicit flush). *)
+  | Disk_force
+      (** Conventional disk-WAL baseline: commit additionally forces the
+          transaction's log records to the log disk and waits. *)
+
+(** Post-crash policy (§2.5 / §3.4). *)
+type recovery_mode =
+  | On_demand
+      (** Restore catalogs, then partitions as transactions touch them,
+          with a low-priority background sweep — the paper's design. *)
+  | Predeclare
+      (** Transactions declare their relations up front and wait for them
+          (§2.5 method 1). *)
+  | Full_reload
+      (** Database-level recovery baseline (Hagmann-style): reload
+          everything and process all log before any transaction runs. *)
+
+type t = {
+  partition_bytes : int;
+  stable : Mrdb_wal.Stable_layout.config;
+  log_window_pages : int;
+  ckpt_disk_pages : int;
+  n_update : int;            (** checkpoint trigger threshold (N_update) *)
+  age_grace_pages : int option;
+  commit_mode : commit_mode;
+  recovery_mode : recovery_mode;
+  main_cpu_mips : float;     (** paper: 6 MIPS *)
+  recovery_cpu_mips : float; (** paper: 1 MIPS *)
+  undo_block_bytes : int;
+  undo_block_count : int;
+  ttree_max_items : int;     (** entries per T-tree node *)
+  lhash_node_capacity : int; (** entries per linear-hash node *)
+  archive : bool;
+      (** roll every log page and checkpoint image onto the archive tape
+          (§2.6); enables recovery from checkpoint-disk media failure *)
+  auto_checkpoint : bool;
+      (** process checkpoint requests between transactions (the paper's
+          main-CPU polling); when false, call {!Db.process_checkpoints}
+          manually *)
+}
+
+val default : t
+(** Paper-flavoured geometry: 48 KB partitions, 8 KB log pages,
+    N_update = 1000. *)
+
+val small : t
+(** Miniature geometry for tests: 2 KB partitions, 512 B log pages,
+    N_update = 16 — small enough that every structural path (page seals,
+    directory spans, window wrap, age triggers) is exercised quickly. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on inconsistent geometry (e.g. a partition
+    image that cannot fit the checkpoint disk). *)

@@ -1,0 +1,171 @@
+(** The Main-Memory DBMS with the paper's recovery architecture.
+
+    One [Db.t] is a simulated machine: volatile main memory holding the
+    primary database (segments of fixed-size partitions, T-tree /
+    linear-hash indices, catalogs), a few megabytes of stable reliable
+    memory (Stable Log Buffer + Stable Log Tail), a duplexed log disk with
+    a reusable window, and a checkpoint disk organized as a pseudo-circular
+    queue.
+
+    Transactions run under strict two-phase locking, write REDO records to
+    the SLB (stable — commit is instant) and UNDO records to the volatile
+    undo space.  The recovery component sorts committed records into
+    per-partition bins, writes full log pages, and triggers per-partition
+    checkpoints by update count or age.  {!crash} destroys all volatile
+    state; {!recover} restores the catalogs from the well-known stable
+    area and resumes transaction processing, with remaining partitions
+    recovered on demand or in the background.
+
+    This facade is synchronous: operations that need simulated I/O pump the
+    discrete-event clock internally, so functional callers never deal with
+    callbacks; benches read the clock via {!sim} to measure elapsed
+    simulated time. *)
+
+open Mrdb_storage
+
+type t
+type txn
+
+exception Aborted of string
+(** The transaction was aborted (deadlock victim, or a lock conflict in
+    this synchronous facade) and its effects rolled back. *)
+
+exception Crashed
+(** Raised by operations attempted between {!crash} and {!recover}. *)
+
+exception Unknown_relation of string
+exception Unknown_index of string
+
+(** {2 Lifecycle} *)
+
+val create : ?config:Config.t -> unit -> t
+val config : t -> Config.t
+val sim : t -> Mrdb_sim.Sim.t
+val trace : t -> Mrdb_sim.Trace.t
+val quiesce : t -> unit
+(** Run the simulated clock until all in-flight device work completes. *)
+
+(** {2 DDL (system transactions; logged and recoverable)} *)
+
+val create_relation : t -> name:string -> schema:Schema.t -> unit
+val create_index :
+  t -> rel:string -> name:string -> kind:Catalog.index_kind -> key_column:string -> unit
+(** @raise Unknown_relation / Invalid_argument on bad arguments.  Building
+    an index over existing tuples backfills it. *)
+
+val drop_relation : t -> name:string -> unit
+(** Drop a relation, its indices, partitions, bin-table entries and
+    checkpoint-disk space.  The catalog deletions commit atomically in one
+    system transaction before any resource is reclaimed, so a crash at any
+    point either preserves the relation entirely or drops it entirely.
+    @raise Unknown_relation / [Aborted] when a live transaction holds it. *)
+
+val relations : t -> string list
+
+(** {2 Transactions} *)
+
+val begin_txn : ?declare:string list -> t -> txn
+(** [declare] (Predeclare mode, §2.5 method 1) names the relations the
+    transaction will touch; they are restored before the transaction
+    starts. *)
+
+val txn_id : txn -> int
+val commit : t -> txn -> unit
+(** Commit per the configured {!Config.commit_mode}.  Under [Group _] the
+    transaction precommits and joins the current group. *)
+
+val abort : t -> txn -> unit
+val flush_group : t -> unit
+(** Force the pending commit group to disk^H^H^H^H stable memory commit
+    (no-op outside group mode). *)
+
+val with_txn : t -> (txn -> 'a) -> 'a
+(** Run, commit on return, abort on exception (re-raised). *)
+
+(** {2 DML} *)
+
+val insert : t -> txn -> rel:string -> Tuple.t -> Addr.t
+val read : t -> txn -> rel:string -> Addr.t -> Tuple.t option
+(** Address-level read: on-demand recovers only the addressed partition
+    (§2.5 method 2). *)
+
+val update : t -> txn -> rel:string -> Addr.t -> Tuple.t -> Addr.t
+val update_field :
+  t -> txn -> rel:string -> Addr.t -> column:string -> Schema.value -> Addr.t
+val delete : t -> txn -> rel:string -> Addr.t -> unit
+val lookup :
+  t -> txn -> rel:string -> index:string -> Schema.value -> (Addr.t * Tuple.t) list
+val range :
+  t -> txn -> rel:string -> index:string -> lo:Schema.value option ->
+  hi:Schema.value option -> (Schema.value * Addr.t) list
+val scan : t -> txn -> rel:string -> (Addr.t * Tuple.t) list
+val cardinality : t -> rel:string -> int
+(** Untransactional count (ensures residency). *)
+
+(** {2 Checkpointing} *)
+
+val process_checkpoints : t -> int
+(** Run pending checkpoint transactions (the main CPU's between-transaction
+    polling); returns how many completed.  Requests whose relation lock is
+    held by a live transaction are deferred. *)
+
+val pending_checkpoints : t -> int
+val checkpoint_partition : t -> Addr.partition -> unit
+(** Force one partition checkpoint now. *)
+
+val checkpoint_all : t -> unit
+(** Checkpoint every active partition (e.g. before a planned shutdown). *)
+
+(** {2 Crash and recovery} *)
+
+val crash : t -> unit
+(** Power failure: all volatile memory lost, in-flight disk work lost;
+    stable memory and durable disk contents survive. *)
+
+val is_crashed : t -> bool
+
+val recover : ?mode:Config.recovery_mode -> t -> unit
+(** Phase 1 of post-crash recovery: rebuild the recovery component from
+    stable memory, drain committed-but-unsorted records, restore the
+    catalogs from the well-known area, and (in [Full_reload] mode) restore
+    every partition.  Transaction processing may resume on return. *)
+
+val ensure_relation : t -> string -> unit
+(** Demand-restore a relation (all its partitions and index overlays). *)
+
+val background_recovery_step : t -> bool
+(** Restore one more not-yet-resident partition (the paper's low-priority
+    background sweep); false when the database is fully resident. *)
+
+val recover_everything : t -> unit
+(** Drain the background sweep. *)
+
+val resident_fraction : t -> float
+(** Fraction of catalogued partitions currently memory-resident. *)
+
+(** {2 Archive and media failure (§2.6)} *)
+
+val archiver : t -> Mrdb_archive.Archive.t option
+(** The archive component, when [Config.archive] is set.  It taps every
+    log-disk page write and receives every checkpoint image. *)
+
+val fail_checkpoint_disk : t -> unit
+(** Media failure: replace the checkpoint disk with a blank drive.  With
+    the archive enabled, subsequent recovery transparently falls back to
+    the newest archived image of each partition; without it, recovery of
+    checkpointed partitions fails loudly. *)
+
+(** {2 Introspection (benches, tests)} *)
+
+val main_cpu : t -> Mrdb_sim.Cpu.t
+val recovery_cpu : t -> Mrdb_sim.Cpu.t
+(** The two processors of §2.2 (instruction-time accounting). *)
+
+val slt : t -> Mrdb_wal.Slt.t
+val slb : t -> Mrdb_wal.Slb.t
+val log_disk : t -> Mrdb_wal.Log_disk.t
+val ckpt_disk : t -> Mrdb_hw.Disk.t
+val catalog : t -> Catalog.t
+val partition_of_addr : t -> rel:string -> Addr.t -> Addr.partition
+val relation_partitions : t -> rel:string -> Addr.partition list
+(** Tuple-segment partitions of a relation (catalogued). *)

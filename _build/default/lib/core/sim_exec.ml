@@ -1,0 +1,75 @@
+module Sim = Mrdb_sim.Sim
+module Cpu = Mrdb_sim.Cpu
+
+type stats = {
+  mutable committed : int;
+  mutable aborted : int;
+  mutable retries : int;
+  latencies_us : Mrdb_util.Stats.t;
+}
+
+type op = Db.t -> Db.txn -> unit
+
+let run ~db ~clients ~duration_us ?(think_us = 1000.0) ?(op_cost_instr = 1500)
+    ?(max_retries = 10) ?(seed = 1) ~make_txn () =
+  if clients < 1 then invalid_arg "Sim_exec.run: clients";
+  let sim = Db.sim db in
+  let cpu = Db.main_cpu db in
+  let stop_at = Sim.now sim +. duration_us in
+  let stats =
+    { committed = 0; aborted = 0; retries = 0; latencies_us = Mrdb_util.Stats.create () }
+  in
+  let master = Mrdb_util.Rng.of_int seed in
+  let rec think crng =
+    if Sim.now sim < stop_at then
+      Sim.schedule sim
+        ~delay:(Mrdb_util.Rng.exponential crng think_us)
+        (fun () -> if Sim.now sim < stop_at then attempt crng 0)
+  and attempt crng tries =
+    let t0 = Sim.now sim in
+    let ops = make_txn crng in
+    let tx = Db.begin_txn db in
+    let rec step = function
+      | [] -> (
+          match Db.commit db tx with
+          | () ->
+              stats.committed <- stats.committed + 1;
+              Mrdb_util.Stats.add stats.latencies_us (Sim.now sim -. t0);
+              think crng
+          | exception Db.Aborted _ -> conflict crng tries)
+      | op :: rest ->
+          Cpu.execute cpu ~instructions:op_cost_instr (fun () ->
+              match op db tx with
+              | () -> step rest
+              | exception Db.Aborted _ -> conflict crng tries
+              | exception e ->
+                  (* Programming error in the op: abort and re-raise. *)
+                  (try Db.abort db tx with _ -> ());
+                  raise e)
+    in
+    step ops
+  and conflict crng tries =
+    stats.aborted <- stats.aborted + 1;
+    if tries < max_retries && Sim.now sim < stop_at then begin
+      stats.retries <- stats.retries + 1;
+      (* Randomized backoff before retrying the transaction. *)
+      Sim.schedule sim
+        ~delay:(Mrdb_util.Rng.exponential crng (think_us /. 2.0))
+        (fun () -> if Sim.now sim < stop_at then attempt crng (tries + 1) else ())
+    end
+    else think crng
+  in
+  for _ = 1 to clients do
+    think (Mrdb_util.Rng.split master)
+  done;
+  Sim.run_until sim stop_at;
+  (* Let in-flight transactions and device work finish. *)
+  Sim.run sim;
+  stats
+
+let throughput_per_s stats ~duration_us =
+  float_of_int stats.committed /. (duration_us /. 1e6)
+
+let abort_fraction stats =
+  let total = stats.committed + stats.aborted in
+  if total = 0 then 0.0 else float_of_int stats.aborted /. float_of_int total

@@ -1,0 +1,47 @@
+(** Discrete-event multiprogramming executor.
+
+    Drives N concurrent clients against one {!Db} on the simulated clock:
+    each client thinks (exponential delay), then runs a transaction as a
+    sequence of operations, each charged to the shared main CPU at a
+    configurable instruction cost.  Clients interleave at operation
+    granularity, so the lock manager sees real concurrency.
+
+    Concurrency control is {e no-wait}: a lock conflict aborts the
+    requester immediately (the synchronous facade's policy), and the
+    executor retries the transaction after a randomized backoff — the
+    standard main-memory-DBMS discipline when waits are costlier than
+    retries.  Throughput, abort rate and latency percentiles come out of
+    the run; the recovery component (logging, checkpoints) runs underneath
+    exactly as in single-client operation. *)
+
+type stats = {
+  mutable committed : int;
+  mutable aborted : int;
+  mutable retries : int;
+  latencies_us : Mrdb_util.Stats.t;  (** begin→commit, committed txns only *)
+}
+
+type op = Db.t -> Db.txn -> unit
+(** One step of a transaction; may raise {!Db.Aborted} on conflict. *)
+
+val run :
+  db:Db.t ->
+  clients:int ->
+  duration_us:float ->
+  ?think_us:float ->
+  ?op_cost_instr:int ->
+  ?max_retries:int ->
+  ?seed:int ->
+  make_txn:(Mrdb_util.Rng.t -> op list) ->
+  unit ->
+  stats
+(** [run ~db ~clients ~duration_us ~make_txn ()] — every client loops
+    think → transaction until the horizon.  [make_txn] builds a fresh
+    operation list per attempt from the client's private RNG.
+    [think_us] defaults to 1000 µs mean; [op_cost_instr] to 1500
+    instructions on the main CPU per operation (a paper-flavoured guess at
+    a debit/credit step); [max_retries] to 10 per transaction instance
+    before it is dropped. *)
+
+val throughput_per_s : stats -> duration_us:float -> float
+val abort_fraction : stats -> float

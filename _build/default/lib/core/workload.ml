@@ -1,0 +1,194 @@
+open Mrdb_storage
+
+module Bank = struct
+  type t = {
+    n_accounts : int;
+    n_tellers : int;
+    n_branches : int;
+    account_addrs : Addr.t array;
+    teller_addrs : Addr.t array;
+    branch_addrs : Addr.t array;
+    initial_balance : int;
+  }
+
+  let account_schema =
+    Schema.of_list
+      [ ("aid", Schema.Int); ("branch", Schema.Int); ("balance", Schema.Int) ]
+
+  let teller_schema =
+    Schema.of_list
+      [ ("tid", Schema.Int); ("branch", Schema.Int); ("balance", Schema.Int) ]
+
+  let branch_schema =
+    Schema.of_list [ ("bid", Schema.Int); ("balance", Schema.Int) ]
+
+  let history_schema =
+    Schema.of_list
+      [ ("aid", Schema.Int); ("tid", Schema.Int); ("delta", Schema.Int) ]
+
+  let setup db ?(accounts = 1000) ?(tellers = 10) ?(branches = 2) () =
+    Db.create_relation db ~name:"account" ~schema:account_schema;
+    Db.create_relation db ~name:"teller" ~schema:teller_schema;
+    Db.create_relation db ~name:"branch" ~schema:branch_schema;
+    Db.create_relation db ~name:"history" ~schema:history_schema;
+    Db.create_index db ~rel:"account" ~name:"account_id" ~kind:Catalog.Ttree
+      ~key_column:"aid";
+    let initial_balance = 1000 in
+    let account_addrs = Array.make accounts Addr.null in
+    let teller_addrs = Array.make tellers Addr.null in
+    let branch_addrs = Array.make branches Addr.null in
+    (* Populate in modest batches: a single giant transaction would pin an
+       unbounded REDO chain in the (finite) Stable Log Buffer. *)
+    let batched n f =
+      let i = ref 0 in
+      while !i < n do
+        let stop = Stdlib.min n (!i + 50) in
+        Db.with_txn db (fun tx ->
+            while !i < stop do
+              f tx !i;
+              incr i
+            done)
+      done
+    in
+    batched accounts (fun tx i ->
+        account_addrs.(i) <-
+          Db.insert db tx ~rel:"account"
+            [| Schema.int i; Schema.int (i mod branches); Schema.int initial_balance |]);
+    batched tellers (fun tx i ->
+        teller_addrs.(i) <-
+          Db.insert db tx ~rel:"teller"
+            [| Schema.int i; Schema.int (i mod branches); Schema.int initial_balance |]);
+    batched branches (fun tx i ->
+        branch_addrs.(i) <-
+          Db.insert db tx ~rel:"branch" [| Schema.int i; Schema.int initial_balance |]);
+    {
+      n_accounts = accounts;
+      n_tellers = tellers;
+      n_branches = branches;
+      account_addrs;
+      teller_addrs;
+      branch_addrs;
+      initial_balance;
+    }
+
+  let accounts t = t.n_accounts
+
+  let bump db tx ~rel addr ~column delta =
+    match Db.read db tx ~rel addr with
+    | None -> failwith "Workload.Bank: missing row"
+    | Some tup ->
+        let schema =
+          match rel with
+          | "account" -> account_schema
+          | "teller" -> teller_schema
+          | _ -> branch_schema
+        in
+        let col = Schema.column_index schema column in
+        let current = Schema.to_int (Tuple.field tup col) in
+        ignore
+          (Db.update_field db tx ~rel addr ~column (Schema.int (current + delta)))
+
+  let run_debit_credit t db ~rng =
+    let aid = Mrdb_util.Rng.int rng t.n_accounts in
+    let tid = Mrdb_util.Rng.int rng t.n_tellers in
+    let delta = Mrdb_util.Rng.int_in rng (-100) 100 in
+    Db.with_txn db (fun tx ->
+        bump db tx ~rel:"account" t.account_addrs.(aid) ~column:"balance" delta;
+        bump db tx ~rel:"teller" t.teller_addrs.(tid) ~column:"balance" delta;
+        bump db tx ~rel:"branch" t.branch_addrs.(tid mod t.n_branches)
+          ~column:"balance" delta;
+        ignore
+          (Db.insert db tx ~rel:"history"
+             [| Schema.int aid; Schema.int tid; Schema.int delta |]))
+
+  let audit t db =
+    ignore t;
+    let total = ref 0L in
+    Db.with_txn db (fun tx ->
+        List.iter
+          (fun (_, tup) ->
+            total := Int64.add !total (Int64.of_int (Schema.to_int (Tuple.field tup 2))))
+          (Db.scan db tx ~rel:"account"));
+    !total
+
+  let expected_total t = Int64.of_int (t.n_accounts * t.initial_balance)
+
+  let sum_balances db ~rel ~col =
+    let total = ref 0L in
+    Db.with_txn db (fun tx ->
+        List.iter
+          (fun (_, tup) ->
+            total :=
+              Int64.add !total (Int64.of_int (Schema.to_int (Tuple.field tup col))))
+          (Db.scan db tx ~rel));
+    !total
+
+  let consistent t db =
+    let drift total count =
+      Int64.sub total (Int64.of_int (count * t.initial_balance))
+    in
+    let acct = drift (sum_balances db ~rel:"account" ~col:2) t.n_accounts in
+    let teller = drift (sum_balances db ~rel:"teller" ~col:2) t.n_tellers in
+    let branch = drift (sum_balances db ~rel:"branch" ~col:1) t.n_branches in
+    Int64.equal acct teller && Int64.equal teller branch
+end
+
+module Update_heavy = struct
+  type t = { addrs : Addr.t array }
+
+  let schema = Schema.of_list [ ("k", Schema.Int); ("v", Schema.Int) ]
+
+  let setup db ?(rows = 500) () =
+    Db.create_relation db ~name:"cells" ~schema;
+    let addrs = Array.make rows Addr.null in
+    let i = ref 0 in
+    while !i < rows do
+      let stop = Stdlib.min rows (!i + 100) in
+      Db.with_txn db (fun tx ->
+          while !i < stop do
+            addrs.(!i) <- Db.insert db tx ~rel:"cells" [| Schema.int !i; Schema.int 0 |];
+            incr i
+          done)
+    done;
+    { addrs }
+
+  let rows t = Array.length t.addrs
+
+  let run_one t db ~rng =
+    let i = Mrdb_util.Rng.int rng (Array.length t.addrs) in
+    Db.with_txn db (fun tx ->
+        ignore
+          (Db.update_field db tx ~rel:"cells" t.addrs.(i) ~column:"v"
+             (Schema.int (Mrdb_util.Rng.int rng 1_000_000))))
+end
+
+module Skewed = struct
+  type t = { addrs : Addr.t array; theta : float }
+
+  let schema = Schema.of_list [ ("k", Schema.Int); ("v", Schema.Int) ]
+
+  let setup db ?(rows = 2000) ?(theta = 1.0) () =
+    Db.create_relation db ~name:"skewed" ~schema;
+    let addrs = Array.make rows Addr.null in
+    let i = ref 0 in
+    while !i < rows do
+      let stop = Stdlib.min rows (!i + 100) in
+      Db.with_txn db (fun tx ->
+          while !i < stop do
+            addrs.(!i) <- Db.insert db tx ~rel:"skewed" [| Schema.int !i; Schema.int 0 |];
+            incr i
+          done)
+    done;
+    { addrs; theta }
+
+  let run_one t db ~rng =
+    let i = Mrdb_util.Rng.zipf rng ~n:(Array.length t.addrs) ~theta:t.theta in
+    Db.with_txn db (fun tx ->
+        ignore
+          (Db.update_field db tx ~rel:"skewed" t.addrs.(i) ~column:"v"
+             (Schema.int (Mrdb_util.Rng.int rng 1_000_000))))
+
+  let partitions t db =
+    ignore t;
+    List.length (Db.relation_partitions db ~rel:"skewed")
+end

@@ -1,0 +1,62 @@
+(** Workload generators.
+
+    §3.2 characterizes workloads purely by how many log records a
+    transaction generates: "It can range from a few log records over
+    hundreds of thousands of instructions (for computation-intensive
+    transactions) to ... a few records over several thousand instructions
+    (for Gray's debit/credit transactions) to one log record over only
+    hundreds of instructions (for update-intensive transactions)."
+
+    This module provides the canonical debit/credit (TPC-A-shaped) bank,
+    an update-intensive single-record workload, and a skewed-access
+    workload for exercising hot/cold partition checkpoint behaviour. *)
+
+(** Gray-style debit/credit bank: accounts, tellers, branches, history. *)
+module Bank : sig
+  type t
+
+  val setup :
+    Db.t -> ?accounts:int -> ?tellers:int -> ?branches:int -> unit -> t
+  (** Create and populate the four relations (with a T-tree index on
+      account id).  Defaults: 1000 accounts, 10 tellers, 2 branches. *)
+
+  val accounts : t -> int
+
+  val run_debit_credit : t -> Db.t -> rng:Mrdb_util.Rng.t -> unit
+  (** One debit/credit transaction: update account, teller and branch
+      balances, append a history record — the paper's ~4-log-record
+      transaction (plus index maintenance). *)
+
+  val audit : t -> Db.t -> int64
+  (** Sum of all account balances. *)
+
+  val expected_total : t -> int64
+  (** Initial account total (before any debit/credit deltas). *)
+
+  val consistent : t -> Db.t -> bool
+  (** The debit/credit invariant: every transaction applies the same delta
+      to an account, a teller and a branch, so the three relations' total
+      drifts from their initial values must be identical.  Any atomicity
+      violation (partial transaction surviving a crash) breaks this. *)
+end
+
+(** Update-intensive workload: one single-field update per transaction on a
+    keyless heap relation ("one log record over only hundreds of
+    instructions"). *)
+module Update_heavy : sig
+  type t
+
+  val setup : Db.t -> ?rows:int -> unit -> t
+  val run_one : t -> Db.t -> rng:Mrdb_util.Rng.t -> unit
+  val rows : t -> int
+end
+
+(** Skewed access over many partitions: hot partitions accumulate
+    update-count checkpoints while cold ones age out of the log window. *)
+module Skewed : sig
+  type t
+
+  val setup : Db.t -> ?rows:int -> ?theta:float -> unit -> t
+  val run_one : t -> Db.t -> rng:Mrdb_util.Rng.t -> unit
+  val partitions : t -> Db.t -> int
+end

@@ -1,0 +1,1 @@
+lib/hw/disk.ml: Array Bytes Mrdb_sim Option Printf Queue

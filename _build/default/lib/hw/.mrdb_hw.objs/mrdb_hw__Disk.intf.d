@@ -1,0 +1,1 @@
+lib/hw/disk.mli: Mrdb_sim

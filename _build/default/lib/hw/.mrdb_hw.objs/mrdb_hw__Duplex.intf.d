@@ -1,0 +1,1 @@
+lib/hw/duplex.mli: Disk Mrdb_sim

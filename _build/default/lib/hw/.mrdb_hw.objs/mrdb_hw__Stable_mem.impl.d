@@ -1,0 +1,1 @@
+lib/hw/stable_mem.ml: Bytes List Mrdb_util Printf

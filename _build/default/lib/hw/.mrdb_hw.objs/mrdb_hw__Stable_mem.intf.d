@@ -1,0 +1,1 @@
+lib/hw/stable_mem.mli:

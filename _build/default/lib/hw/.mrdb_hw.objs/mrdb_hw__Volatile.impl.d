@@ -1,0 +1,1 @@
+lib/hw/volatile.ml: Printf

@@ -1,0 +1,208 @@
+type params = {
+  page_bytes : int;
+  pages_per_track : int;
+  seek_avg_us : float;
+  seek_near_us : float;
+  settle_us : float;
+  page_transfer_us : float;
+  interleaved : bool;
+}
+
+(* 1987-class high-performance drive, in the spirit of §3.1: two heads per
+   surface halve the seek distance, and log traffic seeks only between
+   sibling pages.  An 8 KB page at ~2 MB/s transfers in ~4 ms. *)
+let default_log_params ~page_bytes =
+  {
+    page_bytes;
+    pages_per_track = 6;
+    seek_avg_us = 12_000.0;
+    seek_near_us = 4_000.0;
+    settle_us = 1_000.0;
+    page_transfer_us = float_of_int page_bytes /. 2.0e6 *. 1e6;
+    interleaved = true;
+  }
+
+let default_ckpt_params ~page_bytes =
+  {
+    page_bytes;
+    pages_per_track = 6;
+    seek_avg_us = 12_000.0;
+    seek_near_us = 4_000.0;
+    settle_us = 1_000.0;
+    page_transfer_us = float_of_int page_bytes /. 2.0e6 *. 1e6;
+    interleaved = false;
+  }
+
+type op =
+  | Write of { page : int; data : bytes; k : unit -> unit }
+  | Read of { page : int; k : bytes -> unit }
+  | Write_track of { first_page : int; data : bytes; k : unit -> unit }
+  | Read_track of { first_page : int; pages : int; k : bytes -> unit }
+
+type t = {
+  sim : Mrdb_sim.Sim.t;
+  name : string;
+  params : params;
+  store : bytes option array;
+  queue : op Queue.t;
+  mutable servicing : bool;
+  mutable last_page : int; (* for sequential-access detection; -2 = none *)
+  mutable busy_until : float;
+  mutable ops : int;
+  mutable pages_written : int;
+  mutable pages_read : int;
+  mutable busy_us : float;
+}
+
+let create ?(name = "disk") sim ~params ~capacity_pages =
+  if capacity_pages <= 0 then invalid_arg "Disk.create: capacity";
+  {
+    sim;
+    name;
+    params;
+    store = Array.make capacity_pages None;
+    queue = Queue.create ();
+    servicing = false;
+    last_page = -2;
+    busy_until = 0.0;
+    ops = 0;
+    pages_written = 0;
+    pages_read = 0;
+    busy_us = 0.0;
+  }
+
+let name t = t.name
+let params t = t.params
+let capacity_pages t = Array.length t.store
+
+let check_page t page =
+  if page < 0 || page >= Array.length t.store then
+    invalid_arg (Printf.sprintf "%s: page %d out of range" t.name page)
+
+(* Positioning cost to reach [page] given the head's last position.  An
+   interleaved disk reaches the logically-next sector after one sector pass
+   (the interleave gap); otherwise short or average seek plus settle. *)
+let position_us t page =
+  if t.last_page >= 0 && page = t.last_page + 1 then
+    if t.params.interleaved then t.params.page_transfer_us
+    else
+      (* Missed the next physical sector: wait most of a revolution. *)
+      t.params.page_transfer_us *. float_of_int t.params.pages_per_track
+  else if
+    t.last_page >= 0
+    && abs (page - t.last_page) < t.params.pages_per_track * 16
+  then t.params.seek_near_us +. t.params.settle_us
+  else t.params.seek_avg_us +. t.params.settle_us
+
+let op_duration t op =
+  match op with
+  | Write { page; _ } | Read { page; _ } ->
+      position_us t page +. t.params.page_transfer_us
+  | Write_track { first_page; data; _ } ->
+      let pages = Bytes.length data / t.params.page_bytes in
+      (* Track mode transfers at double rate. *)
+      position_us t first_page
+      +. (float_of_int pages *. t.params.page_transfer_us /. 2.0)
+  | Read_track { first_page; pages; _ } ->
+      position_us t first_page
+      +. (float_of_int pages *. t.params.page_transfer_us /. 2.0)
+
+let apply t op =
+  match op with
+  | Write { page; data; k } ->
+      t.store.(page) <- Some (Bytes.copy data);
+      t.pages_written <- t.pages_written + 1;
+      t.last_page <- page;
+      k ()
+  | Read { page; k } ->
+      let data =
+        match t.store.(page) with
+        | Some b -> Bytes.copy b
+        | None -> Bytes.make t.params.page_bytes '\000'
+      in
+      t.pages_read <- t.pages_read + 1;
+      t.last_page <- page;
+      k data
+  | Write_track { first_page; data; k } ->
+      let pages = Bytes.length data / t.params.page_bytes in
+      for i = 0 to pages - 1 do
+        t.store.(first_page + i) <-
+          Some (Bytes.sub data (i * t.params.page_bytes) t.params.page_bytes)
+      done;
+      t.pages_written <- t.pages_written + pages;
+      t.last_page <- first_page + pages - 1;
+      k ()
+  | Read_track { first_page; pages; k } ->
+      let buf = Bytes.make (pages * t.params.page_bytes) '\000' in
+      for i = 0 to pages - 1 do
+        match t.store.(first_page + i) with
+        | Some b -> Bytes.blit b 0 buf (i * t.params.page_bytes) t.params.page_bytes
+        | None -> ()
+      done;
+      t.pages_read <- t.pages_read + pages;
+      t.last_page <- first_page + pages - 1;
+      k buf
+
+let rec service t =
+  match Queue.take_opt t.queue with
+  | None -> t.servicing <- false
+  | Some op ->
+      t.servicing <- true;
+      let duration = op_duration t op in
+      t.ops <- t.ops + 1;
+      t.busy_us <- t.busy_us +. duration;
+      t.busy_until <- Mrdb_sim.Sim.now t.sim +. duration;
+      Mrdb_sim.Sim.schedule t.sim ~delay:duration (fun () ->
+          apply t op;
+          service t)
+
+let submit t op =
+  Queue.add op t.queue;
+  if not t.servicing then service t
+
+let write_page t ~page data k =
+  check_page t page;
+  if Bytes.length data <> t.params.page_bytes then
+    invalid_arg (Printf.sprintf "%s: write_page size %d <> page size %d" t.name
+                   (Bytes.length data) t.params.page_bytes);
+  submit t (Write { page; data = Bytes.copy data; k })
+
+let read_page t ~page k =
+  check_page t page;
+  submit t (Read { page; k })
+
+let write_track t ~first_page data k =
+  check_page t first_page;
+  if Bytes.length data mod t.params.page_bytes <> 0 then
+    invalid_arg (t.name ^ ": write_track size not a page multiple");
+  let pages = Bytes.length data / t.params.page_bytes in
+  if pages = 0 then invalid_arg (t.name ^ ": write_track empty");
+  check_page t (first_page + pages - 1);
+  submit t (Write_track { first_page; data = Bytes.copy data; k })
+
+let read_track t ~first_page ~pages k =
+  check_page t first_page;
+  if pages <= 0 then invalid_arg (t.name ^ ": read_track pages");
+  check_page t (first_page + pages - 1);
+  submit t (Read_track { first_page; pages; k })
+
+let queue_depth t = Queue.length t.queue + if t.servicing then 1 else 0
+
+let crash_queue t =
+  Queue.clear t.queue;
+  t.servicing <- false;
+  t.last_page <- -2
+let busy_until t = t.busy_until
+
+let peek_page t ~page =
+  check_page t page;
+  Option.map Bytes.copy t.store.(page)
+
+let is_written t ~page =
+  check_page t page;
+  t.store.(page) <> None
+
+let stats_ops t = t.ops
+let stats_pages_written t = t.pages_written
+let stats_pages_read t = t.pages_read
+let stats_busy_us t = t.busy_us

@@ -1,0 +1,80 @@
+(** Simulated disk drive.
+
+    Reproduces the disk assumptions of §3.1:
+
+    - a two-head-per-surface, high-performance drive with {e relatively low
+      seek times}; the checkpoint disks see average seeks while successive
+      log-page operations on the log disk see shorter "sibling" seeks;
+    - log-disk sectors are {e interleaved}: logically adjacent sectors are
+      physically one apart, giving the electronics a full sector time to
+      set up the next single-page write, so back-to-back page writes incur
+      one extra sector-pass each rather than a full revolution;
+    - partitions are written in {e whole tracks} at double the single-page
+      transfer rate.
+
+    The drive stores real bytes per page: recovery reads back exactly what
+    was written, and a crash loses nothing that completed.  Requests are
+    serviced strictly FIFO (the recovery CPU "needs to do little more than
+    append a disk write request to the disk device queue"). *)
+
+type params = {
+  page_bytes : int;        (** sector/page size (the paper's log page) *)
+  pages_per_track : int;
+  seek_avg_us : float;     (** average seek (checkpoint-style access) *)
+  seek_near_us : float;    (** short seek between sibling log pages *)
+  settle_us : float;       (** per-operation head-settle / setup time *)
+  page_transfer_us : float;(** transfer time of one page, single-page mode *)
+  interleaved : bool;      (** log-disk sector interleave *)
+}
+
+val default_log_params : page_bytes:int -> params
+(** 1987-class drive tuned for log traffic (short seeks, interleave). *)
+
+val default_ckpt_params : page_bytes:int -> params
+(** Same drive, checkpoint usage (average seeks, whole-track writes). *)
+
+type t
+
+val create : ?name:string -> Mrdb_sim.Sim.t -> params:params -> capacity_pages:int -> t
+
+val name : t -> string
+val params : t -> params
+val capacity_pages : t -> int
+
+(** {2 Timed interface (goes through the simulated clock)} *)
+
+val write_page : t -> page:int -> bytes -> (unit -> unit) -> unit
+(** Queue a single-page write; the continuation fires when durable.
+    @raise Invalid_argument on bad page index or wrong buffer size. *)
+
+val read_page : t -> page:int -> (bytes -> unit) -> unit
+(** Queue a single-page read; the continuation receives a copy. *)
+
+val write_track : t -> first_page:int -> bytes -> (unit -> unit) -> unit
+(** Whole-track (or shorter) multi-page write at track transfer rate; the
+    buffer length must be a multiple of the page size. *)
+
+val read_track : t -> first_page:int -> pages:int -> (bytes -> unit) -> unit
+
+val queue_depth : t -> int
+(** Requests accepted but not yet completed. *)
+
+val crash_queue : t -> unit
+(** Crash semantics: drop every queued and in-service request without
+    applying it — a write that had not completed is not durable.  Media
+    contents are untouched.  Use together with {!Mrdb_sim.Sim.clear} so the
+    orphaned completion events are discarded too. *)
+
+val busy_until : t -> float
+
+(** {2 Untimed inspection (tests and crash-state capture)} *)
+
+val peek_page : t -> page:int -> bytes option
+(** Contents of a page if it has ever been written (copy). *)
+
+val is_written : t -> page:int -> bool
+
+val stats_ops : t -> int
+val stats_pages_written : t -> int
+val stats_pages_read : t -> int
+val stats_busy_us : t -> float

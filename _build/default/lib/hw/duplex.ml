@@ -1,0 +1,47 @@
+type t = {
+  a : Disk.t;
+  b : Disk.t;
+  mutable a_failed : bool;
+  mutable b_failed : bool;
+}
+
+let create ?(name = "log") sim ~params ~capacity_pages =
+  {
+    a = Disk.create ~name:(name ^ ".a") sim ~params ~capacity_pages;
+    b = Disk.create ~name:(name ^ ".b") sim ~params ~capacity_pages;
+    a_failed = false;
+    b_failed = false;
+  }
+
+let primary t = t.a
+let mirror t = t.b
+let capacity_pages t = Disk.capacity_pages t.a
+let page_bytes t = (Disk.params t.a).Disk.page_bytes
+
+let write_page t ~page data k =
+  (* Completion requires both mirrors (a failed mirror is skipped). *)
+  match (t.a_failed, t.b_failed) with
+  | true, true -> failwith "Duplex.write_page: both mirrors failed"
+  | true, false -> Disk.write_page t.b ~page data k
+  | false, true -> Disk.write_page t.a ~page data k
+  | false, false ->
+      let remaining = ref 2 in
+      let done_one () =
+        decr remaining;
+        if !remaining = 0 then k ()
+      in
+      Disk.write_page t.a ~page data done_one;
+      Disk.write_page t.b ~page data done_one
+
+let read_page t ~page k =
+  if not t.a_failed then Disk.read_page t.a ~page k
+  else if not t.b_failed then Disk.read_page t.b ~page k
+  else failwith "Duplex.read_page: both mirrors failed"
+
+let fail_primary t = t.a_failed <- true
+let fail_mirror t = t.b_failed <- true
+
+let peek_page t ~page =
+  if not t.a_failed then Disk.peek_page t.a ~page
+  else if not t.b_failed then Disk.peek_page t.b ~page
+  else None

@@ -1,0 +1,28 @@
+(** Duplexed (mirrored) disk pair.
+
+    The paper keeps the log on "a set of (duplexed) disks".  A write
+    completes only when both mirrors are durable; reads are served from the
+    primary unless it has been failed, in which case the mirror takes over
+    transparently.  Failing both mirrors makes reads raise — media loss is
+    the archive-recovery case, out of scope per §2.6. *)
+
+type t
+
+val create : ?name:string -> Mrdb_sim.Sim.t -> params:Disk.params -> capacity_pages:int -> t
+
+val primary : t -> Disk.t
+val mirror : t -> Disk.t
+val capacity_pages : t -> int
+val page_bytes : t -> int
+
+val write_page : t -> page:int -> bytes -> (unit -> unit) -> unit
+val read_page : t -> page:int -> (bytes -> unit) -> unit
+
+val fail_primary : t -> unit
+(** Simulate media failure of the primary; subsequent reads fall back to
+    the mirror. *)
+
+val fail_mirror : t -> unit
+
+val peek_page : t -> page:int -> bytes option
+(** Reads the surviving copy (untimed). *)

@@ -1,0 +1,115 @@
+type t = {
+  data : bytes;
+  slowdown : float;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let create ?(slowdown = 4.0) ~size () =
+  if size <= 0 then invalid_arg "Stable_mem.create: size";
+  { data = Bytes.make size '\000'; slowdown; bytes_read = 0; bytes_written = 0 }
+
+let size t = Bytes.length t.data
+let slowdown t = t.slowdown
+
+let check t off len =
+  if off < 0 || len < 0 || off + len > size t then
+    invalid_arg
+      (Printf.sprintf "Stable_mem: access [%d, %d) outside [0, %d)" off
+         (off + len) (size t))
+
+let write_sub t ~off b ~pos ~len =
+  check t off len;
+  Bytes.blit b pos t.data off len;
+  t.bytes_written <- t.bytes_written + len
+
+let write t ~off b = write_sub t ~off b ~pos:0 ~len:(Bytes.length b)
+
+let read t ~off ~len =
+  check t off len;
+  t.bytes_read <- t.bytes_read + len;
+  Bytes.sub t.data off len
+
+let blit_out t ~off b ~pos ~len =
+  check t off len;
+  Bytes.blit t.data off b pos len;
+  t.bytes_read <- t.bytes_read + len
+
+let fill t ~off ~len c =
+  check t off len;
+  Bytes.fill t.data off len c;
+  t.bytes_written <- t.bytes_written + len
+
+let get_u32 t ~off =
+  check t off 4;
+  t.bytes_read <- t.bytes_read + 4;
+  Mrdb_util.Codec.get_u32 t.data off
+
+let put_u32 t ~off v =
+  check t off 4;
+  t.bytes_written <- t.bytes_written + 4;
+  Mrdb_util.Codec.put_u32 t.data off v
+
+let get_i64 t ~off =
+  check t off 8;
+  t.bytes_read <- t.bytes_read + 8;
+  Mrdb_util.Codec.get_i64 t.data off
+
+let put_i64 t ~off v =
+  check t off 8;
+  t.bytes_written <- t.bytes_written + 8;
+  Mrdb_util.Codec.put_i64 t.data off v
+
+let crash (_ : t) = ()
+
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+
+module Blocks = struct
+  type alloc = {
+    mem : t;
+    region_off : int;
+    block_bytes : int;
+    used : Mrdb_util.Bitset.t;
+    mutable next_hint : int;
+  }
+
+  let create mem ~region_off ~block_bytes ~count =
+    if block_bytes <= 0 || count <= 0 then invalid_arg "Stable_mem.Blocks.create";
+    check mem region_off (block_bytes * count);
+    {
+      mem;
+      region_off;
+      block_bytes;
+      used = Mrdb_util.Bitset.create count;
+      next_hint = 0;
+    }
+
+  let block_bytes a = a.block_bytes
+  let count a = Mrdb_util.Bitset.length a.used
+  let free_count a = count a - Mrdb_util.Bitset.cardinal a.used
+
+  let alloc a =
+    match Mrdb_util.Bitset.first_clear_from a.used a.next_hint with
+    | None -> None
+    | Some i ->
+        Mrdb_util.Bitset.set a.used i;
+        a.next_hint <- (i + 1) mod count a;
+        Some i
+
+  let free a i =
+    if not (Mrdb_util.Bitset.mem a.used i) then
+      invalid_arg "Stable_mem.Blocks.free: block not allocated";
+    Mrdb_util.Bitset.clear a.used i
+
+  let offset_of_block a i =
+    if i < 0 || i >= count a then invalid_arg "Stable_mem.Blocks.offset_of_block";
+    a.region_off + (i * a.block_bytes)
+
+  let is_allocated a i = Mrdb_util.Bitset.mem a.used i
+
+  let rebuild_after_crash a ~live =
+    Mrdb_util.Bitset.reset a.used;
+    List.iter (fun i -> Mrdb_util.Bitset.set a.used i) live;
+    a.next_hint <- 0
+end

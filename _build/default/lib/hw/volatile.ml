@@ -1,0 +1,36 @@
+exception Lost of string
+
+module Epoch = struct
+  type t = { mutable epoch : int }
+
+  let create () = { epoch = 0 }
+  let current t = t.epoch
+  let crash t = t.epoch <- t.epoch + 1
+  let crash_count t = t.epoch
+end
+
+type 'a t = {
+  domain : Epoch.t;
+  born : int;
+  label : string;
+  mutable value : 'a;
+}
+
+let name label domain value =
+  { domain; born = Epoch.current domain; label; value }
+
+let create domain value = name "volatile" domain value
+
+let is_live t = t.born = Epoch.current t.domain
+
+let check t =
+  if not (is_live t) then
+    raise (Lost (Printf.sprintf "%s: volatile data lost in crash" t.label))
+
+let get t =
+  check t;
+  t.value
+
+let set t v =
+  check t;
+  t.value <- v

@@ -1,0 +1,37 @@
+(** Volatile memory with crash epochs.
+
+    Regular main memory: its contents are lost on a crash.  Rather than
+    physically zeroing structures (which would hide use-after-crash bugs),
+    each region is stamped with the epoch it was created in; after
+    {!Epoch.crash} every access to a stale region raises {!Lost}, so any
+    code path that "cheats" by reading volatile state during recovery fails
+    loudly in tests. *)
+
+exception Lost of string
+(** Raised when a region from a pre-crash epoch is accessed. *)
+
+(** A crash-epoch domain; one per simulated machine. *)
+module Epoch : sig
+  type t
+
+  val create : unit -> t
+  val current : t -> int
+  val crash : t -> unit
+  (** Advance the epoch, invalidating every region created before. *)
+
+  val crash_count : t -> int
+end
+
+type 'a t
+(** A volatile cell holding a value of type ['a]. *)
+
+val create : Epoch.t -> 'a -> 'a t
+val get : 'a t -> 'a
+(** @raise Lost after a crash. *)
+
+val set : 'a t -> 'a -> unit
+(** @raise Lost after a crash. *)
+
+val is_live : 'a t -> bool
+val name : string -> Epoch.t -> 'a -> 'a t
+(** Like [create] but with a label used in the [Lost] message. *)

@@ -1,0 +1,1 @@
+lib/index/entity_io.ml: Addr Bytes Mrdb_storage Part_op Partition Segment

@@ -1,0 +1,1 @@
+lib/index/entity_io.mli: Addr Mrdb_storage Relation Segment

@@ -1,0 +1,1 @@
+lib/index/linear_hash.ml: Addr Array Char Entity_io Format Int64 List Mrdb_storage Mrdb_util Partition Printf Schema Segment Stdlib String Tuple

@@ -1,0 +1,1 @@
+lib/index/linear_hash.mli: Addr Mrdb_storage Relation Schema Segment

@@ -1,0 +1,1 @@
+lib/index/t_tree.ml: Addr Array Entity_io Format List Mrdb_storage Mrdb_util Printf Schema Segment Stdlib Tuple

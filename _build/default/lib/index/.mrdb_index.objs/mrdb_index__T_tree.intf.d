@@ -1,0 +1,1 @@
+lib/index/t_tree.mli: Addr Mrdb_storage Relation Schema Segment

@@ -1,0 +1,47 @@
+open Mrdb_storage
+
+type t = { segment : Segment.t }
+
+let create ~segment = { segment }
+let segment t = t.segment
+
+let alloc t ~log data =
+  match Segment.insert_entity t.segment data with
+  | None -> failwith "Entity_io.alloc: component exceeds partition size"
+  | Some addr ->
+      let redo = Part_op.Insert { slot = addr.Addr.slot; data } in
+      log (Addr.partition_of addr) ~redo ~undo:(Part_op.undo_of ~before:None redo);
+      addr
+
+let read t addr =
+  match Segment.read_entity t.segment addr with
+  | Some b -> b
+  | None -> raise Not_found
+
+let write t ~log addr data =
+  let before = read t addr in
+  (match Segment.update_entity t.segment addr data with
+  | () -> ()
+  | exception Failure _ ->
+      (* Index components are small and uniform; running out of room in a
+         partition that already holds the component means the partition is
+         pathologically full — relocate via delete + insert is not possible
+         without changing the address, which index links forbid.  Compact
+         and retry once before giving up. *)
+      let p = Segment.find_exn t.segment addr.Addr.partition in
+      Partition.compact p;
+      Segment.update_entity t.segment addr data);
+  let redo = Part_op.Update { slot = addr.Addr.slot; data } in
+  log (Addr.partition_of addr) ~redo
+    ~undo:(Part_op.undo_of ~before:(Some before) redo)
+
+let pad_to n b =
+  if Bytes.length b >= n then b
+  else Bytes.cat b (Bytes.make (n - Bytes.length b) '\000')
+
+let free t ~log addr =
+  let before = read t addr in
+  Segment.delete_entity t.segment addr;
+  let redo = Part_op.Delete { slot = addr.Addr.slot } in
+  log (Addr.partition_of addr) ~redo
+    ~undo:(Part_op.undo_of ~before:(Some before) redo)

@@ -1,0 +1,35 @@
+(** Logged entity I/O for index components.
+
+    Index structures (T-tree nodes, linear-hash buckets) live as entities
+    in the index's own segment so that index partitions are checkpointed
+    and recovered exactly like relation partitions.  Every allocation,
+    write and free emits a physical REDO/UNDO pair through the supplied
+    sink — "a log record must be written for each updated index
+    component". *)
+
+open Mrdb_storage
+
+type t
+
+val create : segment:Segment.t -> t
+val segment : t -> Segment.t
+
+val alloc : t -> log:Relation.log_sink -> bytes -> Addr.t
+(** Store a fresh component.
+    @raise Failure when the component exceeds the partition size. *)
+
+val read : t -> Addr.t -> bytes
+(** @raise Not_found for dead addresses or non-resident partitions. *)
+
+val write : t -> log:Relation.log_sink -> Addr.t -> bytes -> unit
+(** @raise Not_found for dead addresses. *)
+
+val free : t -> log:Relation.log_sink -> Addr.t -> unit
+(** @raise Not_found for dead addresses. *)
+
+val pad_to : int -> bytes -> bytes
+(** [pad_to n b] right-pads [b] with zero bytes up to [n] (returns [b]
+    unchanged when already at least [n] long).  Index components are stored
+    padded to a fixed worst-case size so that in-place updates can never
+    run out of partition space: component addresses must stay stable, so a
+    grown component cannot be relocated. *)

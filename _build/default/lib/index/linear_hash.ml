@@ -1,0 +1,438 @@
+open Mrdb_storage
+
+type entry = Schema.value * Addr.t
+
+type node = {
+  addr : Addr.t;
+  mutable bucket : int;
+  mutable entries : entry list;
+  mutable next : Addr.t; (* overflow chain *)
+}
+
+type t = {
+  io : Entity_io.t;
+  cache : node Addr.Table.t;
+  state_addr : Addr.t;
+  key_type : Schema.column_type;
+  node_capacity : int;
+  initial_buckets : int;
+  max_load : float;
+  mutable level : int;
+  mutable split : int;
+  mutable directory : Addr.t array; (* bucket -> chain head; volatile *)
+  mutable count : int;
+}
+
+let magic_byte = 0xC3
+
+(* -- hashing -------------------------------------------------------------- *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let hash_value v =
+  let h64 =
+    match v with
+    | Schema.I x -> mix64 x
+    | Schema.F x -> mix64 (Int64.bits_of_float x)
+    | Schema.S s ->
+        (* FNV-1a 64-bit. *)
+        let h = ref 0xCBF29CE484222325L in
+        String.iter
+          (fun c ->
+            h := Int64.logxor !h (Int64.of_int (Char.code c));
+            h := Int64.mul !h 0x100000001B3L)
+          s;
+        mix64 !h
+  in
+  Int64.to_int h64 land max_int
+
+(* -- codecs --------------------------------------------------------------- *)
+
+let type_tag = function Schema.Int -> 0 | Schema.Float -> 1 | Schema.Str -> 2
+
+let type_of_tag = function
+  | 0 -> Schema.Int
+  | 1 -> Schema.Float
+  | 2 -> Schema.Str
+  | n -> failwith (Printf.sprintf "Linear_hash: bad key type tag %d" n)
+
+let encode_state t =
+  let open Mrdb_util.Codec.Enc in
+  let enc = create () in
+  u8 enc magic_byte;
+  u8 enc (type_tag t.key_type);
+  varint enc t.node_capacity;
+  varint enc t.initial_buckets;
+  i64 enc (Int64.bits_of_float t.max_load);
+  varint enc t.level;
+  varint enc t.split;
+  to_bytes enc
+
+let encode_node n =
+  let open Mrdb_util.Codec.Enc in
+  let enc = create () in
+  varint enc n.bucket;
+  varint enc (List.length n.entries);
+  List.iter
+    (fun (v, a) ->
+      Tuple.encode_value enc v;
+      Addr.encode enc a)
+    n.entries;
+  Addr.encode enc n.next;
+  to_bytes enc
+
+let decode_node addr b =
+  let open Mrdb_util.Codec.Dec in
+  let dec = of_bytes b in
+  let bucket = varint dec in
+  let n_entries = varint dec in
+  let entries =
+    List.init n_entries (fun _ ->
+        let v = Tuple.decode_value dec in
+        let a = Addr.decode dec in
+        (v, a))
+  in
+  let next = Addr.decode dec in
+  { addr; bucket; entries; next }
+
+(* -- node access ---------------------------------------------------------- *)
+
+let get t addr =
+  match Addr.Table.find_opt t.cache addr with
+  | Some n -> n
+  | None ->
+      let n = decode_node addr (Entity_io.read t.io addr) in
+      Addr.Table.replace t.cache addr n;
+      n
+
+(* Worst-case encoded node size with keys within [key_budget] bytes; see
+   T_tree for the padding rationale. *)
+let key_budget = 48
+
+let node_pad_bytes ~node_capacity = 5 + 5 + (node_capacity * (key_budget + 24)) + 24
+
+let node_pad t = node_pad_bytes ~node_capacity:t.node_capacity
+
+let flush t ~log n =
+  Entity_io.write t.io ~log n.addr (Entity_io.pad_to (node_pad t) (encode_node n))
+
+let new_node t ~log ~bucket ~entries ~next =
+  let proto = { addr = Addr.null; bucket; entries; next } in
+  let addr =
+    Entity_io.alloc t.io ~log (Entity_io.pad_to (node_pad t) (encode_node proto))
+  in
+  let n = { proto with addr } in
+  Addr.Table.replace t.cache addr n;
+  n
+
+let free_node t ~log n =
+  Entity_io.free t.io ~log n.addr;
+  Addr.Table.remove t.cache n.addr
+
+let write_state t ~log =
+  Entity_io.write t.io ~log t.state_addr (Entity_io.pad_to 64 (encode_state t))
+
+(* -- bucket arithmetic ---------------------------------------------------- *)
+
+let base_buckets t = t.initial_buckets lsl t.level
+let bucket_count t = base_buckets t + t.split
+
+let bucket_of_key t key =
+  let h = hash_value key in
+  let b = h mod base_buckets t in
+  if b < t.split then h mod (base_buckets t * 2) else b
+
+let ensure_directory t bucket =
+  if bucket >= Array.length t.directory then begin
+    let bigger = Array.make (Stdlib.max (bucket + 1) (2 * Array.length t.directory)) Addr.null in
+    Array.blit t.directory 0 bigger 0 (Array.length t.directory);
+    t.directory <- bigger
+  end
+
+let head t bucket =
+  if bucket < Array.length t.directory then t.directory.(bucket) else Addr.null
+
+let set_head t bucket addr =
+  ensure_directory t bucket;
+  t.directory.(bucket) <- addr
+
+(* -- construction --------------------------------------------------------- *)
+
+let default_node_capacity = 8
+
+let create ~segment ~log ~key_type ?(node_capacity = default_node_capacity)
+    ?(initial_buckets = 4) ?(max_load = 0.75) () =
+  if node_capacity < 1 then invalid_arg "Linear_hash.create: node_capacity";
+  if initial_buckets < 1 || initial_buckets land (initial_buckets - 1) <> 0 then
+    invalid_arg "Linear_hash.create: initial_buckets must be a power of two";
+  if max_load <= 0.0 then invalid_arg "Linear_hash.create: max_load";
+  let io = Entity_io.create ~segment in
+  let t =
+    {
+      io;
+      cache = Addr.Table.create 256;
+      state_addr = Addr.null;
+      key_type;
+      node_capacity;
+      initial_buckets;
+      max_load;
+      level = 0;
+      split = 0;
+      directory = Array.make initial_buckets Addr.null;
+      count = 0;
+    }
+  in
+  let state_addr = Entity_io.alloc io ~log (Entity_io.pad_to 64 (encode_state t)) in
+  { t with state_addr }
+
+let segment t = Entity_io.segment t.io
+let key_type t = t.key_type
+let cardinality t = t.count
+
+(* -- chain operations ------------------------------------------------------ *)
+
+let iter_chain t bucket f =
+  let rec walk addr =
+    if not (Addr.is_null addr) then begin
+      let n = get t addr in
+      f n;
+      walk n.next
+    end
+  in
+  walk (head t bucket)
+
+let chain_mem t bucket key tuple_addr =
+  let found = ref false in
+  iter_chain t bucket (fun n ->
+      if
+        List.exists
+          (fun (k, a) -> Schema.equal_value k key && Addr.equal a tuple_addr)
+          n.entries
+      then found := true);
+  !found
+
+(* Insert without split checks (used by the split rehash itself). *)
+let insert_raw t ~log bucket (key, tuple_addr) =
+  (* First node with room, else prepend a fresh head. *)
+  let placed = ref false in
+  iter_chain t bucket (fun n ->
+      if (not !placed) && List.length n.entries < t.node_capacity then begin
+        n.entries <- (key, tuple_addr) :: n.entries;
+        flush t ~log n;
+        placed := true
+      end);
+  if not !placed then begin
+    let n = new_node t ~log ~bucket ~entries:[ (key, tuple_addr) ] ~next:(head t bucket) in
+    set_head t bucket n.addr
+  end
+
+let split_one t ~log =
+  let victim = t.split in
+  (* Collect and drop the victim chain. *)
+  let entries = ref [] in
+  let nodes = ref [] in
+  iter_chain t victim (fun n ->
+      entries := n.entries @ !entries;
+      nodes := n :: !nodes);
+  List.iter (fun n -> free_node t ~log n) !nodes;
+  set_head t victim Addr.null;
+  (* Advance the split pointer (possibly rolling the level). *)
+  t.split <- t.split + 1;
+  if t.split = base_buckets t then begin
+    t.level <- t.level + 1;
+    t.split <- 0
+  end;
+  write_state t ~log;
+  (* Rehash under the new bucket function: each entry lands either back in
+     the victim bucket or in the new highest bucket. *)
+  List.iter
+    (fun (k, a) -> insert_raw t ~log (bucket_of_key t k) (k, a))
+    !entries
+
+let maybe_split t ~log =
+  if
+    float_of_int t.count
+    > t.max_load *. float_of_int t.node_capacity *. float_of_int (bucket_count t)
+  then split_one t ~log
+
+let insert t ~log key tuple_addr =
+  if not (Schema.value_matches t.key_type key) then
+    invalid_arg "Linear_hash.insert: key type mismatch";
+  let bucket = bucket_of_key t key in
+  if chain_mem t bucket key tuple_addr then
+    invalid_arg "Linear_hash.insert: duplicate entry";
+  insert_raw t ~log bucket (key, tuple_addr);
+  t.count <- t.count + 1;
+  maybe_split t ~log
+
+let delete t ~log key tuple_addr =
+  if not (Schema.value_matches t.key_type key) then
+    invalid_arg "Linear_hash.delete: key type mismatch";
+  let bucket = bucket_of_key t key in
+  let rec walk prev addr =
+    if Addr.is_null addr then false
+    else begin
+      let n = get t addr in
+      if
+        List.exists
+          (fun (k, a) -> Schema.equal_value k key && Addr.equal a tuple_addr)
+          n.entries
+      then begin
+        n.entries <-
+          List.filter
+            (fun (k, a) -> not (Schema.equal_value k key && Addr.equal a tuple_addr))
+            n.entries;
+        if n.entries = [] then begin
+          (* Unlink the empty node from the chain. *)
+          (match prev with
+          | None -> set_head t bucket n.next
+          | Some p ->
+              p.next <- n.next;
+              flush t ~log p);
+          free_node t ~log n
+        end
+        else flush t ~log n;
+        true
+      end
+      else walk (Some n) n.next
+    end
+  in
+  let removed = walk None (head t bucket) in
+  if removed then t.count <- t.count - 1;
+  removed
+
+let lookup t key =
+  if not (Schema.value_matches t.key_type key) then
+    invalid_arg "Linear_hash.lookup: key type mismatch";
+  let bucket = bucket_of_key t key in
+  let acc = ref [] in
+  iter_chain t bucket (fun n ->
+      List.iter
+        (fun (k, a) -> if Schema.equal_value k key then acc := a :: !acc)
+        n.entries);
+  List.sort Addr.compare !acc
+
+let lookup_one t key =
+  match lookup t key with [] -> None | a :: _ -> Some a
+
+let iter f t =
+  for bucket = 0 to bucket_count t - 1 do
+    iter_chain t bucket (fun n -> List.iter (fun (k, a) -> f k a) n.entries)
+  done
+
+(* -- attach / coherence ----------------------------------------------------- *)
+
+let scan_rebuild t =
+  (* Rebuild the volatile directory from persistent nodes: chain heads are
+     the nodes no other node points to. *)
+  let segment = Entity_io.segment t.io in
+  let nodes = ref [] in
+  Segment.iter
+    (fun p ->
+      Partition.iter
+        (fun slot data ->
+          let addr =
+            Addr.make ~segment:(Segment.id segment)
+              ~partition:(Partition.partition_id p) ~slot
+          in
+          if not (Addr.equal addr t.state_addr) then begin
+            let n = decode_node addr data in
+            Addr.Table.replace t.cache addr n;
+            nodes := n :: !nodes
+          end)
+        p)
+    segment;
+  let pointed_to = Addr.Table.create 64 in
+  List.iter
+    (fun n -> if not (Addr.is_null n.next) then Addr.Table.replace pointed_to n.next ())
+    !nodes;
+  t.directory <- Array.make (Stdlib.max t.initial_buckets (bucket_count t)) Addr.null;
+  let count = ref 0 in
+  List.iter
+    (fun n ->
+      count := !count + List.length n.entries;
+      if not (Addr.Table.mem pointed_to n.addr) then set_head t n.bucket n.addr)
+    !nodes;
+  t.count <- !count
+
+let attach ~segment =
+  let io = Entity_io.create ~segment in
+  let state_addr = Addr.make ~segment:(Segment.id segment) ~partition:0 ~slot:0 in
+  let b = Entity_io.read io state_addr in
+  let open Mrdb_util.Codec.Dec in
+  let dec = of_bytes b in
+  if u8 dec <> magic_byte then failwith "Linear_hash: bad state magic";
+  let key_type = type_of_tag (u8 dec) in
+  let node_capacity = varint dec in
+  let initial_buckets = varint dec in
+  let max_load = Int64.float_of_bits (i64 dec) in
+  let level = varint dec in
+  let split = varint dec in
+  let t =
+    {
+      io;
+      cache = Addr.Table.create 256;
+      state_addr;
+      key_type;
+      node_capacity;
+      initial_buckets;
+      max_load;
+      level;
+      split;
+      directory = Array.make initial_buckets Addr.null;
+      count = 0;
+    }
+  in
+  scan_rebuild t;
+  t
+
+let invalidate_cache t =
+  Addr.Table.reset t.cache;
+  let b = Entity_io.read t.io t.state_addr in
+  let open Mrdb_util.Codec.Dec in
+  let dec = of_bytes b in
+  if u8 dec <> magic_byte then failwith "Linear_hash: bad state magic";
+  ignore (u8 dec);
+  ignore (varint dec);
+  ignore (varint dec);
+  ignore (i64 dec);
+  t.level <- varint dec;
+  t.split <- varint dec;
+  scan_rebuild t
+
+(* -- invariants ------------------------------------------------------------ *)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let seen = Addr.Table.create 64 in
+  let total = ref 0 in
+  for bucket = 0 to bucket_count t - 1 do
+    iter_chain t bucket (fun n ->
+        if Addr.Table.mem seen n.addr then
+          fail "Linear_hash: node %a appears twice" Addr.pp n.addr;
+        Addr.Table.replace seen n.addr ();
+        if n.bucket <> bucket then
+          fail "Linear_hash: node %a on chain %d claims bucket %d" Addr.pp n.addr
+            bucket n.bucket;
+        if List.length n.entries > t.node_capacity then
+          fail "Linear_hash: overfull node %a" Addr.pp n.addr;
+        let stored = decode_node n.addr (Entity_io.read t.io n.addr) in
+        if
+          stored.entries <> n.entries
+          || not (Addr.equal stored.next n.next)
+          || stored.bucket <> n.bucket
+        then fail "Linear_hash: cache/entity divergence at %a" Addr.pp n.addr;
+        List.iter
+          (fun (k, _) ->
+            if bucket_of_key t k <> bucket then
+              fail "Linear_hash: entry hashed to %d stored in %d"
+                (bucket_of_key t k) bucket)
+          n.entries;
+        total := !total + List.length n.entries)
+  done;
+  if !total <> t.count then
+    fail "Linear_hash: cardinality drift (%d stored, %d counted)" t.count !total

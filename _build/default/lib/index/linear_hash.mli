@@ -1,0 +1,56 @@
+(** Modified linear hashing index.
+
+    The second MM-DBMS index structure the paper's log records reference
+    ("Modified Linear Hash nodes", after Lehman & Carey VLDB '86): a
+    linear-hash table whose directory maps bucket numbers to chains of
+    fixed-capacity {e hash nodes}.  The split pointer advances whenever the
+    average chain occupancy exceeds a threshold, splitting one bucket at a
+    time, so the table grows smoothly with no global rehash.
+
+    The volatile parts (the directory array) are rebuilt at attach time
+    from the persistent hash nodes, each of which records its bucket
+    number.  Node writes are logged per component via {!Entity_io}, exactly
+    like T-tree nodes. *)
+
+open Mrdb_storage
+
+type t
+
+val create :
+  segment:Segment.t -> log:Relation.log_sink -> key_type:Schema.column_type ->
+  ?node_capacity:int -> ?initial_buckets:int -> ?max_load:float -> unit -> t
+(** [node_capacity] entries per hash node (default 8); [initial_buckets]
+    must be a power of two (default 4); [max_load] is the average number of
+    entries per bucket that triggers a split (default 0.75 × capacity). *)
+
+val attach : segment:Segment.t -> t
+(** Rebuild from a recovered segment (state entity + node scan).
+    @raise Failure when the state entity is missing or malformed. *)
+
+val node_pad_bytes : node_capacity:int -> int
+(** Worst-case stored node size for the given capacity (see
+    {!T_tree.node_pad_bytes}). *)
+
+val segment : t -> Segment.t
+val key_type : t -> Schema.column_type
+val cardinality : t -> int
+val bucket_count : t -> int
+
+val insert : t -> log:Relation.log_sink -> Schema.value -> Addr.t -> unit
+(** @raise Invalid_argument on key type mismatch or duplicate
+    (key, address) entry. *)
+
+val delete : t -> log:Relation.log_sink -> Schema.value -> Addr.t -> bool
+
+val lookup : t -> Schema.value -> Addr.t list
+val lookup_one : t -> Schema.value -> Addr.t option
+
+val iter : (Schema.value -> Addr.t -> unit) -> t -> unit
+(** Unordered. *)
+
+val invalidate_cache : t -> unit
+(** Physical-UNDO coherence hook; re-reads state and directory. *)
+
+val check_invariants : t -> unit
+(** Entries hash to the bucket that holds them; state entity agrees with
+    memory; chains respect node capacity.  @raise Failure when violated. *)

@@ -1,0 +1,543 @@
+open Mrdb_storage
+
+type entry = Schema.value * Addr.t
+
+type node = {
+  addr : Addr.t;
+  mutable items : entry array; (* sorted by (key, tuple address) *)
+  mutable left : Addr.t;
+  mutable right : Addr.t;
+  mutable height : int;
+}
+
+type t = {
+  io : Entity_io.t;
+  cache : node Addr.Table.t;
+  state_addr : Addr.t;
+  mutable root : Addr.t;
+  mutable count : int;
+  key_type : Schema.column_type;
+  max_items : int;
+}
+
+(* -- codecs --------------------------------------------------------------- *)
+
+let magic_byte = 0xB7
+
+let type_tag = function Schema.Int -> 0 | Schema.Float -> 1 | Schema.Str -> 2
+
+let type_of_tag = function
+  | 0 -> Schema.Int
+  | 1 -> Schema.Float
+  | 2 -> Schema.Str
+  | n -> failwith (Printf.sprintf "T_tree: bad key type tag %d" n)
+
+let encode_state ~key_type ~max_items ~root =
+  let open Mrdb_util.Codec.Enc in
+  let enc = create () in
+  u8 enc magic_byte;
+  u8 enc (type_tag key_type);
+  varint enc max_items;
+  Addr.encode enc root;
+  to_bytes enc
+
+let decode_state b =
+  let open Mrdb_util.Codec.Dec in
+  let dec = of_bytes b in
+  if u8 dec <> magic_byte then failwith "T_tree: bad state magic";
+  let key_type = type_of_tag (u8 dec) in
+  let max_items = varint dec in
+  let root = Addr.decode dec in
+  (key_type, max_items, root)
+
+let encode_node n =
+  let open Mrdb_util.Codec.Enc in
+  let enc = create () in
+  varint enc (Array.length n.items);
+  Array.iter
+    (fun (v, a) ->
+      Tuple.encode_value enc v;
+      Addr.encode enc a)
+    n.items;
+  Addr.encode enc n.left;
+  Addr.encode enc n.right;
+  varint enc n.height;
+  to_bytes enc
+
+let decode_node addr b =
+  let open Mrdb_util.Codec.Dec in
+  let dec = of_bytes b in
+  let nitems = varint dec in
+  let items =
+    Array.init nitems (fun _ ->
+        let v = Tuple.decode_value dec in
+        let a = Addr.decode dec in
+        (v, a))
+  in
+  let left = Addr.decode dec in
+  let right = Addr.decode dec in
+  let height = varint dec in
+  { addr; items; left; right; height }
+
+(* -- node access ---------------------------------------------------------- *)
+
+let get t addr =
+  match Addr.Table.find_opt t.cache addr with
+  | Some n -> n
+  | None ->
+      let n = decode_node addr (Entity_io.read t.io addr) in
+      Addr.Table.replace t.cache addr n;
+      n
+
+(* Worst-case encoded node size, assuming keys encode within [key_budget]
+   bytes (always true for Int/Float; strings beyond ~40 chars may exceed it
+   and then simply store unpadded).  Nodes are padded to this size so that
+   in-place growth never exhausts partition space. *)
+let key_budget = 48
+
+let node_pad_bytes ~max_items = 5 + (max_items * (key_budget + 24)) + 24 + 24 + 5
+
+let node_pad t = node_pad_bytes ~max_items:t.max_items
+
+let flush t ~log n =
+  Entity_io.write t.io ~log n.addr (Entity_io.pad_to (node_pad t) (encode_node n))
+
+let new_node t ~log items left right height =
+  let proto = { addr = Addr.null; items; left; right; height } in
+  let addr =
+    Entity_io.alloc t.io ~log (Entity_io.pad_to (node_pad t) (encode_node proto))
+  in
+  let n = { proto with addr } in
+  Addr.Table.replace t.cache addr n;
+  n
+
+let free_node t ~log n =
+  Entity_io.free t.io ~log n.addr;
+  Addr.Table.remove t.cache n.addr
+
+let set_root t ~log addr =
+  if not (Addr.equal t.root addr) then begin
+    t.root <- addr;
+    Entity_io.write t.io ~log t.state_addr
+      (Entity_io.pad_to 64
+         (encode_state ~key_type:t.key_type ~max_items:t.max_items ~root:addr))
+  end
+
+(* -- ordering ------------------------------------------------------------- *)
+
+let cmp_entry (k1, a1) (k2, a2) =
+  match Schema.compare_value k1 k2 with 0 -> Addr.compare a1 a2 | c -> c
+
+let min_entry_of n = n.items.(0)
+let max_entry_of n = n.items.(Array.length n.items - 1)
+
+(* Binary search for an exact entry; Error i = insertion point. *)
+let find_pos n entry =
+  let lo = ref 0 and hi = ref (Array.length n.items) in
+  let found = ref None in
+  while !found = None && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = cmp_entry entry n.items.(mid) in
+    if c = 0 then found := Some mid
+    else if c < 0 then hi := mid
+    else lo := mid + 1
+  done;
+  match !found with Some i -> Ok i | None -> Error !lo
+
+let insert_sorted n entry =
+  let pos = match find_pos n entry with Ok _ -> invalid_arg "T_tree: duplicate entry" | Error p -> p in
+  let len = Array.length n.items in
+  let items = Array.make (len + 1) entry in
+  Array.blit n.items 0 items 0 pos;
+  Array.blit n.items pos items (pos + 1) (len - pos);
+  n.items <- items
+
+let remove_at n i =
+  let len = Array.length n.items in
+  let items = Array.make (len - 1) n.items.(0) in
+  Array.blit n.items 0 items 0 i;
+  Array.blit n.items (i + 1) items i (len - 1 - i);
+  n.items <- items
+
+(* -- AVL machinery -------------------------------------------------------- *)
+
+let h t addr = if Addr.is_null addr then 0 else (get t addr).height
+
+let update_height t n = n.height <- 1 + Stdlib.max (h t n.left) (h t n.right)
+
+let balance_factor t n = h t n.left - h t n.right
+
+let rotate_right t ~log a_addr =
+  let a = get t a_addr in
+  let b = get t a.left in
+  a.left <- b.right;
+  b.right <- a_addr;
+  update_height t a;
+  flush t ~log a;
+  update_height t b;
+  flush t ~log b;
+  b.addr
+
+let rotate_left t ~log a_addr =
+  let a = get t a_addr in
+  let b = get t a.right in
+  a.right <- b.left;
+  b.left <- a_addr;
+  update_height t a;
+  flush t ~log a;
+  update_height t b;
+  flush t ~log b;
+  b.addr
+
+let rebalance t ~log addr =
+  let n = get t addr in
+  update_height t n;
+  let bf = balance_factor t n in
+  if bf > 1 then begin
+    if balance_factor t (get t n.left) < 0 then begin
+      n.left <- rotate_left t ~log n.left;
+      flush t ~log n
+    end
+    else flush t ~log n;
+    rotate_right t ~log addr
+  end
+  else if bf < -1 then begin
+    if balance_factor t (get t n.right) > 0 then begin
+      n.right <- rotate_right t ~log n.right;
+      flush t ~log n
+    end
+    else flush t ~log n;
+    rotate_left t ~log addr
+  end
+  else begin
+    flush t ~log n;
+    addr
+  end
+
+(* -- construction --------------------------------------------------------- *)
+
+let default_max_items = 16
+
+let create ~segment ~log ~key_type ?(max_items = default_max_items) () =
+  if max_items < 2 then invalid_arg "T_tree.create: max_items < 2";
+  let io = Entity_io.create ~segment in
+  let state_addr =
+    Entity_io.alloc io ~log
+      (Entity_io.pad_to 64 (encode_state ~key_type ~max_items ~root:Addr.null))
+  in
+  {
+    io;
+    cache = Addr.Table.create 256;
+    state_addr;
+    root = Addr.null;
+    count = 0;
+    key_type;
+    max_items;
+  }
+
+let segment t = Entity_io.segment t.io
+let key_type t = t.key_type
+let max_items t = t.max_items
+let cardinality t = t.count
+
+(* -- insert --------------------------------------------------------------- *)
+
+let min_items t = t.max_items / 2
+
+let rec insert_subtree t ~log addr entry =
+  if Addr.is_null addr then (new_node t ~log [| entry |] Addr.null Addr.null 1).addr
+  else begin
+    let n = get t addr in
+    let c_min = cmp_entry entry (min_entry_of n) in
+    let c_max = cmp_entry entry (max_entry_of n) in
+    if c_min < 0 then
+      if Addr.is_null n.left && Array.length n.items < t.max_items then begin
+        insert_sorted n entry;
+        flush t ~log n;
+        addr
+      end
+      else begin
+        n.left <- insert_subtree t ~log n.left entry;
+        rebalance t ~log addr
+      end
+    else if c_max > 0 then
+      if Addr.is_null n.right && Array.length n.items < t.max_items then begin
+        insert_sorted n entry;
+        flush t ~log n;
+        addr
+      end
+      else begin
+        n.right <- insert_subtree t ~log n.right entry;
+        rebalance t ~log addr
+      end
+    else if c_min = 0 || c_max = 0 then invalid_arg "T_tree: duplicate entry"
+    else if Array.length n.items < t.max_items then begin
+      (* Bounding node with room. *)
+      insert_sorted n entry;
+      flush t ~log n;
+      addr
+    end
+    else begin
+      (* Bounding node, full: evict the minimum into the left subtree's
+         maximum position, then place the new entry. *)
+      let evicted = min_entry_of n in
+      remove_at n 0;
+      insert_sorted n entry;
+      flush t ~log n;
+      n.left <- insert_max_subtree t ~log n.left evicted;
+      rebalance t ~log addr
+    end
+  end
+
+and insert_max_subtree t ~log addr entry =
+  if Addr.is_null addr then (new_node t ~log [| entry |] Addr.null Addr.null 1).addr
+  else begin
+    let n = get t addr in
+    if Addr.is_null n.right && Array.length n.items < t.max_items then begin
+      insert_sorted n entry;
+      flush t ~log n;
+      addr
+    end
+    else begin
+      n.right <- insert_max_subtree t ~log n.right entry;
+      rebalance t ~log addr
+    end
+  end
+
+let insert t ~log key tuple_addr =
+  if not (Schema.value_matches t.key_type key) then
+    invalid_arg "T_tree.insert: key type mismatch";
+  let root = insert_subtree t ~log t.root (key, tuple_addr) in
+  set_root t ~log root;
+  t.count <- t.count + 1
+
+(* -- delete --------------------------------------------------------------- *)
+
+(* Remove and return the greatest entry of a non-empty subtree. *)
+let rec delete_max_subtree t ~log addr =
+  let n = get t addr in
+  if not (Addr.is_null n.right) then begin
+    let item, right' = delete_max_subtree t ~log n.right in
+    n.right <- right';
+    (item, rebalance t ~log addr)
+  end
+  else begin
+    let item = max_entry_of n in
+    remove_at n (Array.length n.items - 1);
+    if Array.length n.items = 0 then begin
+      let child = n.left in
+      free_node t ~log n;
+      (item, child)
+    end
+    else begin
+      flush t ~log n;
+      (item, addr)
+    end
+  end
+
+let rec delete_subtree t ~log addr entry found =
+  if Addr.is_null addr then addr
+  else begin
+    let n = get t addr in
+    let c_min = cmp_entry entry (min_entry_of n) in
+    let c_max = cmp_entry entry (max_entry_of n) in
+    if c_min < 0 then begin
+      n.left <- delete_subtree t ~log n.left entry found;
+      rebalance t ~log addr
+    end
+    else if c_max > 0 then begin
+      n.right <- delete_subtree t ~log n.right entry found;
+      rebalance t ~log addr
+    end
+    else
+      match find_pos n entry with
+      | Error _ -> addr (* bounding node does not contain it: absent *)
+      | Ok i ->
+          found := true;
+          remove_at n i;
+          if Array.length n.items = 0 then begin
+            if Addr.is_null n.left && Addr.is_null n.right then begin
+              free_node t ~log n;
+              Addr.null
+            end
+            else if Addr.is_null n.left then begin
+              let child = n.right in
+              free_node t ~log n;
+              child
+            end
+            else if Addr.is_null n.right then begin
+              let child = n.left in
+              free_node t ~log n;
+              child
+            end
+            else begin
+              (* Internal node: refill with the greatest lower bound. *)
+              let item, left' = delete_max_subtree t ~log n.left in
+              n.items <- [| item |];
+              n.left <- left';
+              rebalance t ~log addr
+            end
+          end
+          else if
+            Array.length n.items < min_items t && not (Addr.is_null n.left)
+          then begin
+            let item, left' = delete_max_subtree t ~log n.left in
+            n.items <- Array.append [| item |] n.items;
+            n.left <- left';
+            rebalance t ~log addr
+          end
+          else begin
+            flush t ~log n;
+            rebalance t ~log addr
+          end
+  end
+
+let delete t ~log key tuple_addr =
+  if not (Schema.value_matches t.key_type key) then
+    invalid_arg "T_tree.delete: key type mismatch";
+  let found = ref false in
+  let root = delete_subtree t ~log t.root (key, tuple_addr) found in
+  set_root t ~log root;
+  if !found then t.count <- t.count - 1;
+  !found
+
+(* -- queries -------------------------------------------------------------- *)
+
+let in_lo lo key =
+  match lo with None -> true | Some l -> Schema.compare_value key l >= 0
+
+let in_hi hi key =
+  match hi with None -> true | Some h -> Schema.compare_value key h <= 0
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  let rec walk addr =
+    if not (Addr.is_null addr) then begin
+      let n = get t addr in
+      let min_key, _ = min_entry_of n in
+      let max_key, _ = max_entry_of n in
+      (* Prune subtrees strictly outside the bounds. *)
+      let descend_left =
+        match lo with None -> true | Some l -> Schema.compare_value min_key l > 0
+      in
+      let descend_right =
+        match hi with None -> true | Some h -> Schema.compare_value max_key h < 0
+      in
+      if descend_left then walk n.left;
+      Array.iter
+        (fun (k, a) -> if in_lo lo k && in_hi hi k then acc := (k, a) :: !acc)
+        n.items;
+      if descend_right then walk n.right
+    end
+  in
+  walk t.root;
+  List.rev !acc
+
+let lookup t key =
+  range t ~lo:(Some key) ~hi:(Some key) |> List.map snd
+
+let lookup_one t key =
+  match lookup t key with [] -> None | a :: _ -> Some a
+
+let iter f t =
+  let rec walk addr =
+    if not (Addr.is_null addr) then begin
+      let n = get t addr in
+      walk n.left;
+      Array.iter (fun (k, a) -> f k a) n.items;
+      walk n.right
+    end
+  in
+  walk t.root
+
+let min_entry t =
+  let rec leftmost addr best =
+    if Addr.is_null addr then best
+    else
+      let n = get t addr in
+      leftmost n.left (Some (min_entry_of n))
+  in
+  leftmost t.root None
+
+let max_entry t =
+  let rec rightmost addr best =
+    if Addr.is_null addr then best
+    else
+      let n = get t addr in
+      rightmost n.right (Some (max_entry_of n))
+  in
+  rightmost t.root None
+
+let height t = h t t.root
+
+(* -- recovery / coherence -------------------------------------------------- *)
+
+let attach ~segment =
+  let io = Entity_io.create ~segment in
+  let state_addr = Addr.make ~segment:(Segment.id segment) ~partition:0 ~slot:0 in
+  let key_type, max_items, root = decode_state (Entity_io.read io state_addr) in
+  let t =
+    { io; cache = Addr.Table.create 256; state_addr; root; count = 0; key_type; max_items }
+  in
+  let count = ref 0 in
+  iter (fun _ _ -> incr count) t;
+  t.count <- !count;
+  t
+
+let invalidate_cache t =
+  Addr.Table.reset t.cache;
+  let _, _, root = decode_state (Entity_io.read t.io t.state_addr) in
+  t.root <- root;
+  let count = ref 0 in
+  iter (fun _ _ -> incr count) t;
+  t.count <- !count
+
+(* -- invariants ----------------------------------------------------------- *)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let rec check addr =
+    if Addr.is_null addr then (0, None, None)
+    else begin
+      let n = get t addr in
+      (* Entity agreement: the cached node must round-trip to the stored
+         bytes' decoding. *)
+      let stored = decode_node addr (Entity_io.read t.io addr) in
+      if
+        stored.items <> n.items || not (Addr.equal stored.left n.left)
+        || not (Addr.equal stored.right n.right)
+        || stored.height <> n.height
+      then fail "T_tree: cache/entity divergence at %a" Addr.pp addr;
+      if Array.length n.items = 0 then fail "T_tree: empty node at %a" Addr.pp addr;
+      if Array.length n.items > t.max_items then
+        fail "T_tree: overfull node at %a" Addr.pp addr;
+      for i = 0 to Array.length n.items - 2 do
+        if cmp_entry n.items.(i) n.items.(i + 1) >= 0 then
+          fail "T_tree: unsorted node at %a" Addr.pp addr
+      done;
+      let hl, lmin, lmax = check n.left in
+      let hr, rmin, rmax = check n.right in
+      (match lmax with
+      | Some e when cmp_entry e (min_entry_of n) >= 0 ->
+          fail "T_tree: left subtree overlaps node at %a" Addr.pp addr
+      | Some _ | None -> ());
+      (match rmin with
+      | Some e when cmp_entry e (max_entry_of n) <= 0 ->
+          fail "T_tree: right subtree overlaps node at %a" Addr.pp addr
+      | Some _ | None -> ());
+      if n.height <> 1 + Stdlib.max hl hr then
+        fail "T_tree: stale height at %a" Addr.pp addr;
+      if abs (hl - hr) > 1 then fail "T_tree: unbalanced at %a" Addr.pp addr;
+      let subtree_min =
+        match lmin with Some m -> Some m | None -> Some (min_entry_of n)
+      in
+      let subtree_max =
+        match rmax with Some m -> Some m | None -> Some (max_entry_of n)
+      in
+      (1 + Stdlib.max hl hr, subtree_min, subtree_max)
+    end
+  in
+  ignore (check t.root);
+  let counted = ref 0 in
+  iter (fun _ _ -> incr counted) t;
+  if !counted <> t.count then failwith "T_tree: cardinality drift"

@@ -1,0 +1,76 @@
+(** T-tree index.
+
+    The MM-DBMS index structure of Lehman & Carey (VLDB '86) that the
+    recovery paper's log records refer to ("T-tree nodes"): an AVL-balanced
+    binary tree whose nodes each hold a sorted array of up to [max_items]
+    (key, tuple-address) entries.  A search descends while the key is
+    outside a node's [min,max] span and binary-searches the {e bounding
+    node} it lands in.
+
+    Entries are composite-keyed by (key value, tuple address), so duplicate
+    key values are supported and every entry is unique.
+
+    Every node is also persisted as an entity in the index segment via
+    {!Entity_io}, with one physical log record per touched node per update
+    — multi-node operations (splits, rotations, rebalancing) therefore emit
+    several log records, as §2.3.2 of the paper describes.  After a crash
+    the tree is re-attached from its recovered segment. *)
+
+open Mrdb_storage
+
+type t
+
+val create :
+  segment:Segment.t -> log:Relation.log_sink -> key_type:Schema.column_type ->
+  ?max_items:int -> unit -> t
+(** Build an empty tree; writes the tree's state entity (root pointer,
+    parameters) as the segment's first entity.  [max_items] defaults to 16;
+    minimum occupancy for internal nodes is [max_items / 2]. *)
+
+val attach : segment:Segment.t -> t
+(** Re-open a tree whose segment was just recovered; decodes the state
+    entity and resolves nodes lazily.
+    @raise Failure when the state entity is missing or malformed. *)
+
+val node_pad_bytes : max_items:int -> int
+(** Worst-case stored node size for the given fan-out — what each node
+    entity (and hence each index log record) occupies.  Lets configuration
+    validation check nodes against log-page and SLB-block capacities. *)
+
+val segment : t -> Segment.t
+val key_type : t -> Schema.column_type
+val max_items : t -> int
+val cardinality : t -> int
+
+val insert : t -> log:Relation.log_sink -> Schema.value -> Addr.t -> unit
+(** Add an entry.  Inserting an identical (key, addr) pair twice is an
+    error. @raise Invalid_argument on key type mismatch or duplicate entry. *)
+
+val delete : t -> log:Relation.log_sink -> Schema.value -> Addr.t -> bool
+(** Remove an entry; false when absent. *)
+
+val lookup : t -> Schema.value -> Addr.t list
+(** All tuple addresses with the given key, in address order. *)
+
+val lookup_one : t -> Schema.value -> Addr.t option
+
+val range : t -> lo:Schema.value option -> hi:Schema.value option -> (Schema.value * Addr.t) list
+(** Entries with lo <= key <= hi (inclusive bounds; [None] = unbounded), in
+    key order. *)
+
+val iter : (Schema.value -> Addr.t -> unit) -> t -> unit
+(** In key order. *)
+
+val min_entry : t -> (Schema.value * Addr.t) option
+val max_entry : t -> (Schema.value * Addr.t) option
+
+val invalidate_cache : t -> unit
+(** Drop all decoded-node caching (physical-UNDO coherence: the transaction
+    manager calls this after applying undo images to index partitions). *)
+
+val height : t -> int
+
+val check_invariants : t -> unit
+(** Test hook: verifies AVL balance, key ordering across nodes, node
+    occupancy bounds and cache/entity agreement.
+    @raise Failure when violated. *)

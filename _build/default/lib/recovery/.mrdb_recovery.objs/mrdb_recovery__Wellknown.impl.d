@@ -1,0 +1,1 @@
+lib/recovery/wellknown.ml: Addr Bytes List Mrdb_hw Mrdb_storage Mrdb_util Mrdb_wal

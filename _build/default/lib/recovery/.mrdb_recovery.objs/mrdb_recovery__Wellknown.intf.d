@@ -1,0 +1,1 @@
+lib/recovery/wellknown.mli: Addr Mrdb_storage Mrdb_wal

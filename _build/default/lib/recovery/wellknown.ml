@@ -1,0 +1,79 @@
+open Mrdb_storage
+
+type entry = {
+  part : Addr.partition;
+  ckpt_page : int;
+  pages : int;
+}
+
+let magic = 0x574B4E57 (* "WKNW" *)
+
+let encode entries =
+  let open Mrdb_util.Codec.Enc in
+  let enc = create () in
+  u32 enc magic;
+  varint enc (List.length entries);
+  List.iter
+    (fun e ->
+      Addr.encode_partition enc e.part;
+      int_as_i64 enc e.ckpt_page;
+      varint enc e.pages)
+    entries;
+  let body = to_bytes enc in
+  let crc = Mrdb_util.Checksum.crc32_bytes body in
+  let out = Bytes.create (4 + 4 + Bytes.length body) in
+  Mrdb_util.Codec.put_u32 out 0 (Bytes.length body);
+  Bytes.set_int32_le out 4 crc;
+  Bytes.blit body 0 out 8 (Bytes.length body);
+  out
+
+let decode_copy mem ~off ~max_len =
+  let len_bytes = Mrdb_hw.Stable_mem.read mem ~off ~len:4 in
+  let body_len = Mrdb_util.Codec.get_u32 len_bytes 0 in
+  if body_len = 0 || body_len + 8 > max_len then None
+  else begin
+    let crc_bytes = Mrdb_hw.Stable_mem.read mem ~off:(off + 4) ~len:4 in
+    let body = Mrdb_hw.Stable_mem.read mem ~off:(off + 8) ~len:body_len in
+    if Bytes.get_int32_le crc_bytes 0 <> Mrdb_util.Checksum.crc32_bytes body then None
+    else begin
+      let open Mrdb_util.Codec.Dec in
+      let dec = of_bytes body in
+      if u32 dec <> magic then None
+      else begin
+        let n = varint dec in
+        Some
+          (List.init n (fun _ ->
+               let part = Addr.decode_partition dec in
+               let ckpt_page = int_of_i64 dec in
+               let pages = varint dec in
+               { part; ckpt_page; pages }))
+      end
+    end
+  end
+
+let region layout =
+  let cfg = Mrdb_wal.Stable_layout.config layout in
+  let off = Mrdb_wal.Stable_layout.wellknown_off layout in
+  let total = cfg.Mrdb_wal.Stable_layout.wellknown_bytes in
+  (off, total / 2)
+
+let store layout entries =
+  let encoded = encode entries in
+  let off, half = region layout in
+  if Bytes.length encoded > half then
+    invalid_arg "Wellknown.store: entry list exceeds well-known region";
+  let mem = Mrdb_wal.Stable_layout.mem layout in
+  Mrdb_hw.Stable_mem.write mem ~off encoded;
+  Mrdb_hw.Stable_mem.write mem ~off:(off + half) encoded
+
+let load layout =
+  let off, half = region layout in
+  let mem = Mrdb_wal.Stable_layout.mem layout in
+  match decode_copy mem ~off ~max_len:half with
+  | Some entries -> Some entries
+  | None -> (
+      match decode_copy mem ~off:(off + half) ~max_len:half with
+      | Some entries -> Some entries
+      | None -> None)
+  | exception _ -> (
+      try decode_copy mem ~off:(off + half) ~max_len:half with _ -> None)

@@ -1,0 +1,27 @@
+(** The well-known location.
+
+    "The information needed to restore the catalogs is a list of catalog
+    partition addresses, and this is kept in a well-known location — it is
+    stored twice" (§2.5).  This module serializes the catalog partitions'
+    checkpoint locations into the stable layout's well-known region as two
+    redundant, CRC-protected copies; after a crash the recovery manager
+    loads whichever copy verifies and bootstraps catalog recovery from it.
+
+    Catalog partitions with no checkpoint image yet are listed with
+    [ckpt_page = -1]; they recover from their log records alone. *)
+
+open Mrdb_storage
+
+type entry = {
+  part : Addr.partition;   (** a catalog partition *)
+  ckpt_page : int;         (** first page of its checkpoint image; -1 = none *)
+  pages : int;
+}
+
+val store : Mrdb_wal.Stable_layout.t -> entry list -> unit
+(** Write both copies.  @raise Invalid_argument when the encoding exceeds
+    half of the well-known region. *)
+
+val load : Mrdb_wal.Stable_layout.t -> entry list option
+(** The first copy that verifies; [None] when neither does (fresh
+    system). *)

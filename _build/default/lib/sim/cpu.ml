@@ -1,0 +1,43 @@
+type t = {
+  sim : Sim.t;
+  name : string;
+  mips : float;
+  mutable busy_until : float;
+  mutable busy_time : float; (* accumulated busy µs *)
+  mutable total_instructions : int;
+}
+
+let create ?(name = "cpu") sim ~mips =
+  if mips <= 0.0 then invalid_arg "Cpu.create: mips must be positive";
+  { sim; name; mips; busy_until = 0.0; busy_time = 0.0; total_instructions = 0 }
+
+let name t = t.name
+let mips t = t.mips
+
+let seconds_for t instructions = float_of_int instructions /. (t.mips *. 1e6)
+
+let micros_for t instructions = seconds_for t instructions *. 1e6
+
+let enqueue t ~eligible_at ~instructions k =
+  if instructions < 0 then invalid_arg "Cpu.execute: negative instructions";
+  let start = Float.max eligible_at (Float.max (Sim.now t.sim) t.busy_until) in
+  let duration = micros_for t instructions in
+  t.busy_until <- start +. duration;
+  t.busy_time <- t.busy_time +. duration;
+  t.total_instructions <- t.total_instructions + instructions;
+  Sim.schedule_at t.sim t.busy_until k
+
+let execute t ~instructions k =
+  enqueue t ~eligible_at:(Sim.now t.sim) ~instructions k
+
+let execute_after t ~delay ~instructions k =
+  if delay < 0.0 then invalid_arg "Cpu.execute_after: negative delay";
+  enqueue t ~eligible_at:(Sim.now t.sim +. delay) ~instructions k
+
+let busy_until t = t.busy_until
+
+let utilization t =
+  let elapsed = Sim.now t.sim in
+  if elapsed <= 0.0 then 0.0 else Float.min 1.0 (t.busy_time /. elapsed)
+
+let total_instructions t = t.total_instructions

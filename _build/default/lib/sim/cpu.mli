@@ -1,0 +1,37 @@
+(** Simulated processor with an instruction-cost model.
+
+    The paper's analysis (§3.1) charges every recovery operation in
+    {e instructions} against a 1-MIPS dedicated processor and every
+    stable-memory reference at ~1 µs.  This module turns instruction
+    budgets into simulated busy time on a serially-occupied CPU.
+
+    A CPU executes work items in FIFO order; [execute] enqueues a batch of
+    instructions and fires its continuation when the batch retires. *)
+
+type t
+
+val create : ?name:string -> Sim.t -> mips:float -> t
+(** [create sim ~mips] — [mips] is millions of instructions per second;
+    1.0 reproduces the paper's recovery CPU. *)
+
+val name : t -> string
+val mips : t -> float
+
+val seconds_for : t -> int -> float
+(** Wall-clock seconds a batch of N instructions takes in isolation. *)
+
+val execute : t -> instructions:int -> (unit -> unit) -> unit
+(** Enqueue a batch; the continuation runs at completion time. *)
+
+val execute_after : t -> delay:float -> instructions:int -> (unit -> unit) -> unit
+(** Enqueue a batch that only becomes eligible [delay] µs from now. *)
+
+val busy_until : t -> float
+(** Simulated time at which all currently queued work retires. *)
+
+val utilization : t -> float
+(** Fraction of elapsed simulated time the CPU has spent busy (0 before any
+    time passes). *)
+
+val total_instructions : t -> int
+(** Instructions retired or enqueued so far. *)

@@ -1,0 +1,59 @@
+type t = {
+  mutable clock : float;
+  events : (unit -> unit) Mrdb_util.Pqueue.t;
+}
+
+let create () = { clock = 0.0; events = Mrdb_util.Pqueue.create () }
+
+let now t = t.clock
+
+let schedule_at t time f =
+  let time = Float.max time t.clock in
+  Mrdb_util.Pqueue.push t.events ~priority:time f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t (t.clock +. delay) f
+
+let pending t = Mrdb_util.Pqueue.length t.events
+
+let clear t = Mrdb_util.Pqueue.clear t.events
+
+let step t =
+  match Mrdb_util.Pqueue.pop t.events with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- Float.max t.clock time;
+      f ();
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Mrdb_util.Pqueue.peek t.events with
+    | Some (time, _) when time <= horizon -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- Float.max t.clock horizon
+
+let run_while t pred =
+  let continue = ref true in
+  while !continue && pred () do
+    continue := step t
+  done
+
+module Cond = struct
+  type cond = { sim : t; mutable queue : (unit -> unit) list }
+
+  let create sim = { sim; queue = [] }
+  let wait c f = c.queue <- f :: c.queue
+
+  let signal_all c =
+    let waiters = List.rev c.queue in
+    c.queue <- [];
+    List.iter (fun f -> schedule c.sim ~delay:0.0 f) waiters
+
+  let waiters c = List.length c.queue
+end

@@ -1,0 +1,57 @@
+(** Discrete-event simulation engine.
+
+    Simulated time is in {e microseconds} as a float.  Events are thunks
+    scheduled at absolute times; ties execute in scheduling order, so a
+    simulation driven by a fixed [Rng] seed is fully deterministic.
+
+    The engine underpins the paper's performance model: the 1-MIPS recovery
+    CPU, the stable-memory slowdown and the disk service times all turn into
+    event delays measured against this clock. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time (µs). *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** [schedule_at t time f] runs [f] when the clock reaches [time].  Times in
+    the past are clamped to [now]. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] is [schedule_at t (now t +. delay) f]. *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)
+
+val clear : t -> unit
+(** Discard every pending event without running it (crash simulation: work
+    that was in flight at the moment of failure never happens).  The clock
+    keeps its value. *)
+
+val step : t -> bool
+(** Execute the next event; false when the queue is empty. *)
+
+val run : t -> unit
+(** Drain every event (terminates only if the event population does). *)
+
+val run_until : t -> float -> unit
+(** Execute events with time <= the horizon; afterwards [now] is the horizon
+    (or later if an executed event pushed the clock exactly to it). *)
+
+val run_while : t -> (unit -> bool) -> unit
+(** Execute events while the predicate holds and events remain. *)
+
+(** Condition variables for event-style rendezvous: a waiter registers a
+    continuation, a signaller releases all current waiters. *)
+module Cond : sig
+  type cond
+
+  val create : t -> cond
+  val wait : cond -> (unit -> unit) -> unit
+  val signal_all : cond -> unit
+  (** Waiters run as fresh events at the current time. *)
+
+  val waiters : cond -> int
+end

@@ -1,0 +1,45 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, Mrdb_util.Stats.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+let add t name n = counter_ref t name := !(counter_ref t name) + n
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let stats t name =
+  match Hashtbl.find_opt t.series name with
+  | Some s -> s
+  | None ->
+      let s = Mrdb_util.Stats.create () in
+      Hashtbl.add t.series name s;
+      s
+
+let record t name x = Mrdb_util.Stats.add (stats t name) x
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.series
+
+let pp ppf t =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@." name v) (counters t);
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.series []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, s) ->
+         Format.fprintf ppf "%s: %a@." name Mrdb_util.Stats.pp s)

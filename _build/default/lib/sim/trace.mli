@@ -1,0 +1,28 @@
+(** Simulation metrics: named counters and timing statistics.
+
+    One [Trace.t] travels with a simulation; components bump counters
+    ("log_records_sorted", "pages_flushed", "ckpt_by_age", ...) and record
+    latencies so that benches and tests can interrogate what happened
+    without threading ad-hoc refs everywhere. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val count : t -> string -> int
+(** 0 for a counter that was never bumped. *)
+
+val record : t -> string -> float -> unit
+(** Add a sample to the named timing series. *)
+
+val stats : t -> string -> Mrdb_util.Stats.t
+(** The named series (created empty on first access). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

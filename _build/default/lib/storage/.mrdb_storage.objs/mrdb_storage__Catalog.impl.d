@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Addr Format Hashtbl Int List Mrdb_util Part_op Partition Printf Schema Segment Stdlib

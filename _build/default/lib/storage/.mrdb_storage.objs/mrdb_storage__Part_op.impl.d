@@ -1,0 +1,1 @@
+lib/storage/part_op.ml: Bytes Format Mrdb_util Partition Printf

@@ -1,0 +1,1 @@
+lib/storage/part_op.mli: Format Mrdb_util Partition

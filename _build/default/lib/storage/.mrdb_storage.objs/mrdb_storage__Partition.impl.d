@@ -1,0 +1,1 @@
+lib/storage/partition.ml: Addr Bytes Format Int List Mrdb_util Printf Stdlib

@@ -1,0 +1,1 @@
+lib/storage/relation.ml: Addr Bytes Part_op Partition Printf Schema Segment Tuple

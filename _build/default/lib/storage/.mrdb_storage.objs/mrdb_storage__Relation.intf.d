@@ -1,0 +1,1 @@
+lib/storage/relation.mli: Addr Part_op Schema Segment Tuple

@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Float Format Hashtbl Int64 List Mrdb_util Printf String

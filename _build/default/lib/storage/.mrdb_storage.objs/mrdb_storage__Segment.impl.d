@@ -1,0 +1,1 @@
+lib/storage/segment.ml: Addr Array List Partition Stdlib

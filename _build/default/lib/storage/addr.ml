@@ -1,0 +1,78 @@
+type partition = { segment : int; partition : int }
+type t = { segment : int; partition : int; slot : int }
+
+let make ~segment ~partition ~slot = { segment; partition; slot }
+
+let partition_of (t : t) : partition =
+  { segment = t.segment; partition = t.partition }
+
+let in_partition (p : partition) ~slot =
+  { segment = p.segment; partition = p.partition; slot }
+
+let equal (a : t) (b : t) =
+  a.segment = b.segment && a.partition = b.partition && a.slot = b.slot
+
+let compare (a : t) (b : t) =
+  match Int.compare a.segment b.segment with
+  | 0 -> (
+      match Int.compare a.partition b.partition with
+      | 0 -> Int.compare a.slot b.slot
+      | c -> c)
+  | c -> c
+
+let hash (t : t) = Hashtbl.hash (t.segment, t.partition, t.slot)
+
+let equal_partition (a : partition) (b : partition) =
+  a.segment = b.segment && a.partition = b.partition
+
+let compare_partition (a : partition) (b : partition) =
+  match Int.compare a.segment b.segment with
+  | 0 -> Int.compare a.partition b.partition
+  | c -> c
+
+let hash_partition (p : partition) = Hashtbl.hash (p.segment, p.partition)
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "%d.%d.%d" t.segment t.partition t.slot
+
+let pp_partition ppf (p : partition) =
+  Format.fprintf ppf "%d.%d" p.segment p.partition
+
+let to_string t = Format.asprintf "%a" pp t
+
+let encode enc (t : t) =
+  Mrdb_util.Codec.Enc.int_as_i64 enc t.segment;
+  Mrdb_util.Codec.Enc.int_as_i64 enc t.partition;
+  Mrdb_util.Codec.Enc.int_as_i64 enc t.slot
+
+let decode dec =
+  let segment = Mrdb_util.Codec.Dec.int_of_i64 dec in
+  let partition = Mrdb_util.Codec.Dec.int_of_i64 dec in
+  let slot = Mrdb_util.Codec.Dec.int_of_i64 dec in
+  { segment; partition; slot }
+
+let encode_partition enc (p : partition) =
+  Mrdb_util.Codec.Enc.int_as_i64 enc p.segment;
+  Mrdb_util.Codec.Enc.int_as_i64 enc p.partition
+
+let decode_partition dec =
+  let segment = Mrdb_util.Codec.Dec.int_of_i64 dec in
+  let partition = Mrdb_util.Codec.Dec.int_of_i64 dec in
+  { segment; partition }
+
+let null = { segment = -1; partition = -1; slot = -1 }
+let is_null t = equal t null
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Partition_table = Hashtbl.Make (struct
+  type t = partition
+
+  let equal = equal_partition
+  let hash = hash_partition
+end)

@@ -1,0 +1,69 @@
+type t =
+  | Insert of { slot : int; data : bytes }
+  | Update of { slot : int; data : bytes }
+  | Delete of { slot : int }
+
+let apply p = function
+  | Insert { slot; data } -> Partition.insert_at p ~slot data
+  | Update { slot; data } -> Partition.update_at p ~slot data
+  | Delete { slot } -> Partition.delete_at p ~slot
+
+let undo_of ~before op =
+  match (op, before) with
+  | Insert { slot; _ }, None -> Delete { slot }
+  | Update { slot; _ }, Some old -> Update { slot; data = old }
+  | Delete { slot }, Some old -> Insert { slot; data = old }
+  | Insert _, Some _ -> invalid_arg "Part_op.undo_of: insert with a before-image"
+  | (Update _ | Delete _), None ->
+      invalid_arg "Part_op.undo_of: update/delete without a before-image"
+
+let slot = function
+  | Insert { slot; _ } | Update { slot; _ } | Delete { slot } -> slot
+
+let data_size = function
+  | Insert { data; _ } | Update { data; _ } -> Bytes.length data
+  | Delete _ -> 0
+
+let encode enc op =
+  let open Mrdb_util.Codec.Enc in
+  match op with
+  | Insert { slot; data } ->
+      u8 enc 0;
+      varint enc slot;
+      varint enc (Bytes.length data);
+      bytes enc data
+  | Update { slot; data } ->
+      u8 enc 1;
+      varint enc slot;
+      varint enc (Bytes.length data);
+      bytes enc data
+  | Delete { slot } ->
+      u8 enc 2;
+      varint enc slot
+
+let decode dec =
+  let open Mrdb_util.Codec.Dec in
+  match u8 dec with
+  | 0 ->
+      let slot = varint dec in
+      let n = varint dec in
+      Insert { slot; data = bytes dec n }
+  | 1 ->
+      let slot = varint dec in
+      let n = varint dec in
+      Update { slot; data = bytes dec n }
+  | 2 -> Delete { slot = varint dec }
+  | n -> failwith (Printf.sprintf "Part_op.decode: bad tag %d" n)
+
+let equal a b =
+  match (a, b) with
+  | Insert { slot = s1; data = d1 }, Insert { slot = s2; data = d2 }
+  | Update { slot = s1; data = d1 }, Update { slot = s2; data = d2 } ->
+      s1 = s2 && Bytes.equal d1 d2
+  | Delete { slot = s1 }, Delete { slot = s2 } -> s1 = s2
+  | (Insert _ | Update _ | Delete _), _ -> false
+
+let pp ppf = function
+  | Insert { slot; data } -> Format.fprintf ppf "insert@%d[%d]" slot (Bytes.length data)
+  | Update { slot; data } -> Format.fprintf ppf "update@%d[%d]" slot (Bytes.length data)
+  | Delete { slot } -> Format.fprintf ppf "delete@%d" slot

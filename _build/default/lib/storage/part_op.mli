@@ -1,0 +1,33 @@
+(** Partition operations: the REDO/UNDO vocabulary.
+
+    Every logged change in the system — relation tuple writes, index
+    component writes, catalog entity writes — reduces to one of these three
+    slot-level operations on a single partition ("a given log record always
+    affects exactly one partition").  Applying a sequence of operations to
+    a checkpoint image in original order reproduces the partition: this is
+    the contract the Stable Log Tail's per-partition grouping relies on. *)
+
+type t =
+  | Insert of { slot : int; data : bytes }
+  | Update of { slot : int; data : bytes }
+  | Delete of { slot : int }
+
+val apply : Partition.t -> t -> unit
+(** @raise Failure when the operation does not fit the partition state
+    (occupied/free slot mismatch, out of space). *)
+
+val undo_of : before:bytes option -> t -> t
+(** [undo_of ~before op] is the inverse operation, where [before] is the
+    entity image prior to [op] ([None] for inserts).
+    @raise Invalid_argument when [before]'s presence contradicts [op]. *)
+
+val slot : t -> int
+val data_size : t -> int
+(** Payload bytes carried (0 for deletes) — the paper's log record size
+    accounting. *)
+
+val encode : Mrdb_util.Codec.Enc.t -> t -> unit
+val decode : Mrdb_util.Codec.Dec.t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type log_sink = Addr.partition -> redo:Part_op.t -> undo:Part_op.t -> unit
+
+let null_sink _ ~redo:_ ~undo:_ = ()
+
+type t = { id : int; name : string; schema : Schema.t; segment : Segment.t }
+
+let create ~id ~name ~schema ~segment = { id; name; schema; segment }
+
+let id t = t.id
+let name t = t.name
+let schema t = t.schema
+let segment t = t.segment
+
+let insert t ~log tuple =
+  let data = Tuple.encode t.schema tuple in
+  match Segment.insert_entity t.segment data with
+  | None ->
+      failwith
+        (Printf.sprintf "Relation.insert(%s): tuple of %d bytes exceeds partition size"
+           t.name (Bytes.length data))
+  | Some addr ->
+      let redo = Part_op.Insert { slot = addr.Addr.slot; data } in
+      log (Addr.partition_of addr) ~redo ~undo:(Part_op.undo_of ~before:None redo);
+      addr
+
+let read t (addr : Addr.t) =
+  match Segment.read_entity t.segment addr with
+  | Some data -> Some (Tuple.decode t.schema data)
+  | None -> None
+
+let read_exn t addr =
+  match read t addr with Some tuple -> tuple | None -> raise Not_found
+
+let delete t ~log (addr : Addr.t) =
+  match Segment.read_entity t.segment addr with
+  | None -> raise Not_found
+  | Some old_data ->
+      Segment.delete_entity t.segment addr;
+      let redo = Part_op.Delete { slot = addr.Addr.slot } in
+      log (Addr.partition_of addr) ~redo
+        ~undo:(Part_op.undo_of ~before:(Some old_data) redo);
+      Tuple.decode t.schema old_data
+
+let update t ~log (addr : Addr.t) tuple =
+  let data = Tuple.encode t.schema tuple in
+  match Segment.read_entity t.segment addr with
+  | None -> raise Not_found
+  | Some old_data -> (
+      match Segment.update_entity t.segment addr data with
+      | () ->
+          let redo = Part_op.Update { slot = addr.Addr.slot; data } in
+          log (Addr.partition_of addr) ~redo
+            ~undo:(Part_op.undo_of ~before:(Some old_data) redo);
+          addr
+      | exception Failure _ ->
+          (* The grown tuple no longer fits its partition: relocate.  Two
+             operations, two log records, possibly two partitions. *)
+          Segment.delete_entity t.segment addr;
+          let redo_del = Part_op.Delete { slot = addr.Addr.slot } in
+          log (Addr.partition_of addr) ~redo:redo_del
+            ~undo:(Part_op.undo_of ~before:(Some old_data) redo_del);
+          (match Segment.insert_entity t.segment data with
+          | None -> failwith "Relation.update: tuple exceeds partition size"
+          | Some addr' ->
+              let redo_ins = Part_op.Insert { slot = addr'.Addr.slot; data } in
+              log (Addr.partition_of addr') ~redo:redo_ins
+                ~undo:(Part_op.undo_of ~before:None redo_ins);
+              addr'))
+
+let update_field t ~log addr column value =
+  match read t addr with
+  | None -> raise Not_found
+  | Some tuple -> update t ~log addr (Tuple.set_field t.schema tuple column value)
+
+let iter f t =
+  Segment.iter
+    (fun p ->
+      Partition.iter
+        (fun slot data ->
+          let addr =
+            Addr.make ~segment:(Segment.id t.segment)
+              ~partition:(Partition.partition_id p) ~slot
+          in
+          f addr (Tuple.decode t.schema data))
+        p)
+    t.segment
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun addr tuple -> acc := f !acc addr tuple) t;
+  !acc
+
+let cardinality t =
+  Segment.fold (fun n p -> n + Partition.live_entities p) 0 t.segment

@@ -1,0 +1,55 @@
+(** Relations: schema-typed tuple storage over a segment, emitting
+    REDO/UNDO partition operations for every change.
+
+    The relation does not know about logging or locking policy; it reports
+    each physical change to a [log_sink] callback and the layers above
+    (transaction manager + WAL) decide what to do with the information.
+    Index maintenance is likewise orchestrated above this module. *)
+
+type log_sink = Addr.partition -> redo:Part_op.t -> undo:Part_op.t -> unit
+(** Called once per partition operation, before the change is applied is
+    not required — the sink receives exact images, so ordering with the
+    in-memory apply is immaterial for REDO correctness; sinks are invoked
+    immediately after the apply succeeds. *)
+
+val null_sink : log_sink
+(** Discards everything (for unlogged bulk loads in tests/benches). *)
+
+type t
+
+val create : id:int -> name:string -> schema:Schema.t -> segment:Segment.t -> t
+
+val id : t -> int
+val name : t -> string
+val schema : t -> Schema.t
+val segment : t -> Segment.t
+
+val insert : t -> log:log_sink -> Tuple.t -> Addr.t
+(** @raise Invalid_argument on schema mismatch.
+    @raise Failure when the tuple exceeds the partition size. *)
+
+val read : t -> Addr.t -> Tuple.t option
+(** [None] when the address is dead or its partition is not resident. *)
+
+val read_exn : t -> Addr.t -> Tuple.t
+
+val update : t -> log:log_sink -> Addr.t -> Tuple.t -> Addr.t
+(** Replace the whole tuple.  Usually returns the same address; relocates
+    (delete + insert) when the grown tuple no longer fits its partition, in
+    which case the new address is returned and the caller must fix any
+    index entries.
+    @raise Not_found when the address is dead. *)
+
+val update_field : t -> log:log_sink -> Addr.t -> int -> Schema.value -> Addr.t
+(** Single-field update — the paper's typical small log record. *)
+
+val delete : t -> log:log_sink -> Addr.t -> Tuple.t
+(** Returns the deleted tuple (callers remove index entries).
+    @raise Not_found when the address is dead. *)
+
+val iter : (Addr.t -> Tuple.t -> unit) -> t -> unit
+(** All tuples in resident partitions. *)
+
+val fold : ('a -> Addr.t -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val cardinality : t -> int
+(** Live tuples across resident partitions (O(partitions)). *)

@@ -1,0 +1,105 @@
+type column_type = Int | Float | Str
+type column = { name : string; ty : column_type }
+type t = { cols : column array; by_name : (string, int) Hashtbl.t }
+
+let make cols =
+  if cols = [] then invalid_arg "Schema.make: empty schema";
+  let by_name = Hashtbl.create (List.length cols) in
+  List.iteri
+    (fun i c ->
+      if Hashtbl.mem by_name c.name then
+        invalid_arg ("Schema.make: duplicate column " ^ c.name);
+      Hashtbl.add by_name c.name i)
+    cols;
+  { cols = Array.of_list cols; by_name }
+
+let of_list l = make (List.map (fun (name, ty) -> { name; ty }) l)
+let columns t = Array.copy t.cols
+let arity t = Array.length t.cols
+
+let column_index t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let column_type t i = t.cols.(i).ty
+
+let equal a b =
+  Array.length a.cols = Array.length b.cols
+  && Array.for_all2 (fun x y -> x.name = y.name && x.ty = y.ty) a.cols b.cols
+
+let pp_type ppf = function
+  | Int -> Format.pp_print_string ppf "int"
+  | Float -> Format.pp_print_string ppf "float"
+  | Str -> Format.pp_print_string ppf "str"
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf c -> Format.fprintf ppf "%s:%a" c.name pp_type c.ty))
+    (Array.to_list t.cols)
+
+let type_tag = function Int -> 0 | Float -> 1 | Str -> 2
+
+let type_of_tag = function
+  | 0 -> Int
+  | 1 -> Float
+  | 2 -> Str
+  | n -> failwith (Printf.sprintf "Schema.decode: bad type tag %d" n)
+
+let encode enc t =
+  Mrdb_util.Codec.Enc.varint enc (Array.length t.cols);
+  Array.iter
+    (fun c ->
+      Mrdb_util.Codec.Enc.string enc c.name;
+      Mrdb_util.Codec.Enc.u8 enc (type_tag c.ty))
+    t.cols
+
+let decode dec =
+  let n = Mrdb_util.Codec.Dec.varint dec in
+  let cols =
+    List.init n (fun _ ->
+        let name = Mrdb_util.Codec.Dec.string dec in
+        let ty = type_of_tag (Mrdb_util.Codec.Dec.u8 dec) in
+        { name; ty })
+  in
+  make cols
+
+type value = I of int64 | F of float | S of string
+
+let value_matches ty v =
+  match (ty, v) with
+  | Int, I _ | Float, F _ | Str, S _ -> true
+  | (Int | Float | Str), _ -> false
+
+let compare_value a b =
+  match (a, b) with
+  | I x, I y -> Int64.compare x y
+  | F x, F y -> Float.compare x y
+  | S x, S y -> String.compare x y
+  | I _, (F _ | S _) -> -1
+  | F _, S _ -> -1
+  | F _, I _ -> 1
+  | S _, (I _ | F _) -> 1
+
+let equal_value a b = compare_value a b = 0
+
+let pp_value ppf = function
+  | I x -> Format.fprintf ppf "%Ld" x
+  | F x -> Format.fprintf ppf "%g" x
+  | S x -> Format.fprintf ppf "%S" x
+
+let int n = I (Int64.of_int n)
+
+let to_int = function
+  | I x -> Int64.to_int x
+  | F _ | S _ -> invalid_arg "Schema.to_int"
+
+let to_string_value = function
+  | S x -> x
+  | I _ | F _ -> invalid_arg "Schema.to_string_value"
+
+let to_float = function
+  | F x -> x
+  | I _ | S _ -> invalid_arg "Schema.to_float"

@@ -1,0 +1,49 @@
+(** Relation schemas and typed field values. *)
+
+type column_type = Int | Float | Str
+
+type column = { name : string; ty : column_type }
+
+type t
+(** An ordered list of named, typed columns. *)
+
+val make : column list -> t
+(** @raise Invalid_argument on duplicate column names or empty schemas. *)
+
+val of_list : (string * column_type) list -> t
+val columns : t -> column array
+val arity : t -> int
+val column_index : t -> string -> int
+(** @raise Not_found for unknown names. *)
+
+val column_type : t -> int -> column_type
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val encode : Mrdb_util.Codec.Enc.t -> t -> unit
+val decode : Mrdb_util.Codec.Dec.t -> t
+
+(** A single field value. *)
+type value = I of int64 | F of float | S of string
+
+val value_matches : column_type -> value -> bool
+val compare_value : value -> value -> int
+(** Total order within a type; comparing different constructors orders
+    I < F < S (needed only by generic code paths; indices always compare
+    same-typed keys). *)
+
+val equal_value : value -> value -> bool
+val pp_value : Format.formatter -> value -> unit
+
+val int : int -> value
+(** Convenience: [int n] is [I (Int64.of_int n)]. *)
+
+val to_int : value -> int
+(** @raise Invalid_argument when not an [I]. *)
+
+val to_string_value : value -> string
+(** @raise Invalid_argument when not an [S]. *)
+
+val to_float : value -> float
+(** @raise Invalid_argument when not an [F]. *)

@@ -1,0 +1,64 @@
+type t = Schema.value array
+
+let validate schema tuple =
+  if Array.length tuple <> Schema.arity schema then
+    invalid_arg "Tuple.validate: arity mismatch";
+  Array.iteri
+    (fun i v ->
+      if not (Schema.value_matches (Schema.column_type schema i) v) then
+        invalid_arg (Printf.sprintf "Tuple.validate: type mismatch at column %d" i))
+    tuple
+
+let encode_value enc (v : Schema.value) =
+  match v with
+  | Schema.I x ->
+      Mrdb_util.Codec.Enc.u8 enc 0;
+      Mrdb_util.Codec.Enc.i64 enc x
+  | Schema.F x ->
+      Mrdb_util.Codec.Enc.u8 enc 1;
+      Mrdb_util.Codec.Enc.i64 enc (Int64.bits_of_float x)
+  | Schema.S x ->
+      Mrdb_util.Codec.Enc.u8 enc 2;
+      Mrdb_util.Codec.Enc.string enc x
+
+let decode_value dec : Schema.value =
+  match Mrdb_util.Codec.Dec.u8 dec with
+  | 0 -> Schema.I (Mrdb_util.Codec.Dec.i64 dec)
+  | 1 -> Schema.F (Int64.float_of_bits (Mrdb_util.Codec.Dec.i64 dec))
+  | 2 -> Schema.S (Mrdb_util.Codec.Dec.string dec)
+  | n -> failwith (Printf.sprintf "Tuple.decode_value: bad tag %d" n)
+
+let encode schema tuple =
+  validate schema tuple;
+  let enc = Mrdb_util.Codec.Enc.create () in
+  Array.iter (encode_value enc) tuple;
+  Mrdb_util.Codec.Enc.to_bytes enc
+
+let decode schema b =
+  let dec = Mrdb_util.Codec.Dec.of_bytes b in
+  let tuple = Array.init (Schema.arity schema) (fun _ -> decode_value dec) in
+  if not (Mrdb_util.Codec.Dec.at_end dec) then
+    failwith "Tuple.decode: trailing bytes";
+  validate schema tuple;
+  tuple
+
+let encoded_size schema tuple = Bytes.length (encode schema tuple)
+
+let field tuple i = tuple.(i)
+
+let set_field schema tuple i v =
+  if not (Schema.value_matches (Schema.column_type schema i) v) then
+    invalid_arg "Tuple.set_field: type mismatch";
+  let t' = Array.copy tuple in
+  t'.(i) <- v;
+  t'
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Schema.equal_value a b
+
+let pp ppf tuple =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Schema.pp_value)
+    (Array.to_list tuple)

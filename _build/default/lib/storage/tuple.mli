@@ -1,0 +1,29 @@
+(** Tuples: arrays of field values serialized against a schema.
+
+    Tuples are the relation entities stored in partition slots; updates to
+    a single field are the paper's canonical small log record ("numerical
+    field updates ... generate log records that are 8 to 24 bytes"). *)
+
+type t = Schema.value array
+
+val validate : Schema.t -> t -> unit
+(** @raise Invalid_argument on arity or type mismatch. *)
+
+val encode : Schema.t -> t -> bytes
+val decode : Schema.t -> bytes -> t
+(** @raise Failure on malformed input. *)
+
+val encoded_size : Schema.t -> t -> int
+
+val field : t -> int -> Schema.value
+val set_field : Schema.t -> t -> int -> Schema.value -> t
+(** Functional update of one field (validated).
+    @raise Invalid_argument on type mismatch. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val encode_value : Mrdb_util.Codec.Enc.t -> Schema.value -> unit
+val decode_value : Mrdb_util.Codec.Dec.t -> Schema.value
+(** Self-describing single-value codec (used by log records carrying one
+    field's new value, and by index key serialization). *)

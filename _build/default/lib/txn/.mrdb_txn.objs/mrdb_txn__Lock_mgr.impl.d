@@ -1,0 +1,1 @@
+lib/txn/lock_mgr.ml: Format Hashtbl List Mrdb_storage Option

@@ -1,0 +1,1 @@
+lib/txn/lock_mgr.mli: Format Mrdb_storage

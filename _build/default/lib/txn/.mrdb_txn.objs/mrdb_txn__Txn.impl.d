@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Addr Hashtbl List Mrdb_storage Part_op Partition Printf Undo_space

@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Addr Mrdb_storage Part_op Partition Undo_space

@@ -1,0 +1,1 @@
+lib/txn/undo_space.ml: Addr Array Bytes List Mrdb_hw Mrdb_storage Mrdb_util Part_op Queue

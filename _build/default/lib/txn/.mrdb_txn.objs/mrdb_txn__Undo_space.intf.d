@@ -1,0 +1,1 @@
+lib/txn/undo_space.mli: Addr Mrdb_hw Mrdb_storage Part_op

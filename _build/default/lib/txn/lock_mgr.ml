@@ -1,0 +1,308 @@
+type mode = IS | IX | S | SIX | X
+
+type resource =
+  | Relation of int
+  | Entity of Mrdb_storage.Addr.t
+
+type outcome = Granted | Blocked | Deadlock
+
+let compatible a b =
+  match (a, b) with
+  | IS, (IS | IX | S | SIX) | (IX | S | SIX), IS -> true
+  | IX, IX -> true
+  | S, S -> true
+  | IX, S | S, IX -> false
+  | SIX, (IX | S | SIX) | (IX | S), SIX -> false
+  | X, _ | _, X -> false
+
+let rank = function IS -> 0 | IX -> 1 | S -> 2 | SIX -> 3 | X -> 4
+
+let supremum a b =
+  match (a, b) with
+  | x, y when x = y -> x
+  | IS, m | m, IS -> m
+  | (IX, S | S, IX) -> SIX
+  | IX, SIX | SIX, IX -> SIX
+  | S, SIX | SIX, S -> SIX
+  | X, _ | _, X -> X
+  | IX, IX | S, S | SIX, SIX -> a
+
+let covers held wanted =
+  held = wanted || supremum held wanted = held
+
+(* One request per (resource, txn): a granted mode, a pending upgrade, or
+   both (upgrade in flight). *)
+type request = {
+  txn : int;
+  mutable granted : mode option;
+  mutable waiting : mode option;
+}
+
+type entry = { mutable queue : request list (* FIFO *) }
+
+module Res = struct
+  type t = resource
+
+  let equal a b =
+    match (a, b) with
+    | Relation x, Relation y -> x = y
+    | Entity x, Entity y -> Mrdb_storage.Addr.equal x y
+    | (Relation _ | Entity _), _ -> false
+
+  let hash = function
+    | Relation x -> Hashtbl.hash (0, x)
+    | Entity a -> Hashtbl.hash (1, Mrdb_storage.Addr.hash a)
+end
+
+module Res_table = Hashtbl.Make (Res)
+
+type t = {
+  table : entry Res_table.t;
+  by_txn : (int, resource list ref) Hashtbl.t;
+}
+
+let create () = { table = Res_table.create 512; by_txn = Hashtbl.create 64 }
+
+let entry_of t res =
+  match Res_table.find_opt t.table res with
+  | Some e -> e
+  | None ->
+      let e = { queue = [] } in
+      Res_table.add t.table res e;
+      e
+
+let request_of entry txn = List.find_opt (fun r -> r.txn = txn) entry.queue
+
+let note_resource t ~txn res =
+  let l =
+    match Hashtbl.find_opt t.by_txn txn with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add t.by_txn txn l;
+        l
+  in
+  if not (List.exists (Res.equal res) !l) then l := res :: !l
+
+(* Transactions that must release before [mode] can be granted to [txn]:
+   holders of incompatible granted modes, plus earlier incompatible
+   waiters (FIFO fairness), except that pure upgrades only wait on
+   holders. *)
+let blockers_for entry ~txn ~mode ~upgrade =
+  let acc = ref [] in
+  let note id = if id <> txn && not (List.mem id !acc) then acc := id :: !acc in
+  let rec scan = function
+    | [] -> ()
+    | r :: rest ->
+        if r.txn <> txn then begin
+          (match r.granted with
+          | Some g when not (compatible mode g) -> note r.txn
+          | Some _ | None -> ());
+          match r.waiting with
+          | Some w when (not upgrade) && not (compatible mode w) -> note r.txn
+          | Some _ | None -> ()
+        end;
+        scan rest
+  in
+  scan entry.queue;
+  !acc
+
+let waiting_request_of t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> None
+  | Some resources ->
+      List.find_map
+        (fun res ->
+          match Res_table.find_opt t.table res with
+          | None -> None
+          | Some entry -> (
+              match request_of entry txn with
+              | Some r when r.waiting <> None -> Some (res, entry, r)
+              | Some _ | None -> None))
+        !resources
+
+let waiting_for t ~txn =
+  match waiting_request_of t ~txn with
+  | None -> []
+  | Some (_, entry, r) ->
+      let mode = Option.get r.waiting in
+      blockers_for entry ~txn ~mode ~upgrade:(r.granted <> None)
+
+(* Would making [txn] wait on [new_blockers] close a waits-for cycle? *)
+let creates_cycle t ~txn new_blockers =
+  let visited = Hashtbl.create 16 in
+  let rec reaches target id =
+    if id = target then true
+    else if Hashtbl.mem visited id then false
+    else begin
+      Hashtbl.add visited id ();
+      List.exists (reaches target) (waiting_for t ~txn:id)
+    end
+  in
+  List.exists (reaches txn) new_blockers
+
+let can_grant entry ~txn ~mode ~upgrade =
+  let ok = ref true in
+  let before_me = ref true in
+  List.iter
+    (fun r ->
+      if r.txn = txn then before_me := false
+      else begin
+        (match r.granted with
+        | Some g when not (compatible mode g) -> ok := false
+        | Some _ | None -> ());
+        (* FIFO: a fresh request must not overtake earlier waiters; an
+           upgrade may. *)
+        match r.waiting with
+        | Some _ when (not upgrade) && !before_me -> ok := false
+        | Some _ | None -> ()
+      end)
+    entry.queue;
+  (* A fresh request appended at the tail: every existing element is
+     "before me". *)
+  !ok
+
+let acquire t ~txn res mode =
+  let entry = entry_of t res in
+  match request_of entry txn with
+  | Some r -> (
+      match r.granted with
+      | Some held when covers held mode -> Granted
+      | Some held ->
+          let target = supremum held mode in
+          let others_block =
+            List.exists
+              (fun o ->
+                o.txn <> txn
+                && match o.granted with
+                   | Some g -> not (compatible target g)
+                   | None -> false)
+              entry.queue
+          in
+          if not others_block then begin
+            r.granted <- Some target;
+            Granted
+          end
+          else begin
+            let blockers = blockers_for entry ~txn ~mode:target ~upgrade:true in
+            if creates_cycle t ~txn blockers then Deadlock
+            else begin
+              r.waiting <- Some target;
+              Blocked
+            end
+          end
+      | None ->
+          (* Already queued and still waiting; treat as blocked (possibly
+             raising the waiting mode). *)
+          r.waiting <- Some (supremum (Option.get r.waiting) mode);
+          Blocked)
+  | None ->
+      if can_grant entry ~txn ~mode ~upgrade:false then begin
+        entry.queue <- entry.queue @ [ { txn; granted = Some mode; waiting = None } ];
+        note_resource t ~txn res;
+        Granted
+      end
+      else begin
+        let blockers = blockers_for entry ~txn ~mode ~upgrade:false in
+        if creates_cycle t ~txn blockers then Deadlock
+        else begin
+          entry.queue <- entry.queue @ [ { txn; granted = None; waiting = Some mode } ];
+          note_resource t ~txn res;
+          Blocked
+        end
+      end
+
+let holds t ~txn res mode =
+  match Res_table.find_opt t.table res with
+  | None -> false
+  | Some entry -> (
+      match request_of entry txn with
+      | Some { granted = Some held; _ } -> covers held mode
+      | Some _ | None -> false)
+
+(* After queue changes, promote waiting requests that can now be granted.
+   Returns the txns whose requests became granted. *)
+let promote entry =
+  let newly = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun r ->
+        match r.waiting with
+        | None -> ()
+        | Some w ->
+            let target =
+              match r.granted with Some g -> supremum g w | None -> w
+            in
+            let upgrade = r.granted <> None in
+            let ok =
+              List.for_all
+                (fun o ->
+                  o.txn = r.txn
+                  ||
+                  match o.granted with
+                  | Some g -> compatible target g
+                  | None ->
+                      (* FIFO among pure waiters: only those queued earlier
+                         matter; approximated by requiring compatibility
+                         with all waiters ahead — here we keep strict FIFO
+                         by not overtaking any earlier waiter unless
+                         upgrading. *)
+                      upgrade
+                      ||
+                      (* is o before r in the queue? *)
+                      let rec before = function
+                        | [] -> false
+                        | x :: rest ->
+                            if x == o then true
+                            else if x == r then false
+                            else before rest
+                      in
+                      (not (before entry.queue)) || compatible target (Option.get o.waiting))
+                entry.queue
+            in
+            if ok then begin
+              r.granted <- Some target;
+              r.waiting <- None;
+              newly := r.txn :: !newly;
+              progress := true
+            end)
+      entry.queue
+  done;
+  !newly
+
+let release_all t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> []
+  | Some resources ->
+      Hashtbl.remove t.by_txn txn;
+      let woken = ref [] in
+      List.iter
+        (fun res ->
+          match Res_table.find_opt t.table res with
+          | None -> ()
+          | Some entry ->
+              entry.queue <- List.filter (fun r -> r.txn <> txn) entry.queue;
+              if entry.queue = [] then Res_table.remove t.table res
+              else
+                List.iter
+                  (fun id -> if not (List.mem id !woken) then woken := id :: !woken)
+                  (promote entry))
+        !resources;
+      (* Only report txns that are no longer waiting on anything. *)
+      List.filter (fun id -> waiting_request_of t ~txn:id = None) !woken
+
+let locked_resources t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with Some l -> !l | None -> []
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with IS -> "IS" | IX -> "IX" | S -> "S" | SIX -> "SIX" | X -> "X")
+
+let pp_resource ppf = function
+  | Relation id -> Format.fprintf ppf "rel:%d" id
+  | Entity a -> Format.fprintf ppf "ent:%a" Mrdb_storage.Addr.pp a
+
+(* silence unused warning for rank *)
+let _ = rank

@@ -1,0 +1,112 @@
+open Mrdb_storage
+
+type status = Active | Precommitted | Committed | Aborted
+
+type t = {
+  id : int;
+  mutable status : status;
+  mutable chain : Undo_space.chain option;
+  mutable redo_count : int;
+}
+
+let id t = t.id
+let status t = t.status
+
+let undo_records t =
+  match t.chain with Some c -> Undo_space.record_count c | None -> 0
+
+let redo_records t = t.redo_count
+
+let is_terminated t =
+  match t.status with Committed | Aborted -> true | Active | Precommitted -> false
+
+module Manager = struct
+  type mgr = {
+    undo : Undo_space.t;
+    resolve_partition : Addr.partition -> Partition.t;
+    invalidate_overlay : int -> unit;
+    live : (int, t) Hashtbl.t;
+    mutable next_id : int;
+  }
+
+  let create ~undo ~resolve_partition ~invalidate_overlay () =
+    { undo; resolve_partition; invalidate_overlay; live = Hashtbl.create 64; next_id = 1 }
+
+  let begin_txn mgr =
+    let t = { id = mgr.next_id; status = Active; chain = None; redo_count = 0 } in
+    mgr.next_id <- mgr.next_id + 1;
+    Hashtbl.add mgr.live t.id t;
+    t
+
+  let find mgr id = Hashtbl.find_opt mgr.live id
+
+  let active_count mgr =
+    Hashtbl.fold
+      (fun _ t n -> match t.status with Active -> n + 1 | _ -> n)
+      mgr.live 0
+
+  let require_active t what =
+    if t.status <> Active then
+      invalid_arg (Printf.sprintf "Txn.%s: transaction %d is not active" what t.id)
+
+  let record_update mgr t part ~redo ~undo =
+    require_active t "record_update";
+    ignore redo;
+    let chain =
+      match t.chain with
+      | Some c -> c
+      | None ->
+          let c = Undo_space.open_chain mgr.undo in
+          t.chain <- Some c;
+          c
+    in
+    Undo_space.push mgr.undo chain part undo;
+    t.redo_count <- t.redo_count + 1
+
+  let drop_undo mgr t =
+    match t.chain with
+    | Some c ->
+        Undo_space.discard mgr.undo c;
+        t.chain <- None
+    | None -> ()
+
+  let retire mgr t = Hashtbl.remove mgr.live t.id
+
+  let commit mgr t =
+    require_active t "commit";
+    drop_undo mgr t;
+    t.status <- Committed;
+    retire mgr t
+
+  let precommit mgr t =
+    require_active t "precommit";
+    drop_undo mgr t;
+    t.status <- Precommitted
+
+  let finalize_commit mgr t =
+    if t.status <> Precommitted then
+      invalid_arg (Printf.sprintf "Txn.finalize_commit: transaction %d not precommitted" t.id);
+    t.status <- Committed;
+    retire mgr t
+
+  let abort mgr t =
+    require_active t "abort";
+    (match t.chain with
+    | None -> ()
+    | Some chain ->
+        let records = Undo_space.pop_all mgr.undo chain in
+        t.chain <- None;
+        let touched_segments = Hashtbl.create 8 in
+        List.iter
+          (fun ((part : Addr.partition), op) ->
+            let p = mgr.resolve_partition part in
+            Part_op.apply p op;
+            Hashtbl.replace touched_segments part.Addr.segment ())
+          records;
+        Hashtbl.iter (fun seg () -> mgr.invalidate_overlay seg) touched_segments);
+    t.status <- Aborted;
+    retire mgr t
+
+  let crash_discard mgr =
+    Hashtbl.reset mgr.live
+end

@@ -1,0 +1,77 @@
+(** Transaction lifecycle.
+
+    States follow the paper's commit pipeline with group commit
+    ("precommit") support:
+
+    {v Active --(abort)--> Aborted
+       Active --(commit, stable SLB)-----------> Committed
+       Active --(precommit, group commit)--> Precommitted --(log durable)--> Committed v}
+
+    With a {e stable} log buffer, transactions "commit instantly — they do
+    not need to wait until the REDO log records are flushed to disk"
+    (§2.3.1).  In group-commit mode (FASTPATH-style, §1.2) a transaction
+    precommits — releasing its locks — and officially commits once its log
+    information reaches the disk.
+
+    A transaction carries its UNDO chain; abort decodes it and applies the
+    inverse operations in reverse order through a partition resolver, then
+    invalidates any index overlay caches (physical undo may have rewritten
+    index node entities behind the overlays' backs). *)
+
+open Mrdb_storage
+
+type status = Active | Precommitted | Committed | Aborted
+
+type t
+
+val id : t -> int
+val status : t -> status
+val undo_records : t -> int
+val redo_records : t -> int
+val is_terminated : t -> bool
+
+(** Transaction manager: id assignment, live-transaction registry, undo
+    bookkeeping. *)
+module Manager : sig
+  type mgr
+
+  val create :
+    undo:Undo_space.t ->
+    resolve_partition:(Addr.partition -> Partition.t) ->
+    invalidate_overlay:(int -> unit) ->
+    unit -> mgr
+  (** [resolve_partition] maps a partition address to its resident memory
+      copy (abort must find the partitions it wrote).
+      [invalidate_overlay seg] tells the owner of segment [seg] that its
+      partition bytes changed underneath (index cache coherence). *)
+
+  val begin_txn : mgr -> t
+  val find : mgr -> int -> t option
+  val active_count : mgr -> int
+
+  val record_update : mgr -> t -> Addr.partition -> redo:Part_op.t -> undo:Part_op.t -> unit
+  (** Called once per partition operation the transaction performs; stores
+      the undo record and counts the redo (the WAL layer receives the redo
+      through its own sink).
+      @raise Invalid_argument when the transaction is not active. *)
+
+  val commit : mgr -> t -> unit
+  (** Instant commit (stable-SLB path): discard undo, mark committed.
+      @raise Invalid_argument when not active. *)
+
+  val precommit : mgr -> t -> unit
+  (** Group-commit first phase: locks may be released, undo discarded,
+      status [Precommitted]. *)
+
+  val finalize_commit : mgr -> t -> unit
+  (** Group-commit second phase (log durable): [Precommitted] →
+      [Committed]. *)
+
+  val abort : mgr -> t -> unit
+  (** Apply the undo chain in reverse, invalidate touched overlays, mark
+      aborted.  @raise Invalid_argument when not active. *)
+
+  val crash_discard : mgr -> unit
+  (** Crash simulation support: forget all volatile transaction state
+      without running any undo (memory is gone anyway). *)
+end

@@ -1,0 +1,1 @@
+lib/util/texttab.ml: Buffer Format List Printf Stdlib String

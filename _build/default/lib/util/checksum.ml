@@ -1,0 +1,51 @@
+let crc_table =
+  lazy
+    (let table = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       table.(n) <- !c
+     done;
+     table)
+
+let crc32 ?(init = 0l) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Checksum.crc32";
+  let table = Lazy.force crc_table in
+  let c = ref (Int32.logxor init 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.unsafe_get b i)))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc32_bytes b = crc32 b ~pos:0 ~len:(Bytes.length b)
+
+let fletcher32 b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Checksum.fletcher32";
+  let s1 = ref 0xFFFF and s2 = ref 0xFFFF in
+  let i = ref pos in
+  let remaining = ref len in
+  while !remaining > 0 do
+    (* Fold in blocks small enough that the 16-bit sums cannot overflow an
+       OCaml int before reduction. *)
+    let block = Stdlib.min !remaining 359 in
+    for j = !i to !i + block - 1 do
+      s1 := !s1 + Char.code (Bytes.unsafe_get b j);
+      s2 := !s2 + !s1
+    done;
+    s1 := (!s1 land 0xFFFF) + (!s1 lsr 16);
+    s2 := (!s2 land 0xFFFF) + (!s2 lsr 16);
+    i := !i + block;
+    remaining := !remaining - block
+  done;
+  s1 := (!s1 land 0xFFFF) + (!s1 lsr 16);
+  s2 := (!s2 land 0xFFFF) + (!s2 lsr 16);
+  Int32.of_int ((!s2 lsl 16) lor !s1)

@@ -1,0 +1,15 @@
+(** Page checksums.
+
+    Every log page and checkpoint image carries a CRC so that recovery can
+    detect torn or corrupted pages (the paper's "consistency check during
+    recovery" on the partition address is strengthened to a whole-page
+    check). *)
+
+val crc32 : ?init:int32 -> bytes -> pos:int -> len:int -> int32
+(** Standard CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). *)
+
+val crc32_bytes : bytes -> int32
+(** CRC-32 of an entire byte buffer. *)
+
+val fletcher32 : bytes -> pos:int -> len:int -> int32
+(** Cheaper alternative used for stable-memory block headers. *)

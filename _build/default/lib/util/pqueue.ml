@@ -1,0 +1,88 @@
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let entry_lt a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.len && entry_lt t.heap.(left) t.heap.(!smallest) then
+    smallest := left;
+  if right < t.len && entry_lt t.heap.(right) t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~priority value =
+  let e = { priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = Array.length t.heap then begin
+    let cap = Stdlib.max 16 (2 * t.len) in
+    let bigger = Array.make cap e in
+    Array.blit t.heap 0 bigger 0 t.len;
+    t.heap <- bigger
+  end;
+  t.heap.(t.len) <- e;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t =
+  if t.len = 0 then None
+  else
+    let e = t.heap.(0) in
+    Some (e.priority, e.value)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    Some (e.priority, e.value)
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some r -> r
+  | None -> invalid_arg "Pqueue.pop_exn: empty"
+
+let clear t = t.len <- 0
+
+let to_list t =
+  let snapshot = { heap = Array.sub t.heap 0 t.len; len = t.len; next_seq = 0 } in
+  let rec drain acc =
+    match pop snapshot with
+    | None -> List.rev acc
+    | Some (p, v) -> drain ((p, v) :: acc)
+  in
+  drain []

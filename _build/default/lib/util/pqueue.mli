@@ -1,0 +1,29 @@
+(** Binary min-heap priority queue.
+
+    Backbone of the discrete-event simulator's event queue and of the
+    recovery manager's First-LSN list (oldest-first ordering of active
+    partitions).  Ties are broken by insertion order so event execution is
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest priority with its value, without removal. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest priority with its value. *)
+
+val pop_exn : 'a t -> float * 'a
+(** @raise Invalid_argument on empty queue. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (float * 'a) list
+(** Snapshot in ascending priority order (O(n log n); for tests). *)

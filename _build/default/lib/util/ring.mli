@@ -1,0 +1,31 @@
+(** Bounded ring buffer (FIFO).
+
+    Models fixed-capacity queues in the hardware layer: disk request queues
+    and the checkpoint-request communication buffer in the Stable Log
+    Buffer.  Pushing to a full ring fails explicitly, mirroring the
+    back-pressure a real bounded buffer exerts. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if capacity < 1. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t x] enqueues [x]; returns false (and does nothing) when full. *)
+
+val push_exn : 'a t -> 'a -> unit
+(** @raise Failure when full. *)
+
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back iteration without consuming. *)
+
+val clear : 'a t -> unit
+val to_list : 'a t -> 'a list

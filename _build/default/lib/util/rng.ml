@@ -1,0 +1,78 @@
+(* Splitmix64: tiny state, passes BigCrush, and splitting gives cheap
+   independent streams.  Reference: Steele, Lea & Flood, OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let child_seed = next64 t in
+  create (mix64 child_seed)
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (next64 t) land max_int in
+  r mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits mapped into [0, 1). *)
+  let bits = Int64.shift_right_logical (next64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let exponential t mean =
+  let u = float t 1.0 in
+  (* Avoid log 0. *)
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u
+
+let zipf t ~n ~theta =
+  assert (n > 0);
+  if theta <= 0.0 then int t n
+  else begin
+    (* Power-law approximation: U^(1/(1-theta')) concentrates mass on low
+       indices; cheap and monotone in theta, adequate for skewed workload
+       generation (we need shape, not exact Zipfian moments). *)
+    let alpha = 1.0 /. (1.0 +. theta) in
+    let u = float t 1.0 in
+    let x = Float.of_int n *. (u ** (1.0 /. alpha)) in
+    let i = int_of_float x in
+    if i >= n then n - 1 else i
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (int t 256))
+  done;
+  b

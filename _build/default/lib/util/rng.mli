@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable generator (splitmix64) used everywhere the
+    reproduction needs randomness: workload generation, fault injection,
+    property-test data.  Determinism matters because the benchmark harness
+    must regenerate the paper's series identically from run to run. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator from a 64-bit seed. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent child generator and
+    advances [t].  Use one child per simulated component so that adding a
+    component does not perturb the random streams of the others. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Requires lo <= hi. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples an exponential with the given mean;
+    used for inter-arrival times in the simulator. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** [zipf t ~n ~theta] samples from a Zipf-like distribution over
+    [\[0, n)] with skew [theta] (0 = uniform, larger = more skewed) using
+    the rejection-free power approximation.  Drives hot/cold partition
+    access patterns. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] random bytes. *)

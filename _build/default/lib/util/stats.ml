@@ -1,0 +1,116 @@
+type t = {
+  mutable samples : float array;
+  mutable len : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable sorted : bool;
+}
+
+let create () =
+  { samples = Array.make 16 0.0; len = 0; sum = 0.0; sum_sq = 0.0; sorted = true }
+
+let ensure_capacity t =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end
+
+let add t x =
+  ensure_capacity t;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  t.sorted <- false
+
+let add_int t x = add t (float_of_int x)
+let count t = t.len
+let total t = t.sum
+let mean t = if t.len = 0 then 0.0 else t.sum /. float_of_int t.len
+
+let fold_samples f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.samples.(i)
+  done;
+  !acc
+
+let min t = if t.len = 0 then 0.0 else fold_samples Float.min infinity t
+let max t = if t.len = 0 then 0.0 else fold_samples Float.max neg_infinity t
+
+let stddev t =
+  if t.len < 2 then 0.0
+  else begin
+    let n = float_of_int t.len in
+    let m = t.sum /. n in
+    let var = (t.sum_sq /. n) -. (m *. m) in
+    if var <= 0.0 then 0.0 else sqrt var
+  end
+
+let sort_in_place t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.len in
+    Array.sort Float.compare live;
+    Array.blit live 0 t.samples 0 t.len;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.len = 0 then 0.0
+  else begin
+    sort_in_place t;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    (* Nearest-rank. *)
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+    let idx = Stdlib.max 0 (Stdlib.min (t.len - 1) (rank - 1)) in
+    t.samples.(idx)
+  end
+
+let median t = percentile t 50.0
+
+let clear t =
+  t.len <- 0;
+  t.sum <- 0.0;
+  t.sum_sq <- 0.0;
+  t.sorted <- true
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f" (count t)
+    (mean t) (median t) (percentile t 99.0) (max t)
+
+module Histogram = struct
+  type h = {
+    lo : float;
+    hi : float;
+    counts : int array;
+    mutable n : int;
+  }
+
+  let create ~lo ~hi ~buckets =
+    assert (buckets > 0 && hi > lo);
+    { lo; hi; counts = Array.make buckets 0; n = 0 }
+
+  let add h x =
+    let buckets = Array.length h.counts in
+    let raw =
+      int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. float_of_int buckets)
+    in
+    let idx = Stdlib.max 0 (Stdlib.min (buckets - 1) raw) in
+    h.counts.(idx) <- h.counts.(idx) + 1;
+    h.n <- h.n + 1
+
+  let count h = h.n
+  let bucket_counts h = Array.copy h.counts
+
+  let pp ppf h =
+    let buckets = Array.length h.counts in
+    let width = (h.hi -. h.lo) /. float_of_int buckets in
+    for i = 0 to buckets - 1 do
+      if h.counts.(i) > 0 then
+        Format.fprintf ppf "[%.2f,%.2f): %d@."
+          (h.lo +. (float_of_int i *. width))
+          (h.lo +. (float_of_int (i + 1) *. width))
+          h.counts.(i)
+    done
+end

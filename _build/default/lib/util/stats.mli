@@ -1,0 +1,48 @@
+(** Streaming summary statistics and fixed-bucket histograms.
+
+    Used by the simulator's metric collection and by the benchmark harness
+    to summarize measured series (mean, percentiles) without keeping every
+    sample when the population is large. *)
+
+type t
+(** A mutable statistics accumulator that retains all samples (the
+    reproduction's populations are small enough; percentiles are exact). *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the samples; 0 when empty. *)
+
+val min : t -> float
+val max : t -> float
+(** Extremes; 0 when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0 when fewer than two samples. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], nearest-rank on the sorted
+    samples; 0 when empty. *)
+
+val median : t -> float
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** "n=… mean=… p50=… p99=… max=…" one-liner. *)
+
+(** Fixed-width bucket histogram over [\[lo, hi)]. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+  val add : h -> float -> unit
+  val count : h -> int
+  val bucket_counts : h -> int array
+  (** Includes underflow/overflow in the first/last bucket. *)
+
+  val pp : Format.formatter -> h -> unit
+end

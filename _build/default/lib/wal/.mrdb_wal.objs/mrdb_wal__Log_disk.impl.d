@@ -1,0 +1,1 @@
+lib/wal/log_disk.ml: Bytes Int64 Log_page Mrdb_hw Mrdb_sim Printf Stable_layout

@@ -1,0 +1,1 @@
+lib/wal/log_disk.mli: Log_page Log_record Mrdb_hw Mrdb_sim Stable_layout

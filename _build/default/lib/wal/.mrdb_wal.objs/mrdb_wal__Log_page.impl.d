@@ -1,0 +1,1 @@
+lib/wal/log_page.ml: Addr Array Bytes Int64 List Log_record Mrdb_storage Mrdb_util

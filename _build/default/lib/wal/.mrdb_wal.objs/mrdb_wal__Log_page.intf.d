@@ -1,0 +1,1 @@
+lib/wal/log_page.mli: Addr Log_record Mrdb_storage

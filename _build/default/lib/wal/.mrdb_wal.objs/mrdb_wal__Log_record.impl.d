@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Bytes Format Mrdb_storage Mrdb_util Part_op Printf

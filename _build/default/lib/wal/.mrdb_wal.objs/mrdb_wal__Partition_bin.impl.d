@@ -1,0 +1,1 @@
+lib/wal/partition_bin.ml: Addr Array Bytes Format Int64 List Log_disk Log_page Log_record Mrdb_hw Mrdb_storage Option Printf Stable_layout

@@ -1,0 +1,1 @@
+lib/wal/partition_bin.mli: Addr Format Log_disk Log_record Mrdb_storage Stable_layout

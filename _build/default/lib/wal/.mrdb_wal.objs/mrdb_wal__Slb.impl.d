@@ -1,0 +1,1 @@
+lib/wal/slb.ml: Bytes Fun Hashtbl List Log_record Mrdb_hw Mrdb_util Stable_layout

@@ -1,0 +1,1 @@
+lib/wal/slb.mli: Log_record Stable_layout

@@ -1,0 +1,1 @@
+lib/wal/slt.ml: Addr Array Hashtbl Int64 List Log_disk Log_page Log_record Mrdb_hw Mrdb_sim Mrdb_storage Mrdb_util Partition_bin Printf Stable_layout Stdlib

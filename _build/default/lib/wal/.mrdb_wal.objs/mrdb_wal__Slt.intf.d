@@ -1,0 +1,1 @@
+lib/wal/slt.mli: Addr Log_disk Log_record Mrdb_storage Partition_bin Stable_layout

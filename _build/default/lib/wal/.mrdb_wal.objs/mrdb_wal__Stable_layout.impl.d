@@ -1,0 +1,1 @@
+lib/wal/stable_layout.ml: Mrdb_hw Printf

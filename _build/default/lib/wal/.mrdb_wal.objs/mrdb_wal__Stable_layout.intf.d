@@ -1,0 +1,1 @@
+lib/wal/stable_layout.mli: Mrdb_hw

@@ -1,0 +1,75 @@
+type t = {
+  sim : Mrdb_sim.Sim.t;
+  layout : Stable_layout.t;
+  duplex : Mrdb_hw.Duplex.t;
+  window_pages : int;
+  mutable pages_written : int;
+  mutable tap : (lsn:int64 -> bytes -> unit) option;
+}
+
+let create sim ~layout ?params ~window_pages () =
+  if window_pages < 1 then invalid_arg "Log_disk.create: window_pages";
+  let cfg = Stable_layout.config layout in
+  let params =
+    match params with
+    | Some p -> p
+    | None -> Mrdb_hw.Disk.default_log_params ~page_bytes:cfg.Stable_layout.log_page_bytes
+  in
+  if params.Mrdb_hw.Disk.page_bytes <> cfg.Stable_layout.log_page_bytes then
+    invalid_arg "Log_disk.create: disk page size <> log page size";
+  {
+    sim;
+    layout;
+    duplex = Mrdb_hw.Duplex.create ~name:"logdisk" sim ~params ~capacity_pages:window_pages;
+    window_pages;
+    pages_written = 0;
+    tap = None;
+  }
+
+let sim t = t.sim
+
+let set_tap t f = t.tap <- Some f
+
+let window_pages t = t.window_pages
+let page_bytes t = (Stable_layout.config t.layout).Stable_layout.log_page_bytes
+let dir_size t = (Stable_layout.config t.layout).Stable_layout.dir_size
+let duplex t = t.duplex
+
+let next_lsn t = Stable_layout.next_lsn t.layout
+
+let window_start t =
+  let n = next_lsn t in
+  Int64.max 0L (Int64.sub n (Int64.of_int t.window_pages))
+
+let in_window t lsn =
+  lsn >= 0L && lsn < next_lsn t && lsn >= window_start t
+
+let alloc_lsn t =
+  let lsn = next_lsn t in
+  Stable_layout.set_next_lsn t.layout (Int64.add lsn 1L);
+  lsn
+
+let slot t lsn = Int64.to_int (Int64.rem lsn (Int64.of_int t.window_pages))
+
+let write_page t ~lsn image k =
+  if Bytes.length image <> page_bytes t then
+    invalid_arg "Log_disk.write_page: wrong image size";
+  if lsn < 0L || lsn >= next_lsn t || lsn < window_start t then
+    invalid_arg "Log_disk.write_page: LSN outside window";
+  t.pages_written <- t.pages_written + 1;
+  (match t.tap with Some f -> f ~lsn image | None -> ());
+  Mrdb_hw.Duplex.write_page t.duplex ~page:(slot t lsn) image k
+
+let read_page t ~lsn k =
+  if not (in_window t lsn) then
+    k (Error (Printf.sprintf "lsn %Ld outside window [%Ld, %Ld)" lsn (window_start t) (next_lsn t)))
+  else
+    Mrdb_hw.Duplex.read_page t.duplex ~page:(slot t lsn) (fun image ->
+        match Log_page.parse ~page_bytes:(page_bytes t) ~dir_size:(dir_size t) image with
+        | Error e -> k (Error e)
+        | Ok (header, records) ->
+            if header.Log_page.lsn <> lsn then
+              k (Error (Printf.sprintf "slot reused: wanted lsn %Ld, found %Ld" lsn header.Log_page.lsn))
+            else k (Ok (header, records)))
+
+let pages_written t = t.pages_written

@@ -1,0 +1,55 @@
+(** Duplexed log disk with a finite, reusable {e log window}.
+
+    "The available log space remains constant, and it is reused over time
+    ... The log window is a fixed amount of log disk space that moves
+    forward through the total disk space as new log pages are written."
+    LSNs increase monotonically (the counter lives in stable memory); page
+    LSN [l] occupies disk page [l mod window_pages], so a page's slot is
+    overwritten exactly when the window has advanced a full lap past it.
+
+    Reads verify the CRC and the stored LSN: asking for an LSN that has
+    fallen out of the window finds a younger page in its slot and reports
+    an error instead of handing back wrong data. *)
+
+type t
+
+val create :
+  Mrdb_sim.Sim.t -> layout:Stable_layout.t -> ?params:Mrdb_hw.Disk.params ->
+  window_pages:int -> unit -> t
+(** [params] defaults to {!Mrdb_hw.Disk.default_log_params} at the layout's
+    log page size. *)
+
+val sim : t -> Mrdb_sim.Sim.t
+val window_pages : t -> int
+val page_bytes : t -> int
+val dir_size : t -> int
+val duplex : t -> Mrdb_hw.Duplex.t
+
+val next_lsn : t -> int64
+(** The LSN the next allocated page will get. *)
+
+val window_start : t -> int64
+(** Oldest LSN still inside the window; pages below it are unreadable. *)
+
+val in_window : t -> int64 -> bool
+
+val alloc_lsn : t -> int64
+(** Allocate and persist the next LSN (stable counter). *)
+
+val write_page : t -> lsn:int64 -> bytes -> (unit -> unit) -> unit
+(** Write a composed page image at its window slot; the continuation fires
+    when both mirrors are durable.
+    @raise Invalid_argument for an out-of-window LSN or wrong image size. *)
+
+val set_tap : t -> (lsn:int64 -> bytes -> unit) -> unit
+(** Install a write tap: called once per {!write_page} with the image —
+    the hook the archive component uses to roll log contents onto tape
+    before window slots are reused (§2.6). *)
+
+val read_page :
+  t -> lsn:int64 ->
+  ((Log_page.header * Log_record.t list, string) result -> unit) -> unit
+(** Read and verify the page at [lsn].  Produces [Error] for CRC failures,
+    slot reuse (stored LSN differs) or out-of-window requests. *)
+
+val pages_written : t -> int

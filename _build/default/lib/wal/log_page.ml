@@ -1,0 +1,90 @@
+open Mrdb_storage
+
+let magic = 0x4C505047 (* "LPPG" *)
+
+type header = {
+  lsn : int64;
+  part : Addr.partition;
+  prev_lsn : int64;
+  dir : int64 array;
+  nrecords : int;
+  used : int;
+}
+
+(* Fixed header: u32 magic | i64 lsn | i64 seg | i64 pno | i64 prev |
+   u32 nrecords | u32 used | u32 dir_len = 48 bytes, then dir_size × i64. *)
+let fixed_header = 48
+
+let payload_off ~dir_size = fixed_header + (8 * dir_size)
+
+let payload_capacity ~page_bytes ~dir_size =
+  page_bytes - payload_off ~dir_size - 4 (* trailing crc *)
+
+let build ~page_bytes ~dir_size ~lsn ~(part : Addr.partition) ~prev_lsn ~dir ~payload ~nrecords =
+  if Array.length dir > dir_size then invalid_arg "Log_page.build: directory too long";
+  if Bytes.length payload > payload_capacity ~page_bytes ~dir_size then
+    invalid_arg "Log_page.build: payload too large";
+  let page = Bytes.make page_bytes '\000' in
+  Mrdb_util.Codec.put_u32 page 0 magic;
+  Mrdb_util.Codec.put_i64 page 4 lsn;
+  Mrdb_util.Codec.put_i64 page 12 (Int64.of_int part.Addr.segment);
+  Mrdb_util.Codec.put_i64 page 20 (Int64.of_int part.Addr.partition);
+  Mrdb_util.Codec.put_i64 page 28 prev_lsn;
+  Mrdb_util.Codec.put_u32 page 36 nrecords;
+  Mrdb_util.Codec.put_u32 page 40 (Bytes.length payload);
+  Mrdb_util.Codec.put_u32 page 44 (Array.length dir);
+  Array.iteri (fun i l -> Mrdb_util.Codec.put_i64 page (fixed_header + (8 * i)) l) dir;
+  Bytes.blit payload 0 page (payload_off ~dir_size) (Bytes.length payload);
+  let crc = Mrdb_util.Checksum.crc32 page ~pos:0 ~len:(page_bytes - 4) in
+  Bytes.set_int32_le page (page_bytes - 4) crc;
+  page
+
+let parse_frames b ~used =
+  let records = ref [] in
+  let pos = ref 0 in
+  while !pos + 2 <= used do
+    let len = Mrdb_util.Codec.get_u16 b !pos in
+    records := Log_record.decode (Bytes.sub b (!pos + 2) len) :: !records;
+    pos := !pos + 2 + len
+  done;
+  List.rev !records
+
+let parse ~page_bytes ~dir_size b =
+  if Bytes.length b <> page_bytes then Error "wrong page size"
+  else if Mrdb_util.Codec.get_u32 b 0 <> magic then Error "bad magic"
+  else begin
+    let stored_crc = Bytes.get_int32_le b (page_bytes - 4) in
+    let crc = Mrdb_util.Checksum.crc32 b ~pos:0 ~len:(page_bytes - 4) in
+    if stored_crc <> crc then Error "crc mismatch (torn or stale page)"
+    else begin
+      let lsn = Mrdb_util.Codec.get_i64 b 4 in
+      let part =
+        {
+          Addr.segment = Int64.to_int (Mrdb_util.Codec.get_i64 b 12);
+          partition = Int64.to_int (Mrdb_util.Codec.get_i64 b 20);
+        }
+      in
+      let prev_lsn = Mrdb_util.Codec.get_i64 b 28 in
+      let nrecords = Mrdb_util.Codec.get_u32 b 36 in
+      let used = Mrdb_util.Codec.get_u32 b 40 in
+      let dir_len = Mrdb_util.Codec.get_u32 b 44 in
+      if dir_len > dir_size then Error "directory overflow"
+      else if used > payload_capacity ~page_bytes ~dir_size then Error "payload overflow"
+      else begin
+        let dir =
+          Array.init dir_len (fun i -> Mrdb_util.Codec.get_i64 b (fixed_header + (8 * i)))
+        in
+        let payload = Bytes.sub b (payload_off ~dir_size) used in
+        match parse_frames payload ~used with
+        | records -> Ok ({ lsn; part; prev_lsn; dir; nrecords; used }, records)
+        | exception Failure msg -> Error ("record decode: " ^ msg)
+      end
+    end
+  end
+
+let frame_record r =
+  let payload = Log_record.encode r in
+  let framed = Bytes.create (2 + Bytes.length payload) in
+  Mrdb_util.Codec.put_u16 framed 0 (Bytes.length payload);
+  Bytes.blit payload 0 framed 2 (Bytes.length payload);
+  framed

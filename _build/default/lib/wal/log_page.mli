@@ -1,0 +1,41 @@
+(** On-disk log page format.
+
+    Each page carries: the owning partition's address ("the entry serves as
+    a consistency check during recovery so that the recovery manager can be
+    assured of having the correct page"), its LSN, a backward link to the
+    partition's previous log page, an optional embedded {e log page
+    directory} (the LSNs of the previous directory-span of pages — stored
+    "in every Nth log page" so recovery can locate whole spans with one
+    read and then fetch their pages in the order they must be applied), the
+    u16-framed REDO records, and a trailing CRC-32. *)
+
+open Mrdb_storage
+
+type header = {
+  lsn : int64;
+  part : Addr.partition;
+  prev_lsn : int64;        (** -1 when this is the partition's first page *)
+  dir : int64 array;       (** LSNs of the previous span, oldest first; [||] on non-directory pages *)
+  nrecords : int;
+  used : int;              (** payload bytes *)
+}
+
+val payload_off : dir_size:int -> int
+val payload_capacity : page_bytes:int -> dir_size:int -> int
+(** Bytes available for framed records. *)
+
+val build :
+  page_bytes:int -> dir_size:int -> lsn:int64 -> part:Addr.partition ->
+  prev_lsn:int64 -> dir:int64 array -> payload:bytes -> nrecords:int -> bytes
+(** Compose a full page image (payload = used bytes of framed records).
+    @raise Invalid_argument when the payload or directory exceed capacity. *)
+
+val parse : page_bytes:int -> dir_size:int -> bytes -> (header * Log_record.t list, string) result
+(** Verify magic and CRC and decode.  [Error] explains the mismatch (torn
+    page, wrong partition slot reuse, etc.). *)
+
+val frame_record : Log_record.t -> bytes
+(** u16 length prefix + encoded record, as stored in bin buffers, SLB
+    blocks and page payloads. *)
+
+val parse_frames : bytes -> used:int -> Log_record.t list

@@ -1,0 +1,56 @@
+open Mrdb_storage
+
+type tag = Relation_op | Index_op | Catalog_op
+
+type t = {
+  tag : tag;
+  bin_index : int;
+  txn_id : int;
+  seq : int;
+  op : Part_op.t;
+}
+
+let make ~tag ~bin_index ~txn_id ~seq ~op = { tag; bin_index; txn_id; seq; op }
+
+let tag_byte = function Relation_op -> 0 | Index_op -> 1 | Catalog_op -> 2
+
+let tag_of_byte = function
+  | 0 -> Relation_op
+  | 1 -> Index_op
+  | 2 -> Catalog_op
+  | n -> failwith (Printf.sprintf "Log_record: bad tag %d" n)
+
+let encode t =
+  let open Mrdb_util.Codec.Enc in
+  let enc = create () in
+  u8 enc (tag_byte t.tag);
+  varint enc t.bin_index;
+  varint enc t.txn_id;
+  varint enc t.seq;
+  Part_op.encode enc t.op;
+  to_bytes enc
+
+let decode b =
+  let open Mrdb_util.Codec.Dec in
+  let dec = of_bytes b in
+  let tag = tag_of_byte (u8 dec) in
+  let bin_index = varint dec in
+  let txn_id = varint dec in
+  let seq = varint dec in
+  let op = Part_op.decode dec in
+  { tag; bin_index; txn_id; seq; op }
+
+let encoded_size t = Bytes.length (encode t)
+
+let equal a b =
+  a.tag = b.tag && a.bin_index = b.bin_index && a.txn_id = b.txn_id
+  && a.seq = b.seq && Part_op.equal a.op b.op
+
+let tag_to_string = function
+  | Relation_op -> "rel"
+  | Index_op -> "idx"
+  | Catalog_op -> "cat"
+
+let pp ppf t =
+  Format.fprintf ppf "[%s bin=%d txn=%d seq=%d %a]" (tag_to_string t.tag)
+    t.bin_index t.txn_id t.seq Part_op.pp t.op

@@ -1,0 +1,40 @@
+(** REDO log records.
+
+    "All log records have four main parts: TAG | Bin Index | Tran Id |
+    Operation."  The TAG distinguishes relation records ({e operation} log
+    records, since the partition string space is a heap), index records
+    (per-component state records) and catalog records; the bin index is "a
+    direct index into the partition bin table"; the operation is a
+    slot-level partition operation.
+
+    Each record additionally carries a per-partition sequence number
+    assigned under the writer's locks.  The checkpoint image of a partition
+    stores the sequence watermark current at copy time, and recovery skips
+    records at or below the watermark — this makes replay after a crash
+    that interrupted the checkpoint/flush pipeline idempotent. *)
+
+open Mrdb_storage
+
+type tag = Relation_op | Index_op | Catalog_op
+
+type t = {
+  tag : tag;
+  bin_index : int;  (** index into the Stable Log Tail's partition bin table *)
+  txn_id : int;
+  seq : int;        (** per-partition sequence number *)
+  op : Part_op.t;
+}
+
+val make : tag:tag -> bin_index:int -> txn_id:int -> seq:int -> op:Part_op.t -> t
+
+val encode : t -> bytes
+val decode : bytes -> t
+(** @raise Failure on malformed input. *)
+
+val encoded_size : t -> int
+(** Bytes the record occupies in the Stable Log Buffer and log pages —
+    the paper's [S_log_record]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val tag_to_string : tag -> string

@@ -1,0 +1,194 @@
+exception Slb_full
+
+(* Block layout: u32 txn_id | u32 next_block+1 (0 = none) | u32 used |
+   payload of u16-framed records. *)
+let hdr_txn = 0
+let hdr_next = 4
+let hdr_used = 8
+let payload_off = 12
+
+type chain = { mutable first : int; mutable last : int }
+
+type t = {
+  layout : Stable_layout.t;
+  chains : (int, chain) Hashtbl.t; (* txn -> uncommitted chain *)
+  mutable draining : bool;
+}
+
+let mem t = Stable_layout.mem t.layout
+let blocks t = Stable_layout.slb_blocks t.layout
+let block_off t i = Mrdb_hw.Stable_mem.Blocks.offset_of_block (blocks t) i
+let block_bytes t = Mrdb_hw.Stable_mem.Blocks.block_bytes (blocks t)
+
+let get_used t b = Mrdb_hw.Stable_mem.get_u32 (mem t) ~off:(block_off t b + hdr_used)
+let set_used t b v = Mrdb_hw.Stable_mem.put_u32 (mem t) ~off:(block_off t b + hdr_used) v
+let get_next t b =
+  let raw = Mrdb_hw.Stable_mem.get_u32 (mem t) ~off:(block_off t b + hdr_next) in
+  raw - 1
+let set_next t b v = Mrdb_hw.Stable_mem.put_u32 (mem t) ~off:(block_off t b + hdr_next) (v + 1)
+let set_txn t b v = Mrdb_hw.Stable_mem.put_u32 (mem t) ~off:(block_off t b + hdr_txn) v
+
+let create layout = { layout; chains = Hashtbl.create 64; draining = false }
+
+let capacity_ring t = (Stable_layout.config t.layout).Stable_layout.committed_capacity
+
+let ring_get t i =
+  let off = Stable_layout.committed_entry_off t.layout (i mod capacity_ring t) in
+  let txn = Mrdb_hw.Stable_mem.get_u32 (mem t) ~off in
+  let first = Mrdb_hw.Stable_mem.get_u32 (mem t) ~off:(off + 4) - 1 in
+  (txn, first)
+
+let ring_put t i (txn, first) =
+  let off = Stable_layout.committed_entry_off t.layout (i mod capacity_ring t) in
+  Mrdb_hw.Stable_mem.put_u32 (mem t) ~off txn;
+  Mrdb_hw.Stable_mem.put_u32 (mem t) ~off:(off + 4) (first + 1)
+
+let alloc_block t ~txn_id =
+  match Mrdb_hw.Stable_mem.Blocks.alloc (blocks t) with
+  | None -> raise Slb_full
+  | Some b ->
+      set_txn t b txn_id;
+      set_next t b (-1);
+      set_used t b 0;
+      b
+
+let append t ~txn_id record =
+  let payload = Log_record.encode record in
+  let frame = 2 + Bytes.length payload in
+  if frame > block_bytes t - payload_off then
+    invalid_arg "Slb.append: record exceeds block size";
+  let chain =
+    match Hashtbl.find_opt t.chains txn_id with
+    | Some c -> c
+    | None ->
+        let b = alloc_block t ~txn_id in
+        let c = { first = b; last = b } in
+        Hashtbl.add t.chains txn_id c;
+        c
+  in
+  let used = get_used t chain.last in
+  let target =
+    if payload_off + used + frame <= block_bytes t then chain.last
+    else begin
+      let b = alloc_block t ~txn_id in
+      set_next t chain.last b;
+      chain.last <- b;
+      b
+    end
+  in
+  let used = get_used t target in
+  let off = block_off t target + payload_off + used in
+  let framed = Bytes.create frame in
+  Mrdb_util.Codec.put_u16 framed 0 (Bytes.length payload);
+  Bytes.blit payload 0 framed 2 (Bytes.length payload);
+  Mrdb_hw.Stable_mem.write (mem t) ~off framed;
+  set_used t target (used + frame)
+
+let decode_chain t first =
+  let records = ref [] in
+  let b = ref first in
+  while !b >= 0 do
+    let used = get_used t !b in
+    let base = block_off t !b + payload_off in
+    let pos = ref 0 in
+    while !pos + 2 <= used do
+      let len =
+        Mrdb_util.Codec.get_u16
+          (Mrdb_hw.Stable_mem.read (mem t) ~off:(base + !pos) ~len:2)
+          0
+      in
+      let payload = Mrdb_hw.Stable_mem.read (mem t) ~off:(base + !pos + 2) ~len in
+      records := Log_record.decode payload :: !records;
+      pos := !pos + 2 + len
+    done;
+    b := get_next t !b
+  done;
+  List.rev !records
+
+let free_chain t first =
+  let b = ref first in
+  while !b >= 0 do
+    let next = get_next t !b in
+    Mrdb_hw.Stable_mem.Blocks.free (blocks t) !b;
+    b := next
+  done
+
+let commit t ~txn_id =
+  match Hashtbl.find_opt t.chains txn_id with
+  | None -> () (* read-only transaction: nothing to log *)
+  | Some chain ->
+      let head = Stable_layout.committed_head t.layout in
+      let tail = Stable_layout.committed_tail t.layout in
+      if tail - head >= capacity_ring t then raise Slb_full;
+      ring_put t tail (txn_id, chain.first);
+      (* Advancing the tail cursor makes the commit durable. *)
+      Stable_layout.set_committed_tail t.layout (tail + 1);
+      Hashtbl.remove t.chains txn_id
+
+let abort t ~txn_id =
+  match Hashtbl.find_opt t.chains txn_id with
+  | None -> ()
+  | Some chain ->
+      free_chain t chain.first;
+      Hashtbl.remove t.chains txn_id
+
+let records_of t ~txn_id =
+  match Hashtbl.find_opt t.chains txn_id with
+  | None -> []
+  | Some chain -> decode_chain t chain.first
+
+let pending_committed t =
+  Stable_layout.committed_tail t.layout - Stable_layout.committed_head t.layout
+
+let uncommitted_count t = Hashtbl.length t.chains
+
+let blocks_free t = Mrdb_hw.Stable_mem.Blocks.free_count (blocks t)
+
+let drain_one t ~f =
+  let head = Stable_layout.committed_head t.layout in
+  let tail = Stable_layout.committed_tail t.layout in
+  if head >= tail then false
+  else begin
+    let txn_id, first = ring_get t head in
+    f ~txn_id (decode_chain t first);
+    free_chain t first;
+    Stable_layout.set_committed_head t.layout (head + 1);
+    true
+  end
+
+let drain t ~f =
+  (* Draining can suspend on log-disk backpressure, during which the event
+     loop may run another transaction's commit — whose own drain call must
+     NOT process the ring concurrently (it would re-read the entry the
+     outer drain is mid-way through and then skip one).  The outer drain's
+     loop picks up anything committed meanwhile, so the inner call can
+     simply do nothing. *)
+  if t.draining then 0
+  else begin
+    t.draining <- true;
+    Fun.protect
+      ~finally:(fun () -> t.draining <- false)
+      (fun () ->
+        let n = ref 0 in
+        while drain_one t ~f do
+          incr n
+        done;
+        !n)
+  end
+
+let recover layout =
+  let t = create layout in
+  (* Only blocks reachable from undrained committed entries are live. *)
+  let live = ref [] in
+  let head = Stable_layout.committed_head layout in
+  let tail = Stable_layout.committed_tail layout in
+  for i = head to tail - 1 do
+    let _, first = ring_get t i in
+    let b = ref first in
+    while !b >= 0 do
+      live := !b :: !live;
+      b := get_next t !b
+    done
+  done;
+  Mrdb_hw.Stable_mem.Blocks.rebuild_after_crash (blocks t) ~live:!live;
+  t

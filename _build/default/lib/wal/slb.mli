@@ -1,0 +1,61 @@
+(** Stable Log Buffer: per-transaction REDO chains in stable memory.
+
+    "Both the volatile UNDO space and the Stable Log Buffer are managed as
+    a set of fixed-size blocks ... allocated to transactions on a demand
+    basis ... critical sections are used only for block allocation — they
+    are not a part of the log writing process itself.  Because of these
+    separate lists, transactions do not have to synchronize with each other
+    to write to the log", which removes the classical log-tail hot spot.
+
+    Chains live on one of two lists.  Commit moves a chain from the
+    uncommitted to the {e committed} list — a stable ring written in commit
+    order; appending that ring entry {e is} the commit point ("transactions
+    can commit instantly — they do not need to wait until the REDO log
+    records are flushed to disk").  The recovery CPU later {!drain}s
+    committed chains into the Stable Log Tail and frees their blocks.
+
+    After a crash, {!recover} rebuilds the block allocator from the
+    committed ring (uncommitted chains are garbage by definition) so the
+    undrained records can still be sorted into bins. *)
+
+type t
+
+exception Slb_full
+(** Raised when block or ring capacity is exhausted; the caller is expected
+    to stall the writer until the recovery CPU drains. *)
+
+val create : Stable_layout.t -> t
+(** Fresh SLB over a fresh layout (zeroes volatile chain state only). *)
+
+val recover : Stable_layout.t -> t
+(** Re-attach after a crash: scan the committed ring, mark reachable blocks
+    live, discard uncommitted chains. *)
+
+val append : t -> txn_id:int -> Log_record.t -> unit
+(** Add a REDO record to the transaction's (uncommitted) chain.
+    @raise Slb_full when no block is available. *)
+
+val commit : t -> txn_id:int -> unit
+(** Move the chain to the committed list (the commit point).  A transaction
+    with no records commits trivially without a ring entry.
+    @raise Slb_full when the committed ring is full. *)
+
+val abort : t -> txn_id:int -> unit
+(** Discard the transaction's chain and free its blocks. *)
+
+val records_of : t -> txn_id:int -> Log_record.t list
+(** Current (uncommitted) chain contents, oldest first — test hook. *)
+
+val pending_committed : t -> int
+(** Committed transactions not yet drained. *)
+
+val uncommitted_count : t -> int
+val blocks_free : t -> int
+
+val drain : t -> f:(txn_id:int -> Log_record.t list -> unit) -> int
+(** Process every pending committed chain in commit order: decode its
+    records (oldest first), hand them to [f], free the blocks, advance the
+    ring head.  Returns the number of transactions drained. *)
+
+val drain_one : t -> f:(txn_id:int -> Log_record.t list -> unit) -> bool
+(** Drain a single committed chain; false when none pending. *)

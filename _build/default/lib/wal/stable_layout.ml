@@ -1,0 +1,109 @@
+type config = {
+  slb_block_bytes : int;
+  slb_block_count : int;
+  committed_capacity : int;
+  log_page_bytes : int;
+  page_pool_count : int;
+  bin_count : int;
+  dir_size : int;
+  wellknown_bytes : int;
+}
+
+let default_config =
+  {
+    slb_block_bytes = 2048;
+    slb_block_count = 512;
+    committed_capacity = 1024;
+    log_page_bytes = 8192;
+    page_pool_count = 576;
+    bin_count = 512;
+    dir_size = 8;
+    wellknown_bytes = 8192;
+  }
+
+(* Fixed part of a bin info block; the live and shadow directories each add
+   8 bytes per entry.  See Partition_bin for the field map. *)
+let bin_info_fixed = 160
+
+let bin_info_bytes cfg = bin_info_fixed + (16 * cfg.dir_size)
+
+let header_bytes = 64
+
+let required_bytes cfg =
+  header_bytes + cfg.wellknown_bytes
+  + (8 * cfg.committed_capacity)
+  + (cfg.slb_block_bytes * cfg.slb_block_count)
+  + (bin_info_bytes cfg * cfg.bin_count)
+  + (cfg.log_page_bytes * cfg.page_pool_count)
+
+type t = {
+  cfg : config;
+  mem : Mrdb_hw.Stable_mem.t;
+  wellknown_off : int;
+  committed_off : int;
+  slb_off : int;
+  bins_off : int;
+  pages_off : int;
+  slb_blocks : Mrdb_hw.Stable_mem.Blocks.alloc;
+  page_pool : Mrdb_hw.Stable_mem.Blocks.alloc;
+}
+
+(* Header cell offsets. *)
+let off_lsn = 0
+let off_committed_head = 8
+let off_committed_tail = 12
+let off_bin_count = 16
+
+let attach cfg mem =
+  if Mrdb_hw.Stable_mem.size mem < required_bytes cfg then
+    invalid_arg
+      (Printf.sprintf "Stable_layout.attach: need %d bytes, have %d"
+         (required_bytes cfg) (Mrdb_hw.Stable_mem.size mem));
+  let wellknown_off = header_bytes in
+  let committed_off = wellknown_off + cfg.wellknown_bytes in
+  let slb_off = committed_off + (8 * cfg.committed_capacity) in
+  let bins_off = slb_off + (cfg.slb_block_bytes * cfg.slb_block_count) in
+  let pages_off = bins_off + (bin_info_bytes cfg * cfg.bin_count) in
+  {
+    cfg;
+    mem;
+    wellknown_off;
+    committed_off;
+    slb_off;
+    bins_off;
+    pages_off;
+    slb_blocks =
+      Mrdb_hw.Stable_mem.Blocks.create mem ~region_off:slb_off
+        ~block_bytes:cfg.slb_block_bytes ~count:cfg.slb_block_count;
+    page_pool =
+      Mrdb_hw.Stable_mem.Blocks.create mem ~region_off:pages_off
+        ~block_bytes:cfg.log_page_bytes ~count:cfg.page_pool_count;
+  }
+
+let config t = t.cfg
+let mem t = t.mem
+
+let next_lsn t = Mrdb_hw.Stable_mem.get_i64 t.mem ~off:off_lsn
+let set_next_lsn t v = Mrdb_hw.Stable_mem.put_i64 t.mem ~off:off_lsn v
+
+let committed_head t = Mrdb_hw.Stable_mem.get_u32 t.mem ~off:off_committed_head
+let committed_tail t = Mrdb_hw.Stable_mem.get_u32 t.mem ~off:off_committed_tail
+let set_committed_head t v = Mrdb_hw.Stable_mem.put_u32 t.mem ~off:off_committed_head v
+let set_committed_tail t v = Mrdb_hw.Stable_mem.put_u32 t.mem ~off:off_committed_tail v
+
+let bin_count_used t = Mrdb_hw.Stable_mem.get_u32 t.mem ~off:off_bin_count
+let set_bin_count_used t v = Mrdb_hw.Stable_mem.put_u32 t.mem ~off:off_bin_count v
+
+let wellknown_off t = t.wellknown_off
+
+let committed_entry_off t i =
+  if i < 0 || i >= t.cfg.committed_capacity then
+    invalid_arg "Stable_layout.committed_entry_off";
+  t.committed_off + (8 * i)
+
+let bin_info_off t i =
+  if i < 0 || i >= t.cfg.bin_count then invalid_arg "Stable_layout.bin_info_off";
+  t.bins_off + (bin_info_bytes t.cfg * i)
+
+let slb_blocks t = t.slb_blocks
+let page_pool t = t.page_pool

@@ -1,0 +1,75 @@
+(** Layout of the stable reliable memory.
+
+    Carves one {!Mrdb_hw.Stable_mem.t} into the regions the recovery
+    component needs:
+
+    - a small header (the global log sequence number, committed-list ring
+      cursors, bin-count cell);
+    - the {e well-known area} holding the catalog partition list — "this is
+      kept in a well-known location" (§2.5);
+    - the committed-transaction ring (commit order of SLB chains — writing
+      an entry here {e is} the commit point);
+    - the Stable Log Buffer block pool;
+    - the partition-bin info blocks of the Stable Log Tail;
+    - the log-page buffer pool (bins borrow page buffers from here;
+      in-flight pages keep theirs until the disk write is durable).
+
+    The layout object itself is volatile; after a crash a fresh layout with
+    the same configuration re-attaches to the same stable memory and finds
+    all regions where they were. *)
+
+type config = {
+  slb_block_bytes : int;
+  slb_block_count : int;
+  committed_capacity : int;  (** max undrained committed transactions *)
+  log_page_bytes : int;
+  page_pool_count : int;
+  bin_count : int;           (** max partitions with bin-table entries *)
+  dir_size : int;            (** N, the log page directory size *)
+  wellknown_bytes : int;
+}
+
+val default_config : config
+(** 2 KiB × 512 SLB blocks, 8 KiB log pages × 576 pool buffers (one buffer
+    per possible active partition plus in-flight slack), 512 bins,
+    directory size 8 — about 6 MB of stable memory, the paper's "few
+    megabytes". *)
+
+val bin_info_bytes : config -> int
+val required_bytes : config -> int
+
+type t
+
+val attach : config -> Mrdb_hw.Stable_mem.t -> t
+(** Bind regions over (possibly pre-existing) stable memory.
+    @raise Invalid_argument when the memory is too small. *)
+
+val config : t -> config
+val mem : t -> Mrdb_hw.Stable_mem.t
+
+(** {2 Header cells} *)
+
+val next_lsn : t -> int64
+val set_next_lsn : t -> int64 -> unit
+
+val committed_head : t -> int
+val committed_tail : t -> int
+val set_committed_head : t -> int -> unit
+val set_committed_tail : t -> int -> unit
+
+val bin_count_used : t -> int
+val set_bin_count_used : t -> int -> unit
+
+(** {2 Region offsets} *)
+
+val wellknown_off : t -> int
+val committed_entry_off : t -> int -> int
+(** Offset of ring slot [i] (entries are 8 bytes: u32 txn, i32 first
+    block). *)
+
+val bin_info_off : t -> int -> int
+val slb_blocks : t -> Mrdb_hw.Stable_mem.Blocks.alloc
+val page_pool : t -> Mrdb_hw.Stable_mem.Blocks.alloc
+(** Block allocators over the SLB and page-pool regions.  Allocation maps
+    are volatile; rebuild them after a crash from the recovered chain and
+    bin state ({!Mrdb_hw.Stable_mem.Blocks.rebuild_after_crash}). *)

@@ -1,0 +1,1 @@
+test/test_archive.ml: Addr Alcotest Bytes Config Db List Mrdb_archive Mrdb_ckpt Mrdb_core Mrdb_sim Mrdb_storage Option Partition Schema Tuple

@@ -1,0 +1,1 @@
+test/test_ckpt.ml: Addr Alcotest Bytes Ckpt_image Ckpt_queue Disk_map List Mrdb_ckpt Mrdb_storage Option Partition QCheck QCheck_alcotest

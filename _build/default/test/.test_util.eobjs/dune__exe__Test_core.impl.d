@@ -1,0 +1,1 @@
+test/test_core.ml: Addr Alcotest Catalog Config Db Hashtbl List Mrdb_core Mrdb_sim Mrdb_storage Mrdb_util Mrdb_wal Printf QCheck QCheck_alcotest Schema Tuple

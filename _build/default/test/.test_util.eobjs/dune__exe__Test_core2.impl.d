@@ -1,0 +1,1 @@
+test/test_core2.ml: Addr Alcotest Catalog Config Db Int64 List Mrdb_core Mrdb_sim Mrdb_storage Mrdb_util Mrdb_wal Schema String Tuple Workload

@@ -1,0 +1,1 @@
+test/test_crashpoints.ml: Alcotest Catalog Config Db Hashtbl List Mrdb_core Mrdb_storage Printf Schema Tuple

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bytes Char Disk Duplex Float List Mrdb_hw Mrdb_sim Option Printf Stable_mem Volatile

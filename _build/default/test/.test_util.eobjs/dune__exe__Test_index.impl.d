@@ -1,0 +1,1 @@
+test/test_index.ml: Addr Alcotest Fun Gen Hashtbl Linear_hash List Mrdb_index Mrdb_storage Part_op Partition QCheck QCheck_alcotest Relation Schema Segment T_tree

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Addr Alcotest List Mrdb_analysis Mrdb_hw Mrdb_recovery Mrdb_storage Mrdb_wal

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cpu List Mrdb_sim Mrdb_util Sim Trace

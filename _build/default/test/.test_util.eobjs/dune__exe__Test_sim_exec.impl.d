@@ -1,0 +1,1 @@
+test/test_sim_exec.ml: Addr Alcotest Array Config Db List Mrdb_core Mrdb_storage Mrdb_util Schema Sim_exec Tuple

@@ -1,0 +1,1 @@
+test/test_txn.ml: Addr Alcotest Bytes Format Gen List Lock_mgr Mrdb_hw Mrdb_storage Mrdb_txn Part_op Printf QCheck QCheck_alcotest Relation Schema Segment Tuple Txn Undo_space

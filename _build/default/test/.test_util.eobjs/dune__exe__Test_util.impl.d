@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Bytes Checksum Codec Float Fun Gen Hashtbl List Mrdb_util Pqueue QCheck QCheck_alcotest Queue Ring Rng Stats String Texttab

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Config Db Mrdb_core Mrdb_sim Mrdb_util Workload

@@ -1,0 +1,327 @@
+(* Second core-integration suite: durability semantics of group commit,
+   sustained pressure on the log window, concurrent-transaction conflicts
+   through the facade, tuple relocation with index maintenance, and a
+   paper-scale (default geometry) end-to-end run. *)
+
+open Mrdb_storage
+open Mrdb_core
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let schema = Schema.of_list [ ("k", Schema.Int); ("v", Schema.Str) ]
+
+let kv_of db =
+  Db.with_txn db (fun tx ->
+      Db.scan db tx ~rel:"t"
+      |> List.map (fun (_, tup) ->
+             (Schema.to_int (Tuple.field tup 0), Schema.to_string_value (Tuple.field tup 1)))
+      |> List.sort compare)
+
+(* -- group commit durability ------------------------------------------------ *)
+
+let test_group_commit_unflushed_not_durable () =
+  (* The FASTPATH tradeoff: precommitted transactions have released their
+     locks but are not durable until the group flushes.  A crash before
+     the flush must lose them — and only them. *)
+  let config = { Config.small with Config.commit_mode = Config.Group 10 } in
+  let db = Db.create ~config () in
+  Db.create_relation db ~name:"t" ~schema;
+  (* First group: filled and flushed explicitly. *)
+  for i = 1 to 3 do
+    let tx = Db.begin_txn db in
+    ignore (Db.insert db tx ~rel:"t" [| Schema.int i; Schema.S "durable" |]);
+    Db.commit db tx
+  done;
+  Db.flush_group db;
+  (* Second group: precommitted only (group size 10 never reached). *)
+  for i = 11 to 13 do
+    let tx = Db.begin_txn db in
+    ignore (Db.insert db tx ~rel:"t" [| Schema.int i; Schema.S "volatile" |]);
+    Db.commit db tx
+  done;
+  Db.crash db;
+  Db.recover db;
+  check
+    (Alcotest.list (Alcotest.pair int_t Alcotest.string))
+    "only the flushed group survives"
+    [ (1, "durable"); (2, "durable"); (3, "durable") ]
+    (kv_of db)
+
+let test_group_commit_flush_on_group_boundary_is_durable () =
+  let config = { Config.small with Config.commit_mode = Config.Group 2 } in
+  let db = Db.create ~config () in
+  Db.create_relation db ~name:"t" ~schema;
+  for i = 1 to 4 do
+    let tx = Db.begin_txn db in
+    ignore (Db.insert db tx ~rel:"t" [| Schema.int i; Schema.S "x" |]);
+    Db.commit db tx
+  done;
+  (* Two full groups of 2 flushed automatically. *)
+  Db.crash db;
+  Db.recover db;
+  check int_t "all four durable" 4 (List.length (kv_of db))
+
+(* -- log window wrap under sustained load ------------------------------------- *)
+
+let test_log_window_wraps_safely () =
+  (* A window small enough to lap several times during the run: age
+     triggers and checkpoints must keep every partition recoverable. *)
+  let config =
+    {
+      Config.small with
+      Config.log_window_pages = 48;
+      age_grace_pages = Some 6;
+      n_update = 40;
+    }
+  in
+  let db = Db.create ~config () in
+  Db.create_relation db ~name:"t" ~schema;
+  let addrs = ref [] in
+  Db.with_txn db (fun tx ->
+      for i = 1 to 60 do
+        addrs := (i, Db.insert db tx ~rel:"t" [| Schema.int i; Schema.S "0" |]) :: !addrs
+      done);
+  let rng = Mrdb_util.Rng.of_int 77 in
+  (* Enough update traffic to push well past one window lap. *)
+  for round = 1 to 2000 do
+    let i, addr = List.nth !addrs (Mrdb_util.Rng.int rng 60) in
+    Db.with_txn db (fun tx ->
+        ignore
+          (Db.update_field db tx ~rel:"t" addr ~column:"v"
+             (Schema.S (string_of_int (round * 1000 + i)))))
+  done;
+  Db.quiesce db;
+  let lsn = Mrdb_wal.Log_disk.next_lsn (Db.log_disk db) in
+  check bool_t "window lapped at least once" true (Int64.to_int lsn > 48);
+  let before = kv_of db in
+  Db.crash db;
+  Db.recover db;
+  check bool_t "equivalent after window laps" true (kv_of db = before)
+
+(* -- interleaved transactions through the facade -------------------------------- *)
+
+let test_interleaved_conflict_aborts_second () =
+  let db = Db.create ~config:Config.small () in
+  Db.create_relation db ~name:"t" ~schema;
+  let addr =
+    Db.with_txn db (fun tx -> Db.insert db tx ~rel:"t" [| Schema.int 1; Schema.S "a" |])
+  in
+  let t1 = Db.begin_txn db in
+  ignore (Db.update_field db t1 ~rel:"t" addr ~column:"v" (Schema.S "t1"));
+  let t2 = Db.begin_txn db in
+  (* t2 wants the same tuple: the synchronous facade aborts it rather than
+     blocking. *)
+  (try
+     ignore (Db.update_field db t2 ~rel:"t" addr ~column:"v" (Schema.S "t2"));
+     Alcotest.fail "expected Aborted"
+   with Db.Aborted _ -> ());
+  Db.commit db t1;
+  check bool_t "t1's write survives" true (List.mem (1, "t1") (kv_of db))
+
+let test_read_read_interleaving_allowed () =
+  let db = Db.create ~config:Config.small () in
+  Db.create_relation db ~name:"t" ~schema;
+  let addr =
+    Db.with_txn db (fun tx -> Db.insert db tx ~rel:"t" [| Schema.int 1; Schema.S "a" |])
+  in
+  let t1 = Db.begin_txn db in
+  let t2 = Db.begin_txn db in
+  check bool_t "r1" true (Db.read db t1 ~rel:"t" addr <> None);
+  check bool_t "r2" true (Db.read db t2 ~rel:"t" addr <> None);
+  Db.commit db t1;
+  Db.commit db t2
+
+(* -- relocation + index maintenance ---------------------------------------------- *)
+
+let test_grown_tuple_relocation_updates_index () =
+  let config = { Config.small with Config.partition_bytes = 1024 } in
+  let db = Db.create ~config () in
+  Db.create_relation db ~name:"t" ~schema;
+  Db.create_index db ~rel:"t" ~name:"t_k" ~kind:Catalog.Ttree ~key_column:"k";
+  (* Fill a partition so a grown tuple must relocate. *)
+  let addr =
+    Db.with_txn db (fun tx -> Db.insert db tx ~rel:"t" [| Schema.int 1; Schema.S "s" |])
+  in
+  Db.with_txn db (fun tx ->
+      for i = 2 to 12 do
+        ignore (Db.insert db tx ~rel:"t" [| Schema.int i; Schema.S (String.make 50 'f') |])
+      done);
+  let addr' =
+    Db.with_txn db (fun tx ->
+        Db.update_field db tx ~rel:"t" addr ~column:"v" (Schema.S (String.make 400 'G')))
+  in
+  check bool_t "tuple relocated" false (Addr.equal addr addr');
+  Db.with_txn db (fun tx ->
+      match Db.lookup db tx ~rel:"t" ~index:"t_k" (Schema.int 1) with
+      | [ (found, tup) ] ->
+          check bool_t "index points at the new address" true (Addr.equal found addr');
+          check int_t "payload grew" 400
+            (String.length (Schema.to_string_value (Tuple.field tup 1)))
+      | l -> Alcotest.failf "expected 1 hit, got %d" (List.length l));
+  (* And the relocation is recoverable. *)
+  let before = kv_of db in
+  Db.crash db;
+  Db.recover db;
+  check bool_t "relocation durable" true (kv_of db = before)
+
+(* -- paper-scale geometry ----------------------------------------------------------- *)
+
+let test_default_geometry_end_to_end () =
+  (* 48 KB partitions, 8 KB log pages, N_update 1000 — the Table 2 point,
+     exercised end to end with a debit/credit stream and a crash. *)
+  let config = { Config.default with Config.n_update = 100 } in
+  let db = Db.create ~config () in
+  let bank = Workload.Bank.setup db ~accounts:800 ~tellers:16 ~branches:4 () in
+  let rng = Mrdb_util.Rng.of_int 123 in
+  for _ = 1 to 300 do
+    Workload.Bank.run_debit_credit bank db ~rng
+  done;
+  Db.quiesce db;
+  check bool_t "invariant" true (Workload.Bank.consistent bank db);
+  check bool_t "checkpoints happened" true
+    (Mrdb_sim.Trace.count (Db.trace db) "checkpoints" > 0);
+  let total = Workload.Bank.audit bank db in
+  Db.crash db;
+  Db.recover db;
+  check Alcotest.int64 "durable at paper geometry" total (Workload.Bank.audit bank db);
+  check bool_t "invariant after recovery" true (Workload.Bank.consistent bank db)
+
+(* -- abort under pressure ------------------------------------------------------------ *)
+
+let test_many_aborts_leak_nothing () =
+  let db = Db.create ~config:Config.small () in
+  Db.create_relation db ~name:"t" ~schema;
+  let before_blocks = Mrdb_wal.Slb.blocks_free (Db.slb db) in
+  for i = 1 to 50 do
+    let tx = Db.begin_txn db in
+    ignore (Db.insert db tx ~rel:"t" [| Schema.int i; Schema.S "gone" |]);
+    Db.abort db tx
+  done;
+  check int_t "no rows" 0 (Db.cardinality db ~rel:"t");
+  check int_t "no SLB blocks leaked" before_blocks (Mrdb_wal.Slb.blocks_free (Db.slb db))
+
+(* Regression: inserting into a relation right after recovery, BEFORE any
+   read touches it, must not collide with the partition numbers of its
+   not-yet-recovered partitions (a fresh segment object would otherwise
+   re-allocate number 0 and the new rows' log records would reuse the old
+   partition's sequence space — silently destroying both generations). *)
+let test_insert_before_demand_recovery () =
+  let db = Db.create ~config:Config.small () in
+  Db.create_relation db ~name:"t" ~schema;
+  Db.with_txn db (fun tx ->
+      for i = 1 to 10 do
+        ignore (Db.insert db tx ~rel:"t" [| Schema.int i; Schema.S "first" |])
+      done);
+  Db.crash db;
+  Db.recover db;
+  (* Inserts land in genuinely fresh partitions. *)
+  Db.with_txn db (fun tx ->
+      for i = 11 to 20 do
+        ignore (Db.insert db tx ~rel:"t" [| Schema.int i; Schema.S "second" |])
+      done);
+  check int_t "both generations visible" 20 (List.length (kv_of db));
+  Db.crash db;
+  Db.recover db;
+  check int_t "both generations durable" 20 (List.length (kv_of db))
+
+(* -- drop_relation ------------------------------------------------------------ *)
+
+let test_drop_relation_basic () =
+  let db = Db.create ~config:Config.small () in
+  Db.create_relation db ~name:"t" ~schema;
+  Db.create_index db ~rel:"t" ~name:"t_k" ~kind:Catalog.Ttree ~key_column:"k";
+  Db.with_txn db (fun tx ->
+      for i = 1 to 20 do
+        ignore (Db.insert db tx ~rel:"t" [| Schema.int i; Schema.S "x" |])
+      done);
+  Db.checkpoint_all db;
+  Db.quiesce db;
+  Db.drop_relation db ~name:"t";
+  check (Alcotest.list Alcotest.string) "gone from catalog" [] (Db.relations db);
+  Alcotest.check_raises "unusable" (Db.Unknown_relation "t") (fun () ->
+      Db.with_txn db (fun tx -> ignore (Db.scan db tx ~rel:"t")));
+  (* The name can be reused with a different schema. *)
+  Db.create_relation db ~name:"t"
+    ~schema:(Schema.of_list [ ("a", Schema.Int) ]);
+  Db.with_txn db (fun tx -> ignore (Db.insert db tx ~rel:"t" [| Schema.int 1 |]));
+  check int_t "fresh relation" 1 (Db.cardinality db ~rel:"t")
+
+let test_drop_relation_survives_crash () =
+  let db = Db.create ~config:Config.small () in
+  Db.create_relation db ~name:"keep" ~schema;
+  Db.create_relation db ~name:"gone" ~schema;
+  Db.with_txn db (fun tx ->
+      for i = 1 to 10 do
+        ignore (Db.insert db tx ~rel:"keep" [| Schema.int i; Schema.S "k" |]);
+        ignore (Db.insert db tx ~rel:"gone" [| Schema.int i; Schema.S "g" |])
+      done);
+  Db.drop_relation db ~name:"gone";
+  Db.crash db;
+  Db.recover db;
+  check (Alcotest.list Alcotest.string) "drop durable" [ "keep" ] (Db.relations db);
+  check int_t "survivor intact" 10 (Db.cardinality db ~rel:"keep")
+
+let test_drop_relation_blocked_by_live_txn () =
+  let db = Db.create ~config:Config.small () in
+  Db.create_relation db ~name:"t" ~schema;
+  let tx = Db.begin_txn db in
+  ignore (Db.insert db tx ~rel:"t" [| Schema.int 1; Schema.S "x" |]);
+  Alcotest.check_raises "in use" (Db.Aborted "drop_relation: relation is in use")
+    (fun () -> Db.drop_relation db ~name:"t");
+  Db.commit db tx;
+  Db.drop_relation db ~name:"t";
+  check (Alcotest.list Alcotest.string) "dropped after release" [] (Db.relations db)
+
+let test_drop_relation_frees_resources () =
+  let db = Db.create ~config:Config.small () in
+  Db.create_relation db ~name:"t" ~schema;
+  Db.with_txn db (fun tx ->
+      for i = 1 to 30 do
+        ignore (Db.insert db tx ~rel:"t" [| Schema.int i; Schema.S (String.make 30 'z') |])
+      done);
+  Db.checkpoint_all db;
+  Db.quiesce db;
+  let active_before = List.length (Mrdb_wal.Slt.active_partitions (Db.slt db)) in
+  Db.drop_relation db ~name:"t";
+  Db.quiesce db;
+  let active_after = List.length (Mrdb_wal.Slt.active_partitions (Db.slt db)) in
+  check bool_t "bins released" true (active_after <= active_before)
+
+let () =
+  Alcotest.run "mrdb_core2"
+    [
+      ( "group commit",
+        [
+          Alcotest.test_case "unflushed group not durable" `Quick
+            test_group_commit_unflushed_not_durable;
+          Alcotest.test_case "flushed groups durable" `Quick
+            test_group_commit_flush_on_group_boundary_is_durable;
+        ] );
+      ( "log window",
+        [ Alcotest.test_case "wraps safely under load" `Quick test_log_window_wraps_safely ] );
+      ( "interleaving",
+        [
+          Alcotest.test_case "write conflict aborts" `Quick test_interleaved_conflict_aborts_second;
+          Alcotest.test_case "read/read allowed" `Quick test_read_read_interleaving_allowed;
+        ] );
+      ( "relocation",
+        [ Alcotest.test_case "grown tuple + index" `Quick test_grown_tuple_relocation_updates_index ] );
+      ( "paper geometry",
+        [ Alcotest.test_case "default config end-to-end" `Slow test_default_geometry_end_to_end ] );
+      ( "hygiene",
+        [ Alcotest.test_case "aborts leak nothing" `Quick test_many_aborts_leak_nothing ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "insert before demand recovery" `Quick
+            test_insert_before_demand_recovery;
+        ] );
+      ( "drop_relation",
+        [
+          Alcotest.test_case "basic + name reuse" `Quick test_drop_relation_basic;
+          Alcotest.test_case "durable across crash" `Quick test_drop_relation_survives_crash;
+          Alcotest.test_case "blocked by live txn" `Quick test_drop_relation_blocked_by_live_txn;
+          Alcotest.test_case "frees resources" `Quick test_drop_relation_frees_resources;
+        ] );
+    ]

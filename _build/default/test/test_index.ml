@@ -1,0 +1,419 @@
+(* Tests for the index structures: T-tree and modified linear hashing,
+   including model-based property tests and attach-after-recovery. *)
+
+open Mrdb_storage
+open Mrdb_index
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let nolog = Relation.null_sink
+
+let tuple_addr i = Addr.make ~segment:9 ~partition:(i / 100) ~slot:(i mod 100)
+
+(* -- T-tree ----------------------------------------------------------------- *)
+
+let mk_ttree ?(max_items = 4) () =
+  let segment = Segment.create ~id:11 ~partition_bytes:8192 in
+  T_tree.create ~segment ~log:nolog ~key_type:Schema.Int ~max_items ()
+
+let test_ttree_empty () =
+  let t = mk_ttree () in
+  check int_t "empty" 0 (T_tree.cardinality t);
+  check bool_t "lookup none" true (T_tree.lookup t (Schema.int 1) = []);
+  check bool_t "min none" true (T_tree.min_entry t = None);
+  T_tree.check_invariants t
+
+let test_ttree_insert_lookup () =
+  let t = mk_ttree () in
+  for i = 1 to 100 do
+    T_tree.insert t ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  check int_t "cardinality" 100 (T_tree.cardinality t);
+  for i = 1 to 100 do
+    check bool_t "found" true (T_tree.lookup_one t (Schema.int i) = Some (tuple_addr i))
+  done;
+  check bool_t "absent" true (T_tree.lookup t (Schema.int 999) = []);
+  T_tree.check_invariants t
+
+let test_ttree_balanced_after_sequential_inserts () =
+  let t = mk_ttree ~max_items:2 () in
+  for i = 1 to 512 do
+    T_tree.insert t ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  T_tree.check_invariants t;
+  (* 512 entries at 2/node = 256 nodes; AVL height <= 1.44 log2 256 + small. *)
+  check bool_t "height logarithmic" true (T_tree.height t <= 13)
+
+let test_ttree_duplicate_keys_different_addrs () =
+  let t = mk_ttree () in
+  T_tree.insert t ~log:nolog (Schema.int 5) (tuple_addr 1);
+  T_tree.insert t ~log:nolog (Schema.int 5) (tuple_addr 2);
+  T_tree.insert t ~log:nolog (Schema.int 5) (tuple_addr 3);
+  check int_t "three entries" 3 (List.length (T_tree.lookup t (Schema.int 5)));
+  check bool_t "delete one" true (T_tree.delete t ~log:nolog (Schema.int 5) (tuple_addr 2));
+  check int_t "two remain" 2 (List.length (T_tree.lookup t (Schema.int 5)));
+  T_tree.check_invariants t
+
+let test_ttree_duplicate_entry_rejected () =
+  let t = mk_ttree () in
+  T_tree.insert t ~log:nolog (Schema.int 5) (tuple_addr 1);
+  Alcotest.check_raises "duplicate" (Invalid_argument "T_tree: duplicate entry")
+    (fun () -> T_tree.insert t ~log:nolog (Schema.int 5) (tuple_addr 1))
+
+let test_ttree_delete () =
+  let t = mk_ttree () in
+  for i = 1 to 50 do
+    T_tree.insert t ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  for i = 1 to 50 do
+    if i mod 2 = 0 then
+      check bool_t "deleted" true (T_tree.delete t ~log:nolog (Schema.int i) (tuple_addr i))
+  done;
+  check int_t "half left" 25 (T_tree.cardinality t);
+  check bool_t "absent delete is false" false
+    (T_tree.delete t ~log:nolog (Schema.int 2) (tuple_addr 2));
+  for i = 1 to 50 do
+    let expected = if i mod 2 = 0 then None else Some (tuple_addr i) in
+    check bool_t "membership" true (T_tree.lookup_one t (Schema.int i) = expected)
+  done;
+  T_tree.check_invariants t
+
+let test_ttree_delete_all () =
+  let t = mk_ttree ~max_items:3 () in
+  let n = 200 in
+  for i = 1 to n do
+    T_tree.insert t ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  for i = n downto 1 do
+    check bool_t "deleted" true (T_tree.delete t ~log:nolog (Schema.int i) (tuple_addr i));
+    if i mod 37 = 0 then T_tree.check_invariants t
+  done;
+  check int_t "empty" 0 (T_tree.cardinality t);
+  check bool_t "no min" true (T_tree.min_entry t = None);
+  T_tree.check_invariants t
+
+let test_ttree_range () =
+  let t = mk_ttree () in
+  for i = 1 to 100 do
+    T_tree.insert t ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  let r = T_tree.range t ~lo:(Some (Schema.int 10)) ~hi:(Some (Schema.int 20)) in
+  check int_t "11 keys" 11 (List.length r);
+  check bool_t "sorted" true
+    (List.sort (fun (a, _) (b, _) -> Schema.compare_value a b) r = r);
+  check int_t "unbounded low" 20
+    (List.length (T_tree.range t ~lo:None ~hi:(Some (Schema.int 20))));
+  check int_t "unbounded high" 21
+    (List.length (T_tree.range t ~lo:(Some (Schema.int 80)) ~hi:None));
+  check int_t "full range" 100 (List.length (T_tree.range t ~lo:None ~hi:None))
+
+let test_ttree_min_max () =
+  let t = mk_ttree () in
+  List.iter
+    (fun i -> T_tree.insert t ~log:nolog (Schema.int i) (tuple_addr i))
+    [ 42; 7; 99; 13 ];
+  check bool_t "min" true
+    (match T_tree.min_entry t with Some (k, _) -> Schema.to_int k = 7 | None -> false);
+  check bool_t "max" true
+    (match T_tree.max_entry t with Some (k, _) -> Schema.to_int k = 99 | None -> false)
+
+let test_ttree_iter_in_order () =
+  let t = mk_ttree ~max_items:3 () in
+  let keys = [ 5; 3; 9; 1; 7; 8; 2; 6; 4 ] in
+  List.iter (fun i -> T_tree.insert t ~log:nolog (Schema.int i) (tuple_addr i)) keys;
+  let seen = ref [] in
+  T_tree.iter (fun k _ -> seen := Schema.to_int k :: !seen) t;
+  check (Alcotest.list int_t) "in order" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !seen)
+
+let test_ttree_attach_roundtrip () =
+  let segment = Segment.create ~id:11 ~partition_bytes:8192 in
+  let t = T_tree.create ~segment ~log:nolog ~key_type:Schema.Int ~max_items:4 () in
+  for i = 1 to 100 do
+    T_tree.insert t ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  (* Simulate recovery: rebuild the segment from partition snapshots, then
+     attach a fresh tree over it. *)
+  let rebuilt = Segment.create ~id:11 ~partition_bytes:8192 in
+  Segment.iter
+    (fun p -> Segment.install rebuilt (Partition.of_snapshot (Partition.snapshot p)))
+    segment;
+  let t' = T_tree.attach ~segment:rebuilt in
+  check int_t "cardinality survives" 100 (T_tree.cardinality t');
+  check int_t "max_items survives" 4 (T_tree.max_items t');
+  for i = 1 to 100 do
+    check bool_t "entries survive" true
+      (T_tree.lookup_one t' (Schema.int i) = Some (tuple_addr i))
+  done;
+  T_tree.check_invariants t'
+
+let test_ttree_invalidate_cache () =
+  let t = mk_ttree () in
+  for i = 1 to 30 do
+    T_tree.insert t ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  T_tree.invalidate_cache t;
+  check int_t "recount after invalidation" 30 (T_tree.cardinality t);
+  for i = 1 to 30 do
+    check bool_t "still found" true (T_tree.lookup_one t (Schema.int i) = Some (tuple_addr i))
+  done;
+  T_tree.check_invariants t
+
+let test_ttree_string_keys () =
+  let segment = Segment.create ~id:11 ~partition_bytes:8192 in
+  let t = T_tree.create ~segment ~log:nolog ~key_type:Schema.Str ~max_items:4 () in
+  List.iteri
+    (fun i name -> T_tree.insert t ~log:nolog (Schema.S name) (tuple_addr i))
+    [ "delta"; "alpha"; "charlie"; "bravo" ];
+  let seen = ref [] in
+  T_tree.iter (fun k _ -> seen := Schema.to_string_value k :: !seen) t;
+  check (Alcotest.list Alcotest.string) "lexicographic"
+    [ "alpha"; "bravo"; "charlie"; "delta" ]
+    (List.rev !seen);
+  Alcotest.check_raises "type mismatch" (Invalid_argument "T_tree.insert: key type mismatch")
+    (fun () -> T_tree.insert t ~log:nolog (Schema.int 1) (tuple_addr 0))
+
+(* Model-based: random interleavings of inserts and deletes agree with a
+   sorted-association-list model. *)
+let prop_ttree_model =
+  QCheck.Test.make ~name:"t-tree = set model under random ops" ~count:60
+    QCheck.(make Gen.(list_size (int_range 0 300) (pair bool (int_bound 60))))
+    (fun ops ->
+      let t = mk_ttree ~max_items:4 () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (is_insert, key) ->
+          let a = tuple_addr key in
+          if is_insert then begin
+            if not (Hashtbl.mem model key) then begin
+              T_tree.insert t ~log:nolog (Schema.int key) a;
+              Hashtbl.replace model key ()
+            end
+          end
+          else begin
+            let deleted = T_tree.delete t ~log:nolog (Schema.int key) a in
+            if deleted <> Hashtbl.mem model key then failwith "delete result mismatch";
+            Hashtbl.remove model key
+          end)
+        ops;
+      T_tree.check_invariants t;
+      T_tree.cardinality t = Hashtbl.length model
+      && List.for_all
+           (fun k -> (T_tree.lookup_one t (Schema.int k) <> None) = Hashtbl.mem model k)
+           (List.init 61 Fun.id))
+
+(* -- Linear hash -------------------------------------------------------------- *)
+
+let mk_lhash ?(node_capacity = 4) () =
+  let segment = Segment.create ~id:12 ~partition_bytes:8192 in
+  Linear_hash.create ~segment ~log:nolog ~key_type:Schema.Int ~node_capacity
+    ~initial_buckets:4 ()
+
+let test_lhash_empty () =
+  let h = mk_lhash () in
+  check int_t "empty" 0 (Linear_hash.cardinality h);
+  check bool_t "lookup none" true (Linear_hash.lookup h (Schema.int 1) = []);
+  Linear_hash.check_invariants h
+
+let test_lhash_insert_lookup () =
+  let h = mk_lhash () in
+  for i = 1 to 200 do
+    Linear_hash.insert h ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  check int_t "cardinality" 200 (Linear_hash.cardinality h);
+  for i = 1 to 200 do
+    check bool_t "found" true
+      (Linear_hash.lookup_one h (Schema.int i) = Some (tuple_addr i))
+  done;
+  check bool_t "buckets grew" true (Linear_hash.bucket_count h > 4);
+  Linear_hash.check_invariants h
+
+let test_lhash_delete () =
+  let h = mk_lhash () in
+  for i = 1 to 100 do
+    Linear_hash.insert h ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  for i = 1 to 100 do
+    if i mod 3 = 0 then
+      check bool_t "deleted" true
+        (Linear_hash.delete h ~log:nolog (Schema.int i) (tuple_addr i))
+  done;
+  check bool_t "absent delete false" false
+    (Linear_hash.delete h ~log:nolog (Schema.int 3) (tuple_addr 3));
+  for i = 1 to 100 do
+    let expected = if i mod 3 = 0 then None else Some (tuple_addr i) in
+    check bool_t "membership" true (Linear_hash.lookup_one h (Schema.int i) = expected)
+  done;
+  Linear_hash.check_invariants h
+
+let test_lhash_duplicates () =
+  let h = mk_lhash () in
+  Linear_hash.insert h ~log:nolog (Schema.int 5) (tuple_addr 1);
+  Linear_hash.insert h ~log:nolog (Schema.int 5) (tuple_addr 2);
+  check int_t "both entries" 2 (List.length (Linear_hash.lookup h (Schema.int 5)));
+  Alcotest.check_raises "duplicate entry"
+    (Invalid_argument "Linear_hash.insert: duplicate entry") (fun () ->
+      Linear_hash.insert h ~log:nolog (Schema.int 5) (tuple_addr 1))
+
+let test_lhash_attach_roundtrip () =
+  let segment = Segment.create ~id:12 ~partition_bytes:8192 in
+  let h =
+    Linear_hash.create ~segment ~log:nolog ~key_type:Schema.Int ~node_capacity:4
+      ~initial_buckets:4 ()
+  in
+  for i = 1 to 300 do
+    Linear_hash.insert h ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  let rebuilt = Segment.create ~id:12 ~partition_bytes:8192 in
+  Segment.iter
+    (fun p -> Segment.install rebuilt (Partition.of_snapshot (Partition.snapshot p)))
+    segment;
+  let h' = Linear_hash.attach ~segment:rebuilt in
+  check int_t "cardinality survives" 300 (Linear_hash.cardinality h');
+  check int_t "bucket count survives" (Linear_hash.bucket_count h)
+    (Linear_hash.bucket_count h');
+  for i = 1 to 300 do
+    check bool_t "entries survive" true
+      (Linear_hash.lookup_one h' (Schema.int i) = Some (tuple_addr i))
+  done;
+  Linear_hash.check_invariants h'
+
+let test_lhash_invalidate_cache () =
+  let h = mk_lhash () in
+  for i = 1 to 50 do
+    Linear_hash.insert h ~log:nolog (Schema.int i) (tuple_addr i)
+  done;
+  Linear_hash.invalidate_cache h;
+  check int_t "recount" 50 (Linear_hash.cardinality h);
+  for i = 1 to 50 do
+    check bool_t "still found" true
+      (Linear_hash.lookup_one h (Schema.int i) = Some (tuple_addr i))
+  done;
+  Linear_hash.check_invariants h
+
+let test_lhash_string_keys () =
+  let segment = Segment.create ~id:12 ~partition_bytes:8192 in
+  let h =
+    Linear_hash.create ~segment ~log:nolog ~key_type:Schema.Str ~node_capacity:4 ()
+  in
+  Linear_hash.insert h ~log:nolog (Schema.S "alice") (tuple_addr 1);
+  Linear_hash.insert h ~log:nolog (Schema.S "bob") (tuple_addr 2);
+  check bool_t "alice" true (Linear_hash.lookup_one h (Schema.S "alice") = Some (tuple_addr 1));
+  check bool_t "carol absent" true (Linear_hash.lookup h (Schema.S "carol") = []);
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Linear_hash.insert: key type mismatch") (fun () ->
+      Linear_hash.insert h ~log:nolog (Schema.int 1) (tuple_addr 0))
+
+let test_lhash_rejects_bad_config () =
+  let segment = Segment.create ~id:12 ~partition_bytes:8192 in
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Linear_hash.create: initial_buckets must be a power of two")
+    (fun () ->
+      ignore
+        (Linear_hash.create ~segment ~log:nolog ~key_type:Schema.Int
+           ~initial_buckets:3 ()))
+
+let prop_lhash_model =
+  QCheck.Test.make ~name:"linear hash = set model under random ops" ~count:60
+    QCheck.(make Gen.(list_size (int_range 0 400) (pair bool (int_bound 80))))
+    (fun ops ->
+      let h = mk_lhash ~node_capacity:3 () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (is_insert, key) ->
+          let a = tuple_addr key in
+          if is_insert then begin
+            if not (Hashtbl.mem model key) then begin
+              Linear_hash.insert h ~log:nolog (Schema.int key) a;
+              Hashtbl.replace model key ()
+            end
+          end
+          else begin
+            let deleted = Linear_hash.delete h ~log:nolog (Schema.int key) a in
+            if deleted <> Hashtbl.mem model key then failwith "delete result mismatch";
+            Hashtbl.remove model key
+          end)
+        ops;
+      Linear_hash.check_invariants h;
+      Linear_hash.cardinality h = Hashtbl.length model
+      && List.for_all
+           (fun k ->
+             (Linear_hash.lookup_one h (Schema.int k) <> None) = Hashtbl.mem model k)
+           (List.init 81 Fun.id))
+
+(* Logged index updates: every touched component produces a log record, and
+   replaying those records rebuilds an equivalent index. *)
+let test_index_ops_are_replayable () =
+  let segment = Segment.create ~id:13 ~partition_bytes:8192 in
+  let ops = ref [] in
+  let log part ~redo ~undo:_ = ops := (part, redo) :: !ops in
+  let t = T_tree.create ~segment ~log ~key_type:Schema.Int ~max_items:4 () in
+  for i = 1 to 120 do
+    T_tree.insert t ~log (Schema.int i) (tuple_addr i)
+  done;
+  for i = 1 to 120 do
+    if i mod 4 = 0 then ignore (T_tree.delete t ~log (Schema.int i) (tuple_addr i))
+  done;
+  check bool_t "multi-component updates logged" true (List.length !ops > 120);
+  (* Replay the physical log onto empty partitions. *)
+  let replayed = Segment.create ~id:13 ~partition_bytes:8192 in
+  List.iter
+    (fun ((part : Addr.partition), op) ->
+      let p =
+        match Segment.find replayed part.Addr.partition with
+        | Some p -> p
+        | None ->
+            let rec alloc () =
+              let p = Segment.allocate_partition replayed in
+              if Partition.partition_id p = part.Addr.partition then p else alloc ()
+            in
+            alloc ()
+      in
+      Part_op.apply p op)
+    (List.rev !ops);
+  let t' = T_tree.attach ~segment:replayed in
+  check int_t "replayed cardinality" (T_tree.cardinality t) (T_tree.cardinality t');
+  for i = 1 to 120 do
+    check bool_t "replayed membership" true
+      (T_tree.lookup_one t' (Schema.int i) = T_tree.lookup_one t (Schema.int i))
+  done;
+  T_tree.check_invariants t'
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mrdb_index"
+    [
+      ( "t_tree",
+        [
+          Alcotest.test_case "empty" `Quick test_ttree_empty;
+          Alcotest.test_case "insert+lookup" `Quick test_ttree_insert_lookup;
+          Alcotest.test_case "balance" `Quick test_ttree_balanced_after_sequential_inserts;
+          Alcotest.test_case "duplicate keys" `Quick test_ttree_duplicate_keys_different_addrs;
+          Alcotest.test_case "duplicate entry rejected" `Quick test_ttree_duplicate_entry_rejected;
+          Alcotest.test_case "delete" `Quick test_ttree_delete;
+          Alcotest.test_case "delete all" `Quick test_ttree_delete_all;
+          Alcotest.test_case "range" `Quick test_ttree_range;
+          Alcotest.test_case "min/max" `Quick test_ttree_min_max;
+          Alcotest.test_case "iter in order" `Quick test_ttree_iter_in_order;
+          Alcotest.test_case "attach after recovery" `Quick test_ttree_attach_roundtrip;
+          Alcotest.test_case "invalidate cache" `Quick test_ttree_invalidate_cache;
+          Alcotest.test_case "string keys" `Quick test_ttree_string_keys;
+        ]
+        @ qsuite [ prop_ttree_model ] );
+      ( "linear_hash",
+        [
+          Alcotest.test_case "empty" `Quick test_lhash_empty;
+          Alcotest.test_case "insert+lookup+grow" `Quick test_lhash_insert_lookup;
+          Alcotest.test_case "delete" `Quick test_lhash_delete;
+          Alcotest.test_case "duplicates" `Quick test_lhash_duplicates;
+          Alcotest.test_case "attach after recovery" `Quick test_lhash_attach_roundtrip;
+          Alcotest.test_case "invalidate cache" `Quick test_lhash_invalidate_cache;
+          Alcotest.test_case "string keys" `Quick test_lhash_string_keys;
+          Alcotest.test_case "rejects bad config" `Quick test_lhash_rejects_bad_config;
+        ]
+        @ qsuite [ prop_lhash_model ] );
+      ( "replayability",
+        [ Alcotest.test_case "physical log rebuilds index" `Quick test_index_ops_are_replayable ] );
+    ]

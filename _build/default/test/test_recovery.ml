@@ -1,0 +1,223 @@
+(* Tests for the recovery substrate: the well-known stable area, and the
+   analytic models of Section 3. *)
+
+open Mrdb_storage
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let small_config =
+  {
+    Mrdb_wal.Stable_layout.slb_block_bytes = 256;
+    slb_block_count = 16;
+    committed_capacity = 16;
+    log_page_bytes = 512;
+    page_pool_count = 8;
+    bin_count = 8;
+    dir_size = 3;
+    wellknown_bytes = 1024;
+  }
+
+let mk_layout () =
+  let mem =
+    Mrdb_hw.Stable_mem.create
+      ~size:(Mrdb_wal.Stable_layout.required_bytes small_config)
+      ()
+  in
+  (mem, Mrdb_wal.Stable_layout.attach small_config mem)
+
+let entries =
+  [
+    { Mrdb_recovery.Wellknown.part = { Addr.segment = 0; partition = 0 };
+      ckpt_page = 17; pages = 2 };
+    { Mrdb_recovery.Wellknown.part = { Addr.segment = 0; partition = 1 };
+      ckpt_page = -1; pages = 0 };
+  ]
+
+let test_wellknown_roundtrip () =
+  let _, layout = mk_layout () in
+  Mrdb_recovery.Wellknown.store layout entries;
+  match Mrdb_recovery.Wellknown.load layout with
+  | None -> Alcotest.fail "load failed"
+  | Some loaded ->
+      check int_t "count" 2 (List.length loaded);
+      let e0 = List.nth loaded 0 in
+      check int_t "page" 17 e0.Mrdb_recovery.Wellknown.ckpt_page;
+      check int_t "pages" 2 e0.Mrdb_recovery.Wellknown.pages;
+      let e1 = List.nth loaded 1 in
+      check int_t "no image" (-1) e1.Mrdb_recovery.Wellknown.ckpt_page
+
+let test_wellknown_empty_memory () =
+  let _, layout = mk_layout () in
+  check bool_t "fresh memory has no entries" true
+    (Mrdb_recovery.Wellknown.load layout = None)
+
+let test_wellknown_survives_first_copy_corruption () =
+  let mem, layout = mk_layout () in
+  Mrdb_recovery.Wellknown.store layout entries;
+  (* Smash the first copy; the duplicate must still load. *)
+  let off = Mrdb_wal.Stable_layout.wellknown_off layout in
+  Mrdb_hw.Stable_mem.fill mem ~off ~len:64 '\xFF';
+  match Mrdb_recovery.Wellknown.load layout with
+  | None -> Alcotest.fail "duplicate copy should survive"
+  | Some loaded -> check int_t "entries from duplicate" 2 (List.length loaded)
+
+let test_wellknown_both_copies_corrupt () =
+  let mem, layout = mk_layout () in
+  Mrdb_recovery.Wellknown.store layout entries;
+  let off = Mrdb_wal.Stable_layout.wellknown_off layout in
+  Mrdb_hw.Stable_mem.fill mem ~off ~len:1024 '\xFF';
+  check bool_t "unloadable" true (Mrdb_recovery.Wellknown.load layout = None)
+
+let test_wellknown_overwrite () =
+  let _, layout = mk_layout () in
+  Mrdb_recovery.Wellknown.store layout entries;
+  Mrdb_recovery.Wellknown.store layout [ List.hd entries ];
+  match Mrdb_recovery.Wellknown.load layout with
+  | Some [ _ ] -> ()
+  | Some l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
+  | None -> Alcotest.fail "load failed"
+
+let test_wellknown_too_large () =
+  let _, layout = mk_layout () in
+  let many =
+    List.init 200 (fun i ->
+        { Mrdb_recovery.Wellknown.part = { Addr.segment = 0; partition = i };
+          ckpt_page = i; pages = 1 })
+  in
+  Alcotest.check_raises "exceeds region"
+    (Invalid_argument "Wellknown.store: entry list exceeds well-known region")
+    (fun () -> Mrdb_recovery.Wellknown.store layout many)
+
+(* -- analysis models -------------------------------------------------------- *)
+
+module P = Mrdb_analysis.Params
+module LM = Mrdb_analysis.Log_model
+module CM = Mrdb_analysis.Ckpt_model
+module RM = Mrdb_analysis.Recovery_model
+
+let float_pos name v = check bool_t (name ^ " positive") true (v > 0.0)
+
+let test_log_model_headline () =
+  (* The §3.2 claim: ~4,000 debit/credit txn/s at the Table 2 point. *)
+  let rate = LM.txn_rate P.default ~records_per_txn:4 in
+  check bool_t "within the paper's ballpark" true (rate > 3_000.0 && rate < 5_000.0)
+
+let test_log_model_monotone_in_record_size () =
+  let cap s = LM.records_logged_per_s (P.with_sizes ~s_log_record:s P.default) in
+  check bool_t "smaller records -> more records/s" true (cap 8 > cap 24 && cap 24 > cap 64)
+
+let test_log_model_page_size_effect () =
+  let cap s = LM.records_logged_per_s (P.with_sizes ~s_log_page:s P.default) in
+  check bool_t "larger pages amortize overhead" true (cap 32768 > cap 4096)
+
+let test_log_model_txn_rate_hyperbolic () =
+  let r n = LM.txn_rate P.default ~records_per_txn:n in
+  check (Alcotest.float 1e-6) "rate(2) = rate(1)/2" (r 1 /. 2.0) (r 2);
+  Alcotest.check_raises "zero records" (Invalid_argument "Log_model.txn_rate")
+    (fun () -> ignore (LM.txn_rate P.default ~records_per_txn:0))
+
+let test_ckpt_model_bounds () =
+  let p = P.default in
+  let rate = 10_000.0 in
+  let best = CM.best_case p ~records_per_s:rate in
+  let worst = CM.worst_case p ~records_per_s:rate in
+  float_pos "best" best;
+  check bool_t "worst > best" true (worst > best);
+  check (Alcotest.float 1e-9) "mixed(1) = best" best (CM.mixed p ~records_per_s:rate ~f_update:1.0);
+  check (Alcotest.float 1e-9) "mixed(0) = worst" worst (CM.mixed p ~records_per_s:rate ~f_update:0.0);
+  let mid = CM.mixed p ~records_per_s:rate ~f_update:0.5 in
+  check bool_t "mixed between" true (mid > best && mid < worst);
+  Alcotest.check_raises "bad fraction" (Invalid_argument "Ckpt_model.mixed") (fun () ->
+      ignore (CM.mixed p ~records_per_s:rate ~f_update:1.5))
+
+let test_ckpt_load_fraction_near_paper () =
+  (* §3.3: ~1.5% of transactions are checkpoints at the 60% mix. *)
+  let f = CM.checkpoint_load_fraction P.default ~records_per_txn:10 ~f_update:0.6 in
+  check bool_t "1-3%" true (f > 0.01 && f < 0.03)
+
+let test_ckpt_load_fraction_rate_independent () =
+  (* The fraction formula is independent of logging rate by construction;
+     checkpoint rates scale linearly instead. *)
+  let p = P.default in
+  let at rate = CM.mixed p ~records_per_s:rate ~f_update:0.6 in
+  check (Alcotest.float 1e-9) "linear in rate" (2.0 *. at 1000.0) (at 2000.0)
+
+let test_recovery_model_partition () =
+  let est = RM.partition_recovery P.default () in
+  float_pos "image read" est.RM.image_read_us;
+  float_pos "log read" est.RM.log_read_us;
+  check bool_t "total >= each component" true
+    (est.RM.total_us >= est.RM.image_read_us && est.RM.total_us >= est.RM.apply_us);
+  (* More log records -> more pages -> longer. *)
+  let est2 = RM.partition_recovery P.default ~log_records:4000 () in
+  check bool_t "more log is slower" true (est2.RM.total_us > est.RM.total_us)
+
+let test_recovery_model_comparison () =
+  let c = RM.compare_levels P.default ~n_partitions:100 () in
+  check bool_t "db-level slower for first txn" true
+    (c.RM.first_txn_db_us > c.RM.first_txn_partition_us);
+  check bool_t "speedup approx n" true
+    (c.RM.speedup_first_txn > 50.0 && c.RM.speedup_first_txn <= 110.0);
+  (* First-txn latency flat in database size for partition-level. *)
+  let c2 = RM.compare_levels P.default ~n_partitions:1000 () in
+  check (Alcotest.float 1e-9) "flat partition-level"
+    c.RM.first_txn_partition_us c2.RM.first_txn_partition_us;
+  check bool_t "db-level linear" true
+    (c2.RM.first_txn_db_us > 9.0 *. c.RM.first_txn_db_us)
+
+let test_params_rows_printable () =
+  let rows = P.rows P.default in
+  check bool_t "all named" true
+    (List.for_all (fun (n, v, u) -> n <> "" && v <> "" && u <> "") rows);
+  check bool_t "covers table 2" true (List.length rows >= 15)
+
+let test_graph_series_shapes () =
+  let g1 = LM.graph1 ~record_sizes:[ 8; 24; 64 ] ~page_sizes:[ 4096; 8192 ] P.default in
+  check int_t "g1 rows" 3 (List.length g1);
+  check bool_t "g1 two series" true (List.for_all (fun (_, ys) -> List.length ys = 2) g1);
+  let g3 =
+    CM.graph3 ~logging_rates:[ 1000.0; 2000.0 ] ~mixes:[ (1000, 1.0); (1000, 0.0) ]
+      P.default
+  in
+  check bool_t "g3 worst above best everywhere" true
+    (List.for_all (fun (_, ys) -> List.nth ys 1 > List.nth ys 0) g3)
+
+let () =
+  Alcotest.run "mrdb_recovery+analysis"
+    [
+      ( "wellknown",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wellknown_roundtrip;
+          Alcotest.test_case "fresh memory" `Quick test_wellknown_empty_memory;
+          Alcotest.test_case "survives first-copy corruption" `Quick
+            test_wellknown_survives_first_copy_corruption;
+          Alcotest.test_case "both copies corrupt" `Quick test_wellknown_both_copies_corrupt;
+          Alcotest.test_case "overwrite" `Quick test_wellknown_overwrite;
+          Alcotest.test_case "too large" `Quick test_wellknown_too_large;
+        ] );
+      ( "log_model",
+        [
+          Alcotest.test_case "headline ~4000 txn/s" `Quick test_log_model_headline;
+          Alcotest.test_case "monotone in record size" `Quick test_log_model_monotone_in_record_size;
+          Alcotest.test_case "page size effect" `Quick test_log_model_page_size_effect;
+          Alcotest.test_case "hyperbolic txn rate" `Quick test_log_model_txn_rate_hyperbolic;
+        ] );
+      ( "ckpt_model",
+        [
+          Alcotest.test_case "bounds" `Quick test_ckpt_model_bounds;
+          Alcotest.test_case "load fraction near paper" `Quick test_ckpt_load_fraction_near_paper;
+          Alcotest.test_case "linear in rate" `Quick test_ckpt_load_fraction_rate_independent;
+        ] );
+      ( "recovery_model",
+        [
+          Alcotest.test_case "partition estimate" `Quick test_recovery_model_partition;
+          Alcotest.test_case "level comparison" `Quick test_recovery_model_comparison;
+        ] );
+      ( "params",
+        [
+          Alcotest.test_case "rows printable" `Quick test_params_rows_printable;
+          Alcotest.test_case "graph shapes" `Quick test_graph_series_shapes;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+(* Tests for the discrete-event simulation engine and the CPU cost model. *)
+
+open Mrdb_sim
+
+let check = Alcotest.check
+let float_t = Alcotest.float 1e-9
+
+let test_clock_starts_at_zero () =
+  let sim = Sim.create () in
+  check float_t "t=0" 0.0 (Sim.now sim)
+
+let test_events_run_in_time_order () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  Sim.schedule_at sim 30.0 (fun () -> order := 3 :: !order);
+  Sim.schedule_at sim 10.0 (fun () -> order := 1 :: !order);
+  Sim.schedule_at sim 20.0 (fun () -> order := 2 :: !order);
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3 ] (List.rev !order);
+  check float_t "final clock" 30.0 (Sim.now sim)
+
+let test_ties_run_in_schedule_order () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  List.iter
+    (fun i -> Sim.schedule_at sim 5.0 (fun () -> order := i :: !order))
+    [ 1; 2; 3 ];
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "fifo ties" [ 1; 2; 3 ] (List.rev !order)
+
+let test_past_times_clamped () =
+  let sim = Sim.create () in
+  Sim.schedule_at sim 10.0 (fun () ->
+      Sim.schedule_at sim 1.0 (fun () -> ()));
+  Sim.run sim;
+  check float_t "clock never rewinds" 10.0 (Sim.now sim)
+
+let test_negative_delay_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.schedule: negative delay") (fun () ->
+      Sim.schedule sim ~delay:(-1.0) (fun () -> ()))
+
+let test_run_until_horizon () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Sim.schedule_at sim t (fun () -> fired := t :: !fired))
+    [ 5.0; 15.0; 25.0 ];
+  Sim.run_until sim 20.0;
+  check (Alcotest.list float_t) "only <= horizon" [ 5.0; 15.0 ] (List.rev !fired);
+  check float_t "clock at horizon" 20.0 (Sim.now sim);
+  check Alcotest.int "one pending" 1 (Sim.pending sim)
+
+let test_cascading_events () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Sim.schedule sim ~delay:1.0 (fun () ->
+          incr count;
+          chain (n - 1))
+  in
+  chain 10;
+  Sim.run sim;
+  check Alcotest.int "all fired" 10 !count;
+  check float_t "clock advanced" 10.0 (Sim.now sim)
+
+let test_run_while () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for _ = 1 to 5 do
+    Sim.schedule sim ~delay:1.0 (fun () -> incr count)
+  done;
+  Sim.run_while sim (fun () -> !count < 3);
+  check Alcotest.int "stopped at 3" 3 !count
+
+let test_cond_rendezvous () =
+  let sim = Sim.create () in
+  let c = Sim.Cond.create sim in
+  let woken = ref 0 in
+  Sim.Cond.wait c (fun () -> incr woken);
+  Sim.Cond.wait c (fun () -> incr woken);
+  check Alcotest.int "two waiters" 2 (Sim.Cond.waiters c);
+  Sim.schedule_at sim 5.0 (fun () -> Sim.Cond.signal_all c);
+  Sim.run sim;
+  check Alcotest.int "both woken" 2 !woken;
+  check Alcotest.int "no waiters left" 0 (Sim.Cond.waiters c)
+
+(* -- Cpu -------------------------------------------------------------------- *)
+
+let test_cpu_timing () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~mips:1.0 in
+  (* 1 MIPS: 1000 instructions = 1000 µs. *)
+  let finished_at = ref 0.0 in
+  Cpu.execute cpu ~instructions:1000 (fun () -> finished_at := Sim.now sim);
+  Sim.run sim;
+  check float_t "1000 instr at 1 MIPS" 1000.0 !finished_at
+
+let test_cpu_serializes_work () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~mips:1.0 in
+  let t1 = ref 0.0 and t2 = ref 0.0 in
+  Cpu.execute cpu ~instructions:100 (fun () -> t1 := Sim.now sim);
+  Cpu.execute cpu ~instructions:100 (fun () -> t2 := Sim.now sim);
+  Sim.run sim;
+  check float_t "first batch" 100.0 !t1;
+  check float_t "second batch queues behind" 200.0 !t2
+
+let test_cpu_mips_scales () =
+  let sim = Sim.create () in
+  let fast = Cpu.create sim ~mips:6.0 in
+  let t = ref 0.0 in
+  Cpu.execute fast ~instructions:600 (fun () -> t := Sim.now sim);
+  Sim.run sim;
+  check float_t "600 instr at 6 MIPS = 100us" 100.0 !t
+
+let test_cpu_execute_after () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~mips:1.0 in
+  let t = ref 0.0 in
+  Cpu.execute_after cpu ~delay:500.0 ~instructions:100 (fun () -> t := Sim.now sim);
+  Sim.run sim;
+  check float_t "eligible at 500, done at 600" 600.0 !t
+
+let test_cpu_utilization () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~mips:1.0 in
+  Cpu.execute cpu ~instructions:100 (fun () -> ());
+  Sim.run sim;
+  Sim.run_until sim 200.0;
+  check float_t "busy half the time" 0.5 (Cpu.utilization cpu);
+  check Alcotest.int "instruction accounting" 100 (Cpu.total_instructions cpu)
+
+let test_cpu_seconds_for () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~mips:2.0 in
+  check float_t "1M instr at 2 MIPS = 0.5s" 0.5 (Cpu.seconds_for cpu 1_000_000)
+
+let test_cpu_rejects_bad_args () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "zero mips"
+    (Invalid_argument "Cpu.create: mips must be positive") (fun () ->
+      ignore (Cpu.create sim ~mips:0.0));
+  let cpu = Cpu.create sim ~mips:1.0 in
+  Alcotest.check_raises "negative instructions"
+    (Invalid_argument "Cpu.execute: negative instructions") (fun () ->
+      Cpu.execute cpu ~instructions:(-1) (fun () -> ()))
+
+(* -- Trace ------------------------------------------------------------------ *)
+
+let test_trace_counters () =
+  let tr = Trace.create () in
+  Trace.incr tr "a";
+  Trace.incr tr "a";
+  Trace.add tr "b" 10;
+  check Alcotest.int "a" 2 (Trace.count tr "a");
+  check Alcotest.int "b" 10 (Trace.count tr "b");
+  check Alcotest.int "missing" 0 (Trace.count tr "zzz");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "sorted counters"
+    [ ("a", 2); ("b", 10) ]
+    (Trace.counters tr)
+
+let test_trace_series () =
+  let tr = Trace.create () in
+  Trace.record tr "lat" 1.0;
+  Trace.record tr "lat" 3.0;
+  check float_t "mean" 2.0 (Mrdb_util.Stats.mean (Trace.stats tr "lat"))
+
+let test_trace_reset () =
+  let tr = Trace.create () in
+  Trace.incr tr "a";
+  Trace.reset tr;
+  check Alcotest.int "cleared" 0 (Trace.count tr "a")
+
+let () =
+  Alcotest.run "mrdb_sim"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "clock starts at zero" `Quick test_clock_starts_at_zero;
+          Alcotest.test_case "time order" `Quick test_events_run_in_time_order;
+          Alcotest.test_case "FIFO ties" `Quick test_ties_run_in_schedule_order;
+          Alcotest.test_case "past times clamped" `Quick test_past_times_clamped;
+          Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+          Alcotest.test_case "run_until" `Quick test_run_until_horizon;
+          Alcotest.test_case "cascading events" `Quick test_cascading_events;
+          Alcotest.test_case "run_while" `Quick test_run_while;
+          Alcotest.test_case "cond rendezvous" `Quick test_cond_rendezvous;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "timing" `Quick test_cpu_timing;
+          Alcotest.test_case "serializes work" `Quick test_cpu_serializes_work;
+          Alcotest.test_case "mips scaling" `Quick test_cpu_mips_scales;
+          Alcotest.test_case "execute_after" `Quick test_cpu_execute_after;
+          Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+          Alcotest.test_case "seconds_for" `Quick test_cpu_seconds_for;
+          Alcotest.test_case "rejects bad args" `Quick test_cpu_rejects_bad_args;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "counters" `Quick test_trace_counters;
+          Alcotest.test_case "series" `Quick test_trace_series;
+          Alcotest.test_case "reset" `Quick test_trace_reset;
+        ] );
+    ]

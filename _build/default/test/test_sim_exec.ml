@@ -1,0 +1,142 @@
+(* Tests for the discrete-event multiprogramming executor: concurrent
+   no-wait clients against one database, with contention, retries, and
+   crash consistency under concurrency. *)
+
+open Mrdb_storage
+open Mrdb_core
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let schema = Schema.of_list [ ("k", Schema.Int); ("v", Schema.Int) ]
+
+let mk_db_with_rows n =
+  let db = Db.create ~config:Config.small () in
+  Db.create_relation db ~name:"t" ~schema;
+  let addrs = Array.make n Addr.null in
+  Db.with_txn db (fun tx ->
+      for i = 0 to n - 1 do
+        addrs.(i) <- Db.insert db tx ~rel:"t" [| Schema.int i; Schema.int 0 |]
+      done);
+  Db.quiesce db;
+  (db, addrs)
+
+let bump addrs ~key : Sim_exec.op =
+ fun db tx ->
+  match Db.read db tx ~rel:"t" addrs.(key) with
+  | Some tup ->
+      let v = Schema.to_int (Tuple.field tup 1) in
+      ignore (Db.update_field db tx ~rel:"t" addrs.(key) ~column:"v" (Schema.int (v + 1)))
+  | None -> failwith "row missing"
+
+let test_single_client_commits () =
+  let db, addrs = mk_db_with_rows 50 in
+  let stats =
+    Sim_exec.run ~db ~clients:1 ~duration_us:200_000.0 ~think_us:500.0
+      ~make_txn:(fun rng -> [ bump addrs ~key:(Mrdb_util.Rng.int rng 50) ])
+      ()
+  in
+  check bool_t "committed many" true (stats.Sim_exec.committed > 50);
+  check int_t "no aborts alone" 0 stats.Sim_exec.aborted;
+  check bool_t "latencies recorded" true
+    (Mrdb_util.Stats.count stats.Sim_exec.latencies_us = stats.Sim_exec.committed)
+
+let test_disjoint_clients_no_aborts () =
+  let db, addrs = mk_db_with_rows 64 in
+  (* Each client owns a private key range: no conflicts possible. *)
+  let client_id = ref (-1) in
+  let stats =
+    Sim_exec.run ~db ~clients:4 ~duration_us:150_000.0 ~think_us:400.0 ~seed:5
+      ~make_txn:(fun rng ->
+        ignore rng;
+        incr client_id;
+        let base = !client_id mod 4 * 16 in
+        [ bump addrs ~key:(base + Mrdb_util.Rng.int rng 16) ])
+      ()
+  in
+  check int_t "no aborts on disjoint data" 0 stats.Sim_exec.aborted;
+  check bool_t "all clients progressed" true (stats.Sim_exec.committed > 100)
+
+let test_contention_causes_aborts_and_retries () =
+  let db, addrs = mk_db_with_rows 4 in
+  (* Everyone hammers 4 rows with 2-step transactions: conflicts are
+     certain under interleaving. *)
+  let stats =
+    Sim_exec.run ~db ~clients:8 ~duration_us:200_000.0 ~think_us:200.0 ~seed:7
+      ~make_txn:(fun rng ->
+        let a = Mrdb_util.Rng.int rng 4 in
+        let b = (a + 1 + Mrdb_util.Rng.int rng 3) mod 4 in
+        [ bump addrs ~key:a; bump addrs ~key:b ])
+      ()
+  in
+  check bool_t "aborts under contention" true (stats.Sim_exec.aborted > 0);
+  check bool_t "retries happened" true (stats.Sim_exec.retries > 0);
+  check bool_t "still progresses" true (stats.Sim_exec.committed > 20);
+  check bool_t "abort fraction sane" true (Sim_exec.abort_fraction stats < 1.0)
+
+let test_no_lost_updates () =
+  (* The serializability check: concurrent increments must all be visible —
+     the final counter values sum to the number of committed increments. *)
+  let db, addrs = mk_db_with_rows 8 in
+  let stats =
+    Sim_exec.run ~db ~clients:6 ~duration_us:250_000.0 ~think_us:300.0 ~seed:11
+      ~make_txn:(fun rng -> [ bump addrs ~key:(Mrdb_util.Rng.int rng 8) ])
+      ()
+  in
+  let total =
+    Db.with_txn db (fun tx ->
+        List.fold_left
+          (fun acc (_, tup) -> acc + Schema.to_int (Tuple.field tup 1))
+          0
+          (Db.scan db tx ~rel:"t"))
+  in
+  check int_t "sum of counters = committed increments" stats.Sim_exec.committed total
+
+let test_crash_after_concurrent_run () =
+  let db, addrs = mk_db_with_rows 16 in
+  let stats =
+    Sim_exec.run ~db ~clients:4 ~duration_us:200_000.0 ~think_us:300.0 ~seed:13
+      ~make_txn:(fun rng -> [ bump addrs ~key:(Mrdb_util.Rng.int rng 16) ])
+      ()
+  in
+  let sum db =
+    Db.with_txn db (fun tx ->
+        List.fold_left
+          (fun acc (_, tup) -> acc + Schema.to_int (Tuple.field tup 1))
+          0
+          (Db.scan db tx ~rel:"t"))
+  in
+  let before = sum db in
+  check int_t "consistent before crash" stats.Sim_exec.committed before;
+  Db.crash db;
+  Db.recover db;
+  check int_t "all concurrent commits durable" before (sum db)
+
+let test_throughput_scales_until_cpu_saturates () =
+  let run clients =
+    let db, addrs = mk_db_with_rows 256 in
+    let stats =
+      Sim_exec.run ~db ~clients ~duration_us:200_000.0 ~think_us:2000.0 ~seed:3
+        ~make_txn:(fun rng -> [ bump addrs ~key:(Mrdb_util.Rng.int rng 256) ])
+        ()
+    in
+    Sim_exec.throughput_per_s stats ~duration_us:200_000.0
+  in
+  let t1 = run 1 and t4 = run 4 in
+  check bool_t "more clients, more throughput" true (t4 > 1.5 *. t1)
+
+let () =
+  Alcotest.run "mrdb_sim_exec"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "single client" `Quick test_single_client_commits;
+          Alcotest.test_case "disjoint clients never abort" `Quick test_disjoint_clients_no_aborts;
+          Alcotest.test_case "contention aborts + retries" `Quick
+            test_contention_causes_aborts_and_retries;
+          Alcotest.test_case "no lost updates" `Quick test_no_lost_updates;
+          Alcotest.test_case "crash after concurrent run" `Quick test_crash_after_concurrent_run;
+          Alcotest.test_case "throughput scales" `Quick test_throughput_scales_until_cpu_saturates;
+        ] );
+    ]
