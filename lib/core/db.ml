@@ -1,57 +1,32 @@
 open Mrdb_storage
+open Db_state
 module Sim = Mrdb_sim.Sim
 module Cpu = Mrdb_sim.Cpu
 module Trace = Mrdb_sim.Trace
 module Stable_layout = Mrdb_wal.Stable_layout
 module Slb = Mrdb_wal.Slb
 module Slt = Mrdb_wal.Slt
-module Log_record = Mrdb_wal.Log_record
 module Log_disk = Mrdb_wal.Log_disk
 module Lock_mgr = Mrdb_txn.Lock_mgr
 module Txn_core = Mrdb_txn.Txn
-module Undo_space = Mrdb_txn.Undo_space
-module T_tree = Mrdb_index.T_tree
-module Linear_hash = Mrdb_index.Linear_hash
-module Disk_map = Mrdb_ckpt.Disk_map
 module Ckpt_queue = Mrdb_ckpt.Ckpt_queue
-module Ckpt_image = Mrdb_ckpt.Ckpt_image
-module Wellknown = Mrdb_recovery.Wellknown
+module Recovery_env = Mrdb_recovery.Recovery_env
+module Log_sorter = Mrdb_recovery.Log_sorter
+module Restorer = Mrdb_recovery.Restorer
+module Ckpt_mgr = Mrdb_recovery.Ckpt_mgr
+module Recovery_mgr = Mrdb_recovery.Recovery_mgr
 module Archive = Mrdb_archive.Archive
 
-exception Aborted of string
-exception Crashed
-exception Unknown_relation of string
-exception Unknown_index of string
-
-type index_inst = Tt of T_tree.t | Lh of Linear_hash.t
-
-type rel_rt = {
-  desc : Catalog.rel_desc;
-  relation : Relation.t;
-  mutable index_insts : (Catalog.index_desc * index_inst) list;
-  mutable indices_attached : bool;
-}
-
-type vol = {
-  slb : Slb.t;
-  slt : Slt.t;
-  cat : Catalog.t;
-  segments : (int, Segment.t) Hashtbl.t;
-  rels : (string, rel_rt) Hashtbl.t;
-  lock_mgr : Lock_mgr.t;
-  txn_mgr : Txn_core.Manager.mgr;
-  disk_map : Disk_map.t;
-  ckpt_q : Ckpt_queue.t;
-  seq : int Addr.Partition_table.t;
-  group : Txn_core.t Queue.t;
-  overlay_by_segment : (int, index_inst) Hashtbl.t;
-}
+exception Aborted = Db_state.Aborted
+exception Crashed = Db_state.Crashed
+exception Unknown_relation = Db_state.Unknown_relation
+exception Unknown_index = Db_state.Unknown_index
 
 type t = {
   cfg : Config.t;
   sim : Sim.t;
   main_cpu : Cpu.t;
-  recovery_cpu : Cpu.t;
+  recovery : Recovery_mgr.t;
   stable_mem : Mrdb_hw.Stable_mem.t;
   epoch : Mrdb_hw.Volatile.Epoch.t;
   mutable layout : Stable_layout.t;
@@ -71,105 +46,22 @@ let txn_id = Txn_core.id
 
 let vol t = match t.vol with Some v -> v | None -> raise Crashed
 
-let pump_until t cond =
-  while (not (cond ())) && Sim.step t.sim do () done;
-  if not (cond ()) then failwith "Db: simulation deadlock (condition never satisfied)"
-
 let quiesce t =
   Sim.run t.sim
 
-(* -- logging plumbing ---------------------------------------------------- *)
+let ctx t =
+  {
+    cfg = t.cfg;
+    trace = t.trace;
+    epoch = t.epoch;
+    recovery = t.recovery;
+    layout = (fun () -> t.layout);
+  }
 
-let is_index_segment v seg = Hashtbl.mem v.overlay_by_segment seg
-
-let tag_for v (part : Addr.partition) =
-  if part.Addr.segment = Catalog.catalog_segment_id then Log_record.Catalog_op
-  else if is_index_segment v part.Addr.segment then Log_record.Index_op
-  else Log_record.Relation_op
-
-let next_seq v part =
-  let c =
-    match Addr.Partition_table.find_opt v.seq part with Some c -> c | None -> 0
-  in
-  Addr.Partition_table.replace v.seq part (c + 1);
-  c + 1
-
-(* Table 2 instruction costs, charged against the dedicated 1-MIPS recovery
-   CPU as it sorts records into bins and initiates page writes.  The work
-   is asynchronous with respect to commit (transactions never wait for the
-   sort — §2.3.1), so the charge is fire-and-forget: it occupies the
-   recovery CPU's simulated time and shows up in throughput measurements,
-   not in commit latency. *)
-let record_sort_fixed_instr = 43 (* lookup 20 + page check 10 + copy startup 3 + page info 10 *)
-let copy_instr_per_byte = 1.0 (* 0.125 instr/byte, read + write, stable memory 4x slower *)
-let page_write_instr = 640 (* write init 500 + page alloc 100 + LSN bookkeeping 40 *)
-
-let drain t v =
-  let records = ref 0 and bytes = ref 0 in
-  let pages0 = Log_disk.pages_written t.log_disk in
-  ignore
-    (Slb.drain v.slb ~f:(fun ~txn_id:_ rs ->
-         List.iter
-           (fun r ->
-             incr records;
-             bytes := !bytes + Log_record.encoded_size r)
-           rs;
-         Slt.accept_all v.slt rs));
-  let pages = Log_disk.pages_written t.log_disk - pages0 in
-  let instructions =
-    (record_sort_fixed_instr * !records)
-    + int_of_float (copy_instr_per_byte *. float_of_int !bytes)
-    + (page_write_instr * pages)
-  in
-  if instructions > 0 then Cpu.execute t.recovery_cpu ~instructions (fun () -> ())
-
-(* Forward declaration dance: logging a user record may require registering
-   its partition in the catalog, which itself logs records under a system
-   transaction. *)
-let rec log_redo_raw t v ~txn_id (part : Addr.partition) op =
-  if part.Addr.segment <> Catalog.catalog_segment_id then ensure_registered t v part;
-  let bin_index = Slt.bin_index_of v.slt part in
-  let seq = next_seq v part in
-  Slb.append v.slb ~txn_id
-    (Log_record.make ~tag:(tag_for v part) ~bin_index ~txn_id ~seq ~op);
-  Trace.incr t.trace "log_records"
-
-and ensure_registered t v part =
-  if Catalog.partition_desc v.cat part = None then
-    with_system_txn t v (fun sink ->
-        ignore (Catalog.register_partition v.cat ~log:sink part))
-
-and with_system_txn : 'a. t -> vol -> (Relation.log_sink -> 'a) -> 'a =
- fun t v f ->
-  let tx = Txn_core.Manager.begin_txn v.txn_mgr in
-  let sink part ~redo ~undo:_ = log_redo_raw t v ~txn_id:(Txn_core.id tx) part redo in
-  let result = f sink in
-  Slb.commit v.slb ~txn_id:(Txn_core.id tx);
-  Txn_core.Manager.commit v.txn_mgr tx;
-  drain t v;
-  result
-
-let user_sink t v tx : Relation.log_sink =
- fun part ~redo ~undo ->
-  if part.Addr.segment <> Catalog.catalog_segment_id then ensure_registered t v part;
-  Txn_core.Manager.record_update v.txn_mgr tx part ~redo ~undo;
-  let bin_index = Slt.bin_index_of v.slt part in
-  let seq = next_seq v part in
-  Slb.append v.slb ~txn_id:(Txn_core.id tx)
-    (Log_record.make ~tag:(tag_for v part) ~bin_index ~txn_id:(Txn_core.id tx) ~seq
-       ~op:redo);
-  Trace.incr t.trace "log_records"
-
-let update_wellknown t v =
-  let cat_rel = Catalog.catalog_rel v.cat in
-  let entries =
-    List.map
-      (fun (d : Catalog.partition_desc) ->
-        { Wellknown.part = d.Catalog.part; ckpt_page = d.Catalog.ckpt_page;
-          pages = d.Catalog.ckpt_page_count })
-      cat_rel.Catalog.partitions
-  in
-  Wellknown.store t.layout entries
+let recovery_env t =
+  Recovery_env.create ~sim:t.sim ~trace:t.trace
+    ~ckpt_disk:(fun () -> t.ckpt_disk)
+    ~archiver:t.archiver ~partition_bytes:t.cfg.Config.partition_bytes
 
 (* -- transaction control -------------------------------------------------- *)
 
@@ -192,420 +84,37 @@ let acquire t v tx resource mode =
       do_abort t v tx;
       raise (Aborted "deadlock victim")
 
-(* -- residency & recovery of partitions ----------------------------------- *)
-
-let segment_of t v seg_id =
-  match Hashtbl.find_opt v.segments seg_id with
-  | Some s -> s
-  | None ->
-      let s = Segment.create ~id:seg_id ~partition_bytes:t.cfg.Config.partition_bytes in
-      (* Claim the partition numbers the catalog already assigns to this
-         segment before any allocation: a fresh post-crash insert must not
-         collide with a not-yet-recovered partition's number (and seq
-         space). *)
-      (match Catalog.relation_of_segment v.cat seg_id with
-      | Some rel ->
-          List.iter
-            (fun (d : Catalog.partition_desc) ->
-              if d.Catalog.part.Addr.segment = seg_id then
-                Segment.reserve s d.Catalog.part.Addr.partition)
-            rel.Catalog.partitions
-      | None -> ());
-      Hashtbl.add v.segments seg_id s;
-      s
-
-(* Read a partition's checkpoint image; when the checkpoint disk cannot
-   produce a valid image (media failure), fall back to the newest archived
-   copy — the archive saw every image ever written, so its newest copy is
-   exactly the one the catalog references. *)
-let read_ckpt_image t ~(part : Addr.partition) (desc : Catalog.partition_desc) k =
-  let fallback reason =
-    match t.archiver with
-    | Some a -> (
-        match Archive.latest_image a part with
-        | Some image ->
-            Trace.incr t.trace "media_recoveries";
-            k (Some image)
-        | None -> failwith ("Db: checkpoint image lost and not archived: " ^ reason))
-    | None -> failwith ("Db: corrupt checkpoint image: " ^ reason)
-  in
-  if desc.Catalog.ckpt_page < 0 then k None
-  else
-    Mrdb_hw.Disk.read_track t.ckpt_disk ~first_page:desc.Catalog.ckpt_page
-      ~pages:desc.Catalog.ckpt_page_count (fun data ->
-        match Ckpt_image.decode data with
-        | Ok image -> k (Some image)
-        | Error e -> fallback e)
-
-(* Restore one partition: checkpoint image and log stream are fetched in
-   parallel (different disks), then records with seq > watermark are
-   applied in original order. *)
-let recover_partition_raw t v part k =
-  let desc =
-    match Catalog.partition_desc v.cat part with
-    | Some d -> d
-    | None -> failwith (Format.asprintf "Db: partition %a not catalogued" Addr.pp_partition part)
-  in
-  if desc.Catalog.resident then k ()
-  else begin
-    let image = ref None and image_done = ref false in
-    let records = ref [] and records_done = ref false in
-    read_ckpt_image t ~part desc (fun img ->
-        image := img;
-        image_done := true);
-    Slt.records_for_recovery v.slt part (fun result ->
-        (match result with
-        | Ok rs -> records := rs
-        | Error e -> failwith ("Db: log recovery failed: " ^ e));
-        records_done := true);
-    pump_until t (fun () -> !image_done && !records_done);
-    let partition, watermark =
-      match !image with
-      | Some img ->
-          if not (Addr.equal_partition img.Ckpt_image.part part) then
-            failwith "Db: checkpoint image for wrong partition";
-          (Partition.of_snapshot img.Ckpt_image.snapshot, img.Ckpt_image.watermark)
-      | None ->
-          ( Partition.create ~size:t.cfg.Config.partition_bytes
-              ~segment:part.Addr.segment ~partition:part.Addr.partition,
-            0 )
-    in
-    let max_seq = ref watermark in
-    List.iter
-      (fun (r : Log_record.t) ->
-        if r.Log_record.seq > watermark then begin
-          Part_op.apply partition r.Log_record.op;
-          Trace.incr t.trace "recovery_records_applied"
-        end;
-        if r.Log_record.seq > !max_seq then max_seq := r.Log_record.seq)
-      !records;
-    Segment.install (segment_of t v part.Addr.segment) partition;
-    Addr.Partition_table.replace v.seq part !max_seq;
-    Catalog.set_resident v.cat part true;
-    Trace.incr t.trace "partitions_recovered";
-    k ()
-  end
-
-let ensure_partition t v part = recover_partition_raw t v part (fun () -> ())
-
-let partitions_of_segment v seg_id =
-  let cat_partitions rel =
-    List.filter
-      (fun (d : Catalog.partition_desc) -> d.Catalog.part.Addr.segment = seg_id)
-      rel.Catalog.partitions
-  in
-  match Catalog.relation_of_segment v.cat seg_id with
-  | Some rel -> cat_partitions rel
-  | None -> []
-
-let ensure_segment t v seg_id =
-  List.iter
-    (fun (d : Catalog.partition_desc) -> ensure_partition t v d.Catalog.part)
-    (partitions_of_segment v seg_id)
-
-(* -- relation runtimes ------------------------------------------------------ *)
-
-let rt_of t v name =
-  match Hashtbl.find_opt v.rels name with
-  | Some rt -> rt
-  | None -> (
-      match Catalog.find_relation v.cat name with
-      | None -> raise (Unknown_relation name)
-      | Some desc ->
-          let segment = segment_of t v desc.Catalog.rel_segment in
-          let rt =
-            {
-              desc;
-              relation =
-                Relation.create ~id:desc.Catalog.rel_id ~name ~schema:desc.Catalog.schema
-                  ~segment;
-              index_insts = [];
-              indices_attached = false;
-            }
-          in
-          Hashtbl.add v.rels name rt;
-          rt)
-
-let attach_index t v (idx : Catalog.index_desc) =
-  ensure_segment t v idx.Catalog.idx_segment;
-  let segment = segment_of t v idx.Catalog.idx_segment in
-  let inst =
-    match idx.Catalog.kind with
-    | Catalog.Ttree -> Tt (T_tree.attach ~segment)
-    | Catalog.Lhash -> Lh (Linear_hash.attach ~segment)
-  in
-  Hashtbl.replace v.overlay_by_segment idx.Catalog.idx_segment inst;
-  inst
-
-let ensure_indices t v rt =
-  if not rt.indices_attached then begin
-    rt.index_insts <-
-      List.map
-        (fun idx ->
-          match List.assq_opt idx rt.index_insts with
-          | Some inst -> (idx, inst)
-          | None -> (idx, attach_index t v idx))
-        rt.desc.Catalog.indices;
-    rt.indices_attached <- true
-  end
-
-let ensure_rel_resident t v rt =
-  ensure_segment t v rt.desc.Catalog.rel_segment;
-  ensure_indices t v rt
-
-let ensure_relation t name =
-  let v = vol t in
-  ensure_rel_resident t v (rt_of t v name)
-
-(* -- index maintenance ------------------------------------------------------- *)
-
-let inst_insert inst ~log key addr =
-  match inst with
-  | Tt tree -> T_tree.insert tree ~log key addr
-  | Lh h -> Linear_hash.insert h ~log key addr
-
-let inst_delete inst ~log key addr =
-  match inst with
-  | Tt tree -> ignore (T_tree.delete tree ~log key addr)
-  | Lh h -> ignore (Linear_hash.delete h ~log key addr)
-
-let index_insert_all t v rt ~log tuple addr =
-  ignore t;
-  ignore v;
-  List.iter
-    (fun ((idx : Catalog.index_desc), inst) ->
-      inst_insert inst ~log (Tuple.field tuple idx.Catalog.key_column) addr)
-    rt.index_insts
-
-let index_delete_all t v rt ~log tuple addr =
-  ignore t;
-  ignore v;
-  List.iter
-    (fun ((idx : Catalog.index_desc), inst) ->
-      inst_delete inst ~log (Tuple.field tuple idx.Catalog.key_column) addr)
-    rt.index_insts
-
-(* -- DDL ---------------------------------------------------------------------- *)
+(* -- DDL (delegated to the system-transaction layer) ----------------------- *)
 
 let create_relation t ~name ~schema =
-  let v = vol t in
-  with_system_txn t v (fun sink ->
-      let desc, seg_id = Catalog.create_relation v.cat ~log:sink ~name ~schema in
-      ignore (segment_of t v seg_id);
-      let rt =
-        {
-          desc;
-          relation = Relation.create ~id:desc.Catalog.rel_id ~name ~schema
-              ~segment:(segment_of t v seg_id);
-          index_insts = [];
-          indices_attached = true;
-        }
-      in
-      Hashtbl.add v.rels name rt);
-  update_wellknown t (vol t);
-  Trace.incr t.trace "relations_created"
+  Db_system.create_relation (ctx t) (vol t) ~name ~schema
 
 let create_index t ~rel ~name ~kind ~key_column =
-  let v = vol t in
-  let rt = rt_of t v rel in
-  ensure_rel_resident t v rt;
-  let key_column_idx =
-    try Schema.column_index rt.desc.Catalog.schema key_column
-    with Not_found -> invalid_arg ("Db.create_index: unknown column " ^ key_column)
-  in
-  with_system_txn t v (fun sink ->
-      let idx, seg_id =
-        Catalog.add_index v.cat ~log:sink ~rel:rt.desc ~name ~kind
-          ~key_column:key_column_idx
-      in
-      let segment = segment_of t v seg_id in
-      let key_type = Schema.column_type rt.desc.Catalog.schema key_column_idx in
-      let inst =
-        match kind with
-        | Catalog.Ttree ->
-            Tt
-              (T_tree.create ~segment ~log:sink ~key_type
-                 ~max_items:t.cfg.Config.ttree_max_items ())
-        | Catalog.Lhash ->
-            Lh
-              (Linear_hash.create ~segment ~log:sink ~key_type
-                 ~node_capacity:t.cfg.Config.lhash_node_capacity ())
-      in
-      Hashtbl.replace v.overlay_by_segment seg_id inst;
-      (* Backfill from existing tuples. *)
-      Relation.iter
-        (fun addr tuple ->
-          inst_insert inst ~log:sink (Tuple.field tuple key_column_idx) addr)
-        rt.relation;
-      rt.index_insts <- rt.index_insts @ [ (idx, inst) ]);
-  update_wellknown t (vol t);
-  Trace.incr t.trace "indices_created"
+  Db_system.create_index (ctx t) (vol t) ~rel ~name ~kind ~key_column
 
-let drop_relation t ~name =
-  let v = vol t in
-  let desc =
-    match Catalog.find_relation v.cat name with
-    | Some d -> d
-    | None -> raise (Unknown_relation name)
-  in
-  (* Take an exclusive lock so no live transaction holds the relation. *)
-  let tx = Txn_core.Manager.begin_txn v.txn_mgr in
-  (match
-     Lock_mgr.acquire v.lock_mgr ~txn:(Txn_core.id tx)
-       (Lock_mgr.Relation desc.Catalog.rel_id) Lock_mgr.X
-   with
-  | Lock_mgr.Granted -> ()
-  | Lock_mgr.Blocked | Lock_mgr.Deadlock ->
-      ignore (Lock_mgr.release_all v.lock_mgr ~txn:(Txn_core.id tx));
-      Txn_core.Manager.abort v.txn_mgr tx;
-      raise (Aborted "drop_relation: relation is in use"));
-  let partitions = desc.Catalog.partitions in
-  (* Atomic step: catalog deletions commit in one system transaction. *)
-  let sink part ~redo ~undo:_ = log_redo_raw t v ~txn_id:(Txn_core.id tx) part redo in
-  Catalog.drop_relation v.cat ~log:sink desc;
-  Slb.commit v.slb ~txn_id:(Txn_core.id tx);
-  Txn_core.Manager.commit v.txn_mgr tx;
-  ignore (Lock_mgr.release_all v.lock_mgr ~txn:(Txn_core.id tx));
-  drain t v;
-  (* Resource reclamation (idempotent; re-done by recovery if we crash
-     mid-way): bins, checkpoint-disk runs, memory, runtimes. *)
-  List.iter
-    (fun (d : Catalog.partition_desc) ->
-      Ckpt_queue.cancel v.ckpt_q d.Catalog.part;
-      Slt.drop_partition v.slt d.Catalog.part;
-      if d.Catalog.ckpt_page >= 0 then
-        Disk_map.release v.disk_map ~page:d.Catalog.ckpt_page
-          ~pages:d.Catalog.ckpt_page_count;
-      Addr.Partition_table.remove v.seq d.Catalog.part)
-    partitions;
-  Hashtbl.remove v.segments desc.Catalog.rel_segment;
-  List.iter
-    (fun (i : Catalog.index_desc) ->
-      Hashtbl.remove v.segments i.Catalog.idx_segment;
-      Hashtbl.remove v.overlay_by_segment i.Catalog.idx_segment)
-    desc.Catalog.indices;
-  Hashtbl.remove v.rels name;
-  Trace.incr t.trace "relations_dropped"
+let drop_relation t ~name = Db_system.drop_relation (ctx t) (vol t) ~name
 
 let relations t =
   let v = vol t in
   List.map (fun r -> r.Catalog.rel_name) (Catalog.relations v.cat)
 
-(* -- checkpointing -------------------------------------------------------------- *)
+let ensure_relation t name =
+  let v = vol t in
+  ensure_rel_resident (ctx t) v (rt_of (ctx t) v name)
 
-let page_bytes t = (Stable_layout.config t.layout).Stable_layout.log_page_bytes
+(* -- checkpointing (delegated to the checkpoint manager) -------------------- *)
 
-let run_checkpoint t v (part : Addr.partition) =
-  match Catalog.partition_desc v.cat part with
-  | None ->
-      (* Partition vanished (deallocated); nothing to do. *)
-      Slt.checkpoint_finished v.slt part ~watermark:max_int;
-      `Done
-  | Some desc when not desc.Catalog.resident ->
-      (* Not in memory: its durable state is already its recovery source —
-         but its bin may hold records the durable image lacks; leave them
-         (watermark 0 never resets a non-empty bin). *)
-      Slt.checkpoint_finished v.slt part ~watermark:0;
-      `Done
-  | Some desc -> (
-      let rel =
-        match Catalog.relation_of_segment v.cat part.Addr.segment with
-        | Some r -> r
-        | None -> failwith "Db: checkpoint of unowned segment"
-      in
-      let tx = Txn_core.Manager.begin_txn v.txn_mgr in
-      match
-        Lock_mgr.acquire v.lock_mgr ~txn:(Txn_core.id tx)
-          (Lock_mgr.Relation rel.Catalog.rel_id) Lock_mgr.S
-      with
-      | Lock_mgr.Blocked | Lock_mgr.Deadlock ->
-          ignore (Lock_mgr.release_all v.lock_mgr ~txn:(Txn_core.id tx));
-          Txn_core.Manager.abort v.txn_mgr tx;
-          `Deferred
-      | Lock_mgr.Granted ->
-          (* Copy at memory speed, take the bin cut atomically with the
-             watermark (no simulated time passes in between), then drop the
-             lock immediately. *)
-          let p = Segment.find_exn (segment_of t v part.Addr.segment) part.Addr.partition in
-          let snapshot = Partition.snapshot p in
-          let watermark =
-            match Addr.Partition_table.find_opt v.seq part with
-            | Some c -> c
-            | None -> 0
-          in
-          (match Slt.begin_checkpoint v.slt part with
-          | `Cut | `Nothing_to_cut -> ()
-          | `Shadow_busy ->
-              (* A cut from a crash-interrupted checkpoint is still parked;
-                 proceed without a new cut — checkpoint_finished falls back
-                 to the watermark rule. *)
-              Trace.incr t.trace "ckpt_shadow_busy");
-          ignore (Lock_mgr.release_all v.lock_mgr ~txn:(Txn_core.id tx));
-          let image = Ckpt_image.encode ~page_bytes:(page_bytes t)
-              { Ckpt_image.part; watermark; snapshot }
-          in
-          let pages = Bytes.length image / page_bytes t in
-          let old =
-            if desc.Catalog.ckpt_page >= 0 then
-              Some (desc.Catalog.ckpt_page, desc.Catalog.ckpt_page_count)
-            else None
-          in
-          let first_page =
-            match Disk_map.allocate v.disk_map ~pages with
-            | Some p -> p
-            | None -> failwith "Db: checkpoint disk full"
-          in
-          (* §2.4 step 5: log the catalog/disk-map updates before the
-             partition is written. *)
-          let sink part' ~redo ~undo:_ =
-            log_redo_raw t v ~txn_id:(Txn_core.id tx) part' redo
-          in
-          Catalog.set_ckpt_location v.cat ~log:sink part ~page:first_page ~pages;
-          let durable = ref false in
-          Mrdb_hw.Disk.write_track t.ckpt_disk ~first_page image (fun () ->
-              durable := true);
-          pump_until t (fun () -> !durable);
-          (match t.archiver with
-          | Some a ->
-              Archive.on_ckpt_image a
-                { Ckpt_image.part; watermark; snapshot }
-                ~page_bytes:(page_bytes t)
-          | None -> ());
-          (* Commit installs the new location atomically. *)
-          Slb.commit v.slb ~txn_id:(Txn_core.id tx);
-          Txn_core.Manager.commit v.txn_mgr tx;
-          drain t v;
-          (match old with
-          | Some (p0, n) -> Disk_map.release v.disk_map ~page:p0 ~pages:n
-          | None -> ());
-          if part.Addr.segment = Catalog.catalog_segment_id then update_wellknown t v;
-          Slt.checkpoint_finished v.slt part ~watermark;
-          Trace.incr t.trace "checkpoints";
-          `Done)
+let ckpt_mgr t = Recovery_mgr.ckpt_mgr t.recovery
 
 let process_checkpoints t =
-  let v = vol t in
-  let completed = ref 0 in
-  let continue = ref true in
-  while !continue do
-    match Ckpt_queue.next_requested v.ckpt_q with
-    | None -> continue := false
-    | Some entry -> (
-        match run_checkpoint t v entry.Ckpt_queue.part with
-        | `Done ->
-            Ckpt_queue.finish v.ckpt_q entry.Ckpt_queue.part;
-            incr completed
-        | `Deferred ->
-            Ckpt_queue.defer v.ckpt_q entry.Ckpt_queue.part;
-            continue := false)
-  done;
-  !completed
+  ignore (vol t);
+  Ckpt_mgr.process (ckpt_mgr t)
 
 let pending_checkpoints t = Ckpt_queue.pending (vol t).ckpt_q
 
 let checkpoint_partition t part =
-  let v = vol t in
-  match run_checkpoint t v part with
+  ignore (vol t);
+  match Ckpt_mgr.run (ckpt_mgr t) part with
   | `Done -> ()
   | `Deferred -> raise (Aborted "checkpoint deferred: relation locked")
 
@@ -614,7 +123,7 @@ let checkpoint_all t =
   List.iter (fun part -> checkpoint_partition t part) (Slt.active_partitions v.slt);
   ignore (process_checkpoints t)
 
-(* -- commit/abort ------------------------------------------------------------- *)
+(* -- commit/abort ----------------------------------------------------------- *)
 
 let maybe_auto_checkpoint t =
   if t.cfg.Config.auto_checkpoint then ignore (process_checkpoints t)
@@ -623,7 +132,7 @@ let finish_commit t v tx =
   Slb.commit v.slb ~txn_id:(Txn_core.id tx);
   Txn_core.Manager.commit v.txn_mgr tx;
   ignore (Lock_mgr.release_all v.lock_mgr ~txn:(Txn_core.id tx));
-  drain t v;
+  Db_system.drain (ctx t);
   Trace.incr t.trace "commits"
 
 let flush_group t =
@@ -632,7 +141,7 @@ let flush_group t =
     let tx = Queue.take v.group in
     Slb.commit v.slb ~txn_id:(Txn_core.id tx);
     Txn_core.Manager.finalize_commit v.txn_mgr tx;
-    drain t v;
+    Db_system.drain (ctx t);
     Trace.incr t.trace "commits";
     Trace.incr t.trace "group_commits"
   done;
@@ -655,8 +164,7 @@ let commit t tx =
   | Config.Disk_force ->
       finish_commit t v tx;
       (* Conventional WAL: force the log to disk and wait. *)
-      List.iter (fun part -> Slt.flush_partition v.slt part) (Slt.active_partitions v.slt);
-      pump_until t (fun () -> Slt.pending_page_writes v.slt = 0);
+      Log_sorter.force_log (Recovery_mgr.sorter t.recovery);
       Trace.incr t.trace "log_forces";
       maybe_auto_checkpoint t
 
@@ -683,37 +191,37 @@ let with_txn t f =
       | Txn_core.Precommitted | Txn_core.Committed | Txn_core.Aborted -> ());
       raise e
 
-(* -- DML ------------------------------------------------------------------------ *)
+(* -- DML -------------------------------------------------------------------- *)
 
 let insert t tx ~rel tuple =
   let v = vol t in
-  let rt = rt_of t v rel in
-  if rt.desc.Catalog.indices <> [] then ensure_rel_resident t v rt;
+  let rt = rt_of (ctx t) v rel in
+  if rt.desc.Catalog.indices <> [] then ensure_rel_resident (ctx t) v rt;
   acquire t v tx (Lock_mgr.Relation rt.desc.Catalog.rel_id) Lock_mgr.IX;
-  let addr = Relation.insert rt.relation ~log:(user_sink t v tx) tuple in
+  let addr = Relation.insert rt.relation ~log:(Db_system.user_sink (ctx t) v tx) tuple in
   acquire t v tx (Lock_mgr.Entity addr) Lock_mgr.X;
-  index_insert_all t v rt ~log:(user_sink t v tx) tuple addr;
+  index_insert_all rt ~log:(Db_system.user_sink (ctx t) v tx) tuple addr;
   addr
 
 let read t tx ~rel addr =
   let v = vol t in
-  let rt = rt_of t v rel in
-  ensure_partition t v (Addr.partition_of addr);
+  let rt = rt_of (ctx t) v rel in
+  ensure_partition (ctx t) (Addr.partition_of addr);
   acquire t v tx (Lock_mgr.Relation rt.desc.Catalog.rel_id) Lock_mgr.IS;
   acquire t v tx (Lock_mgr.Entity addr) Lock_mgr.S;
   Relation.read rt.relation addr
 
 let update t tx ~rel addr tuple =
   let v = vol t in
-  let rt = rt_of t v rel in
-  ensure_partition t v (Addr.partition_of addr);
-  if rt.desc.Catalog.indices <> [] then ensure_rel_resident t v rt;
+  let rt = rt_of (ctx t) v rel in
+  ensure_partition (ctx t) (Addr.partition_of addr);
+  if rt.desc.Catalog.indices <> [] then ensure_rel_resident (ctx t) v rt;
   acquire t v tx (Lock_mgr.Relation rt.desc.Catalog.rel_id) Lock_mgr.IX;
   acquire t v tx (Lock_mgr.Entity addr) Lock_mgr.X;
   match Relation.read rt.relation addr with
   | None -> raise Not_found
   | Some old_tuple ->
-      let sink = user_sink t v tx in
+      let sink = Db_system.user_sink (ctx t) v tx in
       let addr' = Relation.update rt.relation ~log:sink addr tuple in
       (* Refresh index entries for changed keys (and for relocation). *)
       List.iter
@@ -732,8 +240,8 @@ let update t tx ~rel addr tuple =
 
 let update_field t tx ~rel addr ~column value =
   let v = vol t in
-  let rt = rt_of t v rel in
-  ensure_partition t v (Addr.partition_of addr);
+  let rt = rt_of (ctx t) v rel in
+  ensure_partition (ctx t) (Addr.partition_of addr);
   let col =
     try Schema.column_index rt.desc.Catalog.schema column
     with Not_found -> invalid_arg ("Db.update_field: unknown column " ^ column)
@@ -747,35 +255,29 @@ let update_field t tx ~rel addr ~column value =
 
 let delete t tx ~rel addr =
   let v = vol t in
-  let rt = rt_of t v rel in
-  ensure_partition t v (Addr.partition_of addr);
-  if rt.desc.Catalog.indices <> [] then ensure_rel_resident t v rt;
+  let rt = rt_of (ctx t) v rel in
+  ensure_partition (ctx t) (Addr.partition_of addr);
+  if rt.desc.Catalog.indices <> [] then ensure_rel_resident (ctx t) v rt;
   acquire t v tx (Lock_mgr.Relation rt.desc.Catalog.rel_id) Lock_mgr.IX;
   acquire t v tx (Lock_mgr.Entity addr) Lock_mgr.X;
-  let sink = user_sink t v tx in
+  let sink = Db_system.user_sink (ctx t) v tx in
   let old_tuple = Relation.delete rt.relation ~log:sink addr in
-  index_delete_all t v rt ~log:sink old_tuple addr
-
-let find_index rt name =
-  match
-    List.find_opt (fun ((i : Catalog.index_desc), _) -> i.Catalog.idx_name = name)
-      rt.index_insts
-  with
-  | Some pair -> pair
-  | None -> raise (Unknown_index name)
+  index_delete_all rt ~log:sink old_tuple addr
 
 let lookup t tx ~rel ~index key =
   let v = vol t in
-  let rt = rt_of t v rel in
-  ensure_indices t v rt;
+  let rt = rt_of (ctx t) v rel in
+  ensure_indices (ctx t) v rt;
   acquire t v tx (Lock_mgr.Relation rt.desc.Catalog.rel_id) Lock_mgr.IS;
   let _, inst = find_index rt index in
   let addrs =
-    match inst with Tt tree -> T_tree.lookup tree key | Lh h -> Linear_hash.lookup h key
+    match inst with
+    | Tt tree -> Mrdb_index.T_tree.lookup tree key
+    | Lh h -> Mrdb_index.Linear_hash.lookup h key
   in
   List.map
     (fun addr ->
-      ensure_partition t v (Addr.partition_of addr);
+      ensure_partition (ctx t) (Addr.partition_of addr);
       acquire t v tx (Lock_mgr.Entity addr) Lock_mgr.S;
       match Relation.read rt.relation addr with
       | Some tuple -> (addr, tuple)
@@ -784,27 +286,27 @@ let lookup t tx ~rel ~index key =
 
 let range t tx ~rel ~index ~lo ~hi =
   let v = vol t in
-  let rt = rt_of t v rel in
-  ensure_indices t v rt;
+  let rt = rt_of (ctx t) v rel in
+  ensure_indices (ctx t) v rt;
   acquire t v tx (Lock_mgr.Relation rt.desc.Catalog.rel_id) Lock_mgr.S;
   match find_index rt index with
-  | _, Tt tree -> T_tree.range tree ~lo ~hi
+  | _, Tt tree -> Mrdb_index.T_tree.range tree ~lo ~hi
   | _, Lh _ -> invalid_arg "Db.range: hash indices do not support range scans"
 
 let scan t tx ~rel =
   let v = vol t in
-  let rt = rt_of t v rel in
-  ensure_rel_resident t v rt;
+  let rt = rt_of (ctx t) v rel in
+  ensure_rel_resident (ctx t) v rt;
   acquire t v tx (Lock_mgr.Relation rt.desc.Catalog.rel_id) Lock_mgr.S;
   List.rev (Relation.fold (fun acc addr tuple -> (addr, tuple) :: acc) [] rt.relation)
 
 let cardinality t ~rel =
   let v = vol t in
-  let rt = rt_of t v rel in
-  ensure_segment t v rt.desc.Catalog.rel_segment;
+  let rt = rt_of (ctx t) v rel in
+  ensure_segment (ctx t) rt.desc.Catalog.rel_segment;
   Relation.cardinality rt.relation
 
-(* -- crash & recovery ------------------------------------------------------------ *)
+(* -- crash & recovery -------------------------------------------------------- *)
 
 let is_crashed t = t.vol = None
 
@@ -815,184 +317,61 @@ let crash t =
     Mrdb_hw.Disk.crash_queue (Mrdb_hw.Duplex.mirror (Log_disk.duplex t.log_disk));
     Mrdb_hw.Disk.crash_queue t.ckpt_disk;
     Mrdb_hw.Volatile.Epoch.crash t.epoch;
+    Recovery_mgr.detach t.recovery;
     t.vol <- None;
     Trace.incr t.trace "crashes"
   end
 
-let mk_vol t ~slb ~slt ~cat ~ckpt_q =
-  let segments = Hashtbl.create 16 in
-  let overlay_by_segment = Hashtbl.create 16 in
-  let undo =
-    Undo_space.create ~block_bytes:t.cfg.Config.undo_block_bytes
-      ~block_count:t.cfg.Config.undo_block_count t.epoch
+(* Wire a fresh recovery component against new volatile state. *)
+let attach_recovery t v =
+  let deps =
+    {
+      Ckpt_mgr.log_redo =
+        (fun ~txn part ~redo ~undo:_ ->
+          Db_system.log_redo_raw (ctx t) v ~txn_id:(Txn_core.id txn) part redo);
+      drain = (fun () -> Db_system.drain (ctx t));
+      layout = (fun () -> t.layout);
+    }
   in
-  let txn_mgr =
-    Txn_core.Manager.create ~undo
-      ~resolve_partition:(fun (part : Addr.partition) ->
-        match Hashtbl.find_opt segments part.Addr.segment with
-        | Some s -> Segment.find_exn s part.Addr.partition
-        | None -> raise Not_found)
-      ~invalidate_overlay:(fun seg ->
-        match Hashtbl.find_opt overlay_by_segment seg with
-        | Some (Tt tree) -> T_tree.invalidate_cache tree
-        | Some (Lh h) -> Linear_hash.invalidate_cache h
-        | None -> ())
-      ()
-  in
-  {
-    slb;
-    slt;
-    cat;
-    segments;
-    rels = Hashtbl.create 16;
-    lock_mgr = Lock_mgr.create ();
-    txn_mgr;
-    disk_map = Disk_map.create ~capacity_pages:t.cfg.Config.ckpt_disk_pages;
-    ckpt_q;
-    seq = Addr.Partition_table.create 256;
-    group = Queue.create ();
-    overlay_by_segment;
-  }
-
-let all_partition_descs v =
-  let acc = ref [] in
-  Catalog.iter_relations (fun rel -> acc := rel.Catalog.partitions @ !acc) v.cat;
-  !acc
+  Recovery_mgr.attach t.recovery ~env:(recovery_env t) ~deps ~log_disk:t.log_disk
+    ~slb:v.slb ~slt:v.slt ~cat:v.cat ~seq:v.seq ~segments:v.segments
+    ~txn_mgr:v.txn_mgr ~lock_mgr:v.lock_mgr ~disk_map:v.disk_map ~ckpt_q:v.ckpt_q
 
 let resident_fraction t =
-  let v = vol t in
-  let descs = all_partition_descs v in
-  if descs = [] then 1.0
-  else
-    float_of_int (List.length (List.filter (fun d -> d.Catalog.resident) descs))
-    /. float_of_int (List.length descs)
+  ignore (vol t);
+  Restorer.resident_fraction (restorer (ctx t))
 
 let background_recovery_step t =
-  let v = vol t in
-  let next =
-    List.find_opt (fun (d : Catalog.partition_desc) -> not d.Catalog.resident)
-      (List.sort
-         (fun (a : Catalog.partition_desc) b ->
-           Addr.compare_partition a.Catalog.part b.Catalog.part)
-         (all_partition_descs v))
-  in
-  match next with
-  | None -> false
-  | Some d ->
-      ensure_partition t v d.Catalog.part;
-      true
+  ignore (vol t);
+  Restorer.background_step (restorer (ctx t))
 
 let recover_everything t =
-  while background_recovery_step t do () done
-
-let all_partition_descs_of_cat cat =
-  let acc = ref [] in
-  Catalog.iter_relations (fun rel -> acc := rel.Catalog.partitions @ !acc) cat;
-  !acc
+  ignore (vol t);
+  Restorer.sweep (restorer (ctx t))
 
 let recover ?mode t =
   if t.vol <> None then invalid_arg "Db.recover: not crashed";
   let mode = Option.value mode ~default:t.cfg.Config.recovery_mode in
   let started = Sim.now t.sim in
-  (* Re-attach the stable layout and recovery structures. *)
+  (* Re-attach the stable layout and rebuild the recovery component's
+     stable-side structures; restore the catalogs from the well-known
+     area. *)
   t.layout <- Stable_layout.attach t.cfg.Config.stable t.stable_mem;
-  let slb = Slb.recover t.layout in
   let ckpt_q = Ckpt_queue.create () in
-  let ckpt_q_ref = ref ckpt_q in
-  let slt =
-    Slt.recover ~layout:t.layout ~log_disk:t.log_disk ~n_update:t.cfg.Config.n_update
-      ?age_grace_pages:t.cfg.Config.age_grace_pages
-      ~on_checkpoint_request:(fun part trig ->
-        let reason =
-          match trig with
-          | Slt.Update_count ->
-              Trace.incr t.trace "ckpt_req_update_count";
-              Ckpt_queue.Update_count
-          | Slt.Age ->
-              Trace.incr t.trace "ckpt_req_age";
-              Ckpt_queue.Age
-        in
-        ignore (Ckpt_queue.request !ckpt_q_ref part reason))
-      ()
+  let slb, slt, cat_segment, catalog_seq =
+    Recovery_mgr.restart ~env:(recovery_env t) ~layout:t.layout
+      ~log_disk:t.log_disk ~n_update:t.cfg.Config.n_update
+      ~age_grace_pages:t.cfg.Config.age_grace_pages ~ckpt_q
   in
-  (* Sort any committed-but-undrained records into bins. *)
-  ignore (Slb.drain slb ~f:(fun ~txn_id:_ records -> Slt.accept_all slt records));
-  (* Bootstrap the catalogs from the well-known area. *)
-  let wk_entries = match Wellknown.load t.layout with Some e -> e | None -> [] in
-  let cat_segment =
-    Segment.create ~id:Catalog.catalog_segment_id
-      ~partition_bytes:t.cfg.Config.partition_bytes
-  in
-  let catalog_seq = ref [] in
-  List.iter
-    (fun (e : Wellknown.entry) ->
-      (* Inline per-partition restore (catalog partitions only): image ∥ log. *)
-      let image = ref None and image_done = ref false in
-      if e.Wellknown.ckpt_page < 0 then image_done := true
-      else
-        Mrdb_hw.Disk.read_track t.ckpt_disk ~first_page:e.Wellknown.ckpt_page
-          ~pages:e.Wellknown.pages (fun data ->
-            (match Ckpt_image.decode data with
-            | Ok img -> image := Some img
-            | Error msg -> (
-                (* Checkpoint-disk media failure: fall back to the archive. *)
-                match t.archiver with
-                | Some a -> (
-                    match Archive.latest_image a e.Wellknown.part with
-                    | Some img ->
-                        Trace.incr t.trace "media_recoveries";
-                        image := Some img
-                    | None ->
-                        failwith ("Db.recover: catalog image lost, not archived: " ^ msg))
-                | None -> failwith ("Db.recover: corrupt catalog image: " ^ msg)));
-            image_done := true);
-      let records = ref [] and records_done = ref false in
-      Slt.records_for_recovery slt e.Wellknown.part (fun result ->
-          (match result with
-          | Ok rs -> records := rs
-          | Error msg -> failwith ("Db.recover: catalog log: " ^ msg));
-          records_done := true);
-      pump_until t (fun () -> !image_done && !records_done);
-      let partition, watermark =
-        match !image with
-        | Some img -> (Partition.of_snapshot img.Ckpt_image.snapshot, img.Ckpt_image.watermark)
-        | None ->
-            ( Partition.create ~size:t.cfg.Config.partition_bytes
-                ~segment:Catalog.catalog_segment_id
-                ~partition:e.Wellknown.part.Addr.partition,
-              0 )
-      in
-      let max_seq = ref watermark in
-      List.iter
-        (fun (r : Log_record.t) ->
-          if r.Log_record.seq > watermark then Part_op.apply partition r.Log_record.op;
-          if r.Log_record.seq > !max_seq then max_seq := r.Log_record.seq)
-        !records;
-      catalog_seq := (e.Wellknown.part, !max_seq) :: !catalog_seq;
-      Segment.install cat_segment partition)
-    wk_entries;
   let cat = Catalog.decode_from_segment cat_segment in
-  let v = mk_vol t ~slb ~slt ~cat ~ckpt_q in
-  ckpt_q_ref := v.ckpt_q;
+  let v = mk_vol (ctx t) ~slb ~slt ~cat ~ckpt_q in
   Hashtbl.replace v.segments Catalog.catalog_segment_id cat_segment;
   (* Catalog partition sequence counters: watermark + replayed records. *)
   List.iter
     (fun (part, max_seq) -> Addr.Partition_table.replace v.seq part max_seq)
-    !catalog_seq;
-  (* Rebuild the checkpoint-disk allocation map from the catalog. *)
-  Disk_map.rebuild v.disk_map
-    (List.filter_map
-       (fun (d : Catalog.partition_desc) ->
-         if d.Catalog.ckpt_page >= 0 then Some (d.Catalog.ckpt_page, d.Catalog.ckpt_page_count)
-         else None)
-       (all_partition_descs_of_cat cat));
-  (* Orphan bins: a crash between a drop_relation's catalog commit and its
-     resource reclamation leaves bins whose partitions no longer exist;
-     finish the reclamation now. *)
-  List.iter
-    (fun part ->
-      if Catalog.partition_desc cat part = None then Slt.drop_partition slt part)
-    (Slt.active_partitions slt);
+    catalog_seq;
+  Recovery_mgr.finish_restart ~slt ~cat ~disk_map:v.disk_map;
+  attach_recovery t v;
   t.vol <- Some v;
   Trace.incr t.trace "recoveries";
   Trace.record t.trace "catalog_recovery_us" (Sim.now t.sim -. started);
@@ -1000,7 +379,7 @@ let recover ?mode t =
   | Config.Full_reload -> recover_everything t
   | Config.On_demand | Config.Predeclare -> ()
 
-(* -- construction ------------------------------------------------------------------ *)
+(* -- construction ------------------------------------------------------------- *)
 
 let create ?(config = Config.default) () =
   Config.validate config;
@@ -1033,7 +412,7 @@ let create ?(config = Config.default) () =
       cfg = config;
       sim;
       main_cpu = Cpu.create ~name:"main" sim ~mips:config.Config.main_cpu_mips;
-      recovery_cpu = Cpu.create ~name:"recovery" sim ~mips:config.Config.recovery_cpu_mips;
+      recovery = Recovery_mgr.create ~sim ~mips:config.Config.recovery_cpu_mips;
       stable_mem;
       epoch = Mrdb_hw.Volatile.Epoch.create ();
       layout;
@@ -1046,21 +425,11 @@ let create ?(config = Config.default) () =
   in
   let slb = Slb.create layout in
   let ckpt_q = Ckpt_queue.create () in
-  let ckpt_q_ref = ref ckpt_q in
   let slt =
     Slt.create ~layout ~log_disk ~n_update:config.Config.n_update
       ?age_grace_pages:config.Config.age_grace_pages
-      ~on_checkpoint_request:(fun part trig ->
-        let reason =
-          match trig with
-          | Slt.Update_count ->
-              Trace.incr t.trace "ckpt_req_update_count";
-              Ckpt_queue.Update_count
-          | Slt.Age ->
-              Trace.incr t.trace "ckpt_req_age";
-              Ckpt_queue.Age
-        in
-        ignore (Ckpt_queue.request !ckpt_q_ref part reason))
+      ~on_checkpoint_request:
+        (Ckpt_mgr.on_checkpoint_request ~trace:t.trace ~ckpt_q:(fun () -> ckpt_q))
       ()
   in
   (* Bootstrap the catalog, buffering its physical ops so they can be
@@ -1068,25 +437,25 @@ let create ?(config = Config.default) () =
   let buffered = ref [] in
   let boot_sink part ~redo ~undo:_ = buffered := (part, redo) :: !buffered in
   let cat = Catalog.create ~partition_bytes:config.Config.partition_bytes ~log:boot_sink in
-  let v = mk_vol t ~slb ~slt ~cat ~ckpt_q in
-  ckpt_q_ref := v.ckpt_q;
+  let v = mk_vol (ctx t) ~slb ~slt ~cat ~ckpt_q in
   Hashtbl.replace v.segments Catalog.catalog_segment_id (Catalog.segment cat);
+  attach_recovery t v;
   t.vol <- Some v;
   (* Log the buffered bootstrap ops under one system transaction. *)
   let tx = Txn_core.Manager.begin_txn v.txn_mgr in
   List.iter
-    (fun (part, redo) -> log_redo_raw t v ~txn_id:(Txn_core.id tx) part redo)
+    (fun (part, redo) -> Db_system.log_redo_raw (ctx t) v ~txn_id:(Txn_core.id tx) part redo)
     (List.rev !buffered);
   Slb.commit v.slb ~txn_id:(Txn_core.id tx);
   Txn_core.Manager.commit v.txn_mgr tx;
-  drain t v;
-  update_wellknown t v;
+  Db_system.drain (ctx t);
+  Db_system.update_wellknown (ctx t) v;
   t
 
-(* -- introspection ------------------------------------------------------------------ *)
+(* -- introspection ------------------------------------------------------------- *)
 
 let main_cpu t = t.main_cpu
-let recovery_cpu t = t.recovery_cpu
+let recovery_cpu t = Recovery_mgr.cpu t.recovery
 let slt t = (vol t).slt
 let slb t = (vol t).slb
 let log_disk t = t.log_disk
@@ -1097,7 +466,7 @@ let archiver t = t.archiver
 (* Media failure of the checkpoint disk: every image is gone; a fresh
    (blank) replacement drive takes its place.  The archive keeps recovery
    possible; the catalog's locations become stale pointers into the blank
-   drive, which read_ckpt_image detects and routes to the tape. *)
+   drive, which the restorer's image read detects and routes to the tape. *)
 let fail_checkpoint_disk t =
   t.ckpt_disk <-
     Mrdb_hw.Disk.create ~name:"ckptdisk-replacement" t.sim

@@ -76,8 +76,9 @@ val commit : t -> txn -> unit
 
 val abort : t -> txn -> unit
 val flush_group : t -> unit
-(** Force the pending commit group to disk^H^H^H^H stable memory commit
-    (no-op outside group mode). *)
+(** Officially commit the pending group now: the group's log records are
+    already in stable memory, so the flush is a commit-list write, not a
+    disk force.  No-op outside group mode. *)
 
 val with_txn : t -> (txn -> 'a) -> 'a
 (** Run, commit on return, abort on exception (re-raised). *)

@@ -1,0 +1,162 @@
+open Mrdb_storage
+open Db_state
+module Trace = Mrdb_sim.Trace
+module Slb = Mrdb_wal.Slb
+module Slt = Mrdb_wal.Slt
+module Log_record = Mrdb_wal.Log_record
+module Lock_mgr = Mrdb_txn.Lock_mgr
+module Txn_core = Mrdb_txn.Txn
+module Log_sorter = Mrdb_recovery.Log_sorter
+module Ckpt_mgr = Mrdb_recovery.Ckpt_mgr
+module Recovery_mgr = Mrdb_recovery.Recovery_mgr
+
+(* -- logging plumbing ------------------------------------------------------ *)
+
+let is_index_segment v seg = Hashtbl.mem v.overlay_by_segment seg
+
+let tag_for v (part : Addr.partition) =
+  if part.Addr.segment = Catalog.catalog_segment_id then Log_record.Catalog_op
+  else if is_index_segment v part.Addr.segment then Log_record.Index_op
+  else Log_record.Relation_op
+
+let next_seq v part =
+  let c =
+    match Addr.Partition_table.find_opt v.seq part with Some c -> c | None -> 0
+  in
+  Addr.Partition_table.replace v.seq part (c + 1);
+  c + 1
+
+let drain ctx = Log_sorter.drain (Recovery_mgr.sorter ctx.recovery)
+
+(* Forward declaration dance: logging a user record may require registering
+   its partition in the catalog, which itself logs records under a system
+   transaction. *)
+let rec log_redo_raw ctx v ~txn_id (part : Addr.partition) op =
+  if part.Addr.segment <> Catalog.catalog_segment_id then ensure_registered ctx v part;
+  let bin_index = Slt.bin_index_of v.slt part in
+  let seq = next_seq v part in
+  Slb.append v.slb ~txn_id
+    (Log_record.make ~tag:(tag_for v part) ~bin_index ~txn_id ~seq ~op);
+  Trace.incr ctx.trace "log_records"
+
+and ensure_registered ctx v part =
+  if Catalog.partition_desc v.cat part = None then
+    with_system_txn ctx v (fun sink ->
+        ignore (Catalog.register_partition v.cat ~log:sink part))
+
+and with_system_txn : 'a. ctx -> vol -> (Relation.log_sink -> 'a) -> 'a =
+ fun ctx v f ->
+  let tx = Txn_core.Manager.begin_txn v.txn_mgr in
+  let sink part ~redo ~undo:_ = log_redo_raw ctx v ~txn_id:(Txn_core.id tx) part redo in
+  let result = f sink in
+  Slb.commit v.slb ~txn_id:(Txn_core.id tx);
+  Txn_core.Manager.commit v.txn_mgr tx;
+  drain ctx;
+  result
+
+let user_sink ctx v tx : Relation.log_sink =
+ fun part ~redo ~undo ->
+  if part.Addr.segment <> Catalog.catalog_segment_id then ensure_registered ctx v part;
+  Txn_core.Manager.record_update v.txn_mgr tx part ~redo ~undo;
+  let bin_index = Slt.bin_index_of v.slt part in
+  let seq = next_seq v part in
+  Slb.append v.slb ~txn_id:(Txn_core.id tx)
+    (Log_record.make ~tag:(tag_for v part) ~bin_index ~txn_id:(Txn_core.id tx) ~seq
+       ~op:redo);
+  Trace.incr ctx.trace "log_records"
+
+let update_wellknown ctx v =
+  Ckpt_mgr.update_wellknown ~layout:(ctx.layout ()) ~cat:v.cat
+
+(* -- DDL ------------------------------------------------------------------- *)
+
+let create_relation ctx v ~name ~schema =
+  with_system_txn ctx v (fun sink ->
+      let desc, seg_id = Catalog.create_relation v.cat ~log:sink ~name ~schema in
+      ignore (segment_of ctx seg_id);
+      let rt =
+        {
+          desc;
+          relation = Relation.create ~id:desc.Catalog.rel_id ~name ~schema
+              ~segment:(segment_of ctx seg_id);
+          index_insts = [];
+          indices_attached = true;
+        }
+      in
+      Hashtbl.add v.rels name rt);
+  update_wellknown ctx v;
+  Trace.incr ctx.trace "relations_created"
+
+let create_index ctx v ~rel ~name ~kind ~key_column =
+  let rt = rt_of ctx v rel in
+  ensure_rel_resident ctx v rt;
+  let key_column_idx =
+    try Schema.column_index rt.desc.Catalog.schema key_column
+    with Not_found -> invalid_arg ("Db.create_index: unknown column " ^ key_column)
+  in
+  with_system_txn ctx v (fun sink ->
+      let idx, seg_id =
+        Catalog.add_index v.cat ~log:sink ~rel:rt.desc ~name ~kind
+          ~key_column:key_column_idx
+      in
+      let segment = segment_of ctx seg_id in
+      let key_type = Schema.column_type rt.desc.Catalog.schema key_column_idx in
+      let inst =
+        match kind with
+        | Catalog.Ttree ->
+            Tt
+              (Mrdb_index.T_tree.create ~segment ~log:sink ~key_type
+                 ~max_items:ctx.cfg.Config.ttree_max_items ())
+        | Catalog.Lhash ->
+            Lh
+              (Mrdb_index.Linear_hash.create ~segment ~log:sink ~key_type
+                 ~node_capacity:ctx.cfg.Config.lhash_node_capacity ())
+      in
+      Hashtbl.replace v.overlay_by_segment seg_id inst;
+      (* Backfill from existing tuples. *)
+      Relation.iter
+        (fun addr tuple ->
+          inst_insert inst ~log:sink (Tuple.field tuple key_column_idx) addr)
+        rt.relation;
+      rt.index_insts <- rt.index_insts @ [ (idx, inst) ]);
+  update_wellknown ctx v;
+  Trace.incr ctx.trace "indices_created"
+
+let drop_relation ctx v ~name =
+  let desc =
+    match Catalog.find_relation v.cat name with
+    | Some d -> d
+    | None -> raise (Unknown_relation name)
+  in
+  (* Take an exclusive lock so no live transaction holds the relation. *)
+  let tx = Txn_core.Manager.begin_txn v.txn_mgr in
+  (match
+     Lock_mgr.acquire v.lock_mgr ~txn:(Txn_core.id tx)
+       (Lock_mgr.Relation desc.Catalog.rel_id) Lock_mgr.X
+   with
+  | Lock_mgr.Granted -> ()
+  | Lock_mgr.Blocked | Lock_mgr.Deadlock ->
+      ignore (Lock_mgr.release_all v.lock_mgr ~txn:(Txn_core.id tx));
+      Txn_core.Manager.abort v.txn_mgr tx;
+      raise (Aborted "drop_relation: relation is in use"));
+  let partitions = desc.Catalog.partitions in
+  (* Atomic step: catalog deletions commit in one system transaction. *)
+  let sink part ~redo ~undo:_ = log_redo_raw ctx v ~txn_id:(Txn_core.id tx) part redo in
+  Catalog.drop_relation v.cat ~log:sink desc;
+  Slb.commit v.slb ~txn_id:(Txn_core.id tx);
+  Txn_core.Manager.commit v.txn_mgr tx;
+  ignore (Lock_mgr.release_all v.lock_mgr ~txn:(Txn_core.id tx));
+  drain ctx;
+  (* Resource reclamation (idempotent; re-done by recovery if we crash
+     mid-way): bins, checkpoint-disk runs, memory, runtimes. *)
+  List.iter
+    (Ckpt_mgr.release_partition (Recovery_mgr.ckpt_mgr ctx.recovery))
+    partitions;
+  Hashtbl.remove v.segments desc.Catalog.rel_segment;
+  List.iter
+    (fun (i : Catalog.index_desc) ->
+      Hashtbl.remove v.segments i.Catalog.idx_segment;
+      Hashtbl.remove v.overlay_by_segment i.Catalog.idx_segment)
+    desc.Catalog.indices;
+  Hashtbl.remove v.rels name;
+  Trace.incr ctx.trace "relations_dropped"

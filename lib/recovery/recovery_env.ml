@@ -1,0 +1,18 @@
+module Sim = Mrdb_sim.Sim
+module Trace = Mrdb_sim.Trace
+
+type t = {
+  sim : Sim.t;
+  trace : Trace.t;
+  ckpt_disk : unit -> Mrdb_hw.Disk.t;
+  archiver : Mrdb_archive.Archive.t option;
+  partition_bytes : int;
+}
+
+let create ~sim ~trace ~ckpt_disk ~archiver ~partition_bytes =
+  { sim; trace; ckpt_disk; archiver; partition_bytes }
+
+let pump_until env cond =
+  while (not (cond ())) && Sim.step env.sim do () done;
+  if not (cond ()) then
+    failwith "Db: simulation deadlock (condition never satisfied)"

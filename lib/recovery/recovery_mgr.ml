@@ -1,0 +1,60 @@
+module Cpu = Mrdb_sim.Cpu
+module Slb = Mrdb_wal.Slb
+module Slt = Mrdb_wal.Slt
+
+type components = {
+  sorter : Log_sorter.t;
+  restorer : Restorer.t;
+  ckpt : Ckpt_mgr.t;
+}
+
+type t = {
+  cpu : Cpu.t;
+  mutable comps : components option;
+}
+
+let create ~sim ~mips = { cpu = Cpu.create ~name:"recovery" sim ~mips; comps = None }
+
+let cpu t = t.cpu
+
+let attach t ~env ~deps ~log_disk ~slb ~slt ~cat ~seq ~segments ~txn_mgr ~lock_mgr
+    ~disk_map ~ckpt_q =
+  let sorter = Log_sorter.create ~env ~cpu:t.cpu ~log_disk ~slb ~slt in
+  let restorer = Restorer.create ~env ~slt ~cat ~seq ~segments in
+  let ckpt =
+    Ckpt_mgr.create ~env ~deps ~restorer ~cat ~slt ~slb ~txn_mgr ~lock_mgr ~seq
+      ~disk_map ~ckpt_q
+  in
+  t.comps <- Some { sorter; restorer; ckpt }
+
+let detach t = t.comps <- None
+let is_attached t = t.comps <> None
+
+let comps t =
+  match t.comps with
+  | Some c -> c
+  | None -> failwith "Recovery_mgr: recovery component offline (crashed)"
+
+let sorter t = (comps t).sorter
+let restorer t = (comps t).restorer
+let ckpt_mgr t = (comps t).ckpt
+
+let restart ~env ~layout ~log_disk ~n_update ~age_grace_pages ~ckpt_q =
+  let trace = env.Recovery_env.trace in
+  let slb = Slb.recover layout in
+  let slt =
+    Slt.recover ~layout ~log_disk ~n_update ?age_grace_pages
+      ~on_checkpoint_request:
+        (Ckpt_mgr.on_checkpoint_request ~trace ~ckpt_q:(fun () -> ckpt_q))
+      ()
+  in
+  (* Sort any committed-but-undrained records into bins. *)
+  Log_sorter.sort_backlog ~slb ~slt;
+  (* Bootstrap the catalogs from the well-known area. *)
+  let entries = match Wellknown.load layout with Some e -> e | None -> [] in
+  let cat_segment, catalog_seq = Restorer.restore_catalog env ~slt ~entries in
+  (slb, slt, cat_segment, catalog_seq)
+
+let finish_restart ~slt ~cat ~disk_map =
+  Ckpt_mgr.rebuild_disk_map ~disk_map ~cat;
+  Restorer.drop_uncatalogued_bins ~slt ~cat

@@ -1,0 +1,223 @@
+open Mrdb_storage
+module Trace = Mrdb_sim.Trace
+module Slt = Mrdb_wal.Slt
+module Log_record = Mrdb_wal.Log_record
+module Ckpt_image = Mrdb_ckpt.Ckpt_image
+module Archive = Mrdb_archive.Archive
+
+type t = {
+  env : Recovery_env.t;
+  slt : Slt.t;
+  cat : Catalog.t;
+  seq : int Addr.Partition_table.t;
+  segments : (int, Segment.t) Hashtbl.t;
+}
+
+let create ~env ~slt ~cat ~seq ~segments = { env; slt; cat; seq; segments }
+
+let segment_of r seg_id =
+  match Hashtbl.find_opt r.segments seg_id with
+  | Some s -> s
+  | None ->
+      let s =
+        Segment.create ~id:seg_id ~partition_bytes:r.env.Recovery_env.partition_bytes
+      in
+      (* Claim the partition numbers the catalog already assigns to this
+         segment before any allocation: a fresh post-crash insert must not
+         collide with a not-yet-recovered partition's number (and seq
+         space). *)
+      (match Catalog.relation_of_segment r.cat seg_id with
+      | Some rel ->
+          List.iter
+            (fun (d : Catalog.partition_desc) ->
+              if d.Catalog.part.Addr.segment = seg_id then
+                Segment.reserve s d.Catalog.part.Addr.partition)
+            rel.Catalog.partitions
+      | None -> ());
+      Hashtbl.add r.segments seg_id s;
+      s
+
+(* Read a partition's checkpoint image; when the checkpoint disk cannot
+   produce a valid image (media failure), fall back to the newest archived
+   copy — the archive saw every image ever written, so its newest copy is
+   exactly the one the catalog references. *)
+let read_ckpt_image env ~(part : Addr.partition) (desc : Catalog.partition_desc) k =
+  let fallback reason =
+    match env.Recovery_env.archiver with
+    | Some a -> (
+        match Archive.latest_image a part with
+        | Some image ->
+            Trace.incr env.Recovery_env.trace "media_recoveries";
+            k (Some image)
+        | None -> failwith ("Db: checkpoint image lost and not archived: " ^ reason))
+    | None -> failwith ("Db: corrupt checkpoint image: " ^ reason)
+  in
+  if desc.Catalog.ckpt_page < 0 then k None
+  else
+    Mrdb_hw.Disk.read_track (env.Recovery_env.ckpt_disk ())
+      ~first_page:desc.Catalog.ckpt_page ~pages:desc.Catalog.ckpt_page_count
+      (fun data ->
+        match Ckpt_image.decode data with
+        | Ok image -> k (Some image)
+        | Error e -> fallback e)
+
+(* Restore one partition: checkpoint image and log stream are fetched in
+   parallel (different disks), then records with seq > watermark are
+   applied in original order. *)
+let recover_partition r part k =
+  let env = r.env in
+  let desc =
+    match Catalog.partition_desc r.cat part with
+    | Some d -> d
+    | None -> failwith (Format.asprintf "Db: partition %a not catalogued" Addr.pp_partition part)
+  in
+  if desc.Catalog.resident then k ()
+  else begin
+    let image = ref None and image_done = ref false in
+    let records = ref [] and records_done = ref false in
+    read_ckpt_image env ~part desc (fun img ->
+        image := img;
+        image_done := true);
+    Slt.records_for_recovery r.slt part (fun result ->
+        (match result with
+        | Ok rs -> records := rs
+        | Error e -> failwith ("Db: log recovery failed: " ^ e));
+        records_done := true);
+    Recovery_env.pump_until env (fun () -> !image_done && !records_done);
+    let partition, watermark =
+      match !image with
+      | Some img ->
+          if not (Addr.equal_partition img.Ckpt_image.part part) then
+            failwith "Db: checkpoint image for wrong partition";
+          (Partition.of_snapshot img.Ckpt_image.snapshot, img.Ckpt_image.watermark)
+      | None ->
+          ( Partition.create ~size:env.Recovery_env.partition_bytes
+              ~segment:part.Addr.segment ~partition:part.Addr.partition,
+            0 )
+    in
+    let max_seq = ref watermark in
+    List.iter
+      (fun (rec_ : Log_record.t) ->
+        if rec_.Log_record.seq > watermark then begin
+          Part_op.apply partition rec_.Log_record.op;
+          Trace.incr env.Recovery_env.trace "recovery_records_applied"
+        end;
+        if rec_.Log_record.seq > !max_seq then max_seq := rec_.Log_record.seq)
+      !records;
+    Segment.install (segment_of r part.Addr.segment) partition;
+    Addr.Partition_table.replace r.seq part !max_seq;
+    Catalog.set_resident r.cat part true;
+    Trace.incr env.Recovery_env.trace "partitions_recovered";
+    Trace.incr env.Recovery_env.trace "restorer_partitions_restored";
+    k ()
+  end
+
+let ensure_partition r part = recover_partition r part (fun () -> ())
+
+let partitions_of_segment r seg_id =
+  let cat_partitions rel =
+    List.filter
+      (fun (d : Catalog.partition_desc) -> d.Catalog.part.Addr.segment = seg_id)
+      rel.Catalog.partitions
+  in
+  match Catalog.relation_of_segment r.cat seg_id with
+  | Some rel -> cat_partitions rel
+  | None -> []
+
+let ensure_segment r seg_id =
+  List.iter
+    (fun (d : Catalog.partition_desc) -> ensure_partition r d.Catalog.part)
+    (partitions_of_segment r seg_id)
+
+(* -- the background sweep (§2.5) ------------------------------------------- *)
+
+let all_partition_descs r =
+  let acc = ref [] in
+  Catalog.iter_relations (fun rel -> acc := rel.Catalog.partitions @ !acc) r.cat;
+  !acc
+
+let resident_fraction r =
+  let descs = all_partition_descs r in
+  if descs = [] then 1.0
+  else
+    float_of_int (List.length (List.filter (fun d -> d.Catalog.resident) descs))
+    /. float_of_int (List.length descs)
+
+let background_step r =
+  let next =
+    List.find_opt (fun (d : Catalog.partition_desc) -> not d.Catalog.resident)
+      (List.sort
+         (fun (a : Catalog.partition_desc) b ->
+           Addr.compare_partition a.Catalog.part b.Catalog.part)
+         (all_partition_descs r))
+  in
+  match next with
+  | None -> false
+  | Some d ->
+      ensure_partition r d.Catalog.part;
+      true
+
+let sweep r = while background_step r do () done
+
+(* -- restart-time catalog bootstrap (§2.5) ---------------------------------- *)
+
+let restore_catalog env ~slt ~entries =
+  let cat_segment =
+    Segment.create ~id:Catalog.catalog_segment_id
+      ~partition_bytes:env.Recovery_env.partition_bytes
+  in
+  let catalog_seq = ref [] in
+  List.iter
+    (fun (e : Wellknown.entry) ->
+      (* Inline per-partition restore (catalog partitions only): image ∥ log. *)
+      let image = ref None and image_done = ref false in
+      if e.Wellknown.ckpt_page < 0 then image_done := true
+      else
+        Mrdb_hw.Disk.read_track (env.Recovery_env.ckpt_disk ())
+          ~first_page:e.Wellknown.ckpt_page ~pages:e.Wellknown.pages (fun data ->
+            (match Ckpt_image.decode data with
+            | Ok img -> image := Some img
+            | Error msg -> (
+                (* Checkpoint-disk media failure: fall back to the archive. *)
+                match env.Recovery_env.archiver with
+                | Some a -> (
+                    match Archive.latest_image a e.Wellknown.part with
+                    | Some img ->
+                        Trace.incr env.Recovery_env.trace "media_recoveries";
+                        image := Some img
+                    | None ->
+                        failwith ("Db.recover: catalog image lost, not archived: " ^ msg))
+                | None -> failwith ("Db.recover: corrupt catalog image: " ^ msg)));
+            image_done := true);
+      let records = ref [] and records_done = ref false in
+      Slt.records_for_recovery slt e.Wellknown.part (fun result ->
+          (match result with
+          | Ok rs -> records := rs
+          | Error msg -> failwith ("Db.recover: catalog log: " ^ msg));
+          records_done := true);
+      Recovery_env.pump_until env (fun () -> !image_done && !records_done);
+      let partition, watermark =
+        match !image with
+        | Some img -> (Partition.of_snapshot img.Ckpt_image.snapshot, img.Ckpt_image.watermark)
+        | None ->
+            ( Partition.create ~size:env.Recovery_env.partition_bytes
+                ~segment:Catalog.catalog_segment_id
+                ~partition:e.Wellknown.part.Addr.partition,
+              0 )
+      in
+      let max_seq = ref watermark in
+      List.iter
+        (fun (r : Log_record.t) ->
+          if r.Log_record.seq > watermark then Part_op.apply partition r.Log_record.op;
+          if r.Log_record.seq > !max_seq then max_seq := r.Log_record.seq)
+        !records;
+      catalog_seq := (e.Wellknown.part, !max_seq) :: !catalog_seq;
+      Segment.install cat_segment partition)
+    entries;
+  (cat_segment, !catalog_seq)
+
+let drop_uncatalogued_bins ~slt ~cat =
+  List.iter
+    (fun part ->
+      if Catalog.partition_desc cat part = None then Slt.drop_partition slt part)
+    (Slt.active_partitions slt)

@@ -1,0 +1,73 @@
+(** The restoring half of the recovery component (§2.5, §2.6).
+
+    Everything that brings partitions back into volatile memory after a
+    crash: reading checkpoint images (with transparent archive fallback on
+    media failure), replaying each partition's log-record stream above its
+    image watermark, restoring whole segments, the restart-time catalog
+    bootstrap from the well-known area, and the low-priority background
+    sweep that restores whatever transactions have not yet touched. *)
+
+open Mrdb_storage
+
+type t
+
+val create :
+  env:Recovery_env.t ->
+  slt:Mrdb_wal.Slt.t ->
+  cat:Catalog.t ->
+  seq:int Addr.Partition_table.t ->
+  segments:(int, Segment.t) Hashtbl.t ->
+  t
+(** [seq] and [segments] are the volatile per-partition sequence counters
+    and segment table shared with the transaction facade; restores update
+    both. *)
+
+val segment_of : t -> int -> Segment.t
+(** The segment runtime for [seg_id], creating it (and reserving all
+    catalogued partition numbers) on first touch. *)
+
+val ensure_partition : t -> Addr.partition -> unit
+(** Restore the partition if it is not memory-resident: checkpoint image
+    and log stream are fetched in parallel (different disks), records with
+    [seq > watermark] replayed in original order.
+    @raise Failure when the partition is not catalogued or its durable
+    state is unreadable and unarchived. *)
+
+val ensure_segment : t -> int -> unit
+(** Restore every catalogued partition of a segment. *)
+
+val partitions_of_segment : t -> int -> Catalog.partition_desc list
+
+val resident_fraction : t -> float
+(** Fraction of catalogued partitions currently memory-resident. *)
+
+val background_step : t -> bool
+(** Restore one more not-yet-resident partition (the paper's low-priority
+    background sweep); [false] when the database is fully resident. *)
+
+val sweep : t -> unit
+(** Drain the background sweep. *)
+
+val read_ckpt_image :
+  Recovery_env.t ->
+  part:Addr.partition ->
+  Catalog.partition_desc ->
+  (Mrdb_ckpt.Ckpt_image.t option -> unit) ->
+  unit
+(** Asynchronously read a partition's checkpoint image, falling back to
+    the newest archived copy when the checkpoint disk cannot produce a
+    valid one.  [None] means the partition has never been checkpointed. *)
+
+val restore_catalog :
+  Recovery_env.t ->
+  slt:Mrdb_wal.Slt.t ->
+  entries:Wellknown.entry list ->
+  Segment.t * (Addr.partition * int) list
+(** Restart-time bootstrap: restore each catalog partition named by the
+    well-known area into a fresh catalog segment.  Returns the segment and
+    each partition's recovered sequence watermark. *)
+
+val drop_uncatalogued_bins : slt:Mrdb_wal.Slt.t -> cat:Catalog.t -> unit
+(** Orphan bins: a crash between a [drop_relation]'s catalog commit and
+    its resource reclamation leaves bins whose partitions no longer exist;
+    finish the reclamation. *)

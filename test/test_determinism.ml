@@ -1,0 +1,101 @@
+(* Before/after determinism lock for the recovery-component extraction.
+
+   Runs a fixed-seed debit/credit workload (with a crash + recovery in the
+   middle) and asserts that the Trace counters and the simulated elapsed
+   time match the values captured on the seed tree, bit for bit.  Any
+   refactor of the recovery path that changes scheduling, instruction
+   accounting, or replay order shows up here as a counter or clock drift.
+
+   New counters introduced at module seams after the capture (the
+   [sorter_] / [restorer_] / [ckpt_deferred_] families) are excluded from
+   the golden comparison; they are asserted separately in
+   test_recovery.ml. *)
+
+open Mrdb_core
+
+let check = Alcotest.check
+
+(* Counters added by the recovery extraction, after the golden capture. *)
+let post_seed_counter name =
+  let prefixes = [ "sorter_"; "restorer_"; "ckpt_deferred_" ] in
+  List.exists
+    (fun p -> String.length name >= String.length p
+              && String.sub name 0 (String.length p) = p)
+    prefixes
+
+let run_scenario () =
+  let db = Db.create ~config:Config.small () in
+  let bank = Workload.Bank.setup db ~accounts:400 ~tellers:8 ~branches:2 () in
+  let rng = Mrdb_util.Rng.of_int 42 in
+  for _ = 1 to 300 do
+    Workload.Bank.run_debit_credit bank db ~rng
+  done;
+  Db.quiesce db;
+  Db.crash db;
+  Db.recover db;
+  for _ = 1 to 100 do
+    Workload.Bank.run_debit_credit bank db ~rng
+  done;
+  Db.quiesce db;
+  Db.checkpoint_all db;
+  Db.quiesce db;
+  let counters =
+    List.filter
+      (fun (name, _) -> not (post_seed_counter name))
+      (Mrdb_sim.Trace.counters (Db.trace db))
+  in
+  (counters, Mrdb_sim.Sim.now (Db.sim db))
+
+(* Golden values captured on the seed tree (pre-refactor), printed by
+   running this file with MRDB_DETERMINISM_CAPTURE=1. *)
+let golden_counters =
+  [
+    ("checkpoints", 174);
+    ("ckpt_req_age", 5);
+    ("ckpt_req_update_count", 157);
+    ("commits", 410);
+    ("crashes", 1);
+    ("indices_created", 1);
+    ("log_records", 4836);
+    ("partitions_recovered", 30);
+    ("recoveries", 1);
+    ("recovery_records_applied", 73);
+    ("relations_created", 4);
+  ]
+
+let golden_elapsed_us = 0x1.98e23p+21
+
+let capture () =
+  let counters, elapsed = run_scenario () in
+  Printf.printf "let golden_counters = [\n";
+  List.iter (fun (n, c) -> Printf.printf "  (%S, %d);\n" n c) counters;
+  Printf.printf "]\n\nlet golden_elapsed_us = %h\n" elapsed
+
+let test_counters_and_clock () =
+  let counters, elapsed = run_scenario () in
+  check
+    Alcotest.(list (pair string int))
+    "trace counters identical to seed capture" golden_counters counters;
+  check (Alcotest.float 0.0) "simulated elapsed time identical to seed capture"
+    golden_elapsed_us elapsed
+
+let test_scenario_repeatable () =
+  (* The scenario itself must be deterministic for the golden lock to mean
+     anything: two fresh runs agree exactly. *)
+  let c1, e1 = run_scenario () in
+  let c2, e2 = run_scenario () in
+  check Alcotest.(list (pair string int)) "counters repeatable" c1 c2;
+  check (Alcotest.float 0.0) "clock repeatable" e1 e2
+
+let () =
+  if Sys.getenv_opt "MRDB_DETERMINISM_CAPTURE" <> None then capture ()
+  else
+    Alcotest.run "determinism"
+      [
+        ( "debit_credit",
+          [
+            Alcotest.test_case "repeatable" `Quick test_scenario_repeatable;
+            Alcotest.test_case "matches seed capture" `Quick
+              test_counters_and_clock;
+          ] );
+      ]

@@ -63,6 +63,33 @@ let test_wellknown_survives_first_copy_corruption () =
   | None -> Alcotest.fail "duplicate copy should survive"
   | Some loaded -> check int_t "entries from duplicate" 2 (List.length loaded)
 
+let test_wellknown_survives_second_copy_corruption () =
+  let mem, layout = mk_layout () in
+  Mrdb_recovery.Wellknown.store layout entries;
+  (* Smash the duplicate; the primary copy must still load. *)
+  let off = Mrdb_wal.Stable_layout.wellknown_off layout in
+  let half = small_config.Mrdb_wal.Stable_layout.wellknown_bytes / 2 in
+  Mrdb_hw.Stable_mem.fill mem ~off:(off + half) ~len:64 '\xFF';
+  match Mrdb_recovery.Wellknown.load layout with
+  | None -> Alcotest.fail "primary copy should survive"
+  | Some loaded -> check int_t "entries from primary" 2 (List.length loaded)
+
+let test_wellknown_crc_detects_bit_rot () =
+  (* A single flipped byte inside the first copy's payload must fail its
+     CRC and route the load to the duplicate. *)
+  let mem, layout = mk_layout () in
+  Mrdb_recovery.Wellknown.store layout entries;
+  let off = Mrdb_wal.Stable_layout.wellknown_off layout in
+  let b = Mrdb_hw.Stable_mem.read mem ~off:(off + 8) ~len:1 in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+  Mrdb_hw.Stable_mem.write mem ~off:(off + 8) b;
+  match Mrdb_recovery.Wellknown.load layout with
+  | None -> Alcotest.fail "duplicate copy should survive bit rot"
+  | Some loaded ->
+      check int_t "entries" 2 (List.length loaded);
+      check int_t "payload intact" 17
+        (List.hd loaded).Mrdb_recovery.Wellknown.ckpt_page
+
 let test_wellknown_both_copies_corrupt () =
   let mem, layout = mk_layout () in
   Mrdb_recovery.Wellknown.store layout entries;
@@ -89,6 +116,66 @@ let test_wellknown_too_large () =
   Alcotest.check_raises "exceeds region"
     (Invalid_argument "Wellknown.store: entry list exceeds well-known region")
     (fun () -> Mrdb_recovery.Wellknown.store layout many)
+
+(* -- recovery-component seam counters ---------------------------------------- *)
+
+(* The extracted subsystem traces its own activity at each seam:
+   Log_sorter bumps "sorter_drain_calls", Restorer bumps
+   "restorer_partitions_restored", Ckpt_mgr bumps "ckpt_deferred_lock_held". *)
+
+open Mrdb_core
+
+let seam_count db name = Mrdb_sim.Trace.count (Db.trace db) name
+
+let mk_seam_db () =
+  let db = Db.create ~config:Config.small () in
+  Db.create_relation db ~name:"t" ~schema:(Schema.of_list [ ("k", Schema.Int) ]);
+  db
+
+let test_sorter_drain_counter () =
+  let db = mk_seam_db () in
+  (* DDL already drained; every commit drains again. *)
+  let before = seam_count db "sorter_drain_calls" in
+  check bool_t "bootstrap + DDL drained" true (before > 0);
+  Db.with_txn db (fun tx ->
+      ignore (Db.insert db tx ~rel:"t" [| Schema.int 1 |]));
+  check bool_t "commit drains" true (seam_count db "sorter_drain_calls" > before)
+
+let test_restorer_partitions_counter () =
+  let db = mk_seam_db () in
+  Db.with_txn db (fun tx ->
+      for i = 1 to 40 do
+        ignore (Db.insert db tx ~rel:"t" [| Schema.int i |])
+      done);
+  Db.checkpoint_all db;
+  Db.quiesce db;
+  check int_t "no restores before crash" 0
+    (seam_count db "restorer_partitions_restored");
+  Db.crash db;
+  Db.recover db;
+  Db.with_txn db (fun tx -> ignore (Db.scan db tx ~rel:"t"));
+  let restored = seam_count db "restorer_partitions_restored" in
+  check bool_t "on-demand restores counted" true (restored > 0);
+  (* The pre-existing aggregate counter and the new seam counter agree. *)
+  check int_t "agrees with partitions_recovered" restored
+    (Mrdb_sim.Trace.count (Db.trace db) "partitions_recovered")
+
+let test_ckpt_deferred_counter () =
+  let db = mk_seam_db () in
+  let tx = Db.begin_txn db in
+  let addr = Db.insert db tx ~rel:"t" [| Schema.int 1 |] in
+  (* The open transaction holds IX on the relation, so the checkpoint's
+     S lock is refused and the request is deferred, not run. *)
+  let part = Db.partition_of_addr db ~rel:"t" addr in
+  check int_t "counter starts at zero" 0 (seam_count db "ckpt_deferred_lock_held");
+  (try
+     Db.checkpoint_partition db part;
+     Alcotest.fail "checkpoint should defer under a held lock"
+   with Db.Aborted _ -> ());
+  check int_t "deferral counted" 1 (seam_count db "ckpt_deferred_lock_held");
+  Db.commit db tx;
+  Db.checkpoint_partition db part;
+  check int_t "no further deferrals" 1 (seam_count db "ckpt_deferred_lock_held")
 
 (* -- analysis models -------------------------------------------------------- *)
 
@@ -193,9 +280,19 @@ let () =
           Alcotest.test_case "fresh memory" `Quick test_wellknown_empty_memory;
           Alcotest.test_case "survives first-copy corruption" `Quick
             test_wellknown_survives_first_copy_corruption;
+          Alcotest.test_case "survives second-copy corruption" `Quick
+            test_wellknown_survives_second_copy_corruption;
+          Alcotest.test_case "crc detects bit rot" `Quick test_wellknown_crc_detects_bit_rot;
           Alcotest.test_case "both copies corrupt" `Quick test_wellknown_both_copies_corrupt;
           Alcotest.test_case "overwrite" `Quick test_wellknown_overwrite;
           Alcotest.test_case "too large" `Quick test_wellknown_too_large;
+        ] );
+      ( "seam counters",
+        [
+          Alcotest.test_case "sorter_drain_calls" `Quick test_sorter_drain_counter;
+          Alcotest.test_case "restorer_partitions_restored" `Quick
+            test_restorer_partitions_counter;
+          Alcotest.test_case "ckpt_deferred_lock_held" `Quick test_ckpt_deferred_counter;
         ] );
       ( "log_model",
         [
