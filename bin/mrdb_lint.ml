@@ -1,0 +1,30 @@
+(* mrdb_lint driver: lint one or more lib/ trees, print file:line:col
+   diagnostics with the violated rule and paper clause, exit non-zero on
+   any violation.  Wired to `dune build @lint` and the CI lint job. *)
+
+let usage = "usage: mrdb_lint [LIB_DIR ...]  (default: lib)"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (match args with
+  | [ ("-h" | "-help" | "--help") ] ->
+      print_endline usage;
+      exit 0
+  | _ -> ());
+  let lib_dirs = if args = [] then [ "lib" ] else args in
+  let missing = List.filter (fun d -> not (Sys.file_exists d)) lib_dirs in
+  (match missing with
+  | [] -> ()
+  | d :: _ ->
+      Printf.eprintf "mrdb_lint: no such directory: %s\n%s\n" d usage;
+      exit 2);
+  let diags = List.concat_map (fun lib_dir -> Mrdb_lint.Engine.lint ~lib_dir) lib_dirs in
+  List.iter (fun d -> print_endline (Mrdb_lint.Diag.to_string d)) diags;
+  match diags with
+  | [] ->
+      Printf.printf "mrdb_lint: %s clean (R1 wild-write, R2 layering, R3 partiality, R4 sealed interfaces)\n"
+        (String.concat " " lib_dirs)
+  | _ ->
+      Printf.printf "mrdb_lint: %d violation%s\n" (List.length diags)
+        (if List.length diags = 1 then "" else "s");
+      exit 1

@@ -6,12 +6,12 @@ let worst_case (p : Params.t) ~records_per_s =
   /. float_of_int p.Params.s_log_page
 
 let mixed p ~records_per_s ~f_update =
-  if f_update < 0.0 || f_update > 1.0 then invalid_arg "Ckpt_model.mixed";
+  if f_update < 0.0 || f_update > 1.0 then Mrdb_util.Fatal.misuse "Ckpt_model.mixed";
   (f_update *. best_case p ~records_per_s)
   +. ((1.0 -. f_update) *. worst_case p ~records_per_s)
 
 let checkpoint_load_fraction p ~records_per_txn ~f_update =
-  if records_per_txn < 1 then invalid_arg "Ckpt_model.checkpoint_load_fraction";
+  if records_per_txn < 1 then Mrdb_util.Fatal.misuse "Ckpt_model.checkpoint_load_fraction";
   (* Both the transaction rate and the checkpoint rate are proportional to
      the logging rate, so the fraction is rate-independent. *)
   let records_per_s = 1.0 in

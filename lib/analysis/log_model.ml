@@ -37,7 +37,7 @@ let records_logged_per_s p =
   bytes_logged_per_s p /. float_of_int p.Params.s_log_record
 
 let txn_rate p ~records_per_txn =
-  if records_per_txn < 1 then invalid_arg "Log_model.txn_rate";
+  if records_per_txn < 1 then Mrdb_util.Fatal.misuse "Log_model.txn_rate";
   records_logged_per_s p /. float_of_int records_per_txn
 
 let graph1 ~record_sizes ~page_sizes p =

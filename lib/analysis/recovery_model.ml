@@ -47,7 +47,7 @@ type comparison = {
 }
 
 let compare_levels (p : Params.t) ~n_partitions ?log_records_per_partition () =
-  if n_partitions < 1 then invalid_arg "Recovery_model.compare_levels";
+  if n_partitions < 1 then Mrdb_util.Fatal.misuse "Recovery_model.compare_levels";
   let one = partition_recovery p ?log_records:log_records_per_partition () in
   (* Database-level recovery reads every image and every log page before
      transactions resume.  The two disks still stream in parallel, but

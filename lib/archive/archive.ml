@@ -51,7 +51,7 @@ let latest_image t part =
     | Tape.Ckpt_image { part = p; image; _ } :: _ when Addr.equal_partition p part -> (
         match Mrdb_ckpt.Ckpt_image.decode image with
         | Ok img -> Some img
-        | Error e -> failwith ("Archive: corrupt archived image: " ^ e))
+        | Error e -> Mrdb_util.Fatal.invariant ~mod_:"Archive" ("corrupt archived image: " ^ e))
     | _ :: rest -> find rest
   in
   find t.tape.Tape.records

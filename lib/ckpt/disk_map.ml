@@ -5,7 +5,7 @@ type t = {
 }
 
 let create ~capacity_pages =
-  if capacity_pages < 1 then invalid_arg "Disk_map.create";
+  if capacity_pages < 1 then Mrdb_util.Fatal.misuse "Disk_map.create";
   { used = Mrdb_util.Bitset.create capacity_pages; head = 0; used_count = 0 }
 
 let capacity_pages t = Mrdb_util.Bitset.length t.used
@@ -17,7 +17,7 @@ let is_used t ~page = Mrdb_util.Bitset.mem t.used page
 (* Scan from the head, wrapping once, for [pages] contiguous free pages.
    Runs never wrap the physical end of the disk. *)
 let allocate t ~pages =
-  if pages < 1 then invalid_arg "Disk_map.allocate";
+  if pages < 1 then Mrdb_util.Fatal.misuse "Disk_map.allocate";
   let cap = capacity_pages t in
   if pages > cap - t.used_count then None
   else begin
@@ -57,7 +57,7 @@ let allocate t ~pages =
 let release t ~page ~pages =
   for i = page to page + pages - 1 do
     if not (Mrdb_util.Bitset.mem t.used i) then
-      invalid_arg (Printf.sprintf "Disk_map.release: page %d not allocated" i)
+      Mrdb_util.Fatal.misuse (Printf.sprintf "Disk_map.release: page %d not allocated" i)
   done;
   for i = page to page + pages - 1 do
     Mrdb_util.Bitset.clear t.used i
@@ -67,7 +67,7 @@ let release t ~page ~pages =
 let mark_used t ~page ~pages =
   for i = page to page + pages - 1 do
     if Mrdb_util.Bitset.mem t.used i then
-      invalid_arg (Printf.sprintf "Disk_map.mark_used: page %d already used" i)
+      Mrdb_util.Fatal.misuse (Printf.sprintf "Disk_map.mark_used: page %d already used" i)
   done;
   for i = page to page + pages - 1 do
     Mrdb_util.Bitset.set t.used i

@@ -73,19 +73,19 @@ let small =
 
 let validate t =
   let cfg = t.stable in
-  if t.partition_bytes < 256 then invalid_arg "Config: partition_bytes too small";
+  if t.partition_bytes < 256 then Mrdb_util.Fatal.misuse "Config: partition_bytes too small";
   let image_pages =
     (t.partition_bytes + 64 + cfg.Mrdb_wal.Stable_layout.log_page_bytes - 1)
     / cfg.Mrdb_wal.Stable_layout.log_page_bytes
   in
   if image_pages > t.ckpt_disk_pages then
-    invalid_arg "Config: checkpoint disk cannot hold a single partition image";
+    Mrdb_util.Fatal.misuse "Config: checkpoint disk cannot hold a single partition image";
   if t.log_window_pages < 2 * cfg.Mrdb_wal.Stable_layout.dir_size then
-    invalid_arg "Config: log window too small for directory spans";
+    Mrdb_util.Fatal.misuse "Config: log window too small for directory spans";
   (match t.commit_mode with
-  | Group n when n < 1 -> invalid_arg "Config: group size must be >= 1"
+  | Group n when n < 1 -> Mrdb_util.Fatal.misuse "Config: group size must be >= 1"
   | Group _ | Instant | Disk_force -> ());
-  if t.n_update < 1 then invalid_arg "Config: n_update must be >= 1";
+  if t.n_update < 1 then Mrdb_util.Fatal.misuse "Config: n_update must be >= 1";
   (* Index node records must fit a log page and an SLB block. *)
   let record_overhead = 32 in
   let max_node =
@@ -99,14 +99,14 @@ let validate t =
       ~dir_size:cfg.Mrdb_wal.Stable_layout.dir_size
   in
   if max_node + record_overhead > payload then
-    invalid_arg "Config: index node records exceed log page capacity";
+    Mrdb_util.Fatal.misuse "Config: index node records exceed log page capacity";
   if max_node + record_overhead > cfg.Mrdb_wal.Stable_layout.slb_block_bytes - 16 then
-    invalid_arg "Config: index node records exceed SLB block capacity";
+    Mrdb_util.Fatal.misuse "Config: index node records exceed SLB block capacity";
   if max_node + 64 > t.partition_bytes then
-    invalid_arg "Config: index nodes exceed partition size";
+    Mrdb_util.Fatal.misuse "Config: index nodes exceed partition size";
   (* Every active partition needs a page buffer (§2.3.3); the pool must
      cover the whole bin table plus in-flight slack. *)
   if
     cfg.Mrdb_wal.Stable_layout.page_pool_count
     < cfg.Mrdb_wal.Stable_layout.bin_count + 8
-  then invalid_arg "Config: page pool smaller than bin table + in-flight slack"
+  then Mrdb_util.Fatal.misuse "Config: page pool smaller than bin table + in-flight slack"

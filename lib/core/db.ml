@@ -244,7 +244,7 @@ let update_field t tx ~rel addr ~column value =
   ensure_partition (ctx t) (Addr.partition_of addr);
   let col =
     try Schema.column_index rt.desc.Catalog.schema column
-    with Not_found -> invalid_arg ("Db.update_field: unknown column " ^ column)
+    with Not_found -> Mrdb_util.Fatal.misuse ("Db.update_field: unknown column " ^ column)
   in
   acquire t v tx (Lock_mgr.Relation rt.desc.Catalog.rel_id) Lock_mgr.IX;
   acquire t v tx (Lock_mgr.Entity addr) Lock_mgr.X;
@@ -281,7 +281,7 @@ let lookup t tx ~rel ~index key =
       acquire t v tx (Lock_mgr.Entity addr) Lock_mgr.S;
       match Relation.read rt.relation addr with
       | Some tuple -> (addr, tuple)
-      | None -> failwith "Db.lookup: dangling index entry")
+      | None -> Mrdb_util.Fatal.invariant ~mod_:"Db" "lookup: dangling index entry")
     addrs
 
 let range t tx ~rel ~index ~lo ~hi =
@@ -291,7 +291,7 @@ let range t tx ~rel ~index ~lo ~hi =
   acquire t v tx (Lock_mgr.Relation rt.desc.Catalog.rel_id) Lock_mgr.S;
   match find_index rt index with
   | _, Tt tree -> Mrdb_index.T_tree.range tree ~lo ~hi
-  | _, Lh _ -> invalid_arg "Db.range: hash indices do not support range scans"
+  | _, Lh _ -> Mrdb_util.Fatal.misuse "Db.range: hash indices do not support range scans"
 
 let scan t tx ~rel =
   let v = vol t in
@@ -350,7 +350,7 @@ let recover_everything t =
   Restorer.sweep (restorer (ctx t))
 
 let recover ?mode t =
-  if t.vol <> None then invalid_arg "Db.recover: not crashed";
+  if t.vol <> None then Mrdb_util.Fatal.misuse "Db.recover: not crashed";
   let mode = Option.value mode ~default:t.cfg.Config.recovery_mode in
   let started = Sim.now t.sim in
   (* Re-attach the stable layout and rebuild the recovery component's

@@ -92,7 +92,7 @@ let create_index ctx v ~rel ~name ~kind ~key_column =
   ensure_rel_resident ctx v rt;
   let key_column_idx =
     try Schema.column_index rt.desc.Catalog.schema key_column
-    with Not_found -> invalid_arg ("Db.create_index: unknown column " ^ key_column)
+    with Not_found -> Mrdb_util.Fatal.misuse ("Db.create_index: unknown column " ^ key_column)
   in
   with_system_txn ctx v (fun sink ->
       let idx, seg_id =

@@ -12,7 +12,7 @@ type op = Db.t -> Db.txn -> unit
 
 let run ~db ~clients ~duration_us ?(think_us = 1000.0) ?(op_cost_instr = 1500)
     ?(max_retries = 10) ?(seed = 1) ~make_txn () =
-  if clients < 1 then invalid_arg "Sim_exec.run: clients";
+  if clients < 1 then Mrdb_util.Fatal.misuse "Sim_exec.run: clients";
   let sim = Db.sim db in
   let cpu = Db.main_cpu db in
   let stop_at = Sim.now sim +. duration_us in

@@ -75,7 +75,7 @@ module Bank = struct
 
   let bump db tx ~rel addr ~column delta =
     match Db.read db tx ~rel addr with
-    | None -> failwith "Workload.Bank: missing row"
+    | None -> Mrdb_util.Fatal.invariant ~mod_:"Workload" "Bank: missing row"
     | Some tup ->
         let schema =
           match rel with

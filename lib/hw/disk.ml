@@ -55,7 +55,7 @@ type t = {
 }
 
 let create ?(name = "disk") sim ~params ~capacity_pages =
-  if capacity_pages <= 0 then invalid_arg "Disk.create: capacity";
+  if capacity_pages <= 0 then Mrdb_util.Fatal.misuse "Disk.create: capacity";
   {
     sim;
     name;
@@ -77,7 +77,7 @@ let capacity_pages t = Array.length t.store
 
 let check_page t page =
   if page < 0 || page >= Array.length t.store then
-    invalid_arg (Printf.sprintf "%s: page %d out of range" t.name page)
+    Mrdb_util.Fatal.misuse (Printf.sprintf "%s: page %d out of range" t.name page)
 
 (* Positioning cost to reach [page] given the head's last position.  An
    interleaved disk reaches the logically-next sector after one sector pass
@@ -163,7 +163,7 @@ let submit t op =
 let write_page t ~page data k =
   check_page t page;
   if Bytes.length data <> t.params.page_bytes then
-    invalid_arg (Printf.sprintf "%s: write_page size %d <> page size %d" t.name
+    Mrdb_util.Fatal.misuse (Printf.sprintf "%s: write_page size %d <> page size %d" t.name
                    (Bytes.length data) t.params.page_bytes);
   submit t (Write { page; data = Bytes.copy data; k })
 
@@ -174,15 +174,15 @@ let read_page t ~page k =
 let write_track t ~first_page data k =
   check_page t first_page;
   if Bytes.length data mod t.params.page_bytes <> 0 then
-    invalid_arg (t.name ^ ": write_track size not a page multiple");
+    Mrdb_util.Fatal.misuse (t.name ^ ": write_track size not a page multiple");
   let pages = Bytes.length data / t.params.page_bytes in
-  if pages = 0 then invalid_arg (t.name ^ ": write_track empty");
+  if pages = 0 then Mrdb_util.Fatal.misuse (t.name ^ ": write_track empty");
   check_page t (first_page + pages - 1);
   submit t (Write_track { first_page; data = Bytes.copy data; k })
 
 let read_track t ~first_page ~pages k =
   check_page t first_page;
-  if pages <= 0 then invalid_arg (t.name ^ ": read_track pages");
+  if pages <= 0 then Mrdb_util.Fatal.misuse (t.name ^ ": read_track pages");
   check_page t (first_page + pages - 1);
   submit t (Read_track { first_page; pages; k })
 

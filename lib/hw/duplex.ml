@@ -1,3 +1,5 @@
+exception Both_mirrors_failed of { op : string; page : int }
+
 type t = {
   a : Disk.t;
   b : Disk.t;
@@ -21,7 +23,7 @@ let page_bytes t = (Disk.params t.a).Disk.page_bytes
 let write_page t ~page data k =
   (* Completion requires both mirrors (a failed mirror is skipped). *)
   match (t.a_failed, t.b_failed) with
-  | true, true -> failwith "Duplex.write_page: both mirrors failed"
+  | true, true -> raise (Both_mirrors_failed { op = "write_page"; page })
   | true, false -> Disk.write_page t.b ~page data k
   | false, true -> Disk.write_page t.a ~page data k
   | false, false ->
@@ -36,7 +38,7 @@ let write_page t ~page data k =
 let read_page t ~page k =
   if not t.a_failed then Disk.read_page t.a ~page k
   else if not t.b_failed then Disk.read_page t.b ~page k
-  else failwith "Duplex.read_page: both mirrors failed"
+  else raise (Both_mirrors_failed { op = "read_page"; page })
 
 let fail_primary t = t.a_failed <- true
 let fail_mirror t = t.b_failed <- true

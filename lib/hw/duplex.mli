@@ -6,6 +6,10 @@
     transparently.  Failing both mirrors makes reads raise — media loss is
     the archive-recovery case, out of scope per §2.6. *)
 
+exception Both_mirrors_failed of { op : string; page : int }
+(** Both mirrors have suffered media failure: unrecoverable without the
+    archive (§2.6). *)
+
 type t
 
 val create : ?name:string -> Mrdb_sim.Sim.t -> params:Disk.params -> capacity_pages:int -> t

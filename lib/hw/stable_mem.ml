@@ -6,7 +6,7 @@ type t = {
 }
 
 let create ?(slowdown = 4.0) ~size () =
-  if size <= 0 then invalid_arg "Stable_mem.create: size";
+  if size <= 0 then Mrdb_util.Fatal.misuse "Stable_mem.create: size";
   { data = Bytes.make size '\000'; slowdown; bytes_read = 0; bytes_written = 0 }
 
 let size t = Bytes.length t.data
@@ -14,7 +14,7 @@ let slowdown t = t.slowdown
 
 let check t off len =
   if off < 0 || len < 0 || off + len > size t then
-    invalid_arg
+    Mrdb_util.Fatal.misuse
       (Printf.sprintf "Stable_mem: access [%d, %d) outside [0, %d)" off
          (off + len) (size t))
 
@@ -75,7 +75,7 @@ module Blocks = struct
   }
 
   let create mem ~region_off ~block_bytes ~count =
-    if block_bytes <= 0 || count <= 0 then invalid_arg "Stable_mem.Blocks.create";
+    if block_bytes <= 0 || count <= 0 then Mrdb_util.Fatal.misuse "Stable_mem.Blocks.create";
     check mem region_off (block_bytes * count);
     {
       mem;
@@ -99,11 +99,11 @@ module Blocks = struct
 
   let free a i =
     if not (Mrdb_util.Bitset.mem a.used i) then
-      invalid_arg "Stable_mem.Blocks.free: block not allocated";
+      Mrdb_util.Fatal.misuse "Stable_mem.Blocks.free: block not allocated";
     Mrdb_util.Bitset.clear a.used i
 
   let offset_of_block a i =
-    if i < 0 || i >= count a then invalid_arg "Stable_mem.Blocks.offset_of_block";
+    if i < 0 || i >= count a then Mrdb_util.Fatal.misuse "Stable_mem.Blocks.offset_of_block";
     a.region_off + (i * a.block_bytes)
 
   let is_allocated a i = Mrdb_util.Bitset.mem a.used i

@@ -7,7 +7,7 @@ let segment t = t.segment
 
 let alloc t ~log data =
   match Segment.insert_entity t.segment data with
-  | None -> failwith "Entity_io.alloc: component exceeds partition size"
+  | None -> Mrdb_util.Fatal.invariant ~mod_:"Entity_io" "alloc: component exceeds partition size"
   | Some addr ->
       let redo = Part_op.Insert { slot = addr.Addr.slot; data } in
       log (Addr.partition_of addr) ~redo ~undo:(Part_op.undo_of ~before:None redo);
@@ -22,7 +22,7 @@ let write t ~log addr data =
   let before = read t addr in
   (match Segment.update_entity t.segment addr data with
   | () -> ()
-  | exception Failure _ ->
+  | exception Partition.No_space _ ->
       (* Index components are small and uniform; running out of room in a
          partition that already holds the component means the partition is
          pathologically full — relocate via delete + insert is not possible

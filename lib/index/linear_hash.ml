@@ -58,7 +58,7 @@ let type_of_tag = function
   | 0 -> Schema.Int
   | 1 -> Schema.Float
   | 2 -> Schema.Str
-  | n -> failwith (Printf.sprintf "Linear_hash: bad key type tag %d" n)
+  | n -> Mrdb_util.Fatal.invariantf ~mod_:"Linear_hash" "bad key type tag %d" n
 
 let encode_state t =
   let open Mrdb_util.Codec.Enc in
@@ -166,10 +166,10 @@ let default_node_capacity = 8
 
 let create ~segment ~log ~key_type ?(node_capacity = default_node_capacity)
     ?(initial_buckets = 4) ?(max_load = 0.75) () =
-  if node_capacity < 1 then invalid_arg "Linear_hash.create: node_capacity";
+  if node_capacity < 1 then Mrdb_util.Fatal.misuse "Linear_hash.create: node_capacity";
   if initial_buckets < 1 || initial_buckets land (initial_buckets - 1) <> 0 then
-    invalid_arg "Linear_hash.create: initial_buckets must be a power of two";
-  if max_load <= 0.0 then invalid_arg "Linear_hash.create: max_load";
+    Mrdb_util.Fatal.misuse "Linear_hash.create: initial_buckets must be a power of two";
+  if max_load <= 0.0 then Mrdb_util.Fatal.misuse "Linear_hash.create: max_load";
   let io = Entity_io.create ~segment in
   let t =
     {
@@ -261,17 +261,17 @@ let maybe_split t ~log =
 
 let insert t ~log key tuple_addr =
   if not (Schema.value_matches t.key_type key) then
-    invalid_arg "Linear_hash.insert: key type mismatch";
+    Mrdb_util.Fatal.misuse "Linear_hash.insert: key type mismatch";
   let bucket = bucket_of_key t key in
   if chain_mem t bucket key tuple_addr then
-    invalid_arg "Linear_hash.insert: duplicate entry";
+    Mrdb_util.Fatal.misuse "Linear_hash.insert: duplicate entry";
   insert_raw t ~log bucket (key, tuple_addr);
   t.count <- t.count + 1;
   maybe_split t ~log
 
 let delete t ~log key tuple_addr =
   if not (Schema.value_matches t.key_type key) then
-    invalid_arg "Linear_hash.delete: key type mismatch";
+    Mrdb_util.Fatal.misuse "Linear_hash.delete: key type mismatch";
   let bucket = bucket_of_key t key in
   let rec walk prev addr =
     if Addr.is_null addr then false
@@ -307,7 +307,7 @@ let delete t ~log key tuple_addr =
 
 let lookup t key =
   if not (Schema.value_matches t.key_type key) then
-    invalid_arg "Linear_hash.lookup: key type mismatch";
+    Mrdb_util.Fatal.misuse "Linear_hash.lookup: key type mismatch";
   let bucket = bucket_of_key t key in
   let acc = ref [] in
   iter_chain t bucket (fun n ->
@@ -365,7 +365,7 @@ let attach ~segment =
   let b = Entity_io.read io state_addr in
   let open Mrdb_util.Codec.Dec in
   let dec = of_bytes b in
-  if u8 dec <> magic_byte then failwith "Linear_hash: bad state magic";
+  if u8 dec <> magic_byte then Mrdb_util.Fatal.invariant ~mod_:"Linear_hash" "bad state magic";
   let key_type = type_of_tag (u8 dec) in
   let node_capacity = varint dec in
   let initial_buckets = varint dec in
@@ -395,7 +395,7 @@ let invalidate_cache t =
   let b = Entity_io.read t.io t.state_addr in
   let open Mrdb_util.Codec.Dec in
   let dec = of_bytes b in
-  if u8 dec <> magic_byte then failwith "Linear_hash: bad state magic";
+  if u8 dec <> magic_byte then Mrdb_util.Fatal.invariant ~mod_:"Linear_hash" "bad state magic";
   ignore (u8 dec);
   ignore (varint dec);
   ignore (varint dec);
@@ -407,7 +407,7 @@ let invalidate_cache t =
 (* -- invariants ------------------------------------------------------------ *)
 
 let check_invariants t =
-  let fail fmt = Format.kasprintf failwith fmt in
+  let fail fmt = Format.kasprintf (Mrdb_util.Fatal.invariant ~mod_:"Linear_hash") fmt in
   let seen = Addr.Table.create 64 in
   let total = ref 0 in
   for bucket = 0 to bucket_count t - 1 do

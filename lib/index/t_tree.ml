@@ -30,7 +30,7 @@ let type_of_tag = function
   | 0 -> Schema.Int
   | 1 -> Schema.Float
   | 2 -> Schema.Str
-  | n -> failwith (Printf.sprintf "T_tree: bad key type tag %d" n)
+  | n -> Mrdb_util.Fatal.invariantf ~mod_:"T_tree" "bad key type tag %d" n
 
 let encode_state ~key_type ~max_items ~root =
   let open Mrdb_util.Codec.Enc in
@@ -44,7 +44,7 @@ let encode_state ~key_type ~max_items ~root =
 let decode_state b =
   let open Mrdb_util.Codec.Dec in
   let dec = of_bytes b in
-  if u8 dec <> magic_byte then failwith "T_tree: bad state magic";
+  if u8 dec <> magic_byte then Mrdb_util.Fatal.invariant ~mod_:"T_tree" "bad state magic";
   let key_type = type_of_tag (u8 dec) in
   let max_items = varint dec in
   let root = Addr.decode dec in
@@ -145,7 +145,7 @@ let find_pos n entry =
   match !found with Some i -> Ok i | None -> Error !lo
 
 let insert_sorted n entry =
-  let pos = match find_pos n entry with Ok _ -> invalid_arg "T_tree: duplicate entry" | Error p -> p in
+  let pos = match find_pos n entry with Ok _ -> Mrdb_util.Fatal.misuse "T_tree: duplicate entry" | Error p -> p in
   let len = Array.length n.items in
   let items = Array.make (len + 1) entry in
   Array.blit n.items 0 items 0 pos;
@@ -219,7 +219,7 @@ let rebalance t ~log addr =
 let default_max_items = 16
 
 let create ~segment ~log ~key_type ?(max_items = default_max_items) () =
-  if max_items < 2 then invalid_arg "T_tree.create: max_items < 2";
+  if max_items < 2 then Mrdb_util.Fatal.misuse "T_tree.create: max_items < 2";
   let io = Entity_io.create ~segment in
   let state_addr =
     Entity_io.alloc io ~log
@@ -270,7 +270,7 @@ let rec insert_subtree t ~log addr entry =
         n.right <- insert_subtree t ~log n.right entry;
         rebalance t ~log addr
       end
-    else if c_min = 0 || c_max = 0 then invalid_arg "T_tree: duplicate entry"
+    else if c_min = 0 || c_max = 0 then Mrdb_util.Fatal.misuse "T_tree: duplicate entry"
     else if Array.length n.items < t.max_items then begin
       (* Bounding node with room. *)
       insert_sorted n entry;
@@ -306,7 +306,7 @@ and insert_max_subtree t ~log addr entry =
 
 let insert t ~log key tuple_addr =
   if not (Schema.value_matches t.key_type key) then
-    invalid_arg "T_tree.insert: key type mismatch";
+    Mrdb_util.Fatal.misuse "T_tree.insert: key type mismatch";
   let root = insert_subtree t ~log t.root (key, tuple_addr) in
   set_root t ~log root;
   t.count <- t.count + 1
@@ -394,7 +394,7 @@ let rec delete_subtree t ~log addr entry found =
 
 let delete t ~log key tuple_addr =
   if not (Schema.value_matches t.key_type key) then
-    invalid_arg "T_tree.delete: key type mismatch";
+    Mrdb_util.Fatal.misuse "T_tree.delete: key type mismatch";
   let found = ref false in
   let root = delete_subtree t ~log t.root (key, tuple_addr) found in
   set_root t ~log root;
@@ -495,7 +495,7 @@ let invalidate_cache t =
 (* -- invariants ----------------------------------------------------------- *)
 
 let check_invariants t =
-  let fail fmt = Format.kasprintf failwith fmt in
+  let fail fmt = Format.kasprintf (Mrdb_util.Fatal.invariant ~mod_:"T_tree") fmt in
   let rec check addr =
     if Addr.is_null addr then (0, None, None)
     else begin
@@ -540,4 +540,4 @@ let check_invariants t =
   ignore (check t.root);
   let counted = ref 0 in
   iter (fun _ _ -> incr counted) t;
-  if !counted <> t.count then failwith "T_tree: cardinality drift"
+  if !counted <> t.count then Mrdb_util.Fatal.invariant ~mod_:"T_tree" "cardinality drift"

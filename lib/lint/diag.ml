@@ -1,0 +1,52 @@
+type rule = R1 | R2 | R3 | R4 | Parse_error
+
+type t = { rule : rule; file : string; line : int; col : int; msg : string }
+
+let rule_name = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | Parse_error -> "parse"
+
+let rule_title = function
+  | R1 -> "wild-write discipline"
+  | R2 -> "layering"
+  | R3 -> "partiality"
+  | R4 -> "sealed interfaces"
+  | Parse_error -> "unparseable source"
+
+let paper_clause = function
+  | R1 ->
+      "paper 2.2: stable memory is \"protected from wild or malicious "
+      ^ "stores\"; only the log components (mrdb_wal, recovery/wellknown.ml) "
+      ^ "may write it raw"
+  | R2 ->
+      "paper 2.3: the recovery CPU is separable from the main CPU; module "
+      ^ "references must follow the declared dependency order "
+      ^ "(util -> hw/sim -> wal/storage/txn/index -> ckpt/archive -> "
+      ^ "recovery -> core)"
+  | R3 ->
+      "recovery correctness: corruption-vs-bug must be structured and "
+      ^ "greppable; use Mrdb_util.Fatal (or a structured exception), never "
+      ^ "a bare partial function"
+  | R4 -> "architecture: every module under lib/ ships a sealed .mli interface"
+  | Parse_error -> "mrdb_lint cannot check what it cannot parse"
+
+let make ~rule ~file ~line ~col msg = { rule; file; line; col; msg }
+
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (rule_name a.rule) (rule_name b.rule)
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s %s] %s@,    (%s)" d.file d.line d.col
+    (rule_name d.rule) (rule_title d.rule) d.msg (paper_clause d.rule)
+
+let to_string d = Format.asprintf "@[<v>%a@]" pp d

@@ -1,0 +1,17 @@
+(** Lint diagnostics: a violated rule anchored at [file:line:col]. *)
+
+type rule = R1 | R2 | R3 | R4 | Parse_error
+
+type t = { rule : rule; file : string; line : int; col : int; msg : string }
+
+val rule_name : rule -> string
+val rule_title : rule -> string
+
+val paper_clause : rule -> string
+(** The paper clause (or architectural principle) the rule enforces,
+    printed with every diagnostic. *)
+
+val make : rule:rule -> file:string -> line:int -> col:int -> string -> t
+val compare_diag : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

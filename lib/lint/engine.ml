@@ -1,0 +1,214 @@
+(* Parse every .ml under a lib/ tree with compiler-libs and check the
+   declared rule set (see Rules).  The engine is purely syntactic: it never
+   typechecks, so it resolves only what the surface syntax shows — the head
+   module of each [Longident] reference.  That is exactly enough for the
+   architecture rules, because crossing a wrapped-library boundary always
+   names the library ([Mrdb_wal.Slt.accept], [open Mrdb_storage]): there is
+   no way to reach another library without the [Mrdb_*] head appearing. *)
+
+(* -- longident traversal --------------------------------------------------- *)
+
+(* [Longident.flatten] raises on functor application; this total version
+   skips those paths (a functor application cannot smuggle a banned
+   identifier or a raw stable-memory write — its pieces are still visited
+   as module expressions). *)
+let rec flatten_opt : Longident.t -> string list option = function
+  | Lident s -> Some [ s ]
+  | Ldot (p, s) -> (
+      match flatten_opt p with Some xs -> Some (xs @ [ s ]) | None -> None)
+  | Lapply _ -> None
+
+(* Visit every [Longident] reference and every [assert false] in a
+   structure.  The default iterator recurses everywhere; the overrides only
+   peel the identifier off the nodes that carry one. *)
+let iter_references ~on_lid ~on_assert_false (str : Parsetree.structure) =
+  let open Ast_iterator in
+  let expr sub (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident lid
+    | Pexp_construct (lid, _)
+    | Pexp_field (_, lid)
+    | Pexp_new lid ->
+        on_lid lid
+    | Pexp_setfield (_, lid, _) -> on_lid lid
+    | Pexp_record (fields, _) -> List.iter (fun (lid, _) -> on_lid lid) fields
+    | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+      ->
+        on_assert_false e.pexp_loc
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let pat sub (p : Parsetree.pattern) =
+    (match p.ppat_desc with
+    | Ppat_construct (lid, _) | Ppat_type lid | Ppat_open (lid, _) -> on_lid lid
+    | Ppat_record (fields, _) -> List.iter (fun (lid, _) -> on_lid lid) fields
+    | _ -> ());
+    default_iterator.pat sub p
+  in
+  let typ sub (t : Parsetree.core_type) =
+    (match t.ptyp_desc with
+    | Ptyp_constr (lid, _) | Ptyp_class (lid, _) -> on_lid lid
+    | _ -> ());
+    default_iterator.typ sub t
+  in
+  let module_expr sub (m : Parsetree.module_expr) =
+    (match m.pmod_desc with Pmod_ident lid -> on_lid lid | _ -> ());
+    default_iterator.module_expr sub m
+  in
+  let module_type sub (m : Parsetree.module_type) =
+    (match m.pmty_desc with
+    | Pmty_ident lid | Pmty_alias lid -> on_lid lid
+    | _ -> ());
+    default_iterator.module_type sub m
+  in
+  let it = { default_iterator with expr; pat; typ; module_expr; module_type } in
+  it.structure it str
+
+(* -- per-file checks -------------------------------------------------------- *)
+
+let pos_of (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+(* R1: does the reference path contain a mutating [Stable_mem] access?
+   Matches [Stable_mem.write] as well as [Mrdb_hw.Stable_mem.write] and the
+   post-[open Mrdb_hw] spelling. *)
+let rec stable_mem_mutation = function
+  | "Stable_mem" :: m :: _ when List.mem m Rules.stable_mem_mutators -> Some m
+  | _ :: rest -> stable_mem_mutation rest
+  | [] -> None
+
+let check_structure ~file ~rel str =
+  let dir = match String.index_opt rel '/' with
+    | Some i -> String.sub rel 0 i
+    | None -> ""
+  in
+  let own_lib = Rules.library_of_dir dir in
+  let diags = ref [] in
+  let add rule loc msg =
+    let line, col = pos_of loc in
+    diags := Diag.make ~rule ~file ~line ~col msg :: !diags
+  in
+  let check_r1 loc path =
+    if not (Rules.wild_write_allowed rel) then
+      match stable_mem_mutation path with
+      | Some m ->
+          add Diag.R1 loc
+            (Printf.sprintf
+               "raw stable-memory write Stable_mem.%s outside the log \
+                components; go through the SLB/SLT/partition-bin interfaces"
+               m)
+      | None -> ()
+  in
+  let check_r2 loc path =
+    match (own_lib, path) with
+    | Some own, head :: _
+      when String.length head > 5
+           && String.sub head 0 5 = "Mrdb_"
+           && String.lowercase_ascii head <> own -> (
+        let target = String.lowercase_ascii head in
+        match Rules.is_known_library target with
+        | false ->
+            add Diag.R2 loc
+              (Printf.sprintf
+                 "reference to %s, which is not in the declared library \
+                  order; add it to Rules.allowed_deps deliberately" head)
+        | true ->
+            if not (Rules.may_depend ~from:own ~target) then
+              add Diag.R2 loc
+                (Printf.sprintf
+                   "%s must not reference %s (violates the declared \
+                    dependency order)" own target))
+    | _ -> ()
+  in
+  let check_r3 loc path =
+    if not (Rules.partiality_allowed rel) then
+      match Rules.banned_ident path with
+      | Some name ->
+          add Diag.R3 loc
+            (Printf.sprintf
+               "bare %s; use Mrdb_util.Fatal.invariant/misuse or a \
+                structured exception" name)
+      | None -> ()
+  in
+  let on_lid (lid : Longident.t Location.loc) =
+    match flatten_opt lid.txt with
+    | None -> ()
+    | Some path ->
+        check_r1 lid.loc path;
+        check_r2 lid.loc path;
+        check_r3 lid.loc path
+  in
+  let on_assert_false loc =
+    if not (Rules.partiality_allowed rel) then
+      add Diag.R3 loc
+        "bare assert false; use Mrdb_util.Fatal.invariant so the broken \
+         invariant is tagged and greppable"
+  in
+  iter_references ~on_lid ~on_assert_false str;
+  List.rev !diags
+
+let parse_impl path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.implementation lexbuf)
+
+let lint_ml ~lib_dir ~rel =
+  let file = Filename.concat lib_dir rel in
+  match parse_impl file with
+  | exception exn ->
+      let line, col, detail =
+        match exn with
+        | Syntaxerr.Error e ->
+            let loc = Syntaxerr.location_of_error e in
+            let line, col = pos_of loc in
+            (line, col, "syntax error")
+        | Lexer.Error (_, loc) ->
+            let line, col = pos_of loc in
+            (line, col, "lexer error")
+        | _ -> (1, 0, Printexc.to_string exn)
+      in
+      [ Diag.make ~rule:Diag.Parse_error ~file ~line ~col detail ]
+  | str -> check_structure ~file ~rel str
+
+(* -- tree walk -------------------------------------------------------------- *)
+
+let list_dir path = List.sort String.compare (Array.to_list (Sys.readdir path))
+
+let rec collect ~lib_dir rel acc =
+  let abs = if rel = "" then lib_dir else Filename.concat lib_dir rel in
+  if Sys.is_directory abs then
+    List.fold_left
+      (fun acc name ->
+        collect ~lib_dir (if rel = "" then name else rel ^ "/" ^ name) acc)
+      acc (list_dir abs)
+  else rel :: acc
+
+let lint ~lib_dir =
+  let files = collect ~lib_dir "" [] in
+  let has rel = List.mem rel files in
+  let diags =
+    List.concat_map
+      (fun rel ->
+        if Filename.check_suffix rel ".ml" then begin
+          let sealed =
+            if has (Filename.remove_extension rel ^ ".mli") then []
+            else
+              [
+                Diag.make ~rule:Diag.R4
+                  ~file:(Filename.concat lib_dir rel)
+                  ~line:1 ~col:0
+                  (Printf.sprintf "%s has no matching .mli; seal the interface"
+                     (Filename.basename rel));
+              ]
+          in
+          sealed @ lint_ml ~lib_dir ~rel
+        end
+        else [])
+      files
+  in
+  List.sort Diag.compare_diag diags

@@ -1,0 +1,20 @@
+(** The mrdb_lint engine: parse sources with compiler-libs and enforce
+    the architecture rules declared in {!Rules}.
+
+    Purely syntactic — no typechecking.  Wrapped libraries make the head
+    module of every cross-library reference explicit ([Mrdb_wal.Slt.t],
+    [open Mrdb_storage]), which is all the layering and wild-write rules
+    need.  Known limitation: a local module alias
+    ([module S = Mrdb_hw.Stable_mem]) hides the subsequent uses from R1 —
+    the aliasing reference itself is still checked by R2. *)
+
+val lint_ml : lib_dir:string -> rel:string -> Diag.t list
+(** Lint one implementation file.  [rel] is the path relative to
+    [lib_dir] (e.g. ["wal/slt.ml"]); it determines the owning library and
+    the rule whitelists.  A file that does not parse yields a single
+    [Parse_error] diagnostic. *)
+
+val lint : lib_dir:string -> Diag.t list
+(** Walk [lib_dir] recursively, lint every [.ml], and check every one has
+    a matching [.mli] (rule R4).  Diagnostics are sorted by file, line,
+    column. *)

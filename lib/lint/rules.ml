@@ -1,0 +1,116 @@
+(* The declared architecture.  This table is the single place the rules
+   live; mrdb_lint enforces it against the sources, so editing a dune file
+   (or adding a library) without updating — and thereby re-reviewing — the
+   declared order is itself a violation. *)
+
+(* -- library universe ------------------------------------------------------ *)
+
+(* Directory under lib/ -> library name, mirroring the dune stanzas. *)
+let libraries =
+  [
+    ("util", "mrdb_util");
+    ("sim", "mrdb_sim");
+    ("hw", "mrdb_hw");
+    ("storage", "mrdb_storage");
+    ("index", "mrdb_index");
+    ("txn", "mrdb_txn");
+    ("wal", "mrdb_wal");
+    ("ckpt", "mrdb_ckpt");
+    ("analysis", "mrdb_analysis");
+    ("archive", "mrdb_archive");
+    ("recovery", "mrdb_recovery");
+    ("core", "mrdb_core");
+    ("lint", "mrdb_lint");
+  ]
+
+let library_of_dir dir = List.assoc_opt dir libraries
+let is_known_library name = List.exists (fun (_, l) -> l = name) libraries
+
+(* R2: the declared dependency order (util -> hw/sim -> wal/storage/txn/index
+   -> ckpt/archive -> recovery -> core).  Each entry lists the mrdb libraries
+   a library may reference — the transitively-closed mirror of the dune
+   [libraries] fields.  The seam the paper's 2.3 two-CPU split depends on is
+   visible here as an absence: [mrdb_recovery] must never reach up into
+   [mrdb_core]. *)
+let allowed_deps =
+  [
+    ("mrdb_util", []);
+    ("mrdb_sim", [ "mrdb_util" ]);
+    ("mrdb_hw", [ "mrdb_util"; "mrdb_sim" ]);
+    ("mrdb_storage", [ "mrdb_util"; "mrdb_hw" ]);
+    ("mrdb_index", [ "mrdb_util"; "mrdb_storage" ]);
+    ("mrdb_txn", [ "mrdb_util"; "mrdb_hw"; "mrdb_storage" ]);
+    ("mrdb_wal", [ "mrdb_util"; "mrdb_sim"; "mrdb_hw"; "mrdb_storage" ]);
+    ("mrdb_ckpt", [ "mrdb_util"; "mrdb_sim"; "mrdb_hw"; "mrdb_storage" ]);
+    ("mrdb_analysis", [ "mrdb_util" ]);
+    ("mrdb_archive", [ "mrdb_util"; "mrdb_storage"; "mrdb_wal"; "mrdb_ckpt" ]);
+    ( "mrdb_recovery",
+      [
+        "mrdb_util";
+        "mrdb_sim";
+        "mrdb_hw";
+        "mrdb_storage";
+        "mrdb_wal";
+        "mrdb_txn";
+        "mrdb_ckpt";
+        "mrdb_archive";
+      ] );
+    ( "mrdb_core",
+      [
+        "mrdb_util";
+        "mrdb_sim";
+        "mrdb_hw";
+        "mrdb_storage";
+        "mrdb_index";
+        "mrdb_txn";
+        "mrdb_wal";
+        "mrdb_ckpt";
+        "mrdb_recovery";
+        "mrdb_archive";
+      ] );
+    ("mrdb_lint", [ "mrdb_util" ]);
+  ]
+
+let may_depend ~from ~target =
+  match List.assoc_opt from allowed_deps with
+  | None -> false
+  | Some deps -> List.mem target deps
+
+(* -- R1: wild-write discipline --------------------------------------------- *)
+
+(* The mutating half of the Stable_mem API.  Reads are legal anywhere. *)
+let stable_mem_mutators = [ "write"; "write_sub"; "fill"; "put_u32"; "put_i64" ]
+
+(* Files allowed to write stable memory raw (paths relative to lib/):
+   the WAL components (SLB, SLT, partition bins, the stable layout), the
+   recovery manager's well-known region, and the defining module itself. *)
+let wild_write_allowed rel =
+  String.length rel >= 4
+  && String.sub rel 0 4 = "wal/"
+  || rel = "recovery/wellknown.ml"
+  || rel = "hw/stable_mem.ml"
+
+(* -- R3: partiality --------------------------------------------------------- *)
+
+(* Banned identifier paths (each with its [Stdlib]-qualified spelling). *)
+let banned_idents =
+  [
+    ([ "failwith" ], "failwith");
+    ([ "Stdlib"; "failwith" ], "failwith");
+    ([ "invalid_arg" ], "invalid_arg");
+    ([ "Stdlib"; "invalid_arg" ], "invalid_arg");
+    ([ "Option"; "get" ], "Option.get");
+    ([ "Stdlib"; "Option"; "get" ], "Option.get");
+    ([ "List"; "hd" ], "List.hd");
+    ([ "Stdlib"; "List"; "hd" ], "List.hd");
+  ]
+
+let banned_ident path =
+  let rec find = function
+    | [] -> None
+    | (p, name) :: rest -> if p = path then Some name else find rest
+  in
+  find banned_idents
+
+(* The one sanctioned escape hatch (relative to lib/). *)
+let partiality_allowed rel = rel = "util/fatal.ml"

@@ -1,0 +1,37 @@
+(** The declared architecture mrdb_lint enforces.
+
+    Rule set (each diagnostic cites the paper clause it protects):
+    - {b R1 wild-write discipline}: the mutating [Stable_mem] API is legal
+      only in [mrdb_wal] and [recovery/wellknown.ml] (and the defining
+      module itself).
+    - {b R2 layering}: [Mrdb_*] references must follow the declared
+      dependency order; in particular [mrdb_recovery] never references
+      [mrdb_core].
+    - {b R3 partiality}: bare [failwith] / [invalid_arg] / [assert false] /
+      [Option.get] / [List.hd] are banned under [lib/] outside
+      [util/fatal.ml].
+    - {b R4 sealed interfaces}: every [lib/**/*.ml] has a matching [.mli]. *)
+
+val libraries : (string * string) list
+(** Directory under [lib/] -> wrapped library name. *)
+
+val library_of_dir : string -> string option
+val is_known_library : string -> bool
+
+val allowed_deps : (string * string list) list
+(** Library -> mrdb libraries it may reference (mirrors the dune files;
+    the absence of [mrdb_core] under [mrdb_recovery] is the paper's 2.3
+    two-CPU seam). *)
+
+val may_depend : from:string -> target:string -> bool
+
+val stable_mem_mutators : string list
+val wild_write_allowed : string -> bool
+(** [wild_write_allowed rel] — [rel] relative to [lib/]. *)
+
+val banned_ident : string list -> string option
+(** [banned_ident path] is [Some display_name] when the flattened
+    identifier path is a banned partial function. *)
+
+val partiality_allowed : string -> bool
+(** The whitelisted escape hatch, [util/fatal.ml]. *)

@@ -94,7 +94,7 @@ let run c (part : Addr.partition) =
       let rel =
         match Catalog.relation_of_segment c.cat part.Addr.segment with
         | Some r -> r
-        | None -> failwith "Db: checkpoint of unowned segment"
+        | None -> Mrdb_util.Fatal.invariant ~mod_:"Ckpt_mgr" "checkpoint of unowned segment"
       in
       let tx = Txn_core.Manager.begin_txn c.txn_mgr in
       match
@@ -140,7 +140,7 @@ let run c (part : Addr.partition) =
           let first_page =
             match Disk_map.allocate c.disk_map ~pages with
             | Some p -> p
-            | None -> failwith "Db: checkpoint disk full"
+            | None -> Mrdb_util.Fatal.invariant ~mod_:"Ckpt_mgr" "checkpoint disk full"
           in
           (* §2.4 step 5: log the catalog/disk-map updates before the
              partition is written. *)

@@ -15,4 +15,5 @@ let create ~sim ~trace ~ckpt_disk ~archiver ~partition_bytes =
 let pump_until env cond =
   while (not (cond ())) && Sim.step env.sim do () done;
   if not (cond ()) then
-    failwith "Db: simulation deadlock (condition never satisfied)"
+    Mrdb_util.Fatal.invariant ~mod_:"Recovery_env"
+      "simulation deadlock (condition never satisfied)"

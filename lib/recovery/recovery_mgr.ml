@@ -33,7 +33,7 @@ let is_attached t = t.comps <> None
 let comps t =
   match t.comps with
   | Some c -> c
-  | None -> failwith "Recovery_mgr: recovery component offline (crashed)"
+  | None -> Mrdb_util.Fatal.invariant ~mod_:"Recovery_mgr" "recovery component offline (crashed)"
 
 let sorter t = (comps t).sorter
 let restorer t = (comps t).restorer

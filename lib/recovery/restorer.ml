@@ -49,8 +49,11 @@ let read_ckpt_image env ~(part : Addr.partition) (desc : Catalog.partition_desc)
         | Some image ->
             Trace.incr env.Recovery_env.trace "media_recoveries";
             k (Some image)
-        | None -> failwith ("Db: checkpoint image lost and not archived: " ^ reason))
-    | None -> failwith ("Db: corrupt checkpoint image: " ^ reason)
+        | None ->
+            Mrdb_util.Fatal.invariant ~mod_:"Restorer"
+              ("checkpoint image lost and not archived: " ^ reason))
+    | None ->
+        Mrdb_util.Fatal.invariant ~mod_:"Restorer" ("corrupt checkpoint image: " ^ reason)
   in
   if desc.Catalog.ckpt_page < 0 then k None
   else
@@ -69,7 +72,9 @@ let recover_partition r part k =
   let desc =
     match Catalog.partition_desc r.cat part with
     | Some d -> d
-    | None -> failwith (Format.asprintf "Db: partition %a not catalogued" Addr.pp_partition part)
+    | None ->
+        Mrdb_util.Fatal.invariant ~mod_:"Restorer"
+          (Format.asprintf "partition %a not catalogued" Addr.pp_partition part)
   in
   if desc.Catalog.resident then k ()
   else begin
@@ -81,14 +86,14 @@ let recover_partition r part k =
     Slt.records_for_recovery r.slt part (fun result ->
         (match result with
         | Ok rs -> records := rs
-        | Error e -> failwith ("Db: log recovery failed: " ^ e));
+        | Error e -> Mrdb_util.Fatal.invariant ~mod_:"Restorer" ("log recovery failed: " ^ e));
         records_done := true);
     Recovery_env.pump_until env (fun () -> !image_done && !records_done);
     let partition, watermark =
       match !image with
       | Some img ->
           if not (Addr.equal_partition img.Ckpt_image.part part) then
-            failwith "Db: checkpoint image for wrong partition";
+            Mrdb_util.Fatal.invariant ~mod_:"Restorer" "checkpoint image for wrong partition";
           (Partition.of_snapshot img.Ckpt_image.snapshot, img.Ckpt_image.watermark)
       | None ->
           ( Partition.create ~size:env.Recovery_env.partition_bytes
@@ -186,14 +191,17 @@ let restore_catalog env ~slt ~entries =
                         Trace.incr env.Recovery_env.trace "media_recoveries";
                         image := Some img
                     | None ->
-                        failwith ("Db.recover: catalog image lost, not archived: " ^ msg))
-                | None -> failwith ("Db.recover: corrupt catalog image: " ^ msg)));
+                        Mrdb_util.Fatal.invariant ~mod_:"Restorer"
+                          ("catalog image lost, not archived: " ^ msg))
+                | None ->
+                    Mrdb_util.Fatal.invariant ~mod_:"Restorer"
+                      ("corrupt catalog image: " ^ msg)));
             image_done := true);
       let records = ref [] and records_done = ref false in
       Slt.records_for_recovery slt e.Wellknown.part (fun result ->
           (match result with
           | Ok rs -> records := rs
-          | Error msg -> failwith ("Db.recover: catalog log: " ^ msg));
+          | Error msg -> Mrdb_util.Fatal.invariant ~mod_:"Restorer" ("catalog log: " ^ msg));
           records_done := true);
       Recovery_env.pump_until env (fun () -> !image_done && !records_done);
       let partition, watermark =

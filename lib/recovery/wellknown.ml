@@ -61,7 +61,7 @@ let store layout entries =
   let encoded = encode entries in
   let off, half = region layout in
   if Bytes.length encoded > half then
-    invalid_arg "Wellknown.store: entry list exceeds well-known region";
+    Mrdb_util.Fatal.misuse "Wellknown.store: entry list exceeds well-known region";
   let mem = Mrdb_wal.Stable_layout.mem layout in
   Mrdb_hw.Stable_mem.write mem ~off encoded;
   Mrdb_hw.Stable_mem.write mem ~off:(off + half) encoded

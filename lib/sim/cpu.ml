@@ -8,7 +8,7 @@ type t = {
 }
 
 let create ?(name = "cpu") sim ~mips =
-  if mips <= 0.0 then invalid_arg "Cpu.create: mips must be positive";
+  if mips <= 0.0 then Mrdb_util.Fatal.misuse "Cpu.create: mips must be positive";
   { sim; name; mips; busy_until = 0.0; busy_time = 0.0; total_instructions = 0 }
 
 let name t = t.name
@@ -19,7 +19,7 @@ let seconds_for t instructions = float_of_int instructions /. (t.mips *. 1e6)
 let micros_for t instructions = seconds_for t instructions *. 1e6
 
 let enqueue t ~eligible_at ~instructions k =
-  if instructions < 0 then invalid_arg "Cpu.execute: negative instructions";
+  if instructions < 0 then Mrdb_util.Fatal.misuse "Cpu.execute: negative instructions";
   let start = Float.max eligible_at (Float.max (Sim.now t.sim) t.busy_until) in
   let duration = micros_for t instructions in
   t.busy_until <- start +. duration;
@@ -31,7 +31,7 @@ let execute t ~instructions k =
   enqueue t ~eligible_at:(Sim.now t.sim) ~instructions k
 
 let execute_after t ~delay ~instructions k =
-  if delay < 0.0 then invalid_arg "Cpu.execute_after: negative delay";
+  if delay < 0.0 then Mrdb_util.Fatal.misuse "Cpu.execute_after: negative delay";
   enqueue t ~eligible_at:(Sim.now t.sim +. delay) ~instructions k
 
 let busy_until t = t.busy_until

@@ -12,7 +12,7 @@ let schedule_at t time f =
   Mrdb_util.Pqueue.push t.events ~priority:time f
 
 let schedule t ~delay f =
-  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  if delay < 0.0 then Mrdb_util.Fatal.misuse "Sim.schedule: negative delay";
   schedule_at t (t.clock +. delay) f
 
 let pending t = Mrdb_util.Pqueue.length t.events

@@ -54,7 +54,7 @@ let kind_tag = function Ttree -> 0 | Lhash -> 1
 let kind_of_tag = function
   | 0 -> Ttree
   | 1 -> Lhash
-  | n -> failwith (Printf.sprintf "Catalog: bad index kind %d" n)
+  | n -> Mrdb_util.Fatal.invariantf ~mod_:"Catalog" "bad index kind %d" n
 
 let encode_rel rel =
   let open Mrdb_util.Codec.Enc in
@@ -98,7 +98,7 @@ let decode_rel b =
   let dec = of_bytes b in
   match u8 dec with
   | t when t = tag_rel -> decode_rel_body dec
-  | t -> failwith (Printf.sprintf "Catalog.decode_rel: bad tag %d" t)
+  | t -> Mrdb_util.Fatal.invariantf ~mod_:"Catalog" "decode_rel: bad tag %d" t
 
 let encode_part desc =
   let open Mrdb_util.Codec.Enc in
@@ -137,20 +137,20 @@ let store_entity t ~log ~existing data =
           let redo = Part_op.Update { slot = addr.Addr.slot; data } in
           log (Addr.partition_of addr) ~redo ~undo:redo;
           addr
-      | exception Failure _ -> (
+      | exception Partition.No_space _ -> (
           Segment.delete_entity t.segment addr;
           log (Addr.partition_of addr)
             ~redo:(Part_op.Delete { slot = addr.Addr.slot })
             ~undo:(Part_op.Delete { slot = addr.Addr.slot });
           match Segment.insert_entity t.segment data with
-          | None -> failwith "Catalog: descriptor exceeds partition size"
+          | None -> Mrdb_util.Fatal.invariant ~mod_:"Catalog" "descriptor exceeds partition size"
           | Some addr' ->
               let redo = Part_op.Insert { slot = addr'.Addr.slot; data } in
               log (Addr.partition_of addr') ~redo ~undo:redo;
               addr'))
   | None -> (
       match Segment.insert_entity t.segment data with
-      | None -> failwith "Catalog: descriptor exceeds partition size"
+      | None -> Mrdb_util.Fatal.invariant ~mod_:"Catalog" "descriptor exceeds partition size"
       | Some addr ->
           let redo = Part_op.Insert { slot = addr.Addr.slot; data } in
           log (Addr.partition_of addr) ~redo ~undo:redo;
@@ -236,7 +236,7 @@ let fresh_segment_id t =
 
 let create_relation t ~log ~name ~schema =
   if Hashtbl.mem t.by_name name then
-    invalid_arg ("Catalog.create_relation: duplicate " ^ name);
+    Mrdb_util.Fatal.misuse ("Catalog.create_relation: duplicate " ^ name);
   let rel_id = t.next_rel_id in
   t.next_rel_id <- rel_id + 1;
   let rel_segment = fresh_segment_id t in
@@ -247,9 +247,9 @@ let create_relation t ~log ~name ~schema =
 
 let add_index t ~log ~rel ~name ~kind ~key_column =
   if List.exists (fun i -> i.idx_name = name) rel.indices then
-    invalid_arg ("Catalog.add_index: duplicate " ^ name);
+    Mrdb_util.Fatal.misuse ("Catalog.add_index: duplicate " ^ name);
   if key_column < 0 || key_column >= Schema.arity rel.schema then
-    invalid_arg "Catalog.add_index: bad key column";
+    Mrdb_util.Fatal.misuse "Catalog.add_index: bad key column";
   let idx_id = t.next_idx_id in
   t.next_idx_id <- idx_id + 1;
   let idx_segment = fresh_segment_id t in
@@ -268,7 +268,7 @@ let delete_entity_logged t ~log (addr : Addr.t) =
 
 let drop_relation t ~log rel =
   if rel.rel_name = catalog_rel_name then
-    invalid_arg "Catalog.drop_relation: cannot drop the catalog";
+    Mrdb_util.Fatal.misuse "Catalog.drop_relation: cannot drop the catalog";
   List.iter
     (fun desc ->
       (match Addr.Partition_table.find_opt t.part_addr desc.part with
@@ -335,7 +335,7 @@ let relations t =
 
 let decode_from_segment segment =
   if Segment.id segment <> catalog_segment_id then
-    invalid_arg "Catalog.decode_from_segment: not the catalog segment";
+    Mrdb_util.Fatal.misuse "Catalog.decode_from_segment: not the catalog segment";
   let t =
     {
       segment;
@@ -376,17 +376,18 @@ let decode_from_segment segment =
                 rel.indices
           | tag when tag = tag_part ->
               part_entities := (addr, decode_part_body dec) :: !part_entities
-          | tag -> failwith (Printf.sprintf "Catalog: bad entity tag %d" tag))
+          | tag -> Mrdb_util.Fatal.invariantf ~mod_:"Catalog" "bad entity tag %d" tag)
         p)
     segment;
   if not (Hashtbl.mem t.by_name catalog_rel_name) then
-    failwith "Catalog.decode_from_segment: missing __catalog__ descriptor";
+    Mrdb_util.Fatal.invariant ~mod_:"Catalog"
+      "decode_from_segment: missing __catalog__ descriptor";
   List.iter
     (fun ((addr : Addr.t), desc) ->
       match relation_of_segment t desc.part.Addr.segment with
       | None ->
-          failwith
-            (Format.asprintf "Catalog: partition descriptor %a has no owner"
+          Mrdb_util.Fatal.invariant ~mod_:"Catalog"
+            (Format.asprintf "partition descriptor %a has no owner"
                Addr.pp_partition desc.part)
       | Some rel ->
           (* Only catalog partitions are in memory right now. *)

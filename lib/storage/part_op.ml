@@ -13,9 +13,9 @@ let undo_of ~before op =
   | Insert { slot; _ }, None -> Delete { slot }
   | Update { slot; _ }, Some old -> Update { slot; data = old }
   | Delete { slot }, Some old -> Insert { slot; data = old }
-  | Insert _, Some _ -> invalid_arg "Part_op.undo_of: insert with a before-image"
+  | Insert _, Some _ -> Mrdb_util.Fatal.misuse "Part_op.undo_of: insert with a before-image"
   | (Update _ | Delete _), None ->
-      invalid_arg "Part_op.undo_of: update/delete without a before-image"
+      Mrdb_util.Fatal.misuse "Part_op.undo_of: update/delete without a before-image"
 
 let slot = function
   | Insert { slot; _ } | Update { slot; _ } | Delete { slot } -> slot
@@ -53,7 +53,7 @@ let decode dec =
       let n = varint dec in
       Update { slot; data = bytes dec n }
   | 2 -> Delete { slot = varint dec }
-  | n -> failwith (Printf.sprintf "Part_op.decode: bad tag %d" n)
+  | n -> Mrdb_util.Fatal.invariantf ~mod_:"Part_op" "decode: bad tag %d" n
 
 let equal a b =
   match (a, b) with

@@ -11,6 +11,10 @@ let off_nslots = 12
 let off_data_tail = 16
 let off_live = 20
 
+module Fatal = Mrdb_util.Fatal
+
+exception No_space of { partition : Addr.partition; needed : int }
+
 type t = { buf : bytes }
 
 let size t = Bytes.length t.buf
@@ -37,8 +41,8 @@ let set_slot t slot ~off ~len =
   put t (header_bytes + (slot * slot_entry_bytes) + 4) len
 
 let create ~size ~segment ~partition =
-  if size < 256 then invalid_arg "Partition.create: size < 256";
-  if segment < 0 || partition < 0 then invalid_arg "Partition.create: ids";
+  if size < 256 then Mrdb_util.Fatal.misuse "Partition.create: size < 256";
+  if segment < 0 || partition < 0 then Mrdb_util.Fatal.misuse "Partition.create: ids";
   let t = { buf = Bytes.make size '\000' } in
   put t off_magic magic;
   put t off_segment segment;
@@ -59,7 +63,7 @@ let read t ~slot =
 let read_exn t ~slot =
   match read t ~slot with
   | Some b -> b
-  | None -> failwith (Printf.sprintf "Partition.read_exn: slot %d not live" slot)
+  | None -> Fatal.invariantf ~mod_:"Partition" "read_exn: slot %d not live" slot
 
 let iter f t =
   for slot = 0 to slot_count t - 1 do
@@ -131,7 +135,7 @@ let write_entity t slot b =
 
 let insert t b =
   let len = Bytes.length b in
-  if len = 0 then invalid_arg "Partition.insert: empty entity";
+  if len = 0 then Mrdb_util.Fatal.misuse "Partition.insert: empty entity";
   match find_free_slot t with
   | Some slot ->
       if ensure_room t ~nslots_after:(slot_count t) ~len then begin
@@ -153,13 +157,13 @@ let insert t b =
 
 let insert_at t ~slot b =
   let len = Bytes.length b in
-  if len = 0 then invalid_arg "Partition.insert_at: empty entity";
-  if slot < 0 then invalid_arg "Partition.insert_at: negative slot";
+  if len = 0 then Mrdb_util.Fatal.misuse "Partition.insert_at: empty entity";
+  if slot < 0 then Mrdb_util.Fatal.misuse "Partition.insert_at: negative slot";
   if is_live t ~slot then
-    failwith (Printf.sprintf "Partition.insert_at: slot %d occupied" slot);
+    Fatal.invariantf ~mod_:"Partition" "insert_at: slot %d occupied" slot;
   let nslots_after = Stdlib.max (slot_count t) (slot + 1) in
   if not (ensure_room t ~nslots_after ~len) then
-    failwith "Partition.insert_at: no space";
+    raise (No_space { partition = address t; needed = len });
   if slot >= slot_count t then begin
     (* Extend the directory, initializing any intervening slots as free. *)
     for s = slot_count t to slot do
@@ -172,15 +176,15 @@ let insert_at t ~slot b =
 
 let delete_at t ~slot =
   if not (is_live t ~slot) then
-    failwith (Printf.sprintf "Partition.delete_at: slot %d not live" slot);
+    Fatal.invariantf ~mod_:"Partition" "delete_at: slot %d not live" slot;
   set_slot t slot ~off:0 ~len:0;
   put t off_live (live_entities t - 1)
 
 let update_at t ~slot b =
   if not (is_live t ~slot) then
-    failwith (Printf.sprintf "Partition.update_at: slot %d not live" slot);
+    Fatal.invariantf ~mod_:"Partition" "update_at: slot %d not live" slot;
   let len = Bytes.length b in
-  if len = 0 then invalid_arg "Partition.update_at: empty entity";
+  if len = 0 then Mrdb_util.Fatal.misuse "Partition.update_at: empty entity";
   let old_len = slot_len t slot in
   if len <= old_len then begin
     (* Overwrite in place; the tail of the old allocation becomes heap
@@ -192,33 +196,36 @@ let update_at t ~slot b =
     (* Check feasibility counting the old allocation as reclaimable before
        freeing the slot, so a failed update leaves the entity intact. *)
     let free_after = size t - dir_end t - (used_data t - old_len) in
-    if free_after < len then failwith "Partition.update_at: no space";
+    if free_after < len then raise (No_space { partition = address t; needed = len });
     set_slot t slot ~off:0 ~len:0;
     if not (ensure_room t ~nslots_after:(slot_count t) ~len) then
-      (* Unreachable: feasibility was just established. *)
-      assert false;
+      (* Feasibility was just established. *)
+      Fatal.invariant ~mod_:"Partition" "update_at: compaction failed to make room";
     write_entity t slot b
   end
 
 let snapshot t = Bytes.copy t.buf
 
 let of_snapshot b =
-  if Bytes.length b < header_bytes then failwith "Partition.of_snapshot: too small";
+  if Bytes.length b < header_bytes then
+    Fatal.invariant ~mod_:"Partition" "of_snapshot: too small";
   let t = { buf = Bytes.copy b } in
-  if get t off_magic <> magic then failwith "Partition.of_snapshot: bad magic";
+  if get t off_magic <> magic then
+    Fatal.invariant ~mod_:"Partition" "of_snapshot: bad magic";
   let n = slot_count t in
   if dir_end t > size t || data_tail t > size t || data_tail t < dir_end t then
-    failwith "Partition.of_snapshot: corrupt header";
+    Fatal.invariant ~mod_:"Partition" "of_snapshot: corrupt header";
   let live = ref 0 in
   for slot = 0 to n - 1 do
     let off = slot_off t slot in
     if off <> 0 then begin
       incr live;
       if off < dir_end t || off + slot_len t slot > size t then
-        failwith "Partition.of_snapshot: corrupt slot"
+        Fatal.invariant ~mod_:"Partition" "of_snapshot: corrupt slot"
     end
   done;
-  if !live <> live_entities t then failwith "Partition.of_snapshot: live count mismatch";
+  if !live <> live_entities t then
+    Fatal.invariant ~mod_:"Partition" "of_snapshot: live count mismatch";
   t
 
 let equal_contents a b =

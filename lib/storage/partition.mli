@@ -21,6 +21,12 @@
 
 type t
 
+exception No_space of { partition : Addr.partition; needed : int }
+(** Capacity exhaustion: the entity does not fit even after compaction.
+    Callers (relation update, catalog store, index component write) catch
+    this to relocate; it is never a corruption signal — those raise
+    {!Mrdb_util.Fatal.Invariant}. *)
+
 val header_bytes : int
 val slot_entry_bytes : int
 

@@ -2,6 +2,8 @@ type log_sink = Addr.partition -> redo:Part_op.t -> undo:Part_op.t -> unit
 
 let null_sink _ ~redo:_ ~undo:_ = ()
 
+exception Tuple_too_large of { rel : string; bytes : int }
+
 type t = { id : int; name : string; schema : Schema.t; segment : Segment.t }
 
 let create ~id ~name ~schema ~segment = { id; name; schema; segment }
@@ -14,10 +16,7 @@ let segment t = t.segment
 let insert t ~log tuple =
   let data = Tuple.encode t.schema tuple in
   match Segment.insert_entity t.segment data with
-  | None ->
-      failwith
-        (Printf.sprintf "Relation.insert(%s): tuple of %d bytes exceeds partition size"
-           t.name (Bytes.length data))
+  | None -> raise (Tuple_too_large { rel = t.name; bytes = Bytes.length data })
   | Some addr ->
       let redo = Part_op.Insert { slot = addr.Addr.slot; data } in
       log (Addr.partition_of addr) ~redo ~undo:(Part_op.undo_of ~before:None redo);
@@ -52,7 +51,7 @@ let update t ~log (addr : Addr.t) tuple =
           log (Addr.partition_of addr) ~redo
             ~undo:(Part_op.undo_of ~before:(Some old_data) redo);
           addr
-      | exception Failure _ ->
+      | exception Partition.No_space _ ->
           (* The grown tuple no longer fits its partition: relocate.  Two
              operations, two log records, possibly two partitions. *)
           Segment.delete_entity t.segment addr;
@@ -60,7 +59,7 @@ let update t ~log (addr : Addr.t) tuple =
           log (Addr.partition_of addr) ~redo:redo_del
             ~undo:(Part_op.undo_of ~before:(Some old_data) redo_del);
           (match Segment.insert_entity t.segment data with
-          | None -> failwith "Relation.update: tuple exceeds partition size"
+          | None -> raise (Tuple_too_large { rel = t.name; bytes = Bytes.length data })
           | Some addr' ->
               let redo_ins = Part_op.Insert { slot = addr'.Addr.slot; data } in
               log (Addr.partition_of addr') ~redo:redo_ins

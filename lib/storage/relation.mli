@@ -6,6 +6,10 @@
     (transaction manager + WAL) decide what to do with the information.
     Index maintenance is likewise orchestrated above this module. *)
 
+exception Tuple_too_large of { rel : string; bytes : int }
+(** The encoded tuple does not fit a partition even after relocation:
+    capacity exhaustion, never corruption. *)
+
 type log_sink = Addr.partition -> redo:Part_op.t -> undo:Part_op.t -> unit
 (** Called once per partition operation, before the change is applied is
     not required — the sink receives exact images, so ordering with the
@@ -26,7 +30,7 @@ val segment : t -> Segment.t
 
 val insert : t -> log:log_sink -> Tuple.t -> Addr.t
 (** @raise Invalid_argument on schema mismatch.
-    @raise Failure when the tuple exceeds the partition size. *)
+    @raise Tuple_too_large when the tuple exceeds the partition size. *)
 
 val read : t -> Addr.t -> Tuple.t option
 (** [None] when the address is dead or its partition is not resident. *)

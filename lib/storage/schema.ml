@@ -3,12 +3,12 @@ type column = { name : string; ty : column_type }
 type t = { cols : column array; by_name : (string, int) Hashtbl.t }
 
 let make cols =
-  if cols = [] then invalid_arg "Schema.make: empty schema";
+  if cols = [] then Mrdb_util.Fatal.misuse "Schema.make: empty schema";
   let by_name = Hashtbl.create (List.length cols) in
   List.iteri
     (fun i c ->
       if Hashtbl.mem by_name c.name then
-        invalid_arg ("Schema.make: duplicate column " ^ c.name);
+        Mrdb_util.Fatal.misuse ("Schema.make: duplicate column " ^ c.name);
       Hashtbl.add by_name c.name i)
     cols;
   { cols = Array.of_list cols; by_name }
@@ -46,7 +46,7 @@ let type_of_tag = function
   | 0 -> Int
   | 1 -> Float
   | 2 -> Str
-  | n -> failwith (Printf.sprintf "Schema.decode: bad type tag %d" n)
+  | n -> Mrdb_util.Fatal.invariantf ~mod_:"Schema" "decode: bad type tag %d" n
 
 let encode enc t =
   Mrdb_util.Codec.Enc.varint enc (Array.length t.cols);
@@ -94,12 +94,12 @@ let int n = I (Int64.of_int n)
 
 let to_int = function
   | I x -> Int64.to_int x
-  | F _ | S _ -> invalid_arg "Schema.to_int"
+  | F _ | S _ -> Mrdb_util.Fatal.misuse "Schema.to_int"
 
 let to_string_value = function
   | S x -> x
-  | I _ | F _ -> invalid_arg "Schema.to_string_value"
+  | I _ | F _ -> Mrdb_util.Fatal.misuse "Schema.to_string_value"
 
 let to_float = function
   | F x -> x
-  | I _ | S _ -> invalid_arg "Schema.to_float"
+  | I _ | S _ -> Mrdb_util.Fatal.misuse "Schema.to_float"

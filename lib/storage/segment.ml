@@ -9,7 +9,7 @@ type t = {
 }
 
 let create ~id ~partition_bytes =
-  if partition_bytes < 256 then invalid_arg "Segment.create: partition_bytes";
+  if partition_bytes < 256 then Mrdb_util.Fatal.misuse "Segment.create: partition_bytes";
   { id; partition_bytes; slots = [||]; count = 0; last_with_room = -1 }
 
 let id t = t.id
@@ -53,7 +53,7 @@ let deallocate t pno =
 
 let install t p =
   if Partition.segment_id p <> t.id then
-    invalid_arg "Segment.install: wrong segment";
+    Mrdb_util.Fatal.misuse "Segment.install: wrong segment";
   let pno = Partition.partition_id p in
   while t.count <= pno do
     grow t;
@@ -63,7 +63,7 @@ let install t p =
   t.slots.(pno) <- Live p
 
 let reserve t pno =
-  if pno < 0 then invalid_arg "Segment.reserve";
+  if pno < 0 then Mrdb_util.Fatal.misuse "Segment.reserve";
   while t.count <= pno do
     grow t;
     t.slots.(t.count) <- Evicted;
@@ -130,11 +130,11 @@ let read_entity t (addr : Addr.t) =
     | None -> None
 
 let update_entity t (addr : Addr.t) b =
-  if addr.Addr.segment <> t.id then invalid_arg "Segment.update_entity: wrong segment";
+  if addr.Addr.segment <> t.id then Mrdb_util.Fatal.misuse "Segment.update_entity: wrong segment";
   let p = find_exn t addr.Addr.partition in
   Partition.update_at p ~slot:addr.Addr.slot b
 
 let delete_entity t (addr : Addr.t) =
-  if addr.Addr.segment <> t.id then invalid_arg "Segment.delete_entity: wrong segment";
+  if addr.Addr.segment <> t.id then Mrdb_util.Fatal.misuse "Segment.delete_entity: wrong segment";
   let p = find_exn t addr.Addr.partition in
   Partition.delete_at p ~slot:addr.Addr.slot

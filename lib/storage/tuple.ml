@@ -2,11 +2,11 @@ type t = Schema.value array
 
 let validate schema tuple =
   if Array.length tuple <> Schema.arity schema then
-    invalid_arg "Tuple.validate: arity mismatch";
+    Mrdb_util.Fatal.misuse "Tuple.validate: arity mismatch";
   Array.iteri
     (fun i v ->
       if not (Schema.value_matches (Schema.column_type schema i) v) then
-        invalid_arg (Printf.sprintf "Tuple.validate: type mismatch at column %d" i))
+        Mrdb_util.Fatal.misuse (Printf.sprintf "Tuple.validate: type mismatch at column %d" i))
     tuple
 
 let encode_value enc (v : Schema.value) =
@@ -26,7 +26,7 @@ let decode_value dec : Schema.value =
   | 0 -> Schema.I (Mrdb_util.Codec.Dec.i64 dec)
   | 1 -> Schema.F (Int64.float_of_bits (Mrdb_util.Codec.Dec.i64 dec))
   | 2 -> Schema.S (Mrdb_util.Codec.Dec.string dec)
-  | n -> failwith (Printf.sprintf "Tuple.decode_value: bad tag %d" n)
+  | n -> Mrdb_util.Fatal.invariantf ~mod_:"Tuple" "decode_value: bad tag %d" n
 
 let encode schema tuple =
   validate schema tuple;
@@ -38,7 +38,7 @@ let decode schema b =
   let dec = Mrdb_util.Codec.Dec.of_bytes b in
   let tuple = Array.init (Schema.arity schema) (fun _ -> decode_value dec) in
   if not (Mrdb_util.Codec.Dec.at_end dec) then
-    failwith "Tuple.decode: trailing bytes";
+    Mrdb_util.Fatal.invariant ~mod_:"Tuple" "decode: trailing bytes";
   validate schema tuple;
   tuple
 
@@ -48,7 +48,7 @@ let field tuple i = tuple.(i)
 
 let set_field schema tuple i v =
   if not (Schema.value_matches (Schema.column_type schema i) v) then
-    invalid_arg "Tuple.set_field: type mismatch";
+    Mrdb_util.Fatal.misuse "Tuple.set_field: type mismatch";
   let t' = Array.copy tuple in
   t'.(i) <- v;
   t'

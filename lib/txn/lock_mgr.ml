@@ -125,7 +125,7 @@ let waiting_for t ~txn =
   match waiting_request_of t ~txn with
   | None -> []
   | Some (_, entry, r) ->
-      let mode = Option.get r.waiting in
+      let mode = Mrdb_util.Fatal.expect ~mod_:"Lock_mgr" "waiter without a mode" r.waiting in
       blockers_for entry ~txn ~mode ~upgrade:(r.granted <> None)
 
 (* Would making [txn] wait on [new_blockers] close a waits-for cycle? *)
@@ -194,7 +194,12 @@ let acquire t ~txn res mode =
       | None ->
           (* Already queued and still waiting; treat as blocked (possibly
              raising the waiting mode). *)
-          r.waiting <- Some (supremum (Option.get r.waiting) mode);
+          r.waiting <-
+            Some
+              (supremum
+                 (Mrdb_util.Fatal.expect ~mod_:"Lock_mgr" "waiter without a mode"
+                    r.waiting)
+                 mode);
           Blocked)
   | None ->
       if can_grant entry ~txn ~mode ~upgrade:false then begin
@@ -259,7 +264,10 @@ let promote entry =
                             else if x == r then false
                             else before rest
                       in
-                      (not (before entry.queue)) || compatible target (Option.get o.waiting))
+                      (not (before entry.queue))
+                      || compatible target
+                           (Mrdb_util.Fatal.expect ~mod_:"Lock_mgr"
+                              "waiter without a mode" o.waiting))
                 entry.queue
             in
             if ok then begin

@@ -47,7 +47,7 @@ module Manager = struct
 
   let require_active t what =
     if t.status <> Active then
-      invalid_arg (Printf.sprintf "Txn.%s: transaction %d is not active" what t.id)
+      Mrdb_util.Fatal.misuse (Printf.sprintf "Txn.%s: transaction %d is not active" what t.id)
 
   let record_update mgr t part ~redo ~undo =
     require_active t "record_update";
@@ -85,7 +85,7 @@ module Manager = struct
 
   let finalize_commit mgr t =
     if t.status <> Precommitted then
-      invalid_arg (Printf.sprintf "Txn.finalize_commit: transaction %d not precommitted" t.id);
+      Mrdb_util.Fatal.misuse (Printf.sprintf "Txn.finalize_commit: transaction %d not precommitted" t.id);
     t.status <- Committed;
     retire mgr t
 

@@ -19,7 +19,7 @@ type chain = {
 }
 
 let create ?(block_bytes = 2048) ?(block_count = 1024) epoch =
-  if block_bytes < 64 || block_count < 1 then invalid_arg "Undo_space.create";
+  if block_bytes < 64 || block_count < 1 then Mrdb_util.Fatal.misuse "Undo_space.create";
   let free = Queue.create () in
   for i = 0 to block_count - 1 do
     Queue.add i free
@@ -65,8 +65,12 @@ let push t chain part op =
   check_live t;
   let payload = encode_record part op in
   let frame_len = 2 + Bytes.length payload in
-  if frame_len > t.block_bytes then invalid_arg "Undo_space.push: record exceeds block size";
-  let head = List.hd chain.blocks_held in
+  if frame_len > t.block_bytes then Mrdb_util.Fatal.misuse "Undo_space.push: record exceeds block size";
+  let head =
+    match chain.blocks_held with
+    | head :: _ -> head
+    | [] -> Mrdb_util.Fatal.invariant ~mod_:"Undo_space" "push: chain holds no blocks"
+  in
   let block =
     if t.blocks.(head).used + frame_len <= t.block_bytes then t.blocks.(head)
     else begin

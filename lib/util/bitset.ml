@@ -1,12 +1,12 @@
 type t = { words : Bytes.t; n : int; mutable set_count : int }
 
 let create n =
-  if n < 0 then invalid_arg "Bitset.create";
+  if n < 0 then Fatal.misuse "Bitset.create";
   { words = Bytes.make ((n + 7) / 8) '\000'; n; set_count = 0 }
 
 let length t = t.n
 
-let check t i = if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+let check t i = if i < 0 || i >= t.n then Fatal.misuse "Bitset: index out of range"
 
 let mem t i =
   check t i;

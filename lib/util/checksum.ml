@@ -14,7 +14,7 @@ let crc_table =
 
 let crc32 ?(init = 0l) b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
-    invalid_arg "Checksum.crc32";
+    Fatal.misuse "Checksum.crc32";
   let table = Lazy.force crc_table in
   let c = ref (Int32.logxor init 0xFFFFFFFFl) in
   for i = pos to pos + len - 1 do
@@ -29,7 +29,7 @@ let crc32_bytes b = crc32 b ~pos:0 ~len:(Bytes.length b)
 
 let fletcher32 b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
-    invalid_arg "Checksum.fletcher32";
+    Fatal.misuse "Checksum.fletcher32";
   let s1 = ref 0xFFFF and s2 = ref 0xFFFF in
   let i = ref pos in
   let remaining = ref len in

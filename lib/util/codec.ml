@@ -1,9 +1,9 @@
 let put_u16 b off v =
-  if v < 0 || v > 0xFFFF then invalid_arg "Codec.put_u16";
+  if v < 0 || v > 0xFFFF then Fatal.misuse "Codec.put_u16";
   Bytes.set_uint16_le b off v
 
 let put_u32 b off v =
-  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.put_u32";
+  if v < 0 || v > 0xFFFFFFFF then Fatal.misuse "Codec.put_u32";
   Bytes.set_int32_le b off (Int32.of_int (v land 0xFFFFFFFF))
 
 let put_i64 b off v = Bytes.set_int64_le b off v
@@ -34,7 +34,7 @@ module Enc = struct
     end
 
   let u8 t v =
-    if v < 0 || v > 0xFF then invalid_arg "Codec.Enc.u8";
+    if v < 0 || v > 0xFF then Fatal.misuse "Codec.Enc.u8";
     reserve t 1;
     Bytes.unsafe_set t.buf t.len (Char.unsafe_chr v);
     t.len <- t.len + 1
@@ -57,7 +57,7 @@ module Enc = struct
   let int_as_i64 t v = i64 t (Int64.of_int v)
 
   let rec varint t v =
-    if v < 0 then invalid_arg "Codec.Enc.varint: negative";
+    if v < 0 then Fatal.misuse "Codec.Enc.varint: negative";
     if v < 0x80 then u8 t v
     else begin
       u8 t (0x80 lor (v land 0x7F));
@@ -89,7 +89,7 @@ module Dec = struct
   let at_end t = remaining t <= 0
 
   let need t n =
-    if remaining t < n then failwith "Codec.Dec: truncated input"
+    if remaining t < n then Fatal.invariant ~mod_:"Codec" "Dec: truncated input"
 
   let u8 t =
     need t 1;

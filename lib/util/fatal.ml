@@ -1,0 +1,17 @@
+exception Invariant of { mod_ : string; what : string }
+
+let () =
+  Printexc.register_printer (function
+    | Invariant { mod_; what } ->
+        Some (Printf.sprintf "Mrdb_util.Fatal.Invariant(%s: %s)" mod_ what)
+    | _ -> None)
+
+let invariant ~mod_ what = raise (Invariant { mod_; what })
+let invariantf ~mod_ fmt = Printf.ksprintf (fun what -> invariant ~mod_ what) fmt
+
+let expect ~mod_ what = function
+  | Some v -> v
+  | None -> invariant ~mod_ what
+
+let misuse what = raise (Invalid_argument what)
+let misusef fmt = Printf.ksprintf (fun what -> misuse what) fmt

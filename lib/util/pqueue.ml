@@ -74,7 +74,7 @@ let pop t =
 let pop_exn t =
   match pop t with
   | Some r -> r
-  | None -> invalid_arg "Pqueue.pop_exn: empty"
+  | None -> Fatal.misuse "Pqueue.pop_exn: empty"
 
 let clear t = t.len <- 0
 

@@ -5,7 +5,7 @@ type 'a t = {
 }
 
 let create ~capacity =
-  if capacity < 1 then invalid_arg "Ring.create";
+  if capacity < 1 then Fatal.misuse "Ring.create";
   { slots = Array.make capacity None; head = 0; len = 0 }
 
 let capacity t = Array.length t.slots
@@ -22,7 +22,7 @@ let push t x =
     true
   end
 
-let push_exn t x = if not (push t x) then failwith "Ring.push_exn: full"
+let push_exn t x = if not (push t x) then Fatal.misuse "Ring.push_exn: full"
 
 let pop t =
   if t.len = 0 then None
@@ -40,7 +40,7 @@ let iter f t =
   for i = 0 to t.len - 1 do
     match t.slots.((t.head + i) mod capacity t) with
     | Some x -> f x
-    | None -> assert false
+    | None -> Fatal.invariant ~mod_:"Ring" "iter: hole inside live window"
   done
 
 let clear t =

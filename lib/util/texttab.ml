@@ -12,7 +12,7 @@ let create ~headers =
 
 let row t cells =
   if List.length cells <> List.length t.headers then
-    invalid_arg "Texttab.row: arity mismatch";
+    Fatal.misuse "Texttab.row: arity mismatch";
   t.rows <- cells :: t.rows
 
 let rowf t fmt =

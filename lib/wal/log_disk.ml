@@ -8,7 +8,7 @@ type t = {
 }
 
 let create sim ~layout ?params ~window_pages () =
-  if window_pages < 1 then invalid_arg "Log_disk.create: window_pages";
+  if window_pages < 1 then Mrdb_util.Fatal.misuse "Log_disk.create: window_pages";
   let cfg = Stable_layout.config layout in
   let params =
     match params with
@@ -16,7 +16,7 @@ let create sim ~layout ?params ~window_pages () =
     | None -> Mrdb_hw.Disk.default_log_params ~page_bytes:cfg.Stable_layout.log_page_bytes
   in
   if params.Mrdb_hw.Disk.page_bytes <> cfg.Stable_layout.log_page_bytes then
-    invalid_arg "Log_disk.create: disk page size <> log page size";
+    Mrdb_util.Fatal.misuse "Log_disk.create: disk page size <> log page size";
   {
     sim;
     layout;
@@ -53,9 +53,9 @@ let slot t lsn = Int64.to_int (Int64.rem lsn (Int64.of_int t.window_pages))
 
 let write_page t ~lsn image k =
   if Bytes.length image <> page_bytes t then
-    invalid_arg "Log_disk.write_page: wrong image size";
+    Mrdb_util.Fatal.misuse "Log_disk.write_page: wrong image size";
   if lsn < 0L || lsn >= next_lsn t || lsn < window_start t then
-    invalid_arg "Log_disk.write_page: LSN outside window";
+    Mrdb_util.Fatal.misuse "Log_disk.write_page: LSN outside window";
   t.pages_written <- t.pages_written + 1;
   (match t.tap with Some f -> f ~lsn image | None -> ());
   Mrdb_hw.Duplex.write_page t.duplex ~page:(slot t lsn) image k

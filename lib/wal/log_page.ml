@@ -21,9 +21,9 @@ let payload_capacity ~page_bytes ~dir_size =
   page_bytes - payload_off ~dir_size - 4 (* trailing crc *)
 
 let build ~page_bytes ~dir_size ~lsn ~(part : Addr.partition) ~prev_lsn ~dir ~payload ~nrecords =
-  if Array.length dir > dir_size then invalid_arg "Log_page.build: directory too long";
+  if Array.length dir > dir_size then Mrdb_util.Fatal.misuse "Log_page.build: directory too long";
   if Bytes.length payload > payload_capacity ~page_bytes ~dir_size then
-    invalid_arg "Log_page.build: payload too large";
+    Mrdb_util.Fatal.misuse "Log_page.build: payload too large";
   let page = Bytes.make page_bytes '\000' in
   Mrdb_util.Codec.put_u32 page 0 magic;
   Mrdb_util.Codec.put_i64 page 4 lsn;
@@ -77,7 +77,8 @@ let parse ~page_bytes ~dir_size b =
         let payload = Bytes.sub b (payload_off ~dir_size) used in
         match parse_frames payload ~used with
         | records -> Ok ({ lsn; part; prev_lsn; dir; nrecords; used }, records)
-        | exception Failure msg -> Error ("record decode: " ^ msg)
+        | exception Mrdb_util.Fatal.Invariant { mod_; what } ->
+            Error (Printf.sprintf "record decode: %s: %s" mod_ what)
       end
     end
   end

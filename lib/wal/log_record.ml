@@ -18,7 +18,7 @@ let tag_of_byte = function
   | 0 -> Relation_op
   | 1 -> Index_op
   | 2 -> Catalog_op
-  | n -> failwith (Printf.sprintf "Log_record: bad tag %d" n)
+  | n -> Mrdb_util.Fatal.invariantf ~mod_:"Log_record" "bad tag %d" n
 
 let encode t =
   let open Mrdb_util.Codec.Enc in

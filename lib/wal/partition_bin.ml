@@ -259,7 +259,7 @@ let buf_off t = chain_buf_off t t.live
 let append t record =
   let framed = Log_page.frame_record record in
   if Bytes.length framed > payload_capacity t then
-    invalid_arg "Partition_bin.append: record exceeds page capacity";
+    Mrdb_util.Fatal.misuse "Partition_bin.append: record exceeds page capacity";
   if t.live.buf_block < 0 then begin
     match Mrdb_hw.Stable_mem.Blocks.alloc (pool t) with
     | None -> raise Pool_exhausted
@@ -336,7 +336,7 @@ let flush_complete t ~lsn =
       | Some _ | None -> ())
     t.inflight;
   if not !found then
-    invalid_arg (Printf.sprintf "Partition_bin.flush_complete: lsn %Ld not in flight" lsn);
+    Mrdb_util.Fatal.misuse (Printf.sprintf "Partition_bin.flush_complete: lsn %Ld not in flight" lsn);
   persist t
 
 let inflight_lsns t =

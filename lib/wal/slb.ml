@@ -56,7 +56,7 @@ let append t ~txn_id record =
   let payload = Log_record.encode record in
   let frame = 2 + Bytes.length payload in
   if frame > block_bytes t - payload_off then
-    invalid_arg "Slb.append: record exceeds block size";
+    Mrdb_util.Fatal.misuse "Slb.append: record exceeds block size";
   let chain =
     match Hashtbl.find_opt t.chains txn_id with
     | Some c -> c

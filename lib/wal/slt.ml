@@ -1,5 +1,8 @@
 open Mrdb_storage
 
+exception Bin_table_full of { partition : Addr.partition }
+exception Record_too_large of { partition : Addr.partition; bytes : int }
+
 type trigger = Update_count | Age
 
 type t = {
@@ -105,7 +108,7 @@ let bin_index_of t part =
   | Some bin -> Partition_bin.idx bin
   | None ->
       let idx = Stable_layout.bin_count_used t.layout in
-      if idx >= Array.length t.bins_by_idx then failwith "Slt: bin table full";
+      if idx >= Array.length t.bins_by_idx then raise (Bin_table_full { partition = part });
       let bin = Partition_bin.activate t.layout ~idx part in
       Stable_layout.set_bin_count_used t.layout (idx + 1);
       Addr.Partition_table.replace t.bins_by_part part bin;
@@ -195,9 +198,8 @@ let accept t record =
     match bin_of_index t record.Log_record.bin_index with
     | Some bin -> bin
     | None ->
-        failwith
-          (Printf.sprintf "Slt.accept: record for unknown bin %d"
-             record.Log_record.bin_index)
+        Mrdb_util.Fatal.invariantf ~mod_:"Slt" "accept: record for unknown bin %d"
+          record.Log_record.bin_index
   in
   let rec append () =
     match Partition_bin.append bin record with
@@ -206,7 +208,13 @@ let accept t record =
         seal_and_write t bin;
         (match Partition_bin.append bin record with
         | `Buffered -> ()
-        | `Page_full -> failwith "Slt.accept: record cannot fit an empty page")
+        | `Page_full ->
+            raise
+              (Record_too_large
+                 {
+                   partition = Partition_bin.partition bin;
+                   bytes = Log_record.encoded_size record;
+                 }))
     | exception Partition_bin.Pool_exhausted ->
         let sim = Log_disk.sim t.log_disk in
         if Mrdb_sim.Sim.step sim then append ()

@@ -14,6 +14,14 @@
 
 open Mrdb_storage
 
+exception Bin_table_full of { partition : Addr.partition }
+(** The stable bin table has no free slot for this partition: capacity
+    exhaustion (raise the configured bin count), never corruption. *)
+
+exception Record_too_large of { partition : Addr.partition; bytes : int }
+(** A single record cannot fit even an empty log page: capacity
+    exhaustion (raise the log page size), never corruption. *)
+
 type trigger = Update_count | Age
 
 type t

@@ -56,7 +56,7 @@ let off_bin_count = 16
 
 let attach cfg mem =
   if Mrdb_hw.Stable_mem.size mem < required_bytes cfg then
-    invalid_arg
+    Mrdb_util.Fatal.misuse
       (Printf.sprintf "Stable_layout.attach: need %d bytes, have %d"
          (required_bytes cfg) (Mrdb_hw.Stable_mem.size mem));
   let wellknown_off = header_bytes in
@@ -98,11 +98,11 @@ let wellknown_off t = t.wellknown_off
 
 let committed_entry_off t i =
   if i < 0 || i >= t.cfg.committed_capacity then
-    invalid_arg "Stable_layout.committed_entry_off";
+    Mrdb_util.Fatal.misuse "Stable_layout.committed_entry_off";
   t.committed_off + (8 * i)
 
 let bin_info_off t i =
-  if i < 0 || i >= t.cfg.bin_count then invalid_arg "Stable_layout.bin_info_off";
+  if i < 0 || i >= t.cfg.bin_count then Mrdb_util.Fatal.misuse "Stable_layout.bin_info_off";
   t.bins_off + (bin_info_bytes t.cfg * i)
 
 let slb_blocks t = t.slb_blocks

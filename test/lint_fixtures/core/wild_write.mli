@@ -1,0 +1,1 @@
+val clobber : Mrdb_hw.Stable_mem.t -> unit

@@ -1,0 +1,3 @@
+(* R2 fixture: the recovery CPU reaching up into the main-CPU side. *)
+
+let boot () = Mrdb_core.Db.create ()

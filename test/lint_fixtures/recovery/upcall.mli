@@ -1,0 +1,1 @@
+val boot : unit -> unit

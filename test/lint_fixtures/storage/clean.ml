@@ -1,0 +1,4 @@
+(* Clean fixture: sealed, layered, total — every rule passes. *)
+
+let twice x = x + x
+let safe_head = function [] -> None | x :: _ -> Some x

@@ -1,0 +1,2 @@
+val twice : int -> int
+val safe_head : 'a list -> 'a option

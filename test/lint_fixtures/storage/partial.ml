@@ -1,0 +1,3 @@
+(* R3 fixture: a bare partial function instead of Mrdb_util.Fatal. *)
+
+let explode () = failwith "boom"

@@ -1,0 +1,1 @@
+val explode : unit -> unit

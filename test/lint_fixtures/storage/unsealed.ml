@@ -1,0 +1,3 @@
+(* R4 fixture: no matching .mli seals this module. *)
+
+let leak = 42

@@ -105,7 +105,7 @@ let test_media_failure_without_archive_fails_loudly () =
        Db.recover db;
        ignore (kv_of db);
        false
-     with Failure _ -> true)
+     with Mrdb_util.Fatal.Invariant _ -> true)
 
 let test_media_failure_then_normal_operation () =
   (* After archive-based recovery, the system keeps running, re-checkpoints

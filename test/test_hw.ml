@@ -175,7 +175,7 @@ let test_duplex_double_failure_raises () =
   Duplex.fail_primary d;
   Duplex.fail_mirror d;
   Alcotest.check_raises "both failed"
-    (Failure "Duplex.read_page: both mirrors failed") (fun () ->
+    (Duplex.Both_mirrors_failed { op = "read_page"; page = 0 }) (fun () ->
       Duplex.read_page d ~page:0 (fun _ -> ()))
 
 (* -- Stable memory --------------------------------------------------------- *)

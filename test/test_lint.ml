@@ -1,0 +1,96 @@
+(* Golden tests for mrdb_lint: a fixture corpus seeds exactly one violation
+   per rule (R1 wild write, R2 layering, R3 partiality, R4 unsealed), plus
+   one clean file that must pass.  Each rule must fire at the expected
+   file:line — and nowhere else. *)
+
+open Mrdb_lint
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let fixture_root = "lint_fixtures"
+let lint_fixtures () = Engine.lint ~lib_dir:fixture_root
+
+(* The golden corpus: every diagnostic the fixture tree must produce, in
+   the engine's sorted order. *)
+let expected =
+  [
+    ("R1", "lint_fixtures/core/wild_write.ml", 4);
+    ("R2", "lint_fixtures/recovery/upcall.ml", 3);
+    ("R3", "lint_fixtures/storage/partial.ml", 3);
+    ("R4", "lint_fixtures/storage/unsealed.ml", 1);
+  ]
+
+let triple_t = Alcotest.(list (triple string string int))
+
+let test_golden_corpus () =
+  let got =
+    List.map
+      (fun d -> (Diag.rule_name d.Diag.rule, d.Diag.file, d.Diag.line))
+      (lint_fixtures ())
+  in
+  check triple_t "each rule fires exactly at its seeded violation" expected got
+
+let test_r1_cites_wild_write_clause () =
+  let r1 =
+    List.filter (fun d -> d.Diag.rule = Diag.R1) (lint_fixtures ())
+  in
+  check int_t "one R1" 1 (List.length r1);
+  let rendered = Diag.to_string (List.hd r1) in
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  check bool_t "mentions Stable_mem mutator" true
+    (contains ~needle:"Stable_mem.put_u32" rendered);
+  check bool_t "cites paper 2.2" true (contains ~needle:"2.2" rendered)
+
+let test_clean_file_passes () =
+  let diags = Engine.lint_ml ~lib_dir:fixture_root ~rel:"storage/clean.ml" in
+  check int_t "clean fixture produces no diagnostics" 0 (List.length diags)
+
+let test_unparseable_reported_not_fatal () =
+  let tmp = Filename.temp_file "lintfix" ".ml" in
+  let oc = open_out tmp in
+  output_string oc "let let let = in in in\n";
+  close_out oc;
+  let diags =
+    Engine.lint_ml ~lib_dir:(Filename.dirname tmp)
+      ~rel:(Filename.basename tmp)
+  in
+  Sys.remove tmp;
+  check int_t "one parse diagnostic" 1 (List.length diags);
+  check bool_t "tagged as parse error" true
+    (List.for_all (fun d -> d.Diag.rule = Diag.Parse_error) diags)
+
+(* The seam PR 1 carved out, as a declared rule: the recovery component
+   (recovery CPU) may never reference the main-CPU facade. *)
+let test_declared_order_keeps_two_cpu_split () =
+  check bool_t "recovery -/-> core" false
+    (Rules.may_depend ~from:"mrdb_recovery" ~target:"mrdb_core");
+  check bool_t "core -> recovery" true
+    (Rules.may_depend ~from:"mrdb_core" ~target:"mrdb_recovery");
+  check bool_t "wal -/-> recovery" false
+    (Rules.may_depend ~from:"mrdb_wal" ~target:"mrdb_recovery");
+  check bool_t "util is the base" true
+    (List.for_all
+       (fun (lib, _) -> lib = "mrdb_util" || Rules.may_depend ~from:lib ~target:"mrdb_util")
+       Rules.allowed_deps)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "mrdb_lint",
+        [
+          Alcotest.test_case "golden fixture corpus" `Quick test_golden_corpus;
+          Alcotest.test_case "R1 cites the wild-write clause" `Quick
+            test_r1_cites_wild_write_clause;
+          Alcotest.test_case "clean file passes" `Quick test_clean_file_passes;
+          Alcotest.test_case "unparseable file is a diagnostic" `Quick
+            test_unparseable_reported_not_fatal;
+          Alcotest.test_case "declared order keeps the two-CPU split" `Quick
+            test_declared_order_keeps_two_cpu_split;
+        ] );
+    ]

@@ -142,7 +142,8 @@ let test_partition_delete () =
   let slot = Option.get (Partition.insert p (Bytes.of_string "x")) in
   Partition.delete_at p ~slot;
   check bool_t "gone" true (Partition.read p ~slot = None);
-  Alcotest.check_raises "double delete" (Failure "Partition.delete_at: slot 0 not live")
+  Alcotest.check_raises "double delete"
+    (Mrdb_util.Fatal.Invariant { mod_ = "Partition"; what = "delete_at: slot 0 not live" })
     (fun () -> Partition.delete_at p ~slot)
 
 let test_partition_update_in_place_and_grow () =
@@ -199,13 +200,14 @@ let test_partition_snapshot_roundtrip () =
   check int_t "live" 1 (Partition.live_entities p')
 
 let test_partition_snapshot_rejects_garbage () =
-  Alcotest.check_raises "bad magic" (Failure "Partition.of_snapshot: bad magic")
+  Alcotest.check_raises "bad magic"
+    (Mrdb_util.Fatal.Invariant { mod_ = "Partition"; what = "of_snapshot: bad magic" })
     (fun () -> ignore (Partition.of_snapshot (Bytes.make 512 'Z')))
 
 let test_partition_update_failure_preserves_entity () =
   let p = Partition.create ~size:256 ~segment:0 ~partition:0 in
   let slot = Option.get (Partition.insert p (Bytes.of_string "keepme")) in
-  (try Partition.update_at p ~slot (Bytes.make 10_000 'x') with Failure _ -> ());
+  (try Partition.update_at p ~slot (Bytes.make 10_000 'x') with Partition.No_space _ -> ());
   check Alcotest.string "old value intact" "keepme"
     (Bytes.to_string (Partition.read_exn p ~slot))
 

@@ -128,7 +128,8 @@ let test_codec_out_of_range () =
 let test_codec_truncated () =
   let dec = Codec.Dec.of_bytes (Bytes.create 3) in
   ignore (Codec.Dec.u16 dec);
-  Alcotest.check_raises "truncated" (Failure "Codec.Dec: truncated input")
+  Alcotest.check_raises "truncated"
+    (Fatal.Invariant { mod_ = "Codec"; what = "Dec: truncated input" })
     (fun () -> ignore (Codec.Dec.u32 dec))
 
 let test_codec_string_roundtrip () =
