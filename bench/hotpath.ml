@@ -1,0 +1,117 @@
+(* Wall-clock microbenchmark of the logging hot path.
+
+   Unlike bench/recovery.ml (simulated time), this measures real elapsed
+   seconds and real GC allocation:
+
+   - append: Slb.append throughput (record framed into the SLB scratch,
+     one stable-memory write per record);
+   - drain: Slb streaming drain throughput (records decoded in place from
+     the per-SLB read buffer, no per-transaction lists);
+   - debit_credit: end-to-end transactions/sec through Db on
+     Config.default, including commit, the sorter and page flushes.
+
+   Each bench reports ops/sec and Gc.allocated_bytes per op.  Results are
+   written to BENCH.json at the current directory ("quick" mode shrinks
+   the iteration counts for CI smoke, same schema). *)
+
+open Mrdb_wal
+module Sm = Mrdb_hw.Stable_mem
+
+let now () = Unix.gettimeofday ()
+
+let mk_layout () =
+  let cfg = Stable_layout.default_config in
+  let mem = Sm.create ~size:(Stable_layout.required_bytes cfg) () in
+  Stable_layout.attach cfg mem
+
+let mk_record ~seq =
+  Log_record.make ~tag:Log_record.Relation_op ~bin_index:0 ~txn_id:1 ~seq
+    ~op:(Mrdb_storage.Part_op.Update { slot = 7; data = Bytes.make 16 'v' })
+
+let bench_append n =
+  let layout = mk_layout () in
+  let slb = Slb.create layout in
+  let r = mk_record ~seq:1 in
+  let batch = 2000 in
+  let elapsed = ref 0.0 and alloc = ref 0.0 and done_ = ref 0 in
+  while !done_ < n do
+    let k = min batch (n - !done_) in
+    let t0 = now () and a0 = Gc.allocated_bytes () in
+    for i = 1 to k do
+      Slb.append slb ~txn_id:(i land 15) r
+    done;
+    elapsed := !elapsed +. (now () -. t0);
+    alloc := !alloc +. (Gc.allocated_bytes () -. a0);
+    (* Untimed: recycle the blocks so the pool never exhausts. *)
+    for t = 0 to 15 do Slb.abort slb ~txn_id:t done;
+    done_ := !done_ + k
+  done;
+  (float_of_int n /. !elapsed, !alloc /. float_of_int n)
+
+let bench_drain n =
+  let layout = mk_layout () in
+  let slb = Slb.create layout in
+  let per_txn = 4 in
+  let batch_txns = 200 in
+  let elapsed = ref 0.0 and alloc = ref 0.0 and done_ = ref 0 in
+  let sink = ref 0 in
+  while !done_ < n do
+    let txns = min batch_txns (((n - !done_) / per_txn) + 1) in
+    for t = 1 to txns do
+      for s = 1 to per_txn do
+        Slb.append slb ~txn_id:t (mk_record ~seq:s)
+      done;
+      Slb.commit slb ~txn_id:t
+    done;
+    let t0 = now () and a0 = Gc.allocated_bytes () in
+    ignore (Slb.drain slb ~f:(fun ~txn_id:_ r -> sink := !sink + r.Log_record.seq));
+    elapsed := !elapsed +. (now () -. t0);
+    alloc := !alloc +. (Gc.allocated_bytes () -. a0);
+    done_ := !done_ + (txns * per_txn)
+  done;
+  ignore !sink;
+  (float_of_int !done_ /. !elapsed, !alloc /. float_of_int !done_)
+
+let bench_txn n =
+  let db = Mrdb_core.Db.create ~config:Mrdb_core.Config.default () in
+  let bank = Mrdb_core.Workload.Bank.setup db ~accounts:400 ~tellers:8 ~branches:2 () in
+  let rng = Mrdb_util.Rng.of_int 7 in
+  let t0 = now () and a0 = Gc.allocated_bytes () in
+  for _ = 1 to n do
+    Mrdb_core.Workload.Bank.run_debit_credit bank db ~rng
+  done;
+  Mrdb_core.Db.quiesce db;
+  let dt = now () -. t0 in
+  (float_of_int n /. dt, (Gc.allocated_bytes () -. a0) /. float_of_int n)
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  let scale k = if quick then max 1 (k / 20) else k in
+  let results =
+    [
+      ("append", bench_append (scale 200_000), scale 200_000);
+      ("drain", bench_drain (scale 200_000), scale 200_000);
+      ("debit_credit", bench_txn (scale 2_000), scale 2_000);
+    ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"schema\": \"mrdb-hotpath/1\",\n  \"mode\": \"%s\",\n"
+       (if quick then "quick" else "full"));
+  Buffer.add_string buf "  \"benches\": {\n";
+  List.iteri
+    (fun i (name, (ops, alloc), n) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"%s\": { \"ops_per_sec\": %.1f, \"allocated_bytes_per_op\": \
+            %.1f, \"iterations\": %d }%s\n"
+           name ops alloc n
+           (if i = List.length results - 1 then "" else ","));
+      Printf.printf "%-12s %12.0f ops/s  %8.1f B/op  (n=%d)\n" name ops alloc n)
+    results;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "wrote BENCH.json"

@@ -33,14 +33,13 @@ let drain s =
   let records = ref 0 and bytes = ref 0 in
   let pages0 = Log_disk.pages_written s.log_disk in
   ignore
-    (Slb.drain s.slb ~f:(fun ~txn_id:_ rs ->
-         List.iter
-           (fun r ->
-             incr records;
-             bytes := !bytes + Log_record.encoded_size r)
-           rs;
-         Slt.accept_all s.slt rs));
+    (Slb.drain s.slb ~f:(fun ~txn_id:_ r ->
+         incr records;
+         bytes := !bytes + Log_record.encoded_size r;
+         Slt.accept s.slt r));
   let pages = Log_disk.pages_written s.log_disk - pages0 in
+  Trace.add s.env.Recovery_env.trace "sorter_records_streamed" !records;
+  Trace.add s.env.Recovery_env.trace "sorter_bytes_streamed" !bytes;
   let instructions =
     (record_sort_fixed_instr * !records)
     + int_of_float (copy_instr_per_byte *. float_of_int !bytes)
@@ -49,7 +48,7 @@ let drain s =
   if instructions > 0 then Cpu.execute s.cpu ~instructions (fun () -> ())
 
 let sort_backlog ~slb ~slt =
-  ignore (Slb.drain slb ~f:(fun ~txn_id:_ records -> Slt.accept_all slt records))
+  ignore (Slb.drain slb ~f:(fun ~txn_id:_ r -> Slt.accept slt r))
 
 let force_log s =
   List.iter (fun part -> Slt.flush_partition s.slt part) (Slt.active_partitions s.slt);

@@ -37,7 +37,10 @@ val slb : t -> Mrdb_wal.Slb.t
 val drain : t -> unit
 (** Sort every committed-and-unsorted SLB record into its partition bin
     and charge the recovery CPU for records moved, bytes copied and pages
-    written.  Bumps the [sorter_drain_calls] trace counter. *)
+    written.  Records are streamed straight off the SLB chains
+    ({!Mrdb_wal.Slb.drain}) — no per-transaction lists are built.  Bumps
+    the [sorter_drain_calls] trace counter and adds the records and bytes
+    moved to [sorter_records_streamed] / [sorter_bytes_streamed]. *)
 
 val sort_backlog : slb:Mrdb_wal.Slb.t -> slt:Mrdb_wal.Slt.t -> unit
 (** Restart-time variant: sort records that were committed but undrained

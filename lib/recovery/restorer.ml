@@ -64,6 +64,23 @@ let read_ckpt_image env ~(part : Addr.partition) (desc : Catalog.partition_desc)
         | Ok image -> k (Some image)
         | Error e -> fallback e)
 
+(* Replay a recovered record stream on top of a checkpoint image: records
+   at or below the watermark are already in the image and are skipped
+   (idempotent replay).  Returns the highest sequence number seen.
+   [on_applied] lets the catalogued-partition path bump its trace counter
+   without the catalog-bootstrap path inheriting it. *)
+let apply_records ~partition ~watermark ?(on_applied = fun () -> ()) records =
+  let max_seq = ref watermark in
+  List.iter
+    (fun (r : Log_record.t) ->
+      if r.Log_record.seq > watermark then begin
+        Part_op.apply partition r.Log_record.op;
+        on_applied ()
+      end;
+      if r.Log_record.seq > !max_seq then max_seq := r.Log_record.seq)
+    records;
+  !max_seq
+
 (* Restore one partition: checkpoint image and log stream are fetched in
    parallel (different disks), then records with seq > watermark are
    applied in original order. *)
@@ -100,17 +117,14 @@ let recover_partition r part k =
               ~segment:part.Addr.segment ~partition:part.Addr.partition,
             0 )
     in
-    let max_seq = ref watermark in
-    List.iter
-      (fun (rec_ : Log_record.t) ->
-        if rec_.Log_record.seq > watermark then begin
-          Part_op.apply partition rec_.Log_record.op;
-          Trace.incr env.Recovery_env.trace "recovery_records_applied"
-        end;
-        if rec_.Log_record.seq > !max_seq then max_seq := rec_.Log_record.seq)
-      !records;
+    let max_seq =
+      apply_records ~partition ~watermark
+        ~on_applied:(fun () ->
+          Trace.incr env.Recovery_env.trace "recovery_records_applied")
+        !records
+    in
     Segment.install (segment_of r part.Addr.segment) partition;
-    Addr.Partition_table.replace r.seq part !max_seq;
+    Addr.Partition_table.replace r.seq part max_seq;
     Catalog.set_resident r.cat part true;
     Trace.incr env.Recovery_env.trace "partitions_recovered";
     Trace.incr env.Recovery_env.trace "restorer_partitions_restored";
@@ -213,13 +227,8 @@ let restore_catalog env ~slt ~entries =
                 ~partition:e.Wellknown.part.Addr.partition,
               0 )
       in
-      let max_seq = ref watermark in
-      List.iter
-        (fun (r : Log_record.t) ->
-          if r.Log_record.seq > watermark then Part_op.apply partition r.Log_record.op;
-          if r.Log_record.seq > !max_seq then max_seq := r.Log_record.seq)
-        !records;
-      catalog_seq := (e.Wellknown.part, !max_seq) :: !catalog_seq;
+      let max_seq = apply_records ~partition ~watermark !records in
+      catalog_seq := (e.Wellknown.part, max_seq) :: !catalog_seq;
       Segment.install cat_segment partition)
     entries;
   (cat_segment, !catalog_seq)

@@ -3,7 +3,14 @@
     One [Trace.t] travels with a simulation; components bump counters
     ("log_records_sorted", "pages_flushed", "ckpt_by_age", ...) and record
     latencies so that benches and tests can interrogate what happened
-    without threading ad-hoc refs everywhere. *)
+    without threading ad-hoc refs everywhere.
+
+    The streaming drain feeds two volume counters:
+    [sorter_records_streamed] (records moved SLB → SLT bins) and
+    [sorter_bytes_streamed] (their encoded bytes) — each
+    [sorter_drain_calls] bump adds that drain's volume to both.  Counters
+    prefixed [sorter_]/[restorer_]/[ckpt_deferred_] are observability
+    seams excluded from the determinism golden comparison. *)
 
 type t
 

@@ -24,6 +24,27 @@ let data_size = function
   | Insert { data; _ } | Update { data; _ } -> Bytes.length data
   | Delete _ -> 0
 
+let encoded_size op =
+  let open Mrdb_util.Codec in
+  match op with
+  | Insert { slot; data } | Update { slot; data } ->
+      let n = Bytes.length data in
+      1 + varint_size slot + varint_size n + n
+  | Delete { slot } -> 1 + varint_size slot
+
+let encode_into op b ~pos =
+  let open Mrdb_util.Codec in
+  let tagged tag slot = Bytes.unsafe_set b pos (Char.unsafe_chr tag); put_varint b (pos + 1) slot in
+  match op with
+  | Insert { slot; data } | Update { slot; data } ->
+      let tag = match op with Insert _ -> 0 | _ -> 1 in
+      let n = Bytes.length data in
+      let pos = tagged tag slot in
+      let pos = put_varint b pos n in
+      Bytes.blit data 0 b pos n;
+      pos + n
+  | Delete { slot } -> tagged 2 slot
+
 let encode enc op =
   let open Mrdb_util.Codec.Enc in
   match op with

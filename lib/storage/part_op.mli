@@ -29,5 +29,14 @@ val data_size : t -> int
 val encode : Mrdb_util.Codec.Enc.t -> t -> unit
 val decode : Mrdb_util.Codec.Dec.t -> t
 
+val encoded_size : t -> int
+(** Bytes the encoding occupies, computed without serializing. *)
+
+val encode_into : t -> bytes -> pos:int -> int
+(** Serialize at [pos] into a caller-owned buffer (the zero-copy logging
+    path; byte-identical to {!encode}); returns the offset one past the
+    last byte written, [pos + encoded_size op].  The caller must have
+    reserved [encoded_size op] bytes. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,22 @@ let get_u32 b off =
 
 let get_i64 b off = Bytes.get_int64_le b off
 
+let varint_size v =
+  if v < 0 then Fatal.misuse "Codec.varint_size: negative";
+  let rec go n v = if v < 0x80 then n else go (n + 1) (v lsr 7) in
+  go 1 v
+
+let rec put_varint b off v =
+  if v < 0 then Fatal.misuse "Codec.put_varint: negative";
+  if v < 0x80 then begin
+    Bytes.unsafe_set b off (Char.unsafe_chr v);
+    off + 1
+  end
+  else begin
+    Bytes.unsafe_set b off (Char.unsafe_chr (0x80 lor (v land 0x7F)));
+    put_varint b (off + 1) (v lsr 7)
+  end
+
 module Enc = struct
   type t = { mutable buf : bytes; mutable len : int }
 

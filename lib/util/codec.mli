@@ -56,3 +56,18 @@ val get_u16 : bytes -> int -> int
 val get_u32 : bytes -> int -> int
 val get_i64 : bytes -> int -> int64
 (** Fixed-offset accessors used by slotted-page structures. *)
+
+(** {2 Scratch-buffer varint helpers}
+
+    The zero-copy logging hot path ({!Mrdb_wal.Slb.append} and friends)
+    serializes records directly into reusable scratch buffers instead of
+    going through an {!Enc}, so it needs positional varint primitives whose
+    sizes can be computed up front. *)
+
+val varint_size : int -> int
+(** Bytes [put_varint] will write for this value (LEB128, non-negative). *)
+
+val put_varint : bytes -> int -> int -> int
+(** [put_varint b off v] writes [v] as LEB128 at [off] and returns the
+    offset one past the last byte written.  The caller must have reserved
+    [varint_size v] bytes; non-negative ints only. *)

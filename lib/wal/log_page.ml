@@ -20,9 +20,9 @@ let payload_off ~dir_size = fixed_header + (8 * dir_size)
 let payload_capacity ~page_bytes ~dir_size =
   page_bytes - payload_off ~dir_size - 4 (* trailing crc *)
 
-let build ~page_bytes ~dir_size ~lsn ~(part : Addr.partition) ~prev_lsn ~dir ~payload ~nrecords =
+let prepare ~page_bytes ~dir_size ~lsn ~(part : Addr.partition) ~prev_lsn ~dir ~used ~nrecords =
   if Array.length dir > dir_size then Mrdb_util.Fatal.misuse "Log_page.build: directory too long";
-  if Bytes.length payload > payload_capacity ~page_bytes ~dir_size then
+  if used > payload_capacity ~page_bytes ~dir_size then
     Mrdb_util.Fatal.misuse "Log_page.build: payload too large";
   let page = Bytes.make page_bytes '\000' in
   Mrdb_util.Codec.put_u32 page 0 magic;
@@ -31,22 +31,37 @@ let build ~page_bytes ~dir_size ~lsn ~(part : Addr.partition) ~prev_lsn ~dir ~pa
   Mrdb_util.Codec.put_i64 page 20 (Int64.of_int part.Addr.partition);
   Mrdb_util.Codec.put_i64 page 28 prev_lsn;
   Mrdb_util.Codec.put_u32 page 36 nrecords;
-  Mrdb_util.Codec.put_u32 page 40 (Bytes.length payload);
+  Mrdb_util.Codec.put_u32 page 40 used;
   Mrdb_util.Codec.put_u32 page 44 (Array.length dir);
   Array.iteri (fun i l -> Mrdb_util.Codec.put_i64 page (fixed_header + (8 * i)) l) dir;
-  Bytes.blit payload 0 page (payload_off ~dir_size) (Bytes.length payload);
-  let crc = Mrdb_util.Checksum.crc32 page ~pos:0 ~len:(page_bytes - 4) in
-  Bytes.set_int32_le page (page_bytes - 4) crc;
   page
+
+let finish page =
+  let page_bytes = Bytes.length page in
+  let crc = Mrdb_util.Checksum.crc32 page ~pos:0 ~len:(page_bytes - 4) in
+  Bytes.set_int32_le page (page_bytes - 4) crc
+
+let build ~page_bytes ~dir_size ~lsn ~(part : Addr.partition) ~prev_lsn ~dir ~payload ~nrecords =
+  let page =
+    prepare ~page_bytes ~dir_size ~lsn ~part ~prev_lsn ~dir
+      ~used:(Bytes.length payload) ~nrecords
+  in
+  Bytes.blit payload 0 page (payload_off ~dir_size) (Bytes.length payload);
+  finish page;
+  page
+
+let iter_frames b ~pos ~used ~f =
+  let stop = pos + used in
+  let p = ref pos in
+  while !p + 2 <= stop do
+    let len = Mrdb_util.Codec.get_u16 b !p in
+    f (Log_record.decode_at b ~pos:(!p + 2) ~len);
+    p := !p + 2 + len
+  done
 
 let parse_frames b ~used =
   let records = ref [] in
-  let pos = ref 0 in
-  while !pos + 2 <= used do
-    let len = Mrdb_util.Codec.get_u16 b !pos in
-    records := Log_record.decode (Bytes.sub b (!pos + 2) len) :: !records;
-    pos := !pos + 2 + len
-  done;
+  iter_frames b ~pos:0 ~used ~f:(fun r -> records := r :: !records);
   List.rev !records
 
 let parse ~page_bytes ~dir_size b =
@@ -74,9 +89,11 @@ let parse ~page_bytes ~dir_size b =
         let dir =
           Array.init dir_len (fun i -> Mrdb_util.Codec.get_i64 b (fixed_header + (8 * i)))
         in
-        let payload = Bytes.sub b (payload_off ~dir_size) used in
-        match parse_frames payload ~used with
-        | records -> Ok ({ lsn; part; prev_lsn; dir; nrecords; used }, records)
+        (* Decode the framed records in place from the page buffer — the
+           replay path never materializes a separate payload copy. *)
+        let records = ref [] in
+        match iter_frames b ~pos:(payload_off ~dir_size) ~used ~f:(fun r -> records := r :: !records) with
+        | () -> Ok ({ lsn; part; prev_lsn; dir; nrecords; used }, List.rev !records)
         | exception Mrdb_util.Fatal.Invariant { mod_; what } ->
             Error (Printf.sprintf "record decode: %s: %s" mod_ what)
       end

@@ -30,12 +30,34 @@ val build :
 (** Compose a full page image (payload = used bytes of framed records).
     @raise Invalid_argument when the payload or directory exceed capacity. *)
 
+val prepare :
+  page_bytes:int -> dir_size:int -> lsn:int64 -> part:Addr.partition ->
+  prev_lsn:int64 -> dir:int64 array -> used:int -> nrecords:int -> bytes
+(** Zero-copy variant of {!build}: a page image with the header written and
+    the payload region zeroed.  The caller blits [used] payload bytes
+    directly at {!payload_off} (e.g. straight out of stable memory) and
+    then seals the image with {!finish} — no intermediate payload buffer.
+    @raise Invalid_argument when [used] or the directory exceed capacity. *)
+
+val finish : bytes -> unit
+(** Stamp the trailing CRC-32 over a {!prepare}d page once its payload is
+    in place.  [build page = prepare; blit; finish] byte-for-byte. *)
+
 val parse : page_bytes:int -> dir_size:int -> bytes -> (header * Log_record.t list, string) result
 (** Verify magic and CRC and decode.  [Error] explains the mismatch (torn
     page, wrong partition slot reuse, etc.). *)
 
 val frame_record : Log_record.t -> bytes
 (** u16 length prefix + encoded record, as stored in bin buffers, SLB
-    blocks and page payloads. *)
+    blocks and page payloads.  Allocating convenience — the hot append
+    paths frame records into reusable scratch buffers instead
+    ({!Log_record.encode_into}). *)
+
+val iter_frames : bytes -> pos:int -> used:int -> f:(Log_record.t -> unit) -> unit
+(** Stream the u16-framed records in [b.[pos .. pos+used)] through [f],
+    decoding each in place ({!Log_record.decode_at}) — no per-record or
+    per-payload copies.
+    @raise Mrdb_util.Fatal.Invariant on a malformed frame. *)
 
 val parse_frames : bytes -> used:int -> Log_record.t list
+(** [iter_frames] at [pos:0], materialized as a list (recovery paths). *)

@@ -40,7 +40,32 @@ let decode b =
   let op = Part_op.decode dec in
   { tag; bin_index; txn_id; seq; op }
 
-let encoded_size t = Bytes.length (encode t)
+let encoded_size t =
+  let open Mrdb_util.Codec in
+  1 + varint_size t.bin_index + varint_size t.txn_id + varint_size t.seq
+  + Part_op.encoded_size t.op
+
+let encode_into t b ~pos =
+  let open Mrdb_util.Codec in
+  Bytes.unsafe_set b pos (Char.unsafe_chr (tag_byte t.tag));
+  let pos = put_varint b (pos + 1) t.bin_index in
+  let pos = put_varint b pos t.txn_id in
+  let pos = put_varint b pos t.seq in
+  Part_op.encode_into t.op b ~pos
+
+let decode_at b ~pos ~len =
+  let start = pos in
+  let dec = Mrdb_util.Codec.Dec.of_bytes ~pos b in
+  let open Mrdb_util.Codec.Dec in
+  let tag = tag_of_byte (u8 dec) in
+  let bin_index = varint dec in
+  let txn_id = varint dec in
+  let seq = varint dec in
+  let op = Part_op.decode dec in
+  if pos dec <> start + len then
+    Mrdb_util.Fatal.invariantf ~mod_:"Log_record"
+      "decode_at: frame length %d but consumed %d" len (pos dec - start);
+  { tag; bin_index; txn_id; seq; op }
 
 let equal a b =
   a.tag = b.tag && a.bin_index = b.bin_index && a.txn_id = b.txn_id

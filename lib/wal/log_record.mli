@@ -33,7 +33,22 @@ val decode : bytes -> t
 
 val encoded_size : t -> int
 (** Bytes the record occupies in the Stable Log Buffer and log pages —
-    the paper's [S_log_record]. *)
+    the paper's [S_log_record].  Computed arithmetically, no allocation. *)
+
+val encode_into : t -> bytes -> pos:int -> int
+(** Serialize at [pos] into a caller-owned scratch buffer and return the
+    offset one past the last byte written, [pos + encoded_size t].
+    Byte-identical to {!encode} (locked by the golden equivalence test);
+    this is the zero-copy append path — the caller reserves
+    [encoded_size t] bytes and issues a single stable-memory write of the
+    frame. *)
+
+val decode_at : bytes -> pos:int -> len:int -> t
+(** Decode the [len]-byte record frame payload starting at [pos], in
+    place — no intermediate [Bytes.sub].  The streaming drain and log-page
+    replay paths use this against a reusable read buffer.
+    @raise Mrdb_util.Fatal.Invariant when the encoding does not consume
+    exactly [len] bytes. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -80,6 +80,7 @@ type t = {
   mutable has_shadow : bool;
   inflight : (int * int64) option array;
   mutable last_seq : int;
+  mutable scratch : bytes; (* grow-on-demand append framing buffer *)
 }
 
 let mem t = Stable_layout.mem t.layout
@@ -151,6 +152,7 @@ let activate layout ~idx part =
       has_shadow = false;
       inflight = Array.make inflight_slots None;
       last_seq = 0;
+      scratch = Bytes.create 0;
     }
   in
   persist t;
@@ -217,6 +219,7 @@ let load layout ~idx =
               else Some (block, Mrdb_hw.Stable_mem.get_i64 m ~off:(off + 4)));
         last_seq =
           Int64.to_int (Mrdb_hw.Stable_mem.get_i64 m ~off:(base + off_last_seq));
+        scratch = Bytes.create 0;
       }
   end
 
@@ -257,8 +260,9 @@ let chain_buf_off t chain =
 let buf_off t = chain_buf_off t t.live
 
 let append t record =
-  let framed = Log_page.frame_record record in
-  if Bytes.length framed > payload_capacity t then
+  let size = Log_record.encoded_size record in
+  let frame = 2 + size in
+  if frame > payload_capacity t then
     Mrdb_util.Fatal.misuse "Partition_bin.append: record exceeds page capacity";
   if t.live.buf_block < 0 then begin
     match Mrdb_hw.Stable_mem.Blocks.alloc (pool t) with
@@ -268,12 +272,18 @@ let append t record =
         t.live.buf_used <- 0;
         t.live.buf_nrecords <- 0
   end;
-  if t.live.buf_used + Bytes.length framed > payload_capacity t then `Page_full
+  if t.live.buf_used + frame > payload_capacity t then `Page_full
   else begin
-    (* Records are staged at the payload offset inside the pool block so
+    (* Frame into the bin's reusable scratch (grown on demand, so the
+       steady state allocates nothing) and land it with one write.
+       Records are staged at the payload offset inside the pool block so
        that sealing composes the page image in place. *)
-    Mrdb_hw.Stable_mem.write (mem t) ~off:(buf_off t + t.live.buf_used) framed;
-    t.live.buf_used <- t.live.buf_used + Bytes.length framed;
+    if Bytes.length t.scratch < frame then t.scratch <- Bytes.create frame;
+    Mrdb_util.Codec.put_u16 t.scratch 0 size;
+    ignore (Log_record.encode_into record t.scratch ~pos:2 : int);
+    Mrdb_hw.Stable_mem.write_sub (mem t) ~off:(buf_off t + t.live.buf_used)
+      t.scratch ~pos:0 ~len:frame;
+    t.live.buf_used <- t.live.buf_used + frame;
     t.live.buf_nrecords <- t.live.buf_nrecords + 1;
     t.update_count <- t.update_count + 1;
     if record.Log_record.seq > t.last_seq then t.last_seq <- record.Log_record.seq;
@@ -299,14 +309,18 @@ let seal_page t ~log_disk =
       else ([||], t.live.dir)
     in
     let lsn = Log_disk.alloc_lsn log_disk in
-    let payload =
-      Mrdb_hw.Stable_mem.read (mem t) ~off:(buf_off t) ~len:t.live.buf_used
-    in
+    (* Compose the page image around the staged payload: header via
+       [prepare], payload blitted straight out of stable memory (no
+       intermediate copy), CRC stamped by [finish]. *)
     let image =
-      Log_page.build ~page_bytes:(page_bytes t) ~dir_size:(dir_capacity t) ~lsn
-        ~part:t.part ~prev_lsn:t.live.prev_lsn ~dir:embed ~payload
-        ~nrecords:t.live.buf_nrecords
+      Log_page.prepare ~page_bytes:(page_bytes t) ~dir_size:(dir_capacity t)
+        ~lsn ~part:t.part ~prev_lsn:t.live.prev_lsn ~dir:embed
+        ~used:t.live.buf_used ~nrecords:t.live.buf_nrecords
     in
+    Mrdb_hw.Stable_mem.blit_out (mem t) ~off:(buf_off t) image
+      ~pos:(Log_page.payload_off ~dir_size:(dir_capacity t))
+      ~len:t.live.buf_used;
+    Log_page.finish image;
     (* Overwrite the pool block with the finished image so a crash before
        the disk write completes can still recover the page. *)
     Mrdb_hw.Stable_mem.write (mem t)

@@ -13,6 +13,8 @@ type t = {
   layout : Stable_layout.t;
   chains : (int, chain) Hashtbl.t; (* txn -> uncommitted chain *)
   mutable draining : bool;
+  scratch : bytes; (* append framing buffer: one frame composed, one write *)
+  rscratch : bytes; (* drain read buffer: one block payload decoded in place *)
 }
 
 let mem t = Stable_layout.mem t.layout
@@ -28,7 +30,17 @@ let get_next t b =
 let set_next t b v = Mrdb_hw.Stable_mem.put_u32 (mem t) ~off:(block_off t b + hdr_next) (v + 1)
 let set_txn t b v = Mrdb_hw.Stable_mem.put_u32 (mem t) ~off:(block_off t b + hdr_txn) v
 
-let create layout = { layout; chains = Hashtbl.create 64; draining = false }
+let create layout =
+  (* Both scratches are sized to a block once, up front: the steady-state
+     append and drain paths never allocate. *)
+  let block_bytes = (Stable_layout.config layout).Stable_layout.slb_block_bytes in
+  {
+    layout;
+    chains = Hashtbl.create 64;
+    draining = false;
+    scratch = Bytes.create block_bytes;
+    rscratch = Bytes.create block_bytes;
+  }
 
 let capacity_ring t = (Stable_layout.config t.layout).Stable_layout.committed_capacity
 
@@ -53,10 +65,17 @@ let alloc_block t ~txn_id =
       b
 
 let append t ~txn_id record =
-  let payload = Log_record.encode record in
-  let frame = 2 + Bytes.length payload in
+  let size = Log_record.encoded_size record in
+  let frame = 2 + size in
   if frame > block_bytes t - payload_off then
     Mrdb_util.Fatal.misuse "Slb.append: record exceeds block size";
+  (* Compose the whole frame (u16 length + record) in the reusable scratch,
+     then issue exactly one stable-memory write — no per-record buffers. *)
+  Mrdb_util.Codec.put_u16 t.scratch 0 size;
+  let stop = Log_record.encode_into record t.scratch ~pos:2 in
+  if stop <> frame then
+    Mrdb_util.Fatal.invariantf ~mod_:"Slb"
+      "append: encoded %d bytes but encoded_size said %d" (stop - 2) size;
   let chain =
     match Hashtbl.find_opt t.chains txn_id with
     | Some c -> c
@@ -67,42 +86,35 @@ let append t ~txn_id record =
         c
   in
   let used = get_used t chain.last in
-  let target =
-    if payload_off + used + frame <= block_bytes t then chain.last
+  let target, used =
+    if payload_off + used + frame <= block_bytes t then (chain.last, used)
     else begin
       let b = alloc_block t ~txn_id in
       set_next t chain.last b;
       chain.last <- b;
-      b
+      (b, 0) (* alloc_block just zeroed the new block's used counter *)
     end
   in
-  let used = get_used t target in
   let off = block_off t target + payload_off + used in
-  let framed = Bytes.create frame in
-  Mrdb_util.Codec.put_u16 framed 0 (Bytes.length payload);
-  Bytes.blit payload 0 framed 2 (Bytes.length payload);
-  Mrdb_hw.Stable_mem.write (mem t) ~off framed;
+  Mrdb_hw.Stable_mem.write_sub (mem t) ~off t.scratch ~pos:0 ~len:frame;
   set_used t target (used + frame)
 
-let decode_chain t first =
-  let records = ref [] in
+let iter_chain t first ~f =
   let b = ref first in
   while !b >= 0 do
     let used = get_used t !b in
-    let base = block_off t !b + payload_off in
-    let pos = ref 0 in
-    while !pos + 2 <= used do
-      let len =
-        Mrdb_util.Codec.get_u16
-          (Mrdb_hw.Stable_mem.read (mem t) ~off:(base + !pos) ~len:2)
-          0
-      in
-      let payload = Mrdb_hw.Stable_mem.read (mem t) ~off:(base + !pos + 2) ~len in
-      records := Log_record.decode payload :: !records;
-      pos := !pos + 2 + len
-    done;
+    (* One block-sized read into the shared scratch, then decode each frame
+       in place — no per-record or per-payload copies. *)
+    Mrdb_hw.Stable_mem.blit_out (mem t)
+      ~off:(block_off t !b + payload_off)
+      t.rscratch ~pos:0 ~len:used;
+    Log_page.iter_frames t.rscratch ~pos:0 ~used ~f;
     b := get_next t !b
-  done;
+  done
+
+let decode_chain t first =
+  let records = ref [] in
+  iter_chain t first ~f:(fun r -> records := r :: !records);
   List.rev !records
 
 let free_chain t first =
@@ -150,7 +162,7 @@ let drain_one t ~f =
   if head >= tail then false
   else begin
     let txn_id, first = ring_get t head in
-    f ~txn_id (decode_chain t first);
+    iter_chain t first ~f:(fun r -> f ~txn_id r);
     free_chain t first;
     Stable_layout.set_committed_head t.layout (head + 1);
     true

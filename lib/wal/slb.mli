@@ -32,7 +32,10 @@ val recover : Stable_layout.t -> t
     live, discard uncommitted chains. *)
 
 val append : t -> txn_id:int -> Log_record.t -> unit
-(** Add a REDO record to the transaction's (uncommitted) chain.
+(** Add a REDO record to the transaction's (uncommitted) chain.  The frame
+    (u16 length + record) is composed in a reusable per-SLB scratch buffer
+    and lands in stable memory as exactly one write — the steady-state
+    append path allocates nothing.
     @raise Slb_full when no block is available. *)
 
 val commit : t -> txn_id:int -> unit
@@ -52,10 +55,21 @@ val pending_committed : t -> int
 val uncommitted_count : t -> int
 val blocks_free : t -> int
 
-val drain : t -> f:(txn_id:int -> Log_record.t list -> unit) -> int
-(** Process every pending committed chain in commit order: decode its
-    records (oldest first), hand them to [f], free the blocks, advance the
-    ring head.  Returns the number of transactions drained. *)
+val iter_chain : t -> int -> f:(Log_record.t -> unit) -> unit
+(** Stream the records of the chain headed at the given block (oldest
+    first) through [f], decoding each in place from a per-SLB read buffer —
+    no per-record copies, no lists.  The buffer is shared: chains must not
+    be iterated concurrently (drains already exclude each other via the
+    reentrancy guard, and {!records_of} is a test hook used outside
+    drains). *)
 
-val drain_one : t -> f:(txn_id:int -> Log_record.t list -> unit) -> bool
+val drain : t -> f:(txn_id:int -> Log_record.t -> unit) -> int
+(** Process every pending committed chain in commit order: stream its
+    records (oldest first) through [f] via {!iter_chain}, free the blocks,
+    advance the ring head.  Returns the number of transactions drained.
+    Reentrant calls (possible when [f] suspends on log-disk backpressure
+    and the event loop runs another commit) return 0 immediately; the outer
+    drain picks up anything committed meanwhile. *)
+
+val drain_one : t -> f:(txn_id:int -> Log_record.t -> unit) -> bool
 (** Drain a single committed chain; false when none pending. *)

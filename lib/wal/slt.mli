@@ -58,6 +58,9 @@ val accept : t -> Log_record.t -> unit
     writing pages as they fill, and fire checkpoint triggers. *)
 
 val accept_all : t -> Log_record.t list -> unit
+(** [List.iter (accept t)] — convenience for recovery/test paths.  The hot
+    drain path streams records one at a time straight off the SLB chains
+    ({!Slb.drain}) instead of materializing lists. *)
 
 val flush_partition : t -> Addr.partition -> unit
 (** Seal and write the partition's partial page, if any (checkpoint step 7

@@ -53,6 +53,47 @@ let test_record_small_updates_are_small () =
   in
   check bool_t "under 24 bytes" true (Log_record.encoded_size r <= 24)
 
+(* Golden equivalence: the zero-copy codec (encoded_size / encode_into /
+   decode_at) must agree byte-for-byte with the allocating Enc/Dec
+   reference codec on arbitrary records. *)
+let gen_record =
+  QCheck.Gen.(
+    let* tag = oneofl [ Log_record.Relation_op; Index_op; Catalog_op ] in
+    let* bin_index = int_bound 0xFFFF in
+    let* txn_id = int_bound 0xFFFFFF in
+    let* seq = int_bound 0xFFFFFFF in
+    let* op =
+      oneof
+        [
+          (let* slot = int_bound 0xFFFFF in
+           let* data = string_size (int_bound 100) in
+           let* upd = bool in
+           let data = Bytes.of_string data in
+           return
+             (if upd then Part_op.Update { slot; data }
+              else Part_op.Insert { slot; data }));
+          (let* slot = int_bound 0xFFFFF in
+           return (Part_op.Delete { slot }));
+        ]
+    in
+    return (Log_record.make ~tag ~bin_index ~txn_id ~seq ~op))
+
+let prop_record_codec_equivalence =
+  QCheck.Test.make ~name:"zero-copy codec == reference codec" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Log_record.pp) gen_record)
+    (fun r ->
+      let reference = Log_record.encode r in
+      let size = Log_record.encoded_size r in
+      (* Frame the record mid-buffer so position handling is exercised. *)
+      let pad = 7 in
+      let buf = Bytes.make (pad + size + 5) '\xAA' in
+      let stop = Log_record.encode_into r buf ~pos:pad in
+      size = Bytes.length reference
+      && stop = pad + size
+      && Bytes.equal reference (Bytes.sub buf pad size)
+      && Log_record.equal r (Log_record.decode_at buf ~pos:pad ~len:size)
+      && Log_record.equal r (Log_record.decode reference))
+
 (* -- Log_page ----------------------------------------------------------------- *)
 
 let test_page_roundtrip () =
@@ -107,16 +148,16 @@ let test_slb_append_commit_drain () =
   check int_t "two pending" 2 (Slb.pending_committed slb);
   let order = ref [] in
   let n =
-    Slb.drain slb ~f:(fun ~txn_id records ->
-        order := (txn_id, List.map (fun r -> r.Log_record.seq) records) :: !order)
+    Slb.drain slb ~f:(fun ~txn_id r ->
+        order := (txn_id, r.Log_record.seq) :: !order)
   in
   check int_t "drained 2" 2 n;
   (* Commit order preserved: txn 2 first, then txn 1 with both records in
      append order. *)
   check
-    (Alcotest.list (Alcotest.pair int_t (Alcotest.list int_t)))
+    (Alcotest.list (Alcotest.pair int_t int_t))
     "commit order + append order"
-    [ (2, [ 1 ]); (1, [ 1; 2 ]) ]
+    [ (2, 1); (1, 1); (1, 2) ]
     (List.rev !order);
   check int_t "nothing pending" 0 (Slb.pending_committed slb)
 
@@ -140,9 +181,10 @@ let test_slb_chains_span_blocks () =
   Slb.commit slb ~txn_id:1;
   let seen = ref [] in
   ignore
-    (Slb.drain slb ~f:(fun ~txn_id:_ records ->
-         seen := List.map (fun r -> r.Log_record.seq) records));
-  check (Alcotest.list int_t) "order across blocks" (List.init 20 (fun i -> i + 1)) !seen
+    (Slb.drain slb ~f:(fun ~txn_id:_ r -> seen := r.Log_record.seq :: !seen));
+  check (Alcotest.list int_t) "order across blocks"
+    (List.init 20 (fun i -> i + 1))
+    (List.rev !seen)
 
 let test_slb_exhaustion () =
   let layout = mk_layout () in
@@ -172,13 +214,76 @@ let test_slb_survives_crash () =
   let layout' = Stable_layout.attach cfg mem in
   let slb' = Slb.recover layout' in
   check int_t "committed chain survives" 1 (Slb.pending_committed slb');
-  let drained = ref [] in
+  let drained = Hashtbl.create 4 in
   ignore
-    (Slb.drain slb' ~f:(fun ~txn_id records ->
-         drained := (txn_id, List.length records) :: !drained));
-  check (Alcotest.list (Alcotest.pair int_t int_t)) "txn1 intact" [ (1, 2) ] !drained;
+    (Slb.drain slb' ~f:(fun ~txn_id _ ->
+         Hashtbl.replace drained txn_id
+           (1 + Option.value ~default:0 (Hashtbl.find_opt drained txn_id))));
+  check (Alcotest.list (Alcotest.pair int_t int_t)) "txn1 intact" [ (1, 2) ]
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) drained []);
   (* Uncommitted blocks were reclaimed. *)
   check int_t "all blocks free" cfg.Stable_layout.slb_block_count (Slb.blocks_free slb')
+
+let test_slb_ring_wraparound () =
+  (* The committed ring's cursors are monotonic; slot reuse is mod
+     capacity.  Push well past committed_capacity (32) in several
+     commit/drain waves and verify every record still drains in commit
+     order. *)
+  let layout = mk_layout () in
+  let slb = Slb.create layout in
+  let next_txn = ref 0 in
+  for _wave = 1 to 5 do
+    let first = !next_txn in
+    for _ = 1 to 20 do
+      let txn = !next_txn in
+      incr next_txn;
+      Slb.append slb ~txn_id:txn (mk_record ~txn ~seq:1 ());
+      Slb.append slb ~txn_id:txn (mk_record ~txn ~seq:2 ());
+      Slb.commit slb ~txn_id:txn
+    done;
+    let order = ref [] in
+    let n = Slb.drain slb ~f:(fun ~txn_id r -> order := (txn_id, r.Log_record.seq) :: !order) in
+    check int_t "wave drained" 20 n;
+    check
+      (Alcotest.list (Alcotest.pair int_t int_t))
+      "wave order"
+      (List.concat_map (fun i -> [ (first + i, 1); (first + i, 2) ]) (List.init 20 Fun.id))
+      (List.rev !order)
+  done;
+  check int_t "100 commits through a 32-slot ring" 100 !next_txn
+
+let test_slb_ring_wrap_crash_recover () =
+  (* Wrap the ring, then crash with undrained commits straddling the wrap
+     point: recover must walk head..tail-1 mod capacity and preserve both
+     the entries and their chains. *)
+  let cfg = small_config in
+  let mem = Mrdb_hw.Stable_mem.create ~size:(Stable_layout.required_bytes cfg) () in
+  let layout = Stable_layout.attach cfg mem in
+  let slb = Slb.create layout in
+  (* Advance the cursors to 24 of 32 so the next 16 commits wrap. *)
+  for txn = 1 to 24 do
+    Slb.append slb ~txn_id:txn (mk_record ~txn ~seq:1 ());
+    Slb.commit slb ~txn_id:txn
+  done;
+  ignore (Slb.drain slb ~f:(fun ~txn_id:_ _ -> ()));
+  for txn = 100 to 115 do
+    Slb.append slb ~txn_id:txn (mk_record ~txn ~seq:1 ());
+    Slb.append slb ~txn_id:txn (mk_record ~txn ~seq:2 ());
+    Slb.commit slb ~txn_id:txn
+  done;
+  (* Crash: volatile state gone, stable memory (wrapped ring) survives. *)
+  let layout' = Stable_layout.attach cfg mem in
+  let slb' = Slb.recover layout' in
+  check int_t "wrapped commits survive" 16 (Slb.pending_committed slb');
+  let order = ref [] in
+  ignore (Slb.drain slb' ~f:(fun ~txn_id r -> order := (txn_id, r.Log_record.seq) :: !order));
+  check
+    (Alcotest.list (Alcotest.pair int_t int_t))
+    "wrapped order intact"
+    (List.concat_map (fun i -> [ (100 + i, 1); (100 + i, 2) ]) (List.init 16 Fun.id))
+    (List.rev !order);
+  check int_t "all blocks free after drain" cfg.Stable_layout.slb_block_count
+    (Slb.blocks_free slb')
 
 (* -- Log_disk ---------------------------------------------------------------- *)
 
@@ -744,6 +849,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
           Alcotest.test_case "small updates are small" `Quick test_record_small_updates_are_small;
+          QCheck_alcotest.to_alcotest prop_record_codec_equivalence;
         ] );
       ( "log_page",
         [
@@ -759,6 +865,9 @@ let () =
           Alcotest.test_case "exhaustion" `Quick test_slb_exhaustion;
           Alcotest.test_case "empty commit trivial" `Quick test_slb_empty_commit_is_trivial;
           Alcotest.test_case "survives crash" `Quick test_slb_survives_crash;
+          Alcotest.test_case "ring wrap-around" `Quick test_slb_ring_wraparound;
+          Alcotest.test_case "ring wrap + crash recover" `Quick
+            test_slb_ring_wrap_crash_recover;
         ] );
       ( "log_disk",
         [
