@@ -5,6 +5,9 @@
 
    - append: Slb.append throughput (record framed into the SLB scratch,
      one stable-memory write per record);
+   - append_hooked: the same with an installed-but-idle stable-memory
+     fault hook, bounding the observation cost fault campaigns add to the
+     hot path (CI asserts the ratio);
    - drain: Slb streaming drain throughput (records decoded in place from
      the per-SLB read buffer, no per-transaction lists);
    - debit_credit: end-to-end transactions/sec through Db on
@@ -28,8 +31,13 @@ let mk_record ~seq =
   Log_record.make ~tag:Log_record.Relation_op ~bin_index:0 ~txn_id:1 ~seq
     ~op:(Mrdb_storage.Part_op.Update { slot = 7; data = Bytes.make 16 'v' })
 
-let bench_append n =
+let bench_append ?(hooked = false) n =
   let layout = mk_layout () in
+  if hooked then
+    (* An installed-but-idle fault hook: the cost the torture campaign's
+       observation point adds to every stable-memory mutation. *)
+    Sm.set_fault_hook (Stable_layout.mem layout)
+      (Some { Sm.on_write = (fun ~off:_ ~len:_ -> ()) });
   let slb = Slb.create layout in
   let r = mk_record ~seq:1 in
   let batch = 2000 in
@@ -90,6 +98,7 @@ let () =
   let results =
     [
       ("append", bench_append (scale 200_000), scale 200_000);
+      ("append_hooked", bench_append ~hooked:true (scale 200_000), scale 200_000);
       ("drain", bench_drain (scale 200_000), scale 200_000);
       ("debit_credit", bench_txn (scale 2_000), scale 2_000);
     ]

@@ -312,10 +312,9 @@ let is_crashed t = t.vol = None
 
 let crash t =
   if t.vol <> None then begin
-    Sim.clear t.sim;
-    Mrdb_hw.Disk.crash_queue (Mrdb_hw.Duplex.primary (Log_disk.duplex t.log_disk));
-    Mrdb_hw.Disk.crash_queue (Mrdb_hw.Duplex.mirror (Log_disk.duplex t.log_disk));
-    Mrdb_hw.Disk.crash_queue t.ckpt_disk;
+    Mrdb_hw.Crash.machine ~sim:t.sim
+      ~duplexes:[ Log_disk.duplex t.log_disk ]
+      ~disks:[ t.ckpt_disk ] ();
     Mrdb_hw.Volatile.Epoch.crash t.epoch;
     Recovery_mgr.detach t.recovery;
     t.vol <- None;
@@ -390,8 +389,11 @@ let create ?(config = Config.default) () =
       ()
   in
   let layout = Stable_layout.attach config.Config.stable stable_mem in
+  let trace = Trace.create () in
   let log_disk =
-    Log_disk.create sim ~layout ~window_pages:config.Config.log_window_pages ()
+    (* The Db trace doubles as the duplex's resilience-counter sink, so
+       degraded writes / read fallbacks show up next to the Db counters. *)
+    Log_disk.create sim ~layout ~trace ~window_pages:config.Config.log_window_pages ()
   in
   let page_bytes = config.Config.stable.Stable_layout.log_page_bytes in
   let ckpt_disk =
@@ -419,7 +421,7 @@ let create ?(config = Config.default) () =
       log_disk;
       ckpt_disk;
       archiver;
-      trace = Trace.create ();
+      trace;
       vol = None;
     }
   in
@@ -460,6 +462,7 @@ let slt t = (vol t).slt
 let slb t = (vol t).slb
 let log_disk t = t.log_disk
 let ckpt_disk t = t.ckpt_disk
+let stable_mem t = t.stable_mem
 let catalog t = (vol t).cat
 let archiver t = t.archiver
 

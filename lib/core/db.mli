@@ -166,6 +166,10 @@ val slt : t -> Mrdb_wal.Slt.t
 val slb : t -> Mrdb_wal.Slb.t
 val log_disk : t -> Mrdb_wal.Log_disk.t
 val ckpt_disk : t -> Mrdb_hw.Disk.t
+val stable_mem : t -> Mrdb_hw.Stable_mem.t
+(** The stable memory backing the layout — exposed so fault campaigns can
+    target it (injection itself is lint-restricted to lib/fault / tests). *)
+
 val catalog : t -> Catalog.t
 val partition_of_addr : t -> rel:string -> Addr.t -> Addr.partition
 val relation_partitions : t -> rel:string -> Addr.partition list

@@ -1,0 +1,86 @@
+type target = Log_primary | Log_mirror | Ckpt
+type side = Primary | Mirror
+
+type event =
+  | Transient_read of { target : target; at_read : int }
+  | Corrupt_page of { target : target; page : int; at_us : float }
+  | Fail_side of { side : side; at_us : float }
+  | Torn_write of { target : target; keep_fraction : float }
+  | Corrupt_stable of { off : int; len : int; at_us : float }
+
+type t = { seed : int option; events : event list }
+
+let scripted events = { seed = None; events }
+
+let events t = t.events
+let seed t = t.seed
+
+(* Single-failure-domain discipline: each random plan picks ONE victim log
+   side and confines corruptions, the mirror failure and torn log writes to
+   it, so the other mirror always holds an intact copy and a committed
+   prefix stays recoverable without the archive.  Checkpoint-disk
+   corruption is media the archive covers, so it is fair game on any plan
+   run with [archive = true].  Stable-memory corruption is never random —
+   only scripted tests aim at the well-known area's redundancy. *)
+let random ~seed ~horizon_us ~window_pages ~ckpt_pages =
+  let rng = Mrdb_util.Rng.of_int seed in
+  let victim = if Mrdb_util.Rng.bool rng then Primary else Mirror in
+  let victim_target = match victim with Primary -> Log_primary | Mirror -> Log_mirror in
+  let at () = Mrdb_util.Rng.float rng horizon_us in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  (* Transient read errors: any target, vanish on retry. *)
+  for _ = 1 to Mrdb_util.Rng.int rng 4 do
+    let target = Mrdb_util.Rng.pick rng [| Log_primary; Log_mirror; Ckpt |] in
+    push (Transient_read { target; at_read = Mrdb_util.Rng.int_in rng 1 40 })
+  done;
+  (* Latent sector corruption on the victim log side. *)
+  for _ = 1 to Mrdb_util.Rng.int rng 3 do
+    push
+      (Corrupt_page
+         { target = victim_target; page = Mrdb_util.Rng.int rng window_pages; at_us = at () })
+  done;
+  (* Checkpoint-image corruption (archive covers it). *)
+  if Mrdb_util.Rng.int rng 4 = 0 then
+    push (Corrupt_page { target = Ckpt; page = Mrdb_util.Rng.int rng ckpt_pages; at_us = at () });
+  (* Outright media failure of the victim mirror. *)
+  if Mrdb_util.Rng.int rng 3 = 0 then push (Fail_side { side = victim; at_us = at () });
+  (* Torn in-service write at the next crash. *)
+  if Mrdb_util.Rng.bool rng then
+    push
+      (Torn_write
+         {
+           target = victim_target;
+           keep_fraction = 0.1 +. Mrdb_util.Rng.float rng 0.8;
+         });
+  if Mrdb_util.Rng.int rng 4 = 0 then
+    push
+      (Torn_write { target = Ckpt; keep_fraction = 0.1 +. Mrdb_util.Rng.float rng 0.8 });
+  { seed = Some seed; events = List.rev !events }
+
+let pp_target ppf = function
+  | Log_primary -> Format.fprintf ppf "log.primary"
+  | Log_mirror -> Format.fprintf ppf "log.mirror"
+  | Ckpt -> Format.fprintf ppf "ckpt"
+
+let pp_side ppf = function
+  | Primary -> Format.fprintf ppf "primary"
+  | Mirror -> Format.fprintf ppf "mirror"
+
+let pp_event ppf = function
+  | Transient_read { target; at_read } ->
+      Format.fprintf ppf "transient-read %a @@read#%d" pp_target target at_read
+  | Corrupt_page { target; page; at_us } ->
+      Format.fprintf ppf "corrupt-page %a page=%d @@%.0fus" pp_target target page at_us
+  | Fail_side { side; at_us } ->
+      Format.fprintf ppf "fail-side %a @@%.0fus" pp_side side at_us
+  | Torn_write { target; keep_fraction } ->
+      Format.fprintf ppf "torn-write %a keep=%.2f" pp_target target keep_fraction
+  | Corrupt_stable { off; len; at_us } ->
+      Format.fprintf ppf "corrupt-stable [%d,+%d) @@%.0fus" off len at_us
+
+let pp ppf t =
+  (match t.seed with
+  | Some s -> Format.fprintf ppf "plan(seed=%d):" s
+  | None -> Format.fprintf ppf "plan(scripted):");
+  List.iter (fun e -> Format.fprintf ppf "@ %a;" pp_event e) t.events

@@ -1,0 +1,48 @@
+(** Deterministic fault plans.
+
+    A plan is a list of fault events derived from a seed (or written out by
+    hand) that the {!Injector} arms against a machine's devices.  The same
+    seed always yields the same plan, so any torture-campaign failure
+    replays exactly.
+
+    Fault taxonomy (paper §3.1's hardware assumptions, violated on
+    purpose): transient read errors that vanish on retry, latent sector
+    corruption on one copy, outright media failure of one mirror, single
+    torn page writes at a crash, and (scripted only) stable-memory bit
+    rot behind the wild-write protection. *)
+
+type target = Log_primary | Log_mirror | Ckpt
+type side = Primary | Mirror
+
+type event =
+  | Transient_read of { target : target; at_read : int }
+      (** The [at_read]-th read op on that device fails once (1-based,
+          counted per device across the whole run). *)
+  | Corrupt_page of { target : target; page : int; at_us : float }
+      (** Latent corruption: flip bytes of the media copy at the given
+          simulated time.  Detected by checksum on the next read. *)
+  | Fail_side of { side : side; at_us : float }
+      (** Media failure of one log mirror at the given time. *)
+  | Torn_write of { target : target; keep_fraction : float }
+      (** At the next crash, the write in service on that device tears:
+          only the leading [keep_fraction] of its bytes reach the media. *)
+  | Corrupt_stable of { off : int; len : int; at_us : float }
+      (** Stable-memory bit rot (scripted plans only — random campaigns
+          never inject it because a single cell loss is only survivable
+          where the layout keeps redundancy, i.e. the well-known area). *)
+
+type t
+
+val scripted : event list -> t
+
+val random :
+  seed:int -> horizon_us:float -> window_pages:int -> ckpt_pages:int -> t
+(** A seeded plan confined to a single failure domain: one victim log side
+    absorbs all log corruption / failure / torn-write events, so the other
+    mirror stays intact and the committed prefix remains recoverable.
+    Checkpoint-disk events assume the archive is enabled. *)
+
+val events : t -> event list
+val seed : t -> int option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+module Trace = Mrdb_sim.Trace
+module Sim = Mrdb_sim.Sim
+module Disk = Mrdb_hw.Disk
+module Duplex = Mrdb_hw.Duplex
+module Stable_mem = Mrdb_hw.Stable_mem
+
+type t = {
+  plan : Fault_plan.t;
+  sim : Sim.t;
+  trace : Trace.t;
+  log : Duplex.t;
+  ckpt : Disk.t option;
+  stable : Stable_mem.t option;
+  events : Fault_plan.event array;
+  fired : bool array;
+}
+
+let fired_count t = Array.fold_left (fun n f -> if f then n + 1 else n) 0 t.fired
+
+let fire t i counter =
+  t.fired.(i) <- true;
+  Trace.incr t.trace counter
+
+let disk_of t = function
+  | Fault_plan.Log_primary -> Some (Duplex.primary t.log)
+  | Fault_plan.Log_mirror -> Some (Duplex.mirror t.log)
+  | Fault_plan.Ckpt -> t.ckpt
+
+(* One composite hook per physical device: counts its read ops (attempt
+   numbers are per-device, across crashes) and answers the injector's
+   pending transient-read / torn-write events for that target. *)
+let hook_for t target =
+  let reads = ref 0 in
+  let on_read ~page:_ =
+    incr reads;
+    let hit = ref None in
+    Array.iteri
+      (fun i ev ->
+        if (not t.fired.(i)) && !hit = None then
+          match ev with
+          | Fault_plan.Transient_read { target = tg; at_read } when tg = target ->
+              if at_read = !reads then begin
+                fire t i "fault_transient_reads_injected";
+                hit := Some "injected transient read error"
+              end
+          | _ -> ())
+      t.events;
+    !hit
+  in
+  let on_crash_tear ~page:_ ~len =
+    let hit = ref None in
+    Array.iteri
+      (fun i ev ->
+        if (not t.fired.(i)) && !hit = None then
+          match ev with
+          | Fault_plan.Torn_write { target = tg; keep_fraction } when tg = target ->
+              fire t i "fault_torn_writes_injected";
+              (* A genuine tear: at least one byte written, at least one lost. *)
+              let keep = int_of_float (keep_fraction *. float_of_int len) in
+              hit := Some (Stdlib.max 1 (Stdlib.min (len - 1) keep))
+          | _ -> ())
+      t.events;
+    !hit
+  in
+  { Disk.on_read; on_crash_tear }
+
+(* Corruption position derived deterministically from the page number so a
+   replayed seed flips the very same bytes. *)
+let corruption_span ~page_bytes ~page =
+  let len = Stdlib.min 16 page_bytes in
+  let at = page * 131 mod (page_bytes - len + 1) in
+  (at, len)
+
+let fire_timed t i = function
+  | Fault_plan.Corrupt_page { target; page; at_us = _ } -> (
+      match disk_of t target with
+      | None -> t.fired.(i) <- true (* no such device in this machine *)
+      | Some d ->
+          if Disk.failed d then t.fired.(i) <- true
+          else begin
+            let page = page mod Disk.capacity_pages d in
+            let at, len =
+              corruption_span ~page_bytes:(Disk.params d).Disk.page_bytes ~page
+            in
+            Disk.corrupt_page d ~page ~at ~len;
+            fire t i "fault_pages_corrupted"
+          end)
+  | Fault_plan.Fail_side { side; at_us = _ } ->
+      (match side with
+      | Fault_plan.Primary -> Duplex.fail_primary t.log
+      | Fault_plan.Mirror -> Duplex.fail_mirror t.log);
+      fire t i "fault_mirror_failures_injected"
+  | Fault_plan.Corrupt_stable { off; len; at_us = _ } -> (
+      match t.stable with
+      | None -> t.fired.(i) <- true
+      | Some m ->
+          Stable_mem.corrupt m ~off ~len;
+          fire t i "fault_stable_corruptions_injected")
+  | Fault_plan.Transient_read _ | Fault_plan.Torn_write _ ->
+      Mrdb_util.Fatal.invariant ~mod_:"Injector" "hook-driven event scheduled as timed"
+
+let arm t =
+  let now = Sim.now t.sim in
+  Array.iteri
+    (fun i ev ->
+      if not t.fired.(i) then
+        let schedule at_us =
+          Sim.schedule t.sim ~delay:(Stdlib.max 0.0 (at_us -. now)) (fun () ->
+              (* The fired flag also de-duplicates accidental double-arming. *)
+              if not t.fired.(i) then fire_timed t i ev)
+        in
+        match ev with
+        | Fault_plan.Corrupt_page { at_us; _ }
+        | Fault_plan.Fail_side { at_us; _ }
+        | Fault_plan.Corrupt_stable { at_us; _ } ->
+            schedule at_us
+        | Fault_plan.Transient_read _ | Fault_plan.Torn_write _ -> ())
+    t.events
+
+let install ~plan ~sim ~trace ~log ?ckpt ?stable () =
+  let t =
+    {
+      plan;
+      sim;
+      trace;
+      log;
+      ckpt;
+      stable;
+      events = Array.of_list (Fault_plan.events plan);
+      fired = Array.make (List.length (Fault_plan.events plan)) false;
+    }
+  in
+  Disk.set_fault_hook (Duplex.primary log) (Some (hook_for t Fault_plan.Log_primary));
+  Disk.set_fault_hook (Duplex.mirror log) (Some (hook_for t Fault_plan.Log_mirror));
+  (match ckpt with
+  | Some d -> Disk.set_fault_hook d (Some (hook_for t Fault_plan.Ckpt))
+  | None -> ());
+  arm t;
+  t
+
+let plan t = t.plan

@@ -1,0 +1,36 @@
+(** Arms a {!Fault_plan} against a machine's devices.
+
+    Hook-driven events (transient reads, torn writes) are answered from
+    composite per-device fault hooks installed once; timed events
+    (corruption, mirror failure, stable rot) are simulation events.  A
+    crash ({!Mrdb_sim.Sim.clear}) discards pending timed events, so the
+    harness must call {!arm} again after every crash — already-fired
+    events are remembered and never fire twice.
+
+    Every injected fault is visible in the trace:
+    [fault_transient_reads_injected], [fault_pages_corrupted],
+    [fault_mirror_failures_injected], [fault_torn_writes_injected],
+    [fault_stable_corruptions_injected]. *)
+
+type t
+
+val install :
+  plan:Fault_plan.t ->
+  sim:Mrdb_sim.Sim.t ->
+  trace:Mrdb_sim.Trace.t ->
+  log:Mrdb_hw.Duplex.t ->
+  ?ckpt:Mrdb_hw.Disk.t ->
+  ?stable:Mrdb_hw.Stable_mem.t ->
+  unit ->
+  t
+(** Install device hooks and schedule the plan's timed events.  Events
+    aimed at a device not supplied here are marked spent silently. *)
+
+val arm : t -> unit
+(** (Re-)schedule the not-yet-fired timed events — call after each crash,
+    once the simulated queue has been cleared. *)
+
+val fired_count : t -> int
+(** Events that have actually fired so far. *)
+
+val plan : t -> Fault_plan.t

@@ -1,0 +1,9 @@
+let machine ~sim ?(duplexes = []) ?(disks = []) () =
+  (* Order matters for determinism only in that it is fixed: first the
+     event queue (orphaned completions vanish), then each device's request
+     queue (in-flight torn-write hooks run here).  Either order alone is a
+     latent bug — a cleared queue with live completion events resurrects
+     work, live queues with a cleared clock stall forever. *)
+  Mrdb_sim.Sim.clear sim;
+  List.iter Duplex.crash_queue duplexes;
+  List.iter Disk.crash_queue disks

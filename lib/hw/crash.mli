@@ -1,0 +1,15 @@
+(** Machine-level crash semantics, in one place.
+
+    A power failure must discard the simulator's in-flight events
+    ({!Mrdb_sim.Sim.clear}) {e and} every disk's request queue
+    ({!Disk.crash_queue}) atomically: doing only one leaves orphaned
+    completions or stuck queues.  Every crash site — [Db.crash] and the
+    WAL-level crash tests — goes through this helper instead of pairing the
+    two calls by hand. *)
+
+val machine :
+  sim:Mrdb_sim.Sim.t -> ?duplexes:Duplex.t list -> ?disks:Disk.t list -> unit -> unit
+(** Clear the event queue, then crash every listed device's request queue
+    (duplexes first, both members each; then plain disks).  Stable memory
+    needs no call — it survives; volatile state is the caller's to discard
+    ({!Volatile.Epoch.crash}). *)

@@ -33,11 +33,16 @@ let default_ckpt_params ~page_bytes =
     interleaved = false;
   }
 
+type fault_hook = {
+  on_read : page:int -> string option;
+  on_crash_tear : page:int -> len:int -> int option;
+}
+
 type op =
   | Write of { page : int; data : bytes; k : unit -> unit }
-  | Read of { page : int; k : bytes -> unit }
+  | Read of { page : int; k : (bytes, string) result -> unit }
   | Write_track of { first_page : int; data : bytes; k : unit -> unit }
-  | Read_track of { first_page : int; pages : int; k : bytes -> unit }
+  | Read_track of { first_page : int; pages : int; k : (bytes, string) result -> unit }
 
 type t = {
   sim : Mrdb_sim.Sim.t;
@@ -46,8 +51,11 @@ type t = {
   store : bytes option array;
   queue : op Queue.t;
   mutable servicing : bool;
+  mutable inflight : op option; (* the op under service (torn-write support) *)
   mutable last_page : int; (* for sequential-access detection; -2 = none *)
   mutable busy_until : float;
+  mutable failed : bool;
+  mutable hook : fault_hook option;
   mutable ops : int;
   mutable pages_written : int;
   mutable pages_read : int;
@@ -63,8 +71,11 @@ let create ?(name = "disk") sim ~params ~capacity_pages =
     store = Array.make capacity_pages None;
     queue = Queue.create ();
     servicing = false;
+    inflight = None;
     last_page = -2;
     busy_until = 0.0;
+    failed = false;
+    hook = None;
     ops = 0;
     pages_written = 0;
     pages_read = 0;
@@ -107,52 +118,81 @@ let op_duration t op =
       position_us t first_page
       +. (float_of_int pages *. t.params.page_transfer_us /. 2.0)
 
+(* Transient-read decision: consult the fault hook once per read op (the
+   injector counts attempts itself).  [None] in production — the healthy
+   path takes one branch. *)
+let read_fault t ~page =
+  match t.hook with None -> None | Some h -> h.on_read ~page
+
+let media_failed_msg t = t.name ^ ": media failure"
+
 let apply t op =
   match op with
   | Write { page; data; k } ->
-      t.store.(page) <- Some (Bytes.copy data);
-      t.pages_written <- t.pages_written + 1;
+      if not t.failed then begin
+        t.store.(page) <- Some (Bytes.copy data);
+        t.pages_written <- t.pages_written + 1
+      end;
+      (* A failed drive's electronics still complete the request; the bytes
+         just never reach the platters.  Completion must fire either way or
+         a duplexed write against a dying mirror would hang forever. *)
       t.last_page <- page;
       k ()
   | Read { page; k } ->
-      let data =
-        match t.store.(page) with
-        | Some b -> Bytes.copy b
-        | None -> Bytes.make t.params.page_bytes '\000'
-      in
-      t.pages_read <- t.pages_read + 1;
       t.last_page <- page;
-      k data
+      if t.failed then k (Error (media_failed_msg t))
+      else begin
+        match read_fault t ~page with
+        | Some msg -> k (Error msg)
+        | None ->
+            let data =
+              match t.store.(page) with
+              | Some b -> Bytes.copy b
+              | None -> Bytes.make t.params.page_bytes '\000'
+            in
+            t.pages_read <- t.pages_read + 1;
+            k (Ok data)
+      end
   | Write_track { first_page; data; k } ->
       let pages = Bytes.length data / t.params.page_bytes in
-      for i = 0 to pages - 1 do
-        t.store.(first_page + i) <-
-          Some (Bytes.sub data (i * t.params.page_bytes) t.params.page_bytes)
-      done;
-      t.pages_written <- t.pages_written + pages;
+      if not t.failed then begin
+        for i = 0 to pages - 1 do
+          t.store.(first_page + i) <-
+            Some (Bytes.sub data (i * t.params.page_bytes) t.params.page_bytes)
+        done;
+        t.pages_written <- t.pages_written + pages
+      end;
       t.last_page <- first_page + pages - 1;
       k ()
   | Read_track { first_page; pages; k } ->
-      let buf = Bytes.make (pages * t.params.page_bytes) '\000' in
-      for i = 0 to pages - 1 do
-        match t.store.(first_page + i) with
-        | Some b -> Bytes.blit b 0 buf (i * t.params.page_bytes) t.params.page_bytes
-        | None -> ()
-      done;
-      t.pages_read <- t.pages_read + pages;
       t.last_page <- first_page + pages - 1;
-      k buf
+      if t.failed then k (Error (media_failed_msg t))
+      else begin
+        match read_fault t ~page:first_page with
+        | Some msg -> k (Error msg)
+        | None ->
+            let buf = Bytes.make (pages * t.params.page_bytes) '\000' in
+            for i = 0 to pages - 1 do
+              match t.store.(first_page + i) with
+              | Some b -> Bytes.blit b 0 buf (i * t.params.page_bytes) t.params.page_bytes
+              | None -> ()
+            done;
+            t.pages_read <- t.pages_read + pages;
+            k (Ok buf)
+      end
 
 let rec service t =
   match Queue.take_opt t.queue with
   | None -> t.servicing <- false
   | Some op ->
       t.servicing <- true;
+      t.inflight <- Some op;
       let duration = op_duration t op in
       t.ops <- t.ops + 1;
       t.busy_us <- t.busy_us +. duration;
       t.busy_until <- Mrdb_sim.Sim.now t.sim +. duration;
       Mrdb_sim.Sim.schedule t.sim ~delay:duration (fun () ->
+          t.inflight <- None;
           apply t op;
           service t)
 
@@ -188,11 +228,62 @@ let read_track t ~first_page ~pages k =
 
 let queue_depth t = Queue.length t.queue + if t.servicing then 1 else 0
 
+(* Apply the kept prefix of an interrupted write: whole pages land intact,
+   the partial page is old content (or zeros) with the prefix overlaid —
+   exactly what a head losing power mid-sector leaves behind. *)
+let tear_write t ~first_page data ~keep =
+  let pb = t.params.page_bytes in
+  let keep = Stdlib.max 0 (Stdlib.min keep (Bytes.length data)) in
+  let full = keep / pb in
+  for i = 0 to full - 1 do
+    t.store.(first_page + i) <- Some (Bytes.sub data (i * pb) pb)
+  done;
+  let rem = keep - (full * pb) in
+  if rem > 0 then begin
+    let page = first_page + full in
+    let base =
+      match t.store.(page) with Some b -> Bytes.copy b | None -> Bytes.make pb '\000'
+    in
+    Bytes.blit data (full * pb) base 0 rem;
+    t.store.(page) <- Some base
+  end
+
 let crash_queue t =
+  (* A write under service at the instant of failure may have transferred a
+     prefix of its sectors: the fault hook decides how many bytes stuck. *)
+  (match (t.inflight, t.hook) with
+  | Some (Write { page; data; _ }), Some h when not t.failed -> (
+      match h.on_crash_tear ~page ~len:(Bytes.length data) with
+      | Some keep -> tear_write t ~first_page:page data ~keep
+      | None -> ())
+  | Some (Write_track { first_page; data; _ }), Some h when not t.failed -> (
+      match h.on_crash_tear ~page:first_page ~len:(Bytes.length data) with
+      | Some keep -> tear_write t ~first_page data ~keep
+      | None -> ())
+  | _ -> ());
+  t.inflight <- None;
   Queue.clear t.queue;
   t.servicing <- false;
   t.last_page <- -2
 let busy_until t = t.busy_until
+
+let fail t = t.failed <- true
+let failed t = t.failed
+
+let set_fault_hook t hook = t.hook <- hook
+
+let corrupt_page t ~page ~at ~len =
+  check_page t page;
+  let pb = t.params.page_bytes in
+  if at < 0 || len <= 0 || at + len > pb then
+    Mrdb_util.Fatal.misuse (t.name ^ ": corrupt_page range");
+  let base =
+    match t.store.(page) with Some b -> b | None -> Bytes.make pb '\000'
+  in
+  for i = at to at + len - 1 do
+    Bytes.set base i (Char.chr (Char.code (Bytes.get base i) lxor 0xFF))
+  done;
+  t.store.(page) <- Some base
 
 let peek_page t ~page =
   check_page t page;

@@ -15,7 +15,15 @@
     The drive stores real bytes per page: recovery reads back exactly what
     was written, and a crash loses nothing that completed.  Requests are
     serviced strictly FIFO (the recovery CPU "needs to do little more than
-    append a disk write request to the disk device queue"). *)
+    append a disk write request to the disk device queue").
+
+    Reads deliver a [result]: real drives return transient errors and media
+    failures through the same completion path as data, and the resilience
+    layers above (duplexing, checksum-verified log reads) are exercised
+    only if the error is a value, not an exception escaping a completion
+    continuation.  Faults never occur unless a {!fault_hook} is installed
+    or {!fail}/{!corrupt_page} is called — the healthy path is
+    deterministic and byte-identical to a fault-free drive. *)
 
 type params = {
   page_bytes : int;        (** sector/page size (the paper's log page) *)
@@ -47,14 +55,16 @@ val write_page : t -> page:int -> bytes -> (unit -> unit) -> unit
 (** Queue a single-page write; the continuation fires when durable.
     @raise Invalid_argument on bad page index or wrong buffer size. *)
 
-val read_page : t -> page:int -> (bytes -> unit) -> unit
-(** Queue a single-page read; the continuation receives a copy. *)
+val read_page : t -> page:int -> ((bytes, string) result -> unit) -> unit
+(** Queue a single-page read; the continuation receives a copy, or [Error]
+    on an injected transient error or a failed drive. *)
 
 val write_track : t -> first_page:int -> bytes -> (unit -> unit) -> unit
 (** Whole-track (or shorter) multi-page write at track transfer rate; the
     buffer length must be a multiple of the page size. *)
 
-val read_track : t -> first_page:int -> pages:int -> (bytes -> unit) -> unit
+val read_track :
+  t -> first_page:int -> pages:int -> ((bytes, string) result -> unit) -> unit
 
 val queue_depth : t -> int
 (** Requests accepted but not yet completed. *)
@@ -62,10 +72,40 @@ val queue_depth : t -> int
 val crash_queue : t -> unit
 (** Crash semantics: drop every queued and in-service request without
     applying it — a write that had not completed is not durable.  Media
-    contents are untouched.  Use together with {!Mrdb_sim.Sim.clear} so the
-    orphaned completion events are discarded too. *)
+    contents are untouched, except that an installed {!fault_hook} may
+    declare the in-service write {e torn}: a prefix of its bytes reached
+    the platters.  Use together with {!Mrdb_sim.Sim.clear} so the orphaned
+    completion events are discarded too (or use {!Crash.machine}). *)
 
 val busy_until : t -> float
+
+(** {2 Fault injection (lib/fault and tests only — enforced by lint R5)} *)
+
+type fault_hook = {
+  on_read : page:int -> string option;
+      (** Consulted once per read operation at completion time; [Some msg]
+          turns that read into [Error msg] (transient: the op is not
+          retried by the drive — the caller decides). *)
+  on_crash_tear : page:int -> len:int -> int option;
+      (** Consulted by {!crash_queue} for the write under service; [Some
+          keep] applies exactly the first [keep] bytes to the media (a torn
+          write). *)
+}
+
+val set_fault_hook : t -> fault_hook option -> unit
+
+val fail : t -> unit
+(** Media failure: subsequent reads complete with [Error], writes complete
+    without touching the media (the electronics still answer — a duplexed
+    write never hangs on a dead mirror). *)
+
+val failed : t -> bool
+
+val corrupt_page : t -> page:int -> at:int -> len:int -> unit
+(** Latent sector corruption: flip (XOR 0xFF) [len] bytes at offset [at]
+    of the page's media content, untimed.  An unwritten page is corrupted
+    starting from zeros.
+    @raise Invalid_argument on a bad range. *)
 
 (** {2 Untimed inspection (tests and crash-state capture)} *)
 

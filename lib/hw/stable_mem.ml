@@ -1,13 +1,16 @@
+type fault_hook = { on_write : off:int -> len:int -> unit }
+
 type t = {
   data : bytes;
   slowdown : float;
+  mutable hook : fault_hook option;
   mutable bytes_read : int;
   mutable bytes_written : int;
 }
 
 let create ?(slowdown = 4.0) ~size () =
   if size <= 0 then Mrdb_util.Fatal.misuse "Stable_mem.create: size";
-  { data = Bytes.make size '\000'; slowdown; bytes_read = 0; bytes_written = 0 }
+  { data = Bytes.make size '\000'; slowdown; hook = None; bytes_read = 0; bytes_written = 0 }
 
 let size t = Bytes.length t.data
 let slowdown t = t.slowdown
@@ -18,9 +21,15 @@ let check t off len =
       (Printf.sprintf "Stable_mem: access [%d, %d) outside [0, %d)" off
          (off + len) (size t))
 
+(* One branch on the logging hot path; bench/hotpath.ml's [append_hooked]
+   guards its cost. *)
+let notify_write t ~off ~len =
+  match t.hook with None -> () | Some h -> h.on_write ~off ~len
+
 let write_sub t ~off b ~pos ~len =
   check t off len;
   Bytes.blit b pos t.data off len;
+  notify_write t ~off ~len;
   t.bytes_written <- t.bytes_written + len
 
 let write t ~off b = write_sub t ~off b ~pos:0 ~len:(Bytes.length b)
@@ -38,6 +47,7 @@ let blit_out t ~off b ~pos ~len =
 let fill t ~off ~len c =
   check t off len;
   Bytes.fill t.data off len c;
+  notify_write t ~off ~len;
   t.bytes_written <- t.bytes_written + len
 
 let get_u32 t ~off =
@@ -47,6 +57,7 @@ let get_u32 t ~off =
 
 let put_u32 t ~off v =
   check t off 4;
+  notify_write t ~off ~len:4;
   t.bytes_written <- t.bytes_written + 4;
   Mrdb_util.Codec.put_u32 t.data off v
 
@@ -57,10 +68,22 @@ let get_i64 t ~off =
 
 let put_i64 t ~off v =
   check t off 8;
+  notify_write t ~off ~len:8;
   t.bytes_written <- t.bytes_written + 8;
   Mrdb_util.Codec.put_i64 t.data off v
 
 let crash (_ : t) = ()
+
+let set_fault_hook t hook = t.hook <- hook
+
+(* Injection only (lint R5): flip bytes behind the wild-write protection —
+   models a stable-memory cell losing its contents, which the redundant
+   structures above (the well-known area's second copy) must absorb. *)
+let corrupt t ~off ~len =
+  check t off len;
+  for i = off to off + len - 1 do
+    Bytes.set t.data i (Char.chr (Char.code (Bytes.get t.data i) lxor 0xFF))
+  done
 
 let bytes_read t = t.bytes_read
 let bytes_written t = t.bytes_written

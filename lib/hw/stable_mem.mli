@@ -42,6 +42,18 @@ val bytes_read : t -> int
 val bytes_written : t -> int
 (** Access accounting for the performance model. *)
 
+(** {2 Fault injection (lib/fault and tests only — enforced by lint R5)} *)
+
+type fault_hook = { on_write : off:int -> len:int -> unit }
+(** Observation hook on every mutation (one branch on the logging hot
+    path when installed; zero-cost [None] check otherwise). *)
+
+val set_fault_hook : t -> fault_hook option -> unit
+
+val corrupt : t -> off:int -> len:int -> unit
+(** Flip (XOR 0xFF) [len] bytes at [off] — simulated bit rot behind the
+    wild-write protection.  Does not count as an access. *)
+
 (** {2 Fixed-size block allocator}
 
     Blocks are identified by index; allocation and free are the only

@@ -1,4 +1,4 @@
-type rule = R1 | R2 | R3 | R4 | Parse_error
+type rule = R1 | R2 | R3 | R4 | R5 | Parse_error
 
 type t = { rule : rule; file : string; line : int; col : int; msg : string }
 
@@ -7,6 +7,7 @@ let rule_name = function
   | R2 -> "R2"
   | R3 -> "R3"
   | R4 -> "R4"
+  | R5 -> "R5"
   | Parse_error -> "parse"
 
 let rule_title = function
@@ -14,6 +15,7 @@ let rule_title = function
   | R2 -> "layering"
   | R3 -> "partiality"
   | R4 -> "sealed interfaces"
+  | R5 -> "fault-injection containment"
   | Parse_error -> "unparseable source"
 
 let paper_clause = function
@@ -31,6 +33,10 @@ let paper_clause = function
       ^ "greppable; use Mrdb_util.Fatal (or a structured exception), never "
       ^ "a bare partial function"
   | R4 -> "architecture: every module under lib/ ships a sealed .mli interface"
+  | R5 ->
+      "robustness: faults are simulated inputs, never production behavior; "
+      ^ "only lib/fault (and tests) may arm fault hooks or inject "
+      ^ "failures/corruption on the simulated devices"
   | Parse_error -> "mrdb_lint cannot check what it cannot parse"
 
 let make ~rule ~file ~line ~col msg = { rule; file; line; col; msg }

@@ -78,6 +78,17 @@ let rec stable_mem_mutation = function
   | _ :: rest -> stable_mem_mutation rest
   | [] -> None
 
+(* R5: does the reference path contain an injection call ([Disk.fail],
+   [Mrdb_hw.Duplex.fail_primary], ...)?  Same head-module matching as R1. *)
+let rec fault_injection_call = function
+  | m :: f :: _
+    when (match List.assoc_opt m Rules.fault_injection_idents with
+         | Some fns -> List.mem f fns
+         | None -> false) ->
+      Some (m ^ "." ^ f)
+  | _ :: rest -> fault_injection_call rest
+  | [] -> None
+
 let check_structure ~file ~rel str =
   let dir = match String.index_opt rel '/' with
     | Some i -> String.sub rel 0 i
@@ -131,13 +142,24 @@ let check_structure ~file ~rel str =
                 structured exception" name)
       | None -> ()
   in
+  let check_r5 loc path =
+    if not (Rules.fault_injection_allowed rel) then
+      match fault_injection_call path with
+      | Some name ->
+          add Diag.R5 loc
+            (Printf.sprintf
+               "fault-injection call %s outside lib/fault; production code \
+                must not fabricate device faults" name)
+      | None -> ()
+  in
   let on_lid (lid : Longident.t Location.loc) =
     match flatten_opt lid.txt with
     | None -> ()
     | Some path ->
         check_r1 lid.loc path;
         check_r2 lid.loc path;
-        check_r3 lid.loc path
+        check_r3 lid.loc path;
+        check_r5 lid.loc path
   in
   let on_assert_false loc =
     if not (Rules.partiality_allowed rel) then

@@ -11,6 +11,7 @@ let libraries =
     ("util", "mrdb_util");
     ("sim", "mrdb_sim");
     ("hw", "mrdb_hw");
+    ("fault", "mrdb_fault");
     ("storage", "mrdb_storage");
     ("index", "mrdb_index");
     ("txn", "mrdb_txn");
@@ -37,6 +38,7 @@ let allowed_deps =
     ("mrdb_util", []);
     ("mrdb_sim", [ "mrdb_util" ]);
     ("mrdb_hw", [ "mrdb_util"; "mrdb_sim" ]);
+    ("mrdb_fault", [ "mrdb_util"; "mrdb_sim"; "mrdb_hw" ]);
     ("mrdb_storage", [ "mrdb_util"; "mrdb_hw" ]);
     ("mrdb_index", [ "mrdb_util"; "mrdb_storage" ]);
     ("mrdb_txn", [ "mrdb_util"; "mrdb_hw"; "mrdb_storage" ]);
@@ -114,3 +116,23 @@ let banned_ident path =
 
 (* The one sanctioned escape hatch (relative to lib/). *)
 let partiality_allowed rel = rel = "util/fatal.ml"
+
+(* -- R5: fault-injection containment ---------------------------------------- *)
+
+(* The injection half of the hardware API: arming hooks and fabricating
+   failures or corruption.  Query/observation calls (Disk.failed,
+   Duplex.state) are legal anywhere. *)
+let fault_injection_idents =
+  [
+    ("Disk", [ "set_fault_hook"; "corrupt_page"; "fail" ]);
+    ("Duplex", [ "fail_primary"; "fail_mirror" ]);
+    ("Stable_mem", [ "set_fault_hook"; "corrupt" ]);
+  ]
+
+(* Who may inject (relative to lib/): the fault subsystem itself and the
+   defining hardware modules (Duplex fails its member Disk; each module
+   implements its own injection surface).  Tests live outside lib/ and are
+   not linted, so they stay free to inject. *)
+let fault_injection_allowed rel =
+  (String.length rel >= 6 && String.sub rel 0 6 = "fault/")
+  || rel = "hw/disk.ml" || rel = "hw/duplex.ml" || rel = "hw/stable_mem.ml"

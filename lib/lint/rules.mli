@@ -10,7 +10,11 @@
     - {b R3 partiality}: bare [failwith] / [invalid_arg] / [assert false] /
       [Option.get] / [List.hd] are banned under [lib/] outside
       [util/fatal.ml].
-    - {b R4 sealed interfaces}: every [lib/**/*.ml] has a matching [.mli]. *)
+    - {b R4 sealed interfaces}: every [lib/**/*.ml] has a matching [.mli].
+    - {b R5 fault-injection containment}: arming fault hooks and
+      fabricating device failures/corruption is legal only under
+      [lib/fault/] and in the defining hardware modules (tests are outside
+      [lib/] and exempt). *)
 
 val libraries : (string * string) list
 (** Directory under [lib/] -> wrapped library name. *)
@@ -35,3 +39,10 @@ val banned_ident : string list -> string option
 
 val partiality_allowed : string -> bool
 (** The whitelisted escape hatch, [util/fatal.ml]. *)
+
+val fault_injection_idents : (string * string list) list
+(** Module -> injection functions ([Disk] -> [fail], ...); query calls are
+    deliberately absent. *)
+
+val fault_injection_allowed : string -> bool
+(** [fault_injection_allowed rel] — [rel] relative to [lib/]. *)

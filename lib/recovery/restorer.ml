@@ -37,6 +37,17 @@ let segment_of r seg_id =
       Hashtbl.add r.segments seg_id s;
       s
 
+(* Checkpoint-disk track read with one bounded retry: transient read
+   errors (recoverable ECC glitches) vanish on the second attempt; a
+   persistent error is the caller's cue to fall back to the archive. *)
+let read_ckpt_track env ~first_page ~pages k =
+  let disk = env.Recovery_env.ckpt_disk () in
+  Mrdb_hw.Disk.read_track disk ~first_page ~pages (function
+    | Ok data -> k (Ok data)
+    | Error _ ->
+        Trace.incr env.Recovery_env.trace "restorer_ckpt_read_retries";
+        Mrdb_hw.Disk.read_track disk ~first_page ~pages k)
+
 (* Read a partition's checkpoint image; when the checkpoint disk cannot
    produce a valid image (media failure), fall back to the newest archived
    copy — the archive saw every image ever written, so its newest copy is
@@ -57,12 +68,13 @@ let read_ckpt_image env ~(part : Addr.partition) (desc : Catalog.partition_desc)
   in
   if desc.Catalog.ckpt_page < 0 then k None
   else
-    Mrdb_hw.Disk.read_track (env.Recovery_env.ckpt_disk ())
-      ~first_page:desc.Catalog.ckpt_page ~pages:desc.Catalog.ckpt_page_count
-      (fun data ->
-        match Ckpt_image.decode data with
-        | Ok image -> k (Some image)
-        | Error e -> fallback e)
+    read_ckpt_track env ~first_page:desc.Catalog.ckpt_page
+      ~pages:desc.Catalog.ckpt_page_count (function
+        | Error e -> fallback ("media read failed: " ^ e)
+        | Ok data -> (
+            match Ckpt_image.decode data with
+            | Ok image -> k (Some image)
+            | Error e -> fallback e))
 
 (* Replay a recovered record stream on top of a checkpoint image: records
    at or below the watermark are already in the image and are skipped
@@ -192,9 +204,14 @@ let restore_catalog env ~slt ~entries =
       let image = ref None and image_done = ref false in
       if e.Wellknown.ckpt_page < 0 then image_done := true
       else
-        Mrdb_hw.Disk.read_track (env.Recovery_env.ckpt_disk ())
-          ~first_page:e.Wellknown.ckpt_page ~pages:e.Wellknown.pages (fun data ->
-            (match Ckpt_image.decode data with
+        read_ckpt_track env ~first_page:e.Wellknown.ckpt_page ~pages:e.Wellknown.pages
+          (fun result ->
+            (let decoded =
+               match result with
+               | Ok data -> Ckpt_image.decode data
+               | Error e -> Error ("media read failed: " ^ e)
+             in
+             match decoded with
             | Ok img -> image := Some img
             | Error msg -> (
                 (* Checkpoint-disk media failure: fall back to the archive. *)

@@ -1,3 +1,15 @@
+type read_error =
+  | Out_of_window of { lsn : int64; window_start : int64; next_lsn : int64 }
+  | Stale_slot of { wanted : int64; found : int64 }
+  | Unreadable of { lsn : int64; reason : string }
+
+let read_error_to_string = function
+  | Out_of_window { lsn; window_start; next_lsn } ->
+      Printf.sprintf "lsn %Ld outside window [%Ld, %Ld)" lsn window_start next_lsn
+  | Stale_slot { wanted; found } ->
+      Printf.sprintf "slot reused: wanted lsn %Ld, found %Ld" wanted found
+  | Unreadable { lsn; reason } -> Printf.sprintf "lsn %Ld unreadable: %s" lsn reason
+
 type t = {
   sim : Mrdb_sim.Sim.t;
   layout : Stable_layout.t;
@@ -7,7 +19,7 @@ type t = {
   mutable tap : (lsn:int64 -> bytes -> unit) option;
 }
 
-let create sim ~layout ?params ~window_pages () =
+let create sim ~layout ?params ?trace ~window_pages () =
   if window_pages < 1 then Mrdb_util.Fatal.misuse "Log_disk.create: window_pages";
   let cfg = Stable_layout.config layout in
   let params =
@@ -20,7 +32,8 @@ let create sim ~layout ?params ~window_pages () =
   {
     sim;
     layout;
-    duplex = Mrdb_hw.Duplex.create ~name:"logdisk" sim ~params ~capacity_pages:window_pages;
+    duplex =
+      Mrdb_hw.Duplex.create ~name:"logdisk" ?trace sim ~params ~capacity_pages:window_pages;
     window_pages;
     pages_written = 0;
     tap = None;
@@ -34,6 +47,7 @@ let window_pages t = t.window_pages
 let page_bytes t = (Stable_layout.config t.layout).Stable_layout.log_page_bytes
 let dir_size t = (Stable_layout.config t.layout).Stable_layout.dir_size
 let duplex t = t.duplex
+let trace t = Mrdb_hw.Duplex.trace t.duplex
 
 let next_lsn t = Stable_layout.next_lsn t.layout
 
@@ -62,14 +76,22 @@ let write_page t ~lsn image k =
 
 let read_page t ~lsn k =
   if not (in_window t lsn) then
-    k (Error (Printf.sprintf "lsn %Ld outside window [%Ld, %Ld)" lsn (window_start t) (next_lsn t)))
+    k (Error (Out_of_window { lsn; window_start = window_start t; next_lsn = next_lsn t }))
   else
-    Mrdb_hw.Duplex.read_page t.duplex ~page:(slot t lsn) (fun image ->
-        match Log_page.parse ~page_bytes:(page_bytes t) ~dir_size:(dir_size t) image with
-        | Error e -> k (Error e)
-        | Ok (header, records) ->
-            if header.Log_page.lsn <> lsn then
-              k (Error (Printf.sprintf "slot reused: wanted lsn %Ld, found %Ld" lsn header.Log_page.lsn))
-            else k (Ok (header, records)))
+    (* Duplex-level verification: a copy failing the CRC triggers the
+       mirror fallback; only a page unreadable from every mirror surfaces
+       here as [Unreadable].  A younger page legitimately occupying the
+       slot passes the CRC on both mirrors and is reported [Stale_slot]. *)
+    Mrdb_hw.Duplex.read_page t.duplex ~page:(slot t lsn)
+      ~verify:(Log_page.verify ~page_bytes:(page_bytes t))
+      (function
+        | Error reason -> k (Error (Unreadable { lsn; reason }))
+        | Ok image -> (
+            match Log_page.parse ~page_bytes:(page_bytes t) ~dir_size:(dir_size t) image with
+            | Error e -> k (Error (Unreadable { lsn; reason = e }))
+            | Ok (header, records) ->
+                if header.Log_page.lsn <> lsn then
+                  k (Error (Stale_slot { wanted = lsn; found = header.Log_page.lsn }))
+                else k (Ok (header, records))))
 
 let pages_written t = t.pages_written

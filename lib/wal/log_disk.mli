@@ -7,23 +7,40 @@
     LSN [l] occupies disk page [l mod window_pages], so a page's slot is
     overwritten exactly when the window has advanced a full lap past it.
 
-    Reads verify the CRC and the stored LSN: asking for an LSN that has
-    fallen out of the window finds a younger page in its slot and reports
-    an error instead of handing back wrong data. *)
+    Reads are checksum-verified {e at the duplex level}: a copy failing the
+    CRC is retried once and then the other mirror is consulted, so a single
+    corrupt or torn copy is invisible to callers.  Only a page bad on every
+    mirror, a slot legitimately reused by a younger page, or an
+    out-of-window request surfaces as a structured {!read_error}. *)
 
 type t
 
+(** Why a log-page read produced no usable page. *)
+type read_error =
+  | Out_of_window of { lsn : int64; window_start : int64; next_lsn : int64 }
+      (** Never written, or already lapped by the moving window. *)
+  | Stale_slot of { wanted : int64; found : int64 }
+      (** The slot holds an intact {e younger} page — the window advanced
+          past [wanted] (archive territory, §2.6). *)
+  | Unreadable of { lsn : int64; reason : string }
+      (** No mirror could produce an intact copy: media failure, latent
+          corruption on both copies, or a torn tail page after a crash. *)
+
+val read_error_to_string : read_error -> string
+
 val create :
   Mrdb_sim.Sim.t -> layout:Stable_layout.t -> ?params:Mrdb_hw.Disk.params ->
-  window_pages:int -> unit -> t
+  ?trace:Mrdb_sim.Trace.t -> window_pages:int -> unit -> t
 (** [params] defaults to {!Mrdb_hw.Disk.default_log_params} at the layout's
-    log page size. *)
+    log page size.  [trace] receives the duplex resilience counters
+    (retries, fallbacks, degraded writes); defaults to a private trace. *)
 
 val sim : t -> Mrdb_sim.Sim.t
 val window_pages : t -> int
 val page_bytes : t -> int
 val dir_size : t -> int
 val duplex : t -> Mrdb_hw.Duplex.t
+val trace : t -> Mrdb_sim.Trace.t
 
 val next_lsn : t -> int64
 (** The LSN the next allocated page will get. *)
@@ -38,7 +55,7 @@ val alloc_lsn : t -> int64
 
 val write_page : t -> lsn:int64 -> bytes -> (unit -> unit) -> unit
 (** Write a composed page image at its window slot; the continuation fires
-    when both mirrors are durable.
+    when all live mirrors are durable.
     @raise Invalid_argument for an out-of-window LSN or wrong image size. *)
 
 val set_tap : t -> (lsn:int64 -> bytes -> unit) -> unit
@@ -48,8 +65,8 @@ val set_tap : t -> (lsn:int64 -> bytes -> unit) -> unit
 
 val read_page :
   t -> lsn:int64 ->
-  ((Log_page.header * Log_record.t list, string) result -> unit) -> unit
-(** Read and verify the page at [lsn].  Produces [Error] for CRC failures,
-    slot reuse (stored LSN differs) or out-of-window requests. *)
+  ((Log_page.header * Log_record.t list, read_error) result -> unit) -> unit
+(** Read, checksum-verify (with mirror fallback) and decode the page at
+    [lsn]. *)
 
 val pages_written : t -> int

@@ -64,6 +64,15 @@ let parse_frames b ~used =
   iter_frames b ~pos:0 ~used ~f:(fun r -> records := r :: !records);
   List.rev !records
 
+(* Cheap integrity check (size + magic + CRC) for checksum-verified duplex
+   reads: decides copy-acceptability without decoding records, so the
+   mirror-fallback logic stays below the parse layer. *)
+let verify ~page_bytes b =
+  Bytes.length b = page_bytes
+  && Mrdb_util.Codec.get_u32 b 0 = magic
+  && Bytes.get_int32_le b (page_bytes - 4)
+     = Mrdb_util.Checksum.crc32 b ~pos:0 ~len:(page_bytes - 4)
+
 let parse ~page_bytes ~dir_size b =
   if Bytes.length b <> page_bytes then Error "wrong page size"
   else if Mrdb_util.Codec.get_u32 b 0 <> magic then Error "bad magic"

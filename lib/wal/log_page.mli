@@ -43,6 +43,11 @@ val finish : bytes -> unit
 (** Stamp the trailing CRC-32 over a {!prepare}d page once its payload is
     in place.  [build page = prepare; blit; finish] byte-for-byte. *)
 
+val verify : page_bytes:int -> bytes -> bool
+(** Size + magic + CRC check only, no decoding — the acceptance predicate
+    duplexed reads use to decide whether a mirror's copy is intact
+    ({!Mrdb_hw.Duplex.read_page}'s [verify]). *)
+
 val parse : page_bytes:int -> dir_size:int -> bytes -> (header * Log_record.t list, string) result
 (** Verify magic and CRC and decode.  [Error] explains the mismatch (torn
     page, wrong partition slot reuse, etc.). *)

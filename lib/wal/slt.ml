@@ -266,21 +266,39 @@ let read_lsn t bin lsn k =
           ~dir_size:cfg.Stable_layout.dir_size image
       with
       | Ok (header, records) -> k (Ok (header, records))
-      | Error e -> k (Error ("inflight image: " ^ e)))
+      | Error e ->
+          k (Error (Log_disk.Unreadable { lsn; reason = "inflight image: " ^ e })))
   | None -> Log_disk.read_page t.log_disk ~lsn k
 
 (* Read one generation's chain (first LSN + current span) in original
-   write order, invoking [k] with its records. *)
-let read_chain t bin (first, current_span) k =
+   write order, invoking [k] with its records.
+
+   [allow_torn_tail]: the chain's {e final} page is the one a crash can
+   tear mid-write.  Normally its stable-memory shadow serves the read
+   ([read_inflight] above), but if the image is gone (the write had
+   completed on one mirror and the other copy was lost) an [Unreadable]
+   final page is discarded rather than failing recovery: the records on it
+   were never acknowledged durable on both mirrors, so the log simply
+   "ended an instant earlier".  Any earlier page stays a hard error. *)
+let read_chain t bin ?(allow_torn_tail = false) (first, current_span) k =
   if first < 0L then k (Ok [])
-  else if current_span = [] then k (Error "active chain with empty directory")
+  else if current_span = [] then
+    k (Error (Log_disk.Unreadable { lsn = first; reason = "active chain with empty directory" }))
   else begin
+    let tail_lsn = List.fold_left (fun _ l -> l) first current_span in
+    let discard_torn lsn = function
+      | Log_disk.Unreadable _ when allow_torn_tail && lsn = tail_lsn ->
+          Mrdb_sim.Trace.incr (Log_disk.trace t.log_disk) "restorer_torn_tail_discarded";
+          true
+      | _ -> false
+    in
     let span_cache : (int64, Log_record.t list) Hashtbl.t = Hashtbl.create 16 in
     (* Phase 1: walk spans backward until the span starting at [first]; the
        first page of each span embeds the previous span's directory. *)
     let rec collect_spans spans =
       match spans with
-      | [] | [] :: _ -> k (Error "empty span during directory walk")
+      | [] | [] :: _ ->
+          k (Error (Log_disk.Unreadable { lsn = first; reason = "empty span during directory walk" }))
       | (oldest_span_head :: _) :: _ ->
           if oldest_span_head = first then read_all_pages spans
           else
@@ -291,7 +309,9 @@ let read_chain t bin (first, current_span) k =
                     Hashtbl.replace span_cache oldest_span_head records;
                     let prev_span = Array.to_list header.Log_page.dir in
                     if prev_span = [] then
-                      k (Error "missing embedded directory during span walk")
+                      k (Error (Log_disk.Unreadable
+                                  { lsn = oldest_span_head;
+                                    reason = "missing embedded directory during span walk" }))
                     else collect_spans (prev_span :: spans))
     (* Phase 2: read every page in original write order. *)
     and read_all_pages spans =
@@ -307,6 +327,7 @@ let read_chain t bin (first, current_span) k =
             | None ->
                 read_lsn t bin lsn (fun result ->
                     match result with
+                    | Error e when discard_torn lsn e -> step rest
                     | Error e -> k (Error e)
                     | Ok (_, records) ->
                         out := records :: !out;
@@ -328,18 +349,24 @@ let records_for_recovery t part k =
       let finish shadow_pages live_pages =
         k (Ok (shadow_pages @ shadow_buffer @ live_pages @ live_buffer))
       in
+      (* The partition's newest page — the only torn-write candidate — is
+         the live chain's tail, or the shadow chain's tail when no live
+         page has been sealed since the cut. *)
+      let live_has_pages = fst (Partition_bin.live_chain_spec bin) >= 0L in
       let read_live shadow_pages =
-        read_chain t bin (Partition_bin.live_chain_spec bin) (fun result ->
+        read_chain t bin ~allow_torn_tail:live_has_pages
+          (Partition_bin.live_chain_spec bin) (fun result ->
             match result with
-            | Error e -> k (Error e)
+            | Error e -> k (Error (Log_disk.read_error_to_string e))
             | Ok live_pages -> finish shadow_pages live_pages)
       in
       match Partition_bin.shadow_chain_spec bin with
       | None -> read_live []
       | Some spec ->
-          read_chain t bin spec (fun result ->
+          read_chain t bin ~allow_torn_tail:(not live_has_pages) spec (fun result ->
               match result with
-              | Error e -> k (Error ("shadow chain: " ^ e))
+              | Error e ->
+                  k (Error ("shadow chain: " ^ Log_disk.read_error_to_string e))
               | Ok shadow_pages -> read_live shadow_pages))
 
 (* -- checkpoint completion ---------------------------------------------------- *)

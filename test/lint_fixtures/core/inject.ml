@@ -1,0 +1,4 @@
+(* R5 fixture: production code fabricating a device fault — only lib/fault
+   (and tests, which are never linted) may do this. *)
+
+let sabotage disk = Mrdb_hw.Disk.fail disk

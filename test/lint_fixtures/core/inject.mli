@@ -1,0 +1,1 @@
+val sabotage : Mrdb_hw.Disk.t -> unit

@@ -19,11 +19,15 @@ let mk_sim_disk ?(interleaved = true) () =
 
 let page_of_char c = Bytes.make page_bytes c
 
+let ok_exn = function
+  | Ok b -> b
+  | Error e -> Alcotest.failf "unexpected read error: %s" e
+
 let test_disk_write_read_roundtrip () =
   let sim, disk = mk_sim_disk () in
   let got = ref Bytes.empty in
   Disk.write_page disk ~page:3 (page_of_char 'x') (fun () ->
-      Disk.read_page disk ~page:3 (fun b -> got := b));
+      Disk.read_page disk ~page:3 (fun b -> got := ok_exn b));
   Mrdb_sim.Sim.run sim;
   check Alcotest.string "roundtrip" (Bytes.to_string (page_of_char 'x'))
     (Bytes.to_string !got)
@@ -31,7 +35,7 @@ let test_disk_write_read_roundtrip () =
 let test_disk_unwritten_reads_zero () =
   let sim, disk = mk_sim_disk () in
   let got = ref Bytes.empty in
-  Disk.read_page disk ~page:9 (fun b -> got := b);
+  Disk.read_page disk ~page:9 (fun b -> got := ok_exn b);
   Mrdb_sim.Sim.run sim;
   check Alcotest.string "zeros" (Bytes.to_string (Bytes.make page_bytes '\000'))
     (Bytes.to_string !got)
@@ -90,7 +94,7 @@ let test_disk_track_write_and_read () =
   done;
   let got = ref Bytes.empty in
   Disk.write_track disk ~first_page:8 data (fun () ->
-      Disk.read_track disk ~first_page:8 ~pages:4 (fun b -> got := b));
+      Disk.read_track disk ~first_page:8 ~pages:4 (fun b -> got := ok_exn b));
   Mrdb_sim.Sim.run sim;
   check Alcotest.string "track roundtrip" (Bytes.to_string data) (Bytes.to_string !got);
   check bool_t "page 9 visible individually" true
@@ -163,7 +167,7 @@ let test_duplex_survives_primary_failure () =
   Mrdb_sim.Sim.run sim;
   Duplex.fail_primary d;
   let got = ref Bytes.empty in
-  Duplex.read_page d ~page:7 (fun b -> got := b);
+  Duplex.read_page d ~page:7 (fun b -> got := ok_exn b);
   Mrdb_sim.Sim.run sim;
   check Alcotest.string "mirror serves reads" (Bytes.to_string (page_of_char 'q'))
     (Bytes.to_string !got)
@@ -177,6 +181,140 @@ let test_duplex_double_failure_raises () =
   Alcotest.check_raises "both failed"
     (Duplex.Both_mirrors_failed { op = "read_page"; page = 0 }) (fun () ->
       Duplex.read_page d ~page:0 (fun _ -> ()))
+
+let test_disk_failed_semantics () =
+  let sim, disk = mk_sim_disk () in
+  Disk.write_page disk ~page:1 (page_of_char 'a') (fun () -> ());
+  Mrdb_sim.Sim.run sim;
+  Disk.fail disk;
+  check bool_t "failed" true (Disk.failed disk);
+  (* Reads deliver Error through the normal completion path. *)
+  let got = ref None in
+  Disk.read_page disk ~page:1 (fun r -> got := Some r);
+  Mrdb_sim.Sim.run sim;
+  check bool_t "read errors" true (match !got with Some (Error _) -> true | _ -> false);
+  (* Writes still complete (the electronics answer) without media effect. *)
+  let completed = ref false in
+  Disk.write_page disk ~page:2 (page_of_char 'b') (fun () -> completed := true);
+  Mrdb_sim.Sim.run sim;
+  check bool_t "write completes" true !completed;
+  check bool_t "no media effect" false (Disk.is_written disk ~page:2)
+
+let test_disk_transient_read_hook () =
+  let sim, disk = mk_sim_disk () in
+  Disk.write_page disk ~page:0 (page_of_char 'v') (fun () -> ());
+  Mrdb_sim.Sim.run sim;
+  (* Fail exactly the first read; the second succeeds (transient). *)
+  let reads = ref 0 in
+  Disk.set_fault_hook disk
+    (Some
+       {
+         Disk.on_read =
+           (fun ~page:_ ->
+             incr reads;
+             if !reads = 1 then Some "injected" else None);
+         on_crash_tear = (fun ~page:_ ~len:_ -> None);
+       });
+  let results = ref [] in
+  Disk.read_page disk ~page:0 (fun r -> results := r :: !results);
+  Disk.read_page disk ~page:0 (fun r -> results := r :: !results);
+  Mrdb_sim.Sim.run sim;
+  match List.rev !results with
+  | [ Error "injected"; Ok b ] -> check Alcotest.char "retry sees data" 'v' (Bytes.get b 0)
+  | _ -> Alcotest.fail "expected one transient error then success"
+
+let test_disk_corrupt_page_flips_bytes () =
+  let sim, disk = mk_sim_disk () in
+  Disk.write_page disk ~page:3 (page_of_char 'x') (fun () -> ());
+  Mrdb_sim.Sim.run sim;
+  Disk.corrupt_page disk ~page:3 ~at:10 ~len:4;
+  let got = ref Bytes.empty in
+  Disk.read_page disk ~page:3 (fun b -> got := ok_exn b);
+  Mrdb_sim.Sim.run sim;
+  check Alcotest.char "before span intact" 'x' (Bytes.get !got 9);
+  check int_t "flipped" (Char.code 'x' lxor 0xFF) (Char.code (Bytes.get !got 10));
+  check Alcotest.char "after span intact" 'x' (Bytes.get !got 14)
+
+let test_disk_torn_write_on_crash () =
+  let sim, disk = mk_sim_disk () in
+  Disk.set_fault_hook disk
+    (Some
+       {
+         Disk.on_read = (fun ~page:_ -> None);
+         on_crash_tear = (fun ~page:_ ~len -> Some (len / 2));
+       });
+  Disk.write_page disk ~page:5 (page_of_char 'n') (fun () ->
+      Alcotest.fail "crashed write must not complete");
+  (* The write is in service from submit time; crash before it completes. *)
+  Crash.machine ~sim ~disks:[ disk ] ();
+  match Disk.peek_page disk ~page:5 with
+  | None -> Alcotest.fail "torn write left no media trace"
+  | Some b ->
+      check Alcotest.char "prefix reached media" 'n' (Bytes.get b 0);
+      check Alcotest.char "suffix lost" '\000' (Bytes.get b (page_bytes - 1))
+
+let test_duplex_state_and_degraded_writes () =
+  let sim = Mrdb_sim.Sim.create () in
+  let trace = Mrdb_sim.Trace.create () in
+  let params = Disk.default_log_params ~page_bytes in
+  let d = Duplex.create ~trace sim ~params ~capacity_pages:32 in
+  check bool_t "healthy" true (Duplex.state d = `Healthy);
+  Duplex.write_page d ~page:0 (page_of_char 'a') (fun () -> ());
+  Mrdb_sim.Sim.run sim;
+  check int_t "no degraded writes yet" 0 (Mrdb_sim.Trace.count trace "duplex_degraded_writes");
+  Duplex.fail_mirror d;
+  check bool_t "degraded" true (Duplex.state d = `Degraded);
+  check int_t "mirror failure counted" 1 (Mrdb_sim.Trace.count trace "duplex_mirror_failures");
+  Duplex.write_page d ~page:1 (page_of_char 'b') (fun () -> ());
+  Mrdb_sim.Sim.run sim;
+  check int_t "degraded write counted" 1 (Mrdb_sim.Trace.count trace "duplex_degraded_writes");
+  Duplex.fail_primary d;
+  check bool_t "failed" true (Duplex.state d = `Failed)
+
+let test_duplex_corrupt_copy_falls_back () =
+  let sim = Mrdb_sim.Sim.create () in
+  let trace = Mrdb_sim.Trace.create () in
+  let params = Disk.default_log_params ~page_bytes in
+  let d = Duplex.create ~trace sim ~params ~capacity_pages:32 in
+  Duplex.write_page d ~page:2 (page_of_char 'g') (fun () -> ());
+  Mrdb_sim.Sim.run sim;
+  Disk.corrupt_page (Duplex.primary d) ~page:2 ~at:0 ~len:8;
+  let verify b = Bytes.get b 0 = 'g' in
+  let got = ref Bytes.empty in
+  Duplex.read_page d ~page:2 ~verify (fun b -> got := ok_exn b);
+  Mrdb_sim.Sim.run sim;
+  check Alcotest.char "mirror copy served" 'g' (Bytes.get !got 0);
+  check int_t "checksum failure counted" 1
+    (Mrdb_sim.Trace.count trace "duplex_read_checksum_failures");
+  check int_t "fallback counted" 1 (Mrdb_sim.Trace.count trace "duplex_read_fallbacks")
+
+let test_duplex_rebuild_resilvers () =
+  let sim = Mrdb_sim.Sim.create () in
+  let trace = Mrdb_sim.Trace.create () in
+  let params = Disk.default_log_params ~page_bytes in
+  let d = Duplex.create ~trace sim ~params ~capacity_pages:32 in
+  for i = 0 to 9 do
+    Duplex.write_page d ~page:i (page_of_char (Char.chr (Char.code 'a' + i))) (fun () -> ())
+  done;
+  Mrdb_sim.Sim.run sim;
+  Duplex.fail_mirror d;
+  (* Writes continue while the mirror is down... *)
+  Duplex.write_page d ~page:10 (page_of_char 'k') (fun () -> ());
+  Mrdb_sim.Sim.run sim;
+  let rebuilt = ref false in
+  Duplex.rebuild d `Mirror (fun () -> rebuilt := true);
+  (* ...and during the resilver itself. *)
+  Duplex.write_page d ~page:11 (page_of_char 'l') (fun () -> ());
+  Mrdb_sim.Sim.run sim;
+  check bool_t "rebuild completed" true !rebuilt;
+  check bool_t "healthy again" true (Duplex.state d = `Healthy);
+  check int_t "rebuilds counted" 1 (Mrdb_sim.Trace.count trace "duplex_rebuilds");
+  for i = 0 to 11 do
+    let expect = Char.chr (Char.code 'a' + i) in
+    match Disk.peek_page (Duplex.mirror d) ~page:i with
+    | Some b -> check Alcotest.char (Printf.sprintf "page %d resilvered" i) expect (Bytes.get b 0)
+    | None -> Alcotest.failf "page %d missing on rebuilt mirror" i
+  done
 
 (* -- Stable memory --------------------------------------------------------- *)
 
@@ -304,6 +442,19 @@ let () =
           Alcotest.test_case "survives primary failure" `Quick
             test_duplex_survives_primary_failure;
           Alcotest.test_case "double failure raises" `Quick test_duplex_double_failure_raises;
+          Alcotest.test_case "state + degraded writes" `Quick
+            test_duplex_state_and_degraded_writes;
+          Alcotest.test_case "corrupt copy falls back" `Quick
+            test_duplex_corrupt_copy_falls_back;
+          Alcotest.test_case "rebuild resilvers" `Quick test_duplex_rebuild_resilvers;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "failed disk semantics" `Quick test_disk_failed_semantics;
+          Alcotest.test_case "transient read hook" `Quick test_disk_transient_read_hook;
+          Alcotest.test_case "corrupt_page flips bytes" `Quick
+            test_disk_corrupt_page_flips_bytes;
+          Alcotest.test_case "torn write on crash" `Quick test_disk_torn_write_on_crash;
         ] );
       ( "stable_mem",
         [

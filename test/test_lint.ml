@@ -1,7 +1,7 @@
 (* Golden tests for mrdb_lint: a fixture corpus seeds exactly one violation
-   per rule (R1 wild write, R2 layering, R3 partiality, R4 unsealed), plus
-   one clean file that must pass.  Each rule must fire at the expected
-   file:line — and nowhere else. *)
+   per rule (R1 wild write, R2 layering, R3 partiality, R4 unsealed, R5
+   fault injection), plus one clean file that must pass.  Each rule must
+   fire at the expected file:line — and nowhere else. *)
 
 open Mrdb_lint
 
@@ -16,6 +16,7 @@ let lint_fixtures () = Engine.lint ~lib_dir:fixture_root
    the engine's sorted order. *)
 let expected =
   [
+    ("R5", "lint_fixtures/core/inject.ml", 4);
     ("R1", "lint_fixtures/core/wild_write.ml", 4);
     ("R2", "lint_fixtures/recovery/upcall.ml", 3);
     ("R3", "lint_fixtures/storage/partial.ml", 3);
@@ -79,6 +80,12 @@ let test_declared_order_keeps_two_cpu_split () =
        (fun (lib, _) -> lib = "mrdb_util" || Rules.may_depend ~from:lib ~target:"mrdb_util")
        Rules.allowed_deps)
 
+let test_fault_containment_allowlist () =
+  check bool_t "lib/fault may inject" true (Rules.fault_injection_allowed "fault/injector.ml");
+  check bool_t "duplex fails its member disk" true (Rules.fault_injection_allowed "hw/duplex.ml");
+  check bool_t "core must not inject" false (Rules.fault_injection_allowed "core/db.ml");
+  check bool_t "wal must not inject" false (Rules.fault_injection_allowed "wal/slt.ml")
+
 let () =
   Alcotest.run "lint"
     [
@@ -92,5 +99,7 @@ let () =
             test_unparseable_reported_not_fatal;
           Alcotest.test_case "declared order keeps the two-CPU split" `Quick
             test_declared_order_keeps_two_cpu_split;
+          Alcotest.test_case "fault containment allowlist" `Quick
+            test_fault_containment_allowlist;
         ] );
     ]

@@ -803,9 +803,7 @@ let prop_slt_pipeline_equivalence =
             Slt.checkpoint_finished !slt part_a ~watermark:!watermark
         | 1 ->
             (* Crash: rebuild layout + SLT over the same stable memory. *)
-            Mrdb_sim.Sim.clear sim;
-            Mrdb_hw.Disk.crash_queue (Mrdb_hw.Duplex.primary (Log_disk.duplex ld));
-            Mrdb_hw.Disk.crash_queue (Mrdb_hw.Duplex.mirror (Log_disk.duplex ld));
+            Mrdb_hw.Crash.machine ~sim ~duplexes:[ Log_disk.duplex ld ] ();
             layout := Stable_layout.attach cfg mem;
             slt :=
               Slt.recover ~layout:!layout ~log_disk:ld ~n_update:1_000_000
@@ -816,9 +814,7 @@ let prop_slt_pipeline_equivalence =
             (* Checkpoint mid-flight then crash before the finish: the cut
                must be recoverable (shadow + live). *)
             ignore (Slt.begin_checkpoint !slt part_a);
-            Mrdb_sim.Sim.clear sim;
-            Mrdb_hw.Disk.crash_queue (Mrdb_hw.Duplex.primary (Log_disk.duplex ld));
-            Mrdb_hw.Disk.crash_queue (Mrdb_hw.Duplex.mirror (Log_disk.duplex ld));
+            Mrdb_hw.Crash.machine ~sim ~duplexes:[ Log_disk.duplex ld ] ();
             layout := Stable_layout.attach cfg mem;
             slt :=
               Slt.recover ~layout:!layout ~log_disk:ld ~n_update:1_000_000
