@@ -8,14 +8,21 @@
    - append_hooked: the same with an installed-but-idle stable-memory
      fault hook, bounding the observation cost fault campaigns add to the
      hot path (CI asserts the ratio);
+   - append_obs: the same with a flight recorder attached, bounding the
+     observability cost on the hot path (CI asserts ops stay at >= 0.5x
+     the uninstrumented append);
    - drain: Slb streaming drain throughput (records decoded in place from
      the per-SLB read buffer, no per-transaction lists);
    - debit_credit: end-to-end transactions/sec through Db on
-     Config.default, including commit, the sorter and page flushes.
+     Config.default, including commit, the sorter and page flushes; also
+     reports wall-clock p50/p99 per-transaction latency from an
+     Mrdb_obs.Metrics histogram, and (after an untimed crash/recovery
+     cycle) embeds the instance's full mrdb-obs/1 snapshot.
 
    Each bench reports ops/sec and Gc.allocated_bytes per op.  Results are
-   written to BENCH.json at the current directory ("quick" mode shrinks
-   the iteration counts for CI smoke, same schema). *)
+   written to BENCH.json (schema mrdb-hotpath/2) at the current directory
+   ("quick" mode shrinks the iteration counts for CI smoke, same
+   schema). *)
 
 open Mrdb_wal
 module Sm = Mrdb_hw.Stable_mem
@@ -31,7 +38,7 @@ let mk_record ~seq =
   Log_record.make ~tag:Log_record.Relation_op ~bin_index:0 ~txn_id:1 ~seq
     ~op:(Mrdb_storage.Part_op.Update { slot = 7; data = Bytes.make 16 'v' })
 
-let bench_append ?(hooked = false) n =
+let bench_append ?(hooked = false) ?(obs = false) n =
   let layout = mk_layout () in
   if hooked then
     (* An installed-but-idle fault hook: the cost the torture campaign's
@@ -39,6 +46,12 @@ let bench_append ?(hooked = false) n =
     Sm.set_fault_hook (Stable_layout.mem layout)
       (Some { Sm.on_write = (fun ~off:_ ~len:_ -> ()) });
   let slb = Slb.create layout in
+  if obs then begin
+    (* A live flight recorder: every append records an Slb_append event. *)
+    let clock = ref 0.0 in
+    let fr = Mrdb_obs.Flight_recorder.create ~now:(fun () -> !clock) () in
+    Slb.set_recorder slb (Some fr)
+  end;
   let r = mk_record ~seq:1 in
   let batch = 2000 in
   let elapsed = ref 0.0 and alloc = ref 0.0 and done_ = ref 0 in
@@ -84,42 +97,70 @@ let bench_txn n =
   let db = Mrdb_core.Db.create ~config:Mrdb_core.Config.default () in
   let bank = Mrdb_core.Workload.Bank.setup db ~accounts:400 ~tellers:8 ~branches:2 () in
   let rng = Mrdb_util.Rng.of_int 7 in
+  (* Wall-clock per-transaction latency, recorded through the same
+     log-linear histogram the simulated metrics use. *)
+  let reg = Mrdb_obs.Metrics.create () in
+  let wall = Mrdb_obs.Metrics.histogram reg ~unit_:"ns" "debit_credit_wall_ns" in
   let t0 = now () and a0 = Gc.allocated_bytes () in
   for _ = 1 to n do
-    Mrdb_core.Workload.Bank.run_debit_credit bank db ~rng
+    let s = now () in
+    Mrdb_core.Workload.Bank.run_debit_credit bank db ~rng;
+    Mrdb_obs.Metrics.observe_us wall ((now () -. s) *. 1e6)
   done;
   Mrdb_core.Db.quiesce db;
   let dt = now () -. t0 in
-  (float_of_int n /. dt, (Gc.allocated_bytes () -. a0) /. float_of_int n)
+  (* Untimed crash/recovery cycle so the embedded mrdb-obs/1 snapshot
+     carries a populated recovery timeline and restore histogram. *)
+  Mrdb_core.Db.crash db;
+  Mrdb_core.Db.recover db;
+  Mrdb_core.Db.recover_everything db;
+  Mrdb_core.Db.quiesce db;
+  ignore (Mrdb_obs.Obs.txn_latency (Mrdb_core.Db.obs db));
+  ignore (Mrdb_obs.Obs.restore_latency (Mrdb_core.Db.obs db));
+  ignore (Mrdb_obs.Obs.drain_batch (Mrdb_core.Db.obs db));
+  let obs_json = Mrdb_obs.Export.json ~t:(Mrdb_core.Db.obs db) () in
+  ( (float_of_int n /. dt, (Gc.allocated_bytes () -. a0) /. float_of_int n),
+    (Mrdb_obs.Metrics.quantile wall 0.5, Mrdb_obs.Metrics.quantile wall 0.99),
+    obs_json )
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let scale k = if quick then max 1 (k / 20) else k in
+  let txn_result, (p50, p99), obs_json = bench_txn (scale 2_000) in
   let results =
     [
       ("append", bench_append (scale 200_000), scale 200_000);
       ("append_hooked", bench_append ~hooked:true (scale 200_000), scale 200_000);
+      ("append_obs", bench_append ~obs:true (scale 200_000), scale 200_000);
       ("drain", bench_drain (scale 200_000), scale 200_000);
-      ("debit_credit", bench_txn (scale 2_000), scale 2_000);
+      ("debit_credit", txn_result, scale 2_000);
     ]
   in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    (Printf.sprintf "  \"schema\": \"mrdb-hotpath/1\",\n  \"mode\": \"%s\",\n"
+    (Printf.sprintf "  \"schema\": \"mrdb-hotpath/2\",\n  \"mode\": \"%s\",\n"
        (if quick then "quick" else "full"));
   Buffer.add_string buf "  \"benches\": {\n";
   List.iteri
     (fun i (name, (ops, alloc), n) ->
+      let latency =
+        if name = "debit_credit" then
+          Printf.sprintf ", \"latency_ns\": { \"p50\": %d, \"p99\": %d }" p50 p99
+        else ""
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "    \"%s\": { \"ops_per_sec\": %.1f, \"allocated_bytes_per_op\": \
-            %.1f, \"iterations\": %d }%s\n"
-           name ops alloc n
+            %.1f, \"iterations\": %d%s }%s\n"
+           name ops alloc n latency
            (if i = List.length results - 1 then "" else ","));
-      Printf.printf "%-12s %12.0f ops/s  %8.1f B/op  (n=%d)\n" name ops alloc n)
+      Printf.printf "%-13s %12.0f ops/s  %8.1f B/op  (n=%d)\n" name ops alloc n)
     results;
-  Buffer.add_string buf "  }\n}\n";
+  Buffer.add_string buf "  },\n  \"obs\": ";
+  Buffer.add_string buf obs_json;
+  Buffer.add_string buf "\n}\n";
+  Printf.printf "debit_credit latency: p50=%dns p99=%dns\n" p50 p99;
   let oc = open_out "BENCH.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -3,11 +3,15 @@
    Subcommands:
      run       drive a workload, report logging/checkpoint statistics
      crashtest run a workload, crash, recover, verify integrity
+     obs       drive a workload through a crash/recovery cycle and dump the
+               observability snapshot (metrics, histograms, recovery
+               timeline, flight recorder) as JSON or aligned tables
      model     print the Section-3 analytic model at chosen parameters
 
    Examples:
      dune exec bin/mrdb_cli.exe -- run --workload bank --txns 1000
      dune exec bin/mrdb_cli.exe -- crashtest --txns 500 --mode full-reload
+     dune exec bin/mrdb_cli.exe -- obs --txns 500 --format json
      dune exec bin/mrdb_cli.exe -- model --record-bytes 24 --page-kb 8 *)
 
 open Cmdliner
@@ -41,6 +45,25 @@ let workload_conv =
     | Skewed -> Format.pp_print_string ppf "skewed"
   in
   Arg.conv (parse, print)
+
+let run_workload_quiet db kind txns seed =
+  let rng = Mrdb_util.Rng.of_int seed in
+  match kind with
+  | Bank ->
+      let w = Mrdb_core.Workload.Bank.setup db ~accounts:500 () in
+      for _ = 1 to txns do
+        Mrdb_core.Workload.Bank.run_debit_credit w db ~rng
+      done
+  | Update_heavy ->
+      let w = Mrdb_core.Workload.Update_heavy.setup db ~rows:500 () in
+      for _ = 1 to txns do
+        Mrdb_core.Workload.Update_heavy.run_one w db ~rng
+      done
+  | Skewed ->
+      let w = Mrdb_core.Workload.Skewed.setup db ~rows:2000 ~theta:1.0 () in
+      for _ = 1 to txns do
+        Mrdb_core.Workload.Skewed.run_one w db ~rng
+      done
 
 let run_workload db kind txns seed =
   let rng = Mrdb_util.Rng.of_int seed in
@@ -130,6 +153,30 @@ let cmd_crashtest workload txns seed mode =
       if count_before <> count_after then exit 1);
   report_stats db
 
+(* The obs subcommand's scenario exercises every instrumented path: a
+   workload (txn latency, SLB appends, sorter drains, checkpoint triggers),
+   a crash, a recovery (timeline phases, partition restores) and a full
+   background sweep, then snapshots the observability surface. *)
+let cmd_obs workload txns seed format =
+  let db = Mrdb_core.Db.create ~config:Mrdb_core.Config.small () in
+  run_workload_quiet db workload txns seed;
+  Mrdb_core.Db.quiesce db;
+  Mrdb_core.Db.crash db;
+  Mrdb_core.Db.recover db;
+  (match workload with
+  | Bank ->
+      (* One post-crash on-demand restore burst before the sweep. *)
+      ignore (Mrdb_core.Db.cardinality db ~rel:"account")
+  | Update_heavy -> ignore (Mrdb_core.Db.cardinality db ~rel:"cells")
+  | Skewed -> ignore (Mrdb_core.Db.cardinality db ~rel:"skewed"));
+  Mrdb_core.Db.recover_everything db;
+  Mrdb_core.Db.quiesce db;
+  let t = Mrdb_core.Db.obs db in
+  match format with
+  | `Json -> print_string (Mrdb_obs.Export.json ~t ());
+      print_newline ()
+  | `Text -> print_string (Mrdb_obs.Export.texttab ~t ())
+
 let cmd_model record_bytes page_kb n_update =
   let module P = Mrdb_analysis.Params in
   let module LM = Mrdb_analysis.Log_model in
@@ -170,6 +217,31 @@ let crashtest_cmd =
   Cmd.v (Cmd.info "crashtest" ~doc:"run a workload, crash, recover, verify integrity")
     Term.(const cmd_crashtest $ workload_arg $ txns_arg $ seed_arg $ mode_arg)
 
+let format_conv =
+  let parse = function
+    | "json" -> Ok `Json
+    | "text" -> Ok `Text
+    | s -> Error (`Msg ("unknown format: " ^ s))
+  in
+  let print ppf = function
+    | `Json -> Format.pp_print_string ppf "json"
+    | `Text -> Format.pp_print_string ppf "text"
+  in
+  Arg.conv (parse, print)
+
+let obs_cmd =
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "drive a workload through a crash/recovery cycle and dump the \
+          observability snapshot (mrdb-obs/1 JSON or aligned tables)")
+    Term.(
+      const cmd_obs $ workload_arg $ txns_arg $ seed_arg
+      $ Arg.(
+          value
+          & opt format_conv `Text
+          & info [ "format"; "f" ] ~doc:"json | text"))
+
 let model_cmd =
   Cmd.v (Cmd.info "model" ~doc:"print the Section-3 analytic model")
     Term.(
@@ -184,4 +256,4 @@ let () =
        (Cmd.group
           (Cmd.info "mrdb" ~version:"1.0.0"
              ~doc:"memory-resident DBMS with the Lehman–Carey recovery architecture")
-          [ run_cmd; crashtest_cmd; model_cmd ]))
+          [ run_cmd; crashtest_cmd; obs_cmd; model_cmd ]))

@@ -34,6 +34,7 @@ type t = {
   mutable ckpt_disk : Mrdb_hw.Disk.t;
   archiver : Archive.t option; (* the tape survives crashes *)
   trace : Trace.t;
+  obs : Mrdb_obs.Obs.t; (* survives crashes, like the trace *)
   mutable vol : vol option;
 }
 
@@ -42,6 +43,7 @@ type txn = Txn_core.t
 let config t = t.cfg
 let sim t = t.sim
 let trace t = t.trace
+let obs t = t.obs
 let txn_id = Txn_core.id
 
 let vol t = match t.vol with Some v -> v | None -> raise Crashed
@@ -56,19 +58,30 @@ let ctx t =
     epoch = t.epoch;
     recovery = t.recovery;
     layout = (fun () -> t.layout);
+    obs = t.obs;
   }
 
 let recovery_env t =
   Recovery_env.create ~sim:t.sim ~trace:t.trace
     ~ckpt_disk:(fun () -> t.ckpt_disk)
     ~archiver:t.archiver ~partition_bytes:t.cfg.Config.partition_bytes
+    ~obs:t.obs ()
 
 (* -- transaction control -------------------------------------------------- *)
+
+(* Begin-to-termination latency in simulated time: lock waits, on-demand
+   restores and checkpoint work absorbed by the commit path all show up
+   here (and nowhere in the Trace golden). *)
+let observe_txn_latency t tx =
+  Mrdb_obs.Metrics.observe_us
+    (Mrdb_obs.Obs.txn_latency t.obs)
+    (Sim.now t.sim -. Txn_core.started_us tx)
 
 let do_abort t v tx =
   Slb.abort v.slb ~txn_id:(Txn_core.id tx);
   Txn_core.Manager.abort v.txn_mgr tx;
   ignore (Lock_mgr.release_all v.lock_mgr ~txn:(Txn_core.id tx));
+  observe_txn_latency t tx;
   Trace.incr t.trace "aborts"
 
 let acquire t v tx resource mode =
@@ -142,6 +155,7 @@ let flush_group t =
     Slb.commit v.slb ~txn_id:(Txn_core.id tx);
     Txn_core.Manager.finalize_commit v.txn_mgr tx;
     Db_system.drain (ctx t);
+    observe_txn_latency t tx;
     Trace.incr t.trace "commits";
     Trace.incr t.trace "group_commits"
   done;
@@ -152,7 +166,8 @@ let commit t tx =
   match t.cfg.Config.commit_mode with
   | Config.Instant ->
       finish_commit t v tx;
-      maybe_auto_checkpoint t
+      maybe_auto_checkpoint t;
+      observe_txn_latency t tx
   | Config.Group n ->
       (* Precommit: locks released, log records remain in stable memory
          awaiting the group's official commit. *)
@@ -166,7 +181,8 @@ let commit t tx =
       (* Conventional WAL: force the log to disk and wait. *)
       Log_sorter.force_log (Recovery_mgr.sorter t.recovery);
       Trace.incr t.trace "log_forces";
-      maybe_auto_checkpoint t
+      maybe_auto_checkpoint t;
+      observe_txn_latency t tx
 
 let begin_txn ?(declare = []) t =
   let v = vol t in
@@ -318,6 +334,7 @@ let crash t =
     Mrdb_hw.Volatile.Epoch.crash t.epoch;
     Recovery_mgr.detach t.recovery;
     t.vol <- None;
+    Mrdb_obs.Flight_recorder.crash (Mrdb_obs.Obs.recorder t.obs);
     Trace.incr t.trace "crashes"
   end
 
@@ -390,6 +407,8 @@ let create ?(config = Config.default) () =
   in
   let layout = Stable_layout.attach config.Config.stable stable_mem in
   let trace = Trace.create () in
+  let obs = Mrdb_obs.Obs.create ~now:(fun () -> Sim.now sim) () in
+  Mrdb_obs.Metrics.attach_trace (Mrdb_obs.Obs.metrics obs) trace;
   let log_disk =
     (* The Db trace doubles as the duplex's resilience-counter sink, so
        degraded writes / read fallbacks show up next to the Db counters. *)
@@ -422,6 +441,7 @@ let create ?(config = Config.default) () =
       ckpt_disk;
       archiver;
       trace;
+      obs;
       vol = None;
     }
   in
@@ -431,9 +451,12 @@ let create ?(config = Config.default) () =
     Slt.create ~layout ~log_disk ~n_update:config.Config.n_update
       ?age_grace_pages:config.Config.age_grace_pages
       ~on_checkpoint_request:
-        (Ckpt_mgr.on_checkpoint_request ~trace:t.trace ~ckpt_q:(fun () -> ckpt_q))
+        (Ckpt_mgr.on_checkpoint_request ~trace:t.trace ~ckpt_q:(fun () -> ckpt_q)
+           ~recorder:(Mrdb_obs.Obs.recorder obs))
       ()
   in
+  Slb.set_recorder slb (Some (Mrdb_obs.Obs.recorder obs));
+  Slt.set_recorder slt (Some (Mrdb_obs.Obs.recorder obs));
   (* Bootstrap the catalog, buffering its physical ops so they can be
      logged once the volatile plumbing exists. *)
   let buffered = ref [] in

@@ -42,6 +42,12 @@ val create : ?config:Config.t -> unit -> t
 val config : t -> Config.t
 val sim : t -> Mrdb_sim.Sim.t
 val trace : t -> Mrdb_sim.Trace.t
+
+val obs : t -> Mrdb_obs.Obs.t
+(** The instance's observability handle: metrics registry (with the trace
+    attached), flight recorder and recovery timeline.  Like the trace, it
+    survives crashes — the flight recorder keeps its pre-crash events. *)
+
 val quiesce : t -> unit
 (** Run the simulated clock until all in-flight device work completes. *)
 

@@ -27,6 +27,7 @@ type ctx = {
   epoch : Mrdb_hw.Volatile.Epoch.t;
   recovery : Recovery_mgr.t;
   layout : unit -> Stable_layout.t;
+  obs : Mrdb_obs.Obs.t;
 }
 
 type index_inst = Tt of T_tree.t | Lh of Linear_hash.t
@@ -71,6 +72,8 @@ let mk_vol ctx ~slb ~slt ~cat ~ckpt_q =
         | Some (Tt tree) -> T_tree.invalidate_cache tree
         | Some (Lh h) -> Linear_hash.invalidate_cache h
         | None -> ())
+      ~now:(fun () -> Mrdb_obs.Obs.now_us ctx.obs)
+      ~recorder:(Mrdb_obs.Obs.recorder ctx.obs)
       ()
   in
   {

@@ -22,6 +22,9 @@ type ctx = {
   recovery : Mrdb_recovery.Recovery_mgr.t;
   layout : unit -> Mrdb_wal.Stable_layout.t;
       (** Getter: recovery re-attaches the stable layout. *)
+  obs : Mrdb_obs.Obs.t;
+      (** The instance's observability handle (crash-surviving, like the
+          trace). *)
 }
 
 type index_inst = Tt of Mrdb_index.T_tree.t | Lh of Mrdb_index.Linear_hash.t

@@ -13,13 +13,17 @@ type t = {
   stable : Stable_mem.t option;
   events : Fault_plan.event array;
   fired : bool array;
+  recorder : Mrdb_obs.Flight_recorder.t option;
 }
 
 let fired_count t = Array.fold_left (fun n f -> if f then n + 1 else n) 0 t.fired
 
 let fire t i counter =
   t.fired.(i) <- true;
-  Trace.incr t.trace counter
+  Trace.incr t.trace counter;
+  match t.recorder with
+  | None -> ()
+  | Some fr -> Mrdb_obs.Flight_recorder.fault fr ~kind:counter
 
 let disk_of t = function
   | Fault_plan.Log_primary -> Some (Duplex.primary t.log)
@@ -117,7 +121,7 @@ let arm t =
         | Fault_plan.Transient_read _ | Fault_plan.Torn_write _ -> ())
     t.events
 
-let install ~plan ~sim ~trace ~log ?ckpt ?stable () =
+let install ~plan ~sim ~trace ~log ?ckpt ?stable ?recorder () =
   let t =
     {
       plan;
@@ -128,6 +132,7 @@ let install ~plan ~sim ~trace ~log ?ckpt ?stable () =
       stable;
       events = Array.of_list (Fault_plan.events plan);
       fired = Array.make (List.length (Fault_plan.events plan)) false;
+      recorder;
     }
   in
   Disk.set_fault_hook (Duplex.primary log) (Some (hook_for t Fault_plan.Log_primary));

@@ -21,10 +21,13 @@ val install :
   log:Mrdb_hw.Duplex.t ->
   ?ckpt:Mrdb_hw.Disk.t ->
   ?stable:Mrdb_hw.Stable_mem.t ->
+  ?recorder:Mrdb_obs.Flight_recorder.t ->
   unit ->
   t
 (** Install device hooks and schedule the plan's timed events.  Events
-    aimed at a device not supplied here are marked spent silently. *)
+    aimed at a device not supplied here are marked spent silently.
+    [recorder] additionally receives a [Fault] flight event (tagged with
+    the trace-counter name) for every fault that fires. *)
 
 val arm : t -> unit
 (** (Re-)schedule the not-yet-fired timed events — call after each crash,

@@ -1,4 +1,4 @@
-type rule = R1 | R2 | R3 | R4 | R5 | Parse_error
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | Parse_error
 
 type t = { rule : rule; file : string; line : int; col : int; msg : string }
 
@@ -8,6 +8,7 @@ let rule_name = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
   | Parse_error -> "parse"
 
 let rule_title = function
@@ -16,6 +17,7 @@ let rule_title = function
   | R3 -> "partiality"
   | R4 -> "sealed interfaces"
   | R5 -> "fault-injection containment"
+  | R6 -> "output discipline"
   | Parse_error -> "unparseable source"
 
 let paper_clause = function
@@ -37,6 +39,10 @@ let paper_clause = function
       "robustness: faults are simulated inputs, never production behavior; "
       ^ "only lib/fault (and tests) may arm fault hooks or inject "
       ^ "failures/corruption on the simulated devices"
+  | R6 ->
+      "observability: runtime output goes through Mrdb_obs.Export or "
+      ^ "Mrdb_util.Texttab; no bare Printf.printf/print_string under lib/ "
+      ^ "outside lib/obs and util/texttab.ml"
   | Parse_error -> "mrdb_lint cannot check what it cannot parse"
 
 let make ~rule ~file ~line ~col msg = { rule; file; line; col; msg }

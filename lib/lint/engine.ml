@@ -142,6 +142,16 @@ let check_structure ~file ~rel str =
                 structured exception" name)
       | None -> ()
   in
+  let check_r6 loc path =
+    if not (Rules.print_allowed rel) then
+      match Rules.print_ident path with
+      | Some name ->
+          add Diag.R6 loc
+            (Printf.sprintf
+               "bare %s; render through Mrdb_obs.Export or \
+                Mrdb_util.Texttab instead of printing from library code" name)
+      | None -> ()
+  in
   let check_r5 loc path =
     if not (Rules.fault_injection_allowed rel) then
       match fault_injection_call path with
@@ -159,7 +169,8 @@ let check_structure ~file ~rel str =
         check_r1 lid.loc path;
         check_r2 lid.loc path;
         check_r3 lid.loc path;
-        check_r5 lid.loc path
+        check_r5 lid.loc path;
+        check_r6 lid.loc path
   in
   let on_assert_false loc =
     if not (Rules.partiality_allowed rel) then

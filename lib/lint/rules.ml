@@ -10,6 +10,7 @@ let libraries =
   [
     ("util", "mrdb_util");
     ("sim", "mrdb_sim");
+    ("obs", "mrdb_obs");
     ("hw", "mrdb_hw");
     ("fault", "mrdb_fault");
     ("storage", "mrdb_storage");
@@ -37,12 +38,13 @@ let allowed_deps =
   [
     ("mrdb_util", []);
     ("mrdb_sim", [ "mrdb_util" ]);
+    ("mrdb_obs", [ "mrdb_util"; "mrdb_sim" ]);
     ("mrdb_hw", [ "mrdb_util"; "mrdb_sim" ]);
-    ("mrdb_fault", [ "mrdb_util"; "mrdb_sim"; "mrdb_hw" ]);
+    ("mrdb_fault", [ "mrdb_util"; "mrdb_sim"; "mrdb_obs"; "mrdb_hw" ]);
     ("mrdb_storage", [ "mrdb_util"; "mrdb_hw" ]);
     ("mrdb_index", [ "mrdb_util"; "mrdb_storage" ]);
-    ("mrdb_txn", [ "mrdb_util"; "mrdb_hw"; "mrdb_storage" ]);
-    ("mrdb_wal", [ "mrdb_util"; "mrdb_sim"; "mrdb_hw"; "mrdb_storage" ]);
+    ("mrdb_txn", [ "mrdb_util"; "mrdb_hw"; "mrdb_obs"; "mrdb_storage" ]);
+    ("mrdb_wal", [ "mrdb_util"; "mrdb_sim"; "mrdb_obs"; "mrdb_hw"; "mrdb_storage" ]);
     ("mrdb_ckpt", [ "mrdb_util"; "mrdb_sim"; "mrdb_hw"; "mrdb_storage" ]);
     ("mrdb_analysis", [ "mrdb_util" ]);
     ("mrdb_archive", [ "mrdb_util"; "mrdb_storage"; "mrdb_wal"; "mrdb_ckpt" ]);
@@ -50,6 +52,7 @@ let allowed_deps =
       [
         "mrdb_util";
         "mrdb_sim";
+        "mrdb_obs";
         "mrdb_hw";
         "mrdb_storage";
         "mrdb_wal";
@@ -61,6 +64,7 @@ let allowed_deps =
       [
         "mrdb_util";
         "mrdb_sim";
+        "mrdb_obs";
         "mrdb_hw";
         "mrdb_storage";
         "mrdb_index";
@@ -136,3 +140,33 @@ let fault_injection_idents =
 let fault_injection_allowed rel =
   (String.length rel >= 6 && String.sub rel 0 6 = "fault/")
   || rel = "hw/disk.ml" || rel = "hw/duplex.ml" || rel = "hw/stable_mem.ml"
+
+(* -- R6: output discipline --------------------------------------------------- *)
+
+(* Bare stdout printers (each with its [Stdlib]-qualified spelling).
+   [Format.pp_print_string ppf] and friends take an explicit formatter and
+   stay legal — only the implicit-stdout forms are banned. *)
+let print_idents =
+  [
+    ([ "Printf"; "printf" ], "Printf.printf");
+    ([ "Stdlib"; "Printf"; "printf" ], "Printf.printf");
+    ([ "print_string" ], "print_string");
+    ([ "Stdlib"; "print_string" ], "print_string");
+    ([ "print_endline" ], "print_endline");
+    ([ "Stdlib"; "print_endline" ], "print_endline");
+    ([ "print_newline" ], "print_newline");
+    ([ "Stdlib"; "print_newline" ], "print_newline");
+  ]
+
+let print_ident path =
+  let rec find = function
+    | [] -> None
+    | (p, name) :: rest -> if p = path then Some name else find rest
+  in
+  find print_idents
+
+(* Who may print (relative to lib/): the observability subsystem's
+   renderers and the table renderer itself.  Binaries, benches and tests
+   live outside lib/ and are not linted. *)
+let print_allowed rel =
+  (String.length rel >= 4 && String.sub rel 0 4 = "obs/") || rel = "util/texttab.ml"

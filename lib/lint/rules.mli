@@ -14,7 +14,11 @@
     - {b R5 fault-injection containment}: arming fault hooks and
       fabricating device failures/corruption is legal only under
       [lib/fault/] and in the defining hardware modules (tests are outside
-      [lib/] and exempt). *)
+      [lib/] and exempt).
+    - {b R6 output discipline}: bare [Printf.printf] / [print_string] /
+      [print_endline] / [print_newline] are banned under [lib/] outside
+      [lib/obs/] and [util/texttab.ml] — library code renders through
+      [Mrdb_obs.Export] or [Mrdb_util.Texttab]; only binaries print. *)
 
 val libraries : (string * string) list
 (** Directory under [lib/] -> wrapped library name. *)
@@ -46,3 +50,15 @@ val fault_injection_idents : (string * string list) list
 
 val fault_injection_allowed : string -> bool
 (** [fault_injection_allowed rel] — [rel] relative to [lib/]. *)
+
+val print_idents : (string list * string) list
+(** Banned implicit-stdout printers (identifier path, display name);
+    formatter-taking [Format] functions are deliberately absent. *)
+
+val print_ident : string list -> string option
+(** [print_ident path] is [Some display_name] when the flattened
+    identifier path is a banned printer. *)
+
+val print_allowed : string -> bool
+(** [print_allowed rel] — [rel] relative to [lib/]: the [obs/] renderers
+    and [util/texttab.ml]. *)

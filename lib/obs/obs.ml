@@ -1,0 +1,27 @@
+type t = {
+  metrics : Metrics.t;
+  recorder : Flight_recorder.t;
+  timeline : Timeline.t;
+  now : unit -> float;
+}
+
+let create ?capacity ~now () =
+  {
+    metrics = Metrics.create ();
+    recorder = Flight_recorder.create ?capacity ~now ();
+    timeline = Timeline.create ();
+    now;
+  }
+
+let metrics t = t.metrics
+let recorder t = t.recorder
+let timeline t = t.timeline
+let now_us t = t.now ()
+
+let txn_latency t = Metrics.histogram t.metrics ~unit_:"ns" "txn_latency_ns"
+
+let restore_latency t =
+  Metrics.histogram t.metrics ~unit_:"ns" "restore_latency_ns"
+
+let drain_batch t =
+  Metrics.histogram t.metrics ~unit_:"records" "drain_batch_records"

@@ -1,0 +1,42 @@
+(** The observability handle: one {!Metrics} registry, one
+    {!Flight_recorder} and one recovery {!Timeline}, threaded together
+    through every layer of the database instance.
+
+    Created by [Db.create] with the simulated clock as its time source and
+    handed down (via [Recovery_env] and the per-module [set_obs]/optional
+    arguments) so that the WAL, the transaction manager, the recovery
+    component and the fault injector all report into the same snapshot.
+    Recording through this handle costs zero simulated time and must keep
+    the determinism golden byte-identical: it only {e reads} the clock and
+    never schedules events or bumps [Trace] counters. *)
+
+type t
+
+val create : ?capacity:int -> now:(unit -> float) -> unit -> t
+(** [now] is the simulated clock in µs (e.g. [fun () -> Sim.now sim]);
+    [capacity] sizes the flight-recorder ring (default 4096). *)
+
+val metrics : t -> Metrics.t
+val recorder : t -> Flight_recorder.t
+val timeline : t -> Timeline.t
+
+val now_us : t -> float
+(** Read the attached clock. *)
+
+(** {2 Canonical histograms}
+
+    The three latency/volume distributions every snapshot carries.  Each
+    is created lazily on first access — callers hold the histogram and
+    observe into it without a name lookup per sample. *)
+
+val txn_latency : t -> Metrics.histogram
+(** ["txn_latency_ns"]: facade transaction latency, begin → commit/abort,
+    in simulated ns (includes lock waits, on-demand restores and
+    synchronous checkpoint work absorbed by the commit path). *)
+
+val restore_latency : t -> Metrics.histogram
+(** ["restore_latency_ns"]: per-partition restore latency in simulated ns
+    (checkpoint-image read ∥ log-stream read + replay). *)
+
+val drain_batch : t -> Metrics.histogram
+(** ["drain_batch_records"]: committed records moved per sorter drain. *)

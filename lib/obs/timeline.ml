@@ -1,0 +1,49 @@
+type phase =
+  | Wellknown_bootstrap
+  | Catalog_restore
+  | Slt_scan
+  | On_demand_restore
+  | Background_sweep
+
+let all_phases =
+  [ Wellknown_bootstrap; Catalog_restore; Slt_scan; On_demand_restore;
+    Background_sweep ]
+
+let phase_name = function
+  | Wellknown_bootstrap -> "wellknown_bootstrap"
+  | Catalog_restore -> "catalog_restore"
+  | Slt_scan -> "slt_scan"
+  | On_demand_restore -> "on_demand_restore"
+  | Background_sweep -> "background_sweep"
+
+let index = function
+  | Wellknown_bootstrap -> 0
+  | Catalog_restore -> 1
+  | Slt_scan -> 2
+  | On_demand_restore -> 3
+  | Background_sweep -> 4
+
+type t = {
+  counts : int array;
+  totals : float array;
+  mutable started_us : float;
+}
+
+let create () = { counts = Array.make 5 0; totals = Array.make 5 0.0; started_us = 0.0 }
+
+let reset t ~now_us =
+  Array.fill t.counts 0 5 0;
+  Array.fill t.totals 0 5 0.0;
+  t.started_us <- now_us
+
+let add t phase ~dur_us =
+  let i = index phase in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.totals.(i) <- t.totals.(i) +. Float.max 0.0 dur_us
+
+let started_us t = t.started_us
+
+let phases t =
+  List.map (fun p -> (p, t.counts.(index p), t.totals.(index p))) all_phases
+
+let total_us t = Array.fold_left ( +. ) 0.0 t.totals

@@ -63,12 +63,14 @@ val update_wellknown : layout:Mrdb_wal.Stable_layout.t -> cat:Catalog.t -> unit
 val on_checkpoint_request :
   trace:Mrdb_sim.Trace.t ->
   ckpt_q:(unit -> Mrdb_ckpt.Ckpt_queue.t) ->
+  ?recorder:Mrdb_obs.Flight_recorder.t ->
   Addr.partition ->
   Mrdb_wal.Slt.trigger ->
   unit
 (** The SLT's checkpoint-trigger callback: classify the trigger, count it,
-    enqueue the request.  [ckpt_q] is a getter because the queue is
-    re-created before the SLT during restart. *)
+    record a [Ckpt_trigger] flight event, enqueue the request.  [ckpt_q]
+    is a getter because the queue is re-created before the SLT during
+    restart. *)
 
 val rebuild_disk_map : disk_map:Mrdb_ckpt.Disk_map.t -> cat:Catalog.t -> unit
 (** Restart: reconstruct the checkpoint-disk allocation map from the

@@ -32,14 +32,24 @@ let drain s =
   Trace.incr s.env.Recovery_env.trace "sorter_drain_calls";
   let records = ref 0 and bytes = ref 0 in
   let pages0 = Log_disk.pages_written s.log_disk in
-  ignore
-    (Slb.drain s.slb ~f:(fun ~txn_id:_ r ->
-         incr records;
-         bytes := !bytes + Log_record.encoded_size r;
-         Slt.accept s.slt r));
+  let txns =
+    Slb.drain s.slb ~f:(fun ~txn_id:_ r ->
+        incr records;
+        bytes := !bytes + Log_record.encoded_size r;
+        Slt.accept s.slt r)
+  in
   let pages = Log_disk.pages_written s.log_disk - pages0 in
   Trace.add s.env.Recovery_env.trace "sorter_records_streamed" !records;
   Trace.add s.env.Recovery_env.trace "sorter_bytes_streamed" !bytes;
+  (match s.env.Recovery_env.obs with
+  | Some obs when !records > 0 ->
+      Mrdb_obs.Metrics.observe
+        (Mrdb_obs.Obs.drain_batch obs)
+        !records;
+      Mrdb_obs.Flight_recorder.sorter_drain
+        (Mrdb_obs.Obs.recorder obs)
+        ~txns ~records:!records
+  | _ -> ());
   let instructions =
     (record_sort_fixed_instr * !records)
     + int_of_float (copy_instr_per_byte *. float_of_int !bytes)

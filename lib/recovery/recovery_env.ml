@@ -7,10 +7,16 @@ type t = {
   ckpt_disk : unit -> Mrdb_hw.Disk.t;
   archiver : Mrdb_archive.Archive.t option;
   partition_bytes : int;
+  obs : Mrdb_obs.Obs.t option;
 }
 
-let create ~sim ~trace ~ckpt_disk ~archiver ~partition_bytes =
-  { sim; trace; ckpt_disk; archiver; partition_bytes }
+let create ~sim ~trace ~ckpt_disk ~archiver ~partition_bytes ?obs () =
+  { sim; trace; ckpt_disk; archiver; partition_bytes; obs }
+
+let recorder env =
+  match env.obs with
+  | None -> None
+  | Some o -> Some (Mrdb_obs.Obs.recorder o)
 
 let pump_until env cond =
   while (not (cond ())) && Sim.step env.sim do () done;

@@ -15,6 +15,10 @@ type t = {
           failure swaps in a blank replacement drive. *)
   archiver : Mrdb_archive.Archive.t option;
   partition_bytes : int;
+  obs : Mrdb_obs.Obs.t option;
+      (** Observability bundle (metrics registry, flight recorder, recovery
+          timeline).  [None] in minimal test harnesses; all recording is
+          skipped then. *)
 }
 
 val create :
@@ -23,7 +27,12 @@ val create :
   ckpt_disk:(unit -> Mrdb_hw.Disk.t) ->
   archiver:Mrdb_archive.Archive.t option ->
   partition_bytes:int ->
+  ?obs:Mrdb_obs.Obs.t ->
+  unit ->
   t
+
+val recorder : t -> Mrdb_obs.Flight_recorder.t option
+(** The flight recorder from [obs], when present. *)
 
 val pump_until : t -> (unit -> bool) -> unit
 (** Advance the simulated clock until [cond ()] holds.

@@ -11,9 +11,13 @@ type t = {
   cat : Catalog.t;
   seq : int Addr.Partition_table.t;
   segments : (int, Segment.t) Hashtbl.t;
+  mutable sweeping : bool;
+      (* Timeline attribution: restores issued from background_step are
+         charged to Background_sweep, everything else to On_demand_restore. *)
 }
 
-let create ~env ~slt ~cat ~seq ~segments = { env; slt; cat; seq; segments }
+let create ~env ~slt ~cat ~seq ~segments =
+  { env; slt; cat; seq; segments; sweeping = false }
 
 let segment_of r seg_id =
   match Hashtbl.find_opt r.segments seg_id with
@@ -107,6 +111,7 @@ let recover_partition r part k =
   in
   if desc.Catalog.resident then k ()
   else begin
+    let t0 = Mrdb_sim.Sim.now env.Recovery_env.sim in
     let image = ref None and image_done = ref false in
     let records = ref [] and records_done = ref false in
     read_ckpt_image env ~part desc (fun img ->
@@ -140,6 +145,20 @@ let recover_partition r part k =
     Catalog.set_resident r.cat part true;
     Trace.incr env.Recovery_env.trace "partitions_recovered";
     Trace.incr env.Recovery_env.trace "restorer_partitions_restored";
+    (match env.Recovery_env.obs with
+    | None -> ()
+    | Some obs ->
+        let dur_us = Mrdb_sim.Sim.now env.Recovery_env.sim -. t0 in
+        Mrdb_obs.Metrics.observe_us (Mrdb_obs.Obs.restore_latency obs) dur_us;
+        Mrdb_obs.Timeline.add
+          (Mrdb_obs.Obs.timeline obs)
+          (if r.sweeping then Mrdb_obs.Timeline.Background_sweep
+           else Mrdb_obs.Timeline.On_demand_restore)
+          ~dur_us;
+        Mrdb_obs.Flight_recorder.partition_restored
+          (Mrdb_obs.Obs.recorder obs)
+          ~segment:part.Addr.segment ~partition:part.Addr.partition
+          ~records:(List.length !records));
     k ()
   end
 
@@ -185,7 +204,10 @@ let background_step r =
   match next with
   | None -> false
   | Some d ->
-      ensure_partition r d.Catalog.part;
+      r.sweeping <- true;
+      Fun.protect
+        ~finally:(fun () -> r.sweeping <- false)
+        (fun () -> ensure_partition r d.Catalog.part);
       true
 
 let sweep r = while background_step r do () done

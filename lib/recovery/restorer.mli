@@ -30,8 +30,8 @@ val ensure_partition : t -> Addr.partition -> unit
 (** Restore the partition if it is not memory-resident: checkpoint image
     and log stream are fetched in parallel (different disks), records with
     [seq > watermark] replayed in original order.
-    @raise Failure when the partition is not catalogued or its durable
-    state is unreadable and unarchived. *)
+    @raise Mrdb_util.Fatal.Invariant when the partition is not catalogued
+    or its durable state is unreadable and unarchived. *)
 
 val ensure_segment : t -> int -> unit
 (** Restore every catalogued partition of a segment. *)

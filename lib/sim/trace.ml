@@ -33,6 +33,10 @@ let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let series t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.series []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.series

@@ -30,6 +30,10 @@ val stats : t -> string -> Mrdb_util.Stats.t
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+val series : t -> (string * Mrdb_util.Stats.t) list
+(** All timing series, sorted by name (the [Mrdb_obs] registry and its
+    JSON export enumerate the trace through this). *)
+
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -7,6 +7,7 @@ type t = {
   mutable status : status;
   mutable chain : Undo_space.chain option;
   mutable redo_count : int;
+  started_us : float;
 }
 
 let id t = t.id
@@ -16,6 +17,7 @@ let undo_records t =
   match t.chain with Some c -> Undo_space.record_count c | None -> 0
 
 let redo_records t = t.redo_count
+let started_us t = t.started_us
 
 let is_terminated t =
   match t.status with Committed | Aborted -> true | Active | Precommitted -> false
@@ -27,15 +29,26 @@ module Manager = struct
     invalidate_overlay : int -> unit;
     live : (int, t) Hashtbl.t;
     mutable next_id : int;
+    now : unit -> float;
+    recorder : Mrdb_obs.Flight_recorder.t option;
   }
 
-  let create ~undo ~resolve_partition ~invalidate_overlay () =
-    { undo; resolve_partition; invalidate_overlay; live = Hashtbl.create 64; next_id = 1 }
+  let create ~undo ~resolve_partition ~invalidate_overlay ?(now = fun () -> 0.0)
+      ?recorder () =
+    { undo; resolve_partition; invalidate_overlay; live = Hashtbl.create 64;
+      next_id = 1; now; recorder }
+
+  let record_event mgr f =
+    match mgr.recorder with None -> () | Some fr -> f fr
 
   let begin_txn mgr =
-    let t = { id = mgr.next_id; status = Active; chain = None; redo_count = 0 } in
+    let t =
+      { id = mgr.next_id; status = Active; chain = None; redo_count = 0;
+        started_us = mgr.now () }
+    in
     mgr.next_id <- mgr.next_id + 1;
     Hashtbl.add mgr.live t.id t;
+    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_begin fr ~txn:t.id);
     t
 
   let find mgr id = Hashtbl.find_opt mgr.live id
@@ -76,6 +89,7 @@ module Manager = struct
     require_active t "commit";
     drop_undo mgr t;
     t.status <- Committed;
+    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_commit fr ~txn:t.id);
     retire mgr t
 
   let precommit mgr t =
@@ -87,6 +101,7 @@ module Manager = struct
     if t.status <> Precommitted then
       Mrdb_util.Fatal.misuse (Printf.sprintf "Txn.finalize_commit: transaction %d not precommitted" t.id);
     t.status <- Committed;
+    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_commit fr ~txn:t.id);
     retire mgr t
 
   let abort mgr t =
@@ -105,6 +120,7 @@ module Manager = struct
           records;
         Hashtbl.iter (fun seg () -> mgr.invalidate_overlay seg) touched_segments);
     t.status <- Aborted;
+    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_abort fr ~txn:t.id);
     retire mgr t
 
   let crash_discard mgr =

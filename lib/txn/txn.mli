@@ -30,6 +30,11 @@ val undo_records : t -> int
 val redo_records : t -> int
 val is_terminated : t -> bool
 
+val started_us : t -> float
+(** Simulated-clock stamp taken at [begin_txn] (0.0 when the manager was
+    created without a [now] source) — the observability layer derives the
+    transaction-latency histogram from it. *)
+
 (** Transaction manager: id assignment, live-transaction registry, undo
     bookkeeping. *)
 module Manager : sig
@@ -39,11 +44,16 @@ module Manager : sig
     undo:Undo_space.t ->
     resolve_partition:(Addr.partition -> Partition.t) ->
     invalidate_overlay:(int -> unit) ->
+    ?now:(unit -> float) ->
+    ?recorder:Mrdb_obs.Flight_recorder.t ->
     unit -> mgr
   (** [resolve_partition] maps a partition address to its resident memory
       copy (abort must find the partitions it wrote).
       [invalidate_overlay seg] tells the owner of segment [seg] that its
-      partition bytes changed underneath (index cache coherence). *)
+      partition bytes changed underneath (index cache coherence).
+      [now] supplies the simulated clock for {!started_us} stamps (defaults
+      to a constant 0.0); [recorder] receives begin/commit/abort flight
+      events. *)
 
   val begin_txn : mgr -> t
   val find : mgr -> int -> t option

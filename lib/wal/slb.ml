@@ -15,6 +15,7 @@ type t = {
   mutable draining : bool;
   scratch : bytes; (* append framing buffer: one frame composed, one write *)
   rscratch : bytes; (* drain read buffer: one block payload decoded in place *)
+  mutable recorder : Mrdb_obs.Flight_recorder.t option;
 }
 
 let mem t = Stable_layout.mem t.layout
@@ -40,7 +41,10 @@ let create layout =
     draining = false;
     scratch = Bytes.create block_bytes;
     rscratch = Bytes.create block_bytes;
+    recorder = None;
   }
+
+let set_recorder t recorder = t.recorder <- recorder
 
 let capacity_ring t = (Stable_layout.config t.layout).Stable_layout.committed_capacity
 
@@ -97,7 +101,10 @@ let append t ~txn_id record =
   in
   let off = block_off t target + payload_off + used in
   Mrdb_hw.Stable_mem.write_sub (mem t) ~off t.scratch ~pos:0 ~len:frame;
-  set_used t target (used + frame)
+  set_used t target (used + frame);
+  match t.recorder with
+  | None -> ()
+  | Some fr -> Mrdb_obs.Flight_recorder.slb_append fr ~txn:txn_id ~bytes:frame
 
 let iter_chain t first ~f =
   let b = ref first in

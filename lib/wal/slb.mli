@@ -31,6 +31,11 @@ val recover : Stable_layout.t -> t
 (** Re-attach after a crash: scan the committed ring, mark reachable blocks
     live, discard uncommitted chains. *)
 
+val set_recorder : t -> Mrdb_obs.Flight_recorder.t option -> unit
+(** Attach a flight recorder: every {!append} then records an
+    [Slb_append] event (five array stores — bench/hotpath.ml's
+    [append_obs] bounds the cost).  [None] detaches. *)
+
 val append : t -> txn_id:int -> Log_record.t -> unit
 (** Add a REDO record to the transaction's (uncommitted) chain.  The frame
     (u16 length + record) is composed in a reusable per-SLB scratch buffer

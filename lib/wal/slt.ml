@@ -16,6 +16,7 @@ type t = {
   first_lsn_list : Addr.partition Mrdb_util.Pqueue.t; (* keyed by first LSN; lazy deletion *)
   requested : unit Addr.Partition_table.t; (* checkpoint already requested *)
   mutable pending_writes : int;
+  mutable recorder : Mrdb_obs.Flight_recorder.t option;
 }
 
 let make ~layout ~log_disk ?(n_update = 1000) ?age_grace_pages
@@ -37,7 +38,10 @@ let make ~layout ~log_disk ?(n_update = 1000) ?age_grace_pages
     first_lsn_list = Mrdb_util.Pqueue.create ();
     requested = Addr.Partition_table.create 16;
     pending_writes = 0;
+    recorder = None;
   }
+
+let set_recorder t recorder = t.recorder <- recorder
 
 let create ~layout ~log_disk ?n_update ?age_grace_pages ~on_checkpoint_request () =
   make ~layout ~log_disk ?n_update ?age_grace_pages ~on_checkpoint_request ()
@@ -186,6 +190,12 @@ let seal_and_write t bin =
   match Partition_bin.seal_page bin ~log_disk:t.log_disk with
   | None -> ()
   | Some (lsn, image) ->
+      (match t.recorder with
+      | None -> ()
+      | Some fr ->
+          let part = Partition_bin.partition bin in
+          Mrdb_obs.Flight_recorder.bin_flush fr ~segment:part.Addr.segment
+            ~partition:part.Addr.partition);
       t.pending_writes <- t.pending_writes + 1;
       Log_disk.write_page t.log_disk ~lsn image (fun () ->
           t.pending_writes <- t.pending_writes - 1;

@@ -45,6 +45,10 @@ val layout : t -> Stable_layout.t
 val log_disk : t -> Log_disk.t
 val n_update : t -> int
 
+val set_recorder : t -> Mrdb_obs.Flight_recorder.t option -> unit
+(** Attach a flight recorder: each sealed bin page then records a
+    [Bin_flush] event.  [None] detaches. *)
+
 val bin_index_of : t -> Addr.partition -> int
 (** The partition's permanent bin-table index, allocating a slot on first
     use (the main CPU stamps this into each log record).

@@ -1,0 +1,3 @@
+(* R6 fixture: a bare stdout printer in library code. *)
+
+let report n = Printf.printf "processed %d records\n" n

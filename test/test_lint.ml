@@ -1,7 +1,7 @@
 (* Golden tests for mrdb_lint: a fixture corpus seeds exactly one violation
    per rule (R1 wild write, R2 layering, R3 partiality, R4 unsealed, R5
-   fault injection), plus one clean file that must pass.  Each rule must
-   fire at the expected file:line — and nowhere else. *)
+   fault injection, R6 bare printing), plus one clean file that must pass.
+   Each rule must fire at the expected file:line — and nowhere else. *)
 
 open Mrdb_lint
 
@@ -19,6 +19,7 @@ let expected =
     ("R5", "lint_fixtures/core/inject.ml", 4);
     ("R1", "lint_fixtures/core/wild_write.ml", 4);
     ("R2", "lint_fixtures/recovery/upcall.ml", 3);
+    ("R6", "lint_fixtures/storage/noisy.ml", 3);
     ("R3", "lint_fixtures/storage/partial.ml", 3);
     ("R4", "lint_fixtures/storage/unsealed.ml", 1);
   ]
@@ -80,6 +81,16 @@ let test_declared_order_keeps_two_cpu_split () =
        (fun (lib, _) -> lib = "mrdb_util" || Rules.may_depend ~from:lib ~target:"mrdb_util")
        Rules.allowed_deps)
 
+let test_print_discipline_allowlist () =
+  check bool_t "obs renderers may print" true (Rules.print_allowed "obs/export.ml");
+  check bool_t "texttab may print" true (Rules.print_allowed "util/texttab.ml");
+  check bool_t "core must not print" false (Rules.print_allowed "core/db.ml");
+  check bool_t "wal must not print" false (Rules.print_allowed "wal/slb.ml");
+  check bool_t "Printf.printf is banned" true
+    (Rules.print_ident [ "Printf"; "printf" ] = Some "Printf.printf");
+  check bool_t "formatter-taking printers stay legal" true
+    (Rules.print_ident [ "Format"; "pp_print_string" ] = None)
+
 let test_fault_containment_allowlist () =
   check bool_t "lib/fault may inject" true (Rules.fault_injection_allowed "fault/injector.ml");
   check bool_t "duplex fails its member disk" true (Rules.fault_injection_allowed "hw/duplex.ml");
@@ -101,5 +112,7 @@ let () =
             test_declared_order_keeps_two_cpu_split;
           Alcotest.test_case "fault containment allowlist" `Quick
             test_fault_containment_allowlist;
+          Alcotest.test_case "print discipline allowlist" `Quick
+            test_print_discipline_allowlist;
         ] );
     ]

@@ -199,6 +199,46 @@ let test_ckpt_deferred_counter () =
   Db.checkpoint_partition db part;
   check int_t "no further deferrals" 1 (seam_count db "ckpt_deferred_lock_held")
 
+let test_ensure_partition_uncatalogued_is_fatal () =
+  (* An uncatalogued partition is an invariant violation, not an [Failure]:
+     the restorer must raise the structured [Fatal.Invariant] its interface
+     documents, tagged with the reporting module. *)
+  let sim = Mrdb_sim.Sim.create () in
+  let trace = Mrdb_sim.Trace.create () in
+  let _, layout = mk_layout () in
+  let log_disk = Mrdb_wal.Log_disk.create sim ~layout ~window_pages:8 () in
+  let slt =
+    Mrdb_wal.Slt.create ~layout ~log_disk
+      ~on_checkpoint_request:(fun _ _ -> ())
+      ()
+  in
+  let ckpt =
+    Mrdb_hw.Disk.create sim
+      ~params:(Mrdb_hw.Disk.default_ckpt_params ~page_bytes:512)
+      ~capacity_pages:64
+  in
+  let env =
+    Mrdb_recovery.Recovery_env.create ~sim ~trace ~ckpt_disk:(fun () -> ckpt)
+      ~archiver:None ~partition_bytes:512 ()
+  in
+  let cat =
+    Mrdb_storage.Catalog.create ~partition_bytes:512
+      ~log:Mrdb_storage.Relation.null_sink
+  in
+  let r =
+    Mrdb_recovery.Restorer.create ~env ~slt ~cat
+      ~seq:(Addr.Partition_table.create 8)
+      ~segments:(Hashtbl.create 8)
+  in
+  match
+    Mrdb_recovery.Restorer.ensure_partition r { Addr.segment = 9; partition = 4 }
+  with
+  | () -> Alcotest.fail "uncatalogued partition should be fatal"
+  | exception Mrdb_util.Fatal.Invariant { mod_; what } ->
+      check Alcotest.string "tagged with the reporting module" "Restorer" mod_;
+      check Alcotest.string "names the partition" "partition 9.4 not catalogued"
+        what
+
 (* -- analysis models -------------------------------------------------------- *)
 
 module P = Mrdb_analysis.Params
@@ -316,6 +356,8 @@ let () =
           Alcotest.test_case "restorer_partitions_restored" `Quick
             test_restorer_partitions_counter;
           Alcotest.test_case "ckpt_deferred_lock_held" `Quick test_ckpt_deferred_counter;
+          Alcotest.test_case "uncatalogued partition is a structured fatal" `Quick
+            test_ensure_partition_uncatalogued_is_fatal;
         ] );
       ( "log_model",
         [

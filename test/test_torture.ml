@@ -66,7 +66,9 @@ let run_seed seed =
   let inj =
     Injector.install ~plan ~sim ~trace:(Db.trace db)
       ~log:(Log_disk.duplex (Db.log_disk db))
-      ~ckpt:(Db.ckpt_disk db) ~stable:(Db.stable_mem db) ()
+      ~ckpt:(Db.ckpt_disk db) ~stable:(Db.stable_mem db)
+      ~recorder:(Mrdb_obs.Obs.recorder (Db.obs db))
+      ()
   in
   let model = Hashtbl.create 64 in
   let addr_of = Hashtbl.create 64 in
@@ -74,8 +76,20 @@ let run_seed seed =
   let committing = ref false in
   let next_val = ref 0 in
   let fail_with what =
+    (* Leave an inspectable history next to the replay line: the plan and
+       the last ~200 flight-recorder events (appends, drains, checkpoint
+       triggers, faults, the crash).  CI uploads this file as an artifact
+       when the campaign fails. *)
+    let oc = open_out "torture-flight-dump.txt" in
+    let fmt = Format.formatter_of_out_channel oc in
+    Format.fprintf fmt
+      "seed %d: %s@.plan: %a@.replay: MRDB_TORTURE_SEED=%d dune exec test/test_torture.exe@.@."
+      seed what Fault_plan.pp plan seed;
+    Mrdb_obs.Flight_recorder.dump fmt (Mrdb_obs.Obs.recorder (Db.obs db));
+    Format.pp_print_flush fmt ();
+    close_out oc;
     Alcotest.failf
-      "seed %d: %s@.plan: %a@.replay: MRDB_TORTURE_SEED=%d dune exec test/test_torture.exe"
+      "seed %d: %s@.plan: %a@.replay: MRDB_TORTURE_SEED=%d dune exec test/test_torture.exe@.flight recorder dumped to torture-flight-dump.txt"
       seed what Fault_plan.pp plan seed
   in
   let rebuild_addrs () =
