@@ -17,7 +17,12 @@
      Config.default, including commit, the sorter and page flushes; also
      reports wall-clock p50/p99 per-transaction latency from an
      Mrdb_obs.Metrics histogram, and (after an untimed crash/recovery
-     cycle) embeds the instance's full mrdb-obs/1 snapshot.
+     cycle) embeds the instance's full mrdb-obs/2 snapshot;
+   - debit_credit_nexec: the same workload driven through the
+     deterministic executor schedule (Sim_exec.run_scheduled) at
+     executors=4 over striped SLB regions, with the executors=1 scheduled
+     throughput alongside ("ops_per_sec_e1") so the striping overhead is
+     visible in BENCH.json.
 
    Each bench reports ops/sec and Gc.allocated_bytes per op.  Results are
    written to BENCH.json (schema mrdb-hotpath/2) at the current directory
@@ -123,10 +128,40 @@ let bench_txn n =
     (Mrdb_obs.Metrics.quantile wall 0.5, Mrdb_obs.Metrics.quantile wall 0.99),
     obs_json )
 
+let bench_txn_nexec ~executors n =
+  let module Executor = Mrdb_exec.Executor in
+  let module Schedule = Mrdb_exec.Schedule in
+  let config =
+    let base = Mrdb_core.Config.default in
+    (* Striping divides the SLB block pool by the executor count; scale the
+       pool so each region keeps the single-executor block budget (the bank
+       setup funnels its whole populate workload through region 0). *)
+    let stable =
+      {
+        base.Mrdb_core.Config.stable with
+        Stable_layout.slb_block_count =
+          executors * base.Mrdb_core.Config.stable.Stable_layout.slb_block_count;
+      }
+    in
+    { base with Mrdb_core.Config.executors; stable }
+  in
+  let db = Mrdb_core.Db.create ~config () in
+  let bank =
+    Mrdb_core.Workload.Bank.setup db ~accounts:400 ~tellers:8 ~branches:2 ()
+  in
+  let sched = Schedule.create ~seed:7 (Executor.spawn ~seed:7 ~n:executors) in
+  let step e = Mrdb_core.Workload.Bank.run_debit_credit_exec bank db ~exec:e in
+  let t0 = now () and a0 = Gc.allocated_bytes () in
+  ignore (Mrdb_core.Sim_exec.run_scheduled ~db ~schedule:sched ~steps:n ~f:step ());
+  let dt = now () -. t0 in
+  (float_of_int n /. dt, (Gc.allocated_bytes () -. a0) /. float_of_int n)
+
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let scale k = if quick then max 1 (k / 20) else k in
   let txn_result, (p50, p99), obs_json = bench_txn (scale 2_000) in
+  let ops_e1, _ = bench_txn_nexec ~executors:1 (scale 2_000) in
+  let nexec_result = bench_txn_nexec ~executors:4 (scale 2_000) in
   let results =
     [
       ("append", bench_append (scale 200_000), scale 200_000);
@@ -134,6 +169,7 @@ let () =
       ("append_obs", bench_append ~obs:true (scale 200_000), scale 200_000);
       ("drain", bench_drain (scale 200_000), scale 200_000);
       ("debit_credit", txn_result, scale 2_000);
+      ("debit_credit_nexec", nexec_result, scale 2_000);
     ]
   in
   let buf = Buffer.create 512 in
@@ -147,6 +183,8 @@ let () =
       let latency =
         if name = "debit_credit" then
           Printf.sprintf ", \"latency_ns\": { \"p50\": %d, \"p99\": %d }" p50 p99
+        else if name = "debit_credit_nexec" then
+          Printf.sprintf ", \"executors\": 4, \"ops_per_sec_e1\": %.1f" ops_e1
         else ""
       in
       Buffer.add_string buf

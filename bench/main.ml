@@ -367,7 +367,8 @@ let bechamel_section () =
   let mk_slt () =
     let cfg =
       {
-        Mrdb_wal.Stable_layout.slb_block_bytes = 2048;
+        Mrdb_wal.Stable_layout.slb_regions = 1;
+        slb_block_bytes = 2048;
         slb_block_count = 64;
         committed_capacity = 64;
         log_page_bytes = 8192;

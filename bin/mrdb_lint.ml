@@ -22,7 +22,7 @@ let () =
   List.iter (fun d -> print_endline (Mrdb_lint.Diag.to_string d)) diags;
   match diags with
   | [] ->
-      Printf.printf "mrdb_lint: %s clean (R1 wild-write, R2 layering, R3 partiality, R4 sealed interfaces, R5 fault containment, R6 output discipline)\n"
+      Printf.printf "mrdb_lint: %s clean (R1 wild-write, R2 layering, R3 partiality, R4 sealed interfaces, R5 fault containment, R6 output discipline, R7 SLB region ownership)\n"
         (String.concat " " lib_dirs)
   | _ ->
       Printf.printf "mrdb_lint: %d violation%s\n" (List.length diags)

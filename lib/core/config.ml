@@ -4,6 +4,7 @@ type recovery_mode = On_demand | Predeclare | Full_reload
 
 type t = {
   partition_bytes : int;
+  executors : int;
   stable : Mrdb_wal.Stable_layout.config;
   log_window_pages : int;
   ckpt_disk_pages : int;
@@ -24,6 +25,7 @@ type t = {
 let default =
   {
     partition_bytes = 48 * 1024;
+    executors = 1;
     stable = Mrdb_wal.Stable_layout.default_config;
     log_window_pages = 4096;
     ckpt_disk_pages = 8192;
@@ -44,10 +46,12 @@ let default =
 let small =
   {
     partition_bytes = 2048;
+    executors = 1;
     stable =
       {
         Mrdb_wal.Stable_layout.slb_block_bytes = 512;
         slb_block_count = 1024;
+        slb_regions = 1;
         committed_capacity = 256;
         log_page_bytes = 512;
         page_pool_count = 96;
@@ -74,6 +78,11 @@ let small =
 let validate t =
   let cfg = t.stable in
   if t.partition_bytes < 256 then Mrdb_util.Fatal.misuse "Config: partition_bytes too small";
+  if t.executors < 1 then Mrdb_util.Fatal.misuse "Config: executors must be >= 1";
+  if cfg.Mrdb_wal.Stable_layout.slb_block_count mod t.executors <> 0 then
+    Mrdb_util.Fatal.misuse "Config: slb_block_count not divisible by executors";
+  if cfg.Mrdb_wal.Stable_layout.committed_capacity mod t.executors <> 0 then
+    Mrdb_util.Fatal.misuse "Config: committed_capacity not divisible by executors";
   let image_pages =
     (t.partition_bytes + 64 + cfg.Mrdb_wal.Stable_layout.log_page_bytes - 1)
     / cfg.Mrdb_wal.Stable_layout.log_page_bytes

@@ -32,6 +32,11 @@ type recovery_mode =
 
 type t = {
   partition_bytes : int;
+  executors : int;
+      (** logical transaction executors (default 1).  [Db.create] stripes
+          the SLB into this many regions and sizes the lock-manager shard
+          space from it; [config.stable.slb_regions] is overridden to
+          match.  Block and ring capacities must divide evenly. *)
   stable : Mrdb_wal.Stable_layout.config;
   log_window_pages : int;
   ckpt_disk_pages : int;

@@ -48,6 +48,11 @@ let txn_id = Txn_core.id
 
 let vol t = match t.vol with Some v -> v | None -> raise Crashed
 
+(* The stable layout stripes the SLB one region per executor; the config's
+   [stable.slb_regions] is overridden so callers only set [executors]. *)
+let stable_config (cfg : Config.t) =
+  { cfg.Config.stable with Stable_layout.slb_regions = cfg.Config.executors }
+
 let quiesce t =
   Sim.run t.sim
 
@@ -73,12 +78,17 @@ let recovery_env t =
    restores and checkpoint work absorbed by the commit path all show up
    here (and nowhere in the Trace golden). *)
 let observe_txn_latency t tx =
-  Mrdb_obs.Metrics.observe_us
-    (Mrdb_obs.Obs.txn_latency t.obs)
-    (Sim.now t.sim -. Txn_core.started_us tx)
+  let elapsed = Sim.now t.sim -. Txn_core.started_us tx in
+  Mrdb_obs.Metrics.observe_us (Mrdb_obs.Obs.txn_latency t.obs) elapsed;
+  if t.cfg.Config.executors > 1 then
+    Mrdb_obs.Metrics.observe_us
+      (Mrdb_obs.Obs.txn_latency_exec t.obs ~exec:(Txn_core.executor tx))
+      elapsed
 
 let do_abort t v tx =
-  Slb.abort v.slb ~txn_id:(Txn_core.id tx);
+  Slb.Region.abort
+    (Slb.region v.slb (Txn_core.executor tx))
+    ~txn_id:(Txn_core.id tx);
   Txn_core.Manager.abort v.txn_mgr tx;
   ignore (Lock_mgr.release_all v.lock_mgr ~txn:(Txn_core.id tx));
   observe_txn_latency t tx;
@@ -142,7 +152,9 @@ let maybe_auto_checkpoint t =
   if t.cfg.Config.auto_checkpoint then ignore (process_checkpoints t)
 
 let finish_commit t v tx =
-  Slb.commit v.slb ~txn_id:(Txn_core.id tx);
+  Slb.Region.commit
+    (Slb.region v.slb (Txn_core.executor tx))
+    ~txn_id:(Txn_core.id tx);
   Txn_core.Manager.commit v.txn_mgr tx;
   ignore (Lock_mgr.release_all v.lock_mgr ~txn:(Txn_core.id tx));
   Db_system.drain (ctx t);
@@ -152,7 +164,9 @@ let flush_group t =
   let v = vol t in
   while not (Queue.is_empty v.group) do
     let tx = Queue.take v.group in
-    Slb.commit v.slb ~txn_id:(Txn_core.id tx);
+    Slb.Region.commit
+      (Slb.region v.slb (Txn_core.executor tx))
+      ~txn_id:(Txn_core.id tx);
     Txn_core.Manager.finalize_commit v.txn_mgr tx;
     Db_system.drain (ctx t);
     observe_txn_latency t tx;
@@ -184,19 +198,23 @@ let commit t tx =
       maybe_auto_checkpoint t;
       observe_txn_latency t tx
 
-let begin_txn ?(declare = []) t =
+let begin_txn ?(declare = []) ?(executor = 0) t =
   let v = vol t in
+  if executor < 0 || executor >= t.cfg.Config.executors then
+    Mrdb_util.Fatal.misuse
+      (Printf.sprintf "Db.begin_txn: executor %d out of range (executors = %d)"
+         executor t.cfg.Config.executors);
   (match t.cfg.Config.recovery_mode with
   | Config.Predeclare | Config.On_demand | Config.Full_reload ->
       List.iter (fun name -> ensure_relation t name) declare);
-  Txn_core.Manager.begin_txn v.txn_mgr
+  Txn_core.Manager.begin_txn ~executor v.txn_mgr
 
 let abort t tx =
   let v = vol t in
   do_abort t v tx
 
-let with_txn t f =
-  let tx = begin_txn t in
+let with_txn ?executor t f =
+  let tx = begin_txn ?executor t in
   match f tx with
   | result ->
       commit t tx;
@@ -344,7 +362,8 @@ let attach_recovery t v =
     {
       Ckpt_mgr.log_redo =
         (fun ~txn part ~redo ~undo:_ ->
-          Db_system.log_redo_raw (ctx t) v ~txn_id:(Txn_core.id txn) part redo);
+          Db_system.log_redo_raw (ctx t) v ~exec:(Txn_core.executor txn)
+            ~txn_id:(Txn_core.id txn) part redo);
       drain = (fun () -> Db_system.drain (ctx t));
       layout = (fun () -> t.layout);
     }
@@ -372,7 +391,7 @@ let recover ?mode t =
   (* Re-attach the stable layout and rebuild the recovery component's
      stable-side structures; restore the catalogs from the well-known
      area. *)
-  t.layout <- Stable_layout.attach t.cfg.Config.stable t.stable_mem;
+  t.layout <- Stable_layout.attach (stable_config t.cfg) t.stable_mem;
   let ckpt_q = Ckpt_queue.create () in
   let slb, slt, cat_segment, catalog_seq =
     Recovery_mgr.restart ~env:(recovery_env t) ~layout:t.layout
@@ -402,10 +421,10 @@ let create ?(config = Config.default) () =
   let sim = Sim.create () in
   let stable_mem =
     Mrdb_hw.Stable_mem.create
-      ~size:(Stable_layout.required_bytes config.Config.stable)
+      ~size:(Stable_layout.required_bytes (stable_config config))
       ()
   in
-  let layout = Stable_layout.attach config.Config.stable stable_mem in
+  let layout = Stable_layout.attach (stable_config config) stable_mem in
   let trace = Trace.create () in
   let obs = Mrdb_obs.Obs.create ~now:(fun () -> Sim.now sim) () in
   Mrdb_obs.Metrics.attach_trace (Mrdb_obs.Obs.metrics obs) trace;

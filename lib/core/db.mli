@@ -70,10 +70,14 @@ val relations : t -> string list
 
 (** {2 Transactions} *)
 
-val begin_txn : ?declare:string list -> t -> txn
+val begin_txn : ?declare:string list -> ?executor:int -> t -> txn
 (** [declare] (Predeclare mode, §2.5 method 1) names the relations the
     transaction will touch; they are restored before the transaction
-    starts. *)
+    starts.  [executor] (default 0) is the logical executor the
+    transaction runs on: its REDO records go to that executor's SLB
+    region and its flight events carry the id.
+    @raise Invalid_argument when [executor] is outside
+    [0 .. Config.executors - 1]. *)
 
 val txn_id : txn -> int
 val commit : t -> txn -> unit
@@ -86,8 +90,9 @@ val flush_group : t -> unit
     already in stable memory, so the flush is a commit-list write, not a
     disk force.  No-op outside group mode. *)
 
-val with_txn : t -> (txn -> 'a) -> 'a
-(** Run, commit on return, abort on exception (re-raised). *)
+val with_txn : ?executor:int -> t -> (txn -> 'a) -> 'a
+(** Run, commit on return, abort on exception (re-raised); [executor] as
+    in {!begin_txn}. *)
 
 (** {2 DML} *)
 

@@ -82,7 +82,10 @@ let mk_vol ctx ~slb ~slt ~cat ~ckpt_q =
     cat;
     segments;
     rels = Hashtbl.create 16;
-    lock_mgr = Lock_mgr.create ();
+    (* Shard the lock table with the executor count (a few shards per
+       executor keeps per-shard chains short); sharding is behavior-neutral
+       so the executors=1 determinism golden is untouched. *)
+    lock_mgr = Lock_mgr.create ~shards:(4 * ctx.cfg.Config.executors) ();
     txn_mgr;
     disk_map = Disk_map.create ~capacity_pages:ctx.cfg.Config.ckpt_disk_pages;
     ckpt_q;

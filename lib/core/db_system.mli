@@ -16,8 +16,10 @@ val drain : ctx -> unit
 (** Delegate to the recovery component's sorter: SLB → partition bins →
     page writes, costed on the recovery CPU. *)
 
-val log_redo_raw : ctx -> vol -> txn_id:int -> Addr.partition -> Part_op.t -> unit
-(** Append one REDO record under [txn_id], registering the partition in
+val log_redo_raw :
+  ctx -> vol -> ?exec:int -> txn_id:int -> Addr.partition -> Part_op.t -> unit
+(** Append one REDO record under [txn_id] into executor [exec]'s SLB
+    region (default 0, the system region), registering the partition in
     the catalog first if needed (itself a logged system transaction). *)
 
 val with_system_txn : ctx -> vol -> (Relation.log_sink -> 'a) -> 'a

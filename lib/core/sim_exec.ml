@@ -1,71 +1,95 @@
 module Sim = Mrdb_sim.Sim
 module Cpu = Mrdb_sim.Cpu
+module Executor = Mrdb_exec.Executor
+module Schedule = Mrdb_exec.Schedule
 
 type stats = {
   mutable committed : int;
   mutable aborted : int;
   mutable retries : int;
   latencies_us : Mrdb_util.Stats.t;
+  executors : Executor.t array;
 }
 
 type op = Db.t -> Db.txn -> unit
 
 let run ~db ~clients ~duration_us ?(think_us = 1000.0) ?(op_cost_instr = 1500)
-    ?(max_retries = 10) ?(seed = 1) ~make_txn () =
+    ?(max_retries = 10) ?(seed = 1) ?(executors = 1) ~make_txn () =
   if clients < 1 then Mrdb_util.Fatal.misuse "Sim_exec.run: clients";
+  if executors < 1 then Mrdb_util.Fatal.misuse "Sim_exec.run: executors";
   let sim = Db.sim db in
   let cpu = Db.main_cpu db in
   let stop_at = Sim.now sim +. duration_us in
+  let execs = Executor.spawn ~seed ~n:executors in
   let stats =
-    { committed = 0; aborted = 0; retries = 0; latencies_us = Mrdb_util.Stats.create () }
+    {
+      committed = 0;
+      aborted = 0;
+      retries = 0;
+      latencies_us = Mrdb_util.Stats.create ();
+      executors = execs;
+    }
   in
+  (* Client RNG streams come from their own master generator, split once per
+     client in id order — byte-identical to the pre-executor scheduling, so
+     executors=1 runs replay the old interleaving exactly. *)
   let master = Mrdb_util.Rng.of_int seed in
-  let rec think crng =
+  let rec think crng e =
     if Sim.now sim < stop_at then
       Sim.schedule sim
         ~delay:(Mrdb_util.Rng.exponential crng think_us)
-        (fun () -> if Sim.now sim < stop_at then attempt crng 0)
-  and attempt crng tries =
+        (fun () -> if Sim.now sim < stop_at then attempt crng e 0)
+  and attempt crng e tries =
     let t0 = Sim.now sim in
     let ops = make_txn crng in
-    let tx = Db.begin_txn db in
+    let tx = Db.begin_txn ~executor:(Executor.id e) db in
     let rec step = function
       | [] -> (
           match Db.commit db tx with
           | () ->
               stats.committed <- stats.committed + 1;
+              Executor.note_commit e;
               Mrdb_util.Stats.add stats.latencies_us (Sim.now sim -. t0);
-              think crng
-          | exception Db.Aborted _ -> conflict crng tries)
+              think crng e
+          | exception Db.Aborted _ -> conflict crng e tries)
       | op :: rest ->
           Cpu.execute cpu ~instructions:op_cost_instr (fun () ->
               match op db tx with
               | () -> step rest
-              | exception Db.Aborted _ -> conflict crng tries
-              | exception e ->
+              | exception Db.Aborted _ -> conflict crng e tries
+              | exception exn ->
                   (* Programming error in the op: abort and re-raise. *)
                   (try Db.abort db tx with _ -> ());
-                  raise e)
+                  raise exn)
     in
     step ops
-  and conflict crng tries =
+  and conflict crng e tries =
     stats.aborted <- stats.aborted + 1;
+    Executor.note_abort e;
     if tries < max_retries && Sim.now sim < stop_at then begin
       stats.retries <- stats.retries + 1;
       (* Randomized backoff before retrying the transaction. *)
       Sim.schedule sim
         ~delay:(Mrdb_util.Rng.exponential crng (think_us /. 2.0))
-        (fun () -> if Sim.now sim < stop_at then attempt crng (tries + 1) else ())
+        (fun () -> if Sim.now sim < stop_at then attempt crng e (tries + 1) else ())
     end
-    else think crng
+    else think crng e
   in
-  for _ = 1 to clients do
-    think (Mrdb_util.Rng.split master)
+  for i = 0 to clients - 1 do
+    (* Client [i] runs all its transactions on executor [i mod executors]. *)
+    think (Mrdb_util.Rng.split master) execs.(i mod executors)
   done;
   Sim.run_until sim stop_at;
   (* Let in-flight transactions and device work finish. *)
   Sim.run sim;
   stats
+
+let run_scheduled ~db ~schedule ~steps ~f () =
+  let done_ = Schedule.run schedule ~steps ~f in
+  (* Drain device work so the run ends on a quiesced clock — the property
+     the determinism goldens compare. *)
+  Db.quiesce db;
+  done_
 
 let throughput_per_s stats ~duration_us =
   float_of_int stats.committed /. (duration_us /. 1e6)

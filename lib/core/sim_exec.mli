@@ -6,6 +6,13 @@
     configurable instruction cost.  Clients interleave at operation
     granularity, so the lock manager sees real concurrency.
 
+    Clients are multiplexed over a set of logical
+    {!Mrdb_exec.Executor.t}s (client [i] → executor [i mod executors]);
+    every transaction is tagged with its executor, so its REDO records
+    land in that executor's SLB region and its flight events carry the
+    id.  With [executors = 1] (the default) the run is byte-identical to
+    the pre-executor scheduling.
+
     Concurrency control is {e no-wait}: a lock conflict aborts the
     requester immediately (the synchronous facade's policy), and the
     executor retries the transaction after a randomized backoff — the
@@ -19,6 +26,8 @@ type stats = {
   mutable aborted : int;
   mutable retries : int;
   latencies_us : Mrdb_util.Stats.t;  (** begin→commit, committed txns only *)
+  executors : Mrdb_exec.Executor.t array;
+      (** the run's executor set, with per-executor commit/abort counts *)
 }
 
 type op = Db.t -> Db.txn -> unit
@@ -32,6 +41,7 @@ val run :
   ?op_cost_instr:int ->
   ?max_retries:int ->
   ?seed:int ->
+  ?executors:int ->
   make_txn:(Mrdb_util.Rng.t -> op list) ->
   unit ->
   stats
@@ -41,7 +51,21 @@ val run :
     [think_us] defaults to 1000 µs mean; [op_cost_instr] to 1500
     instructions on the main CPU per operation (a paper-flavoured guess at
     a debit/credit step); [max_retries] to 10 per transaction instance
-    before it is dropped. *)
+    before it is dropped.  [executors] (default 1) must not exceed
+    [Config.executors] of the database. *)
+
+val run_scheduled :
+  db:Db.t ->
+  schedule:Mrdb_exec.Schedule.t ->
+  steps:int ->
+  f:(Mrdb_exec.Executor.t -> unit) ->
+  unit ->
+  int
+(** Synchronous deterministic driver: step the schedule [steps] times,
+    applying [f] to each chosen executor, then quiesce the simulated
+    clock.  Returns the steps performed (fewer than [steps] only when
+    every executor is marked failed).  This is the driver behind the
+    executors=4 determinism golden and the [debit_credit_nexec] bench. *)
 
 val throughput_per_s : stats -> duration_us:float -> float
 val abort_fraction : stats -> float

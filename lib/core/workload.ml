@@ -88,11 +88,11 @@ module Bank = struct
         ignore
           (Db.update_field db tx ~rel addr ~column (Schema.int (current + delta)))
 
-  let run_debit_credit t db ~rng =
+  let debit_credit ?(executor = 0) t db ~rng =
     let aid = Mrdb_util.Rng.int rng t.n_accounts in
     let tid = Mrdb_util.Rng.int rng t.n_tellers in
     let delta = Mrdb_util.Rng.int_in rng (-100) 100 in
-    Db.with_txn db (fun tx ->
+    Db.with_txn ~executor db (fun tx ->
         bump db tx ~rel:"account" t.account_addrs.(aid) ~column:"balance" delta;
         bump db tx ~rel:"teller" t.teller_addrs.(tid) ~column:"balance" delta;
         bump db tx ~rel:"branch" t.branch_addrs.(tid mod t.n_branches)
@@ -100,6 +100,16 @@ module Bank = struct
         ignore
           (Db.insert db tx ~rel:"history"
              [| Schema.int aid; Schema.int tid; Schema.int delta |]))
+
+  let run_debit_credit t db ~rng = debit_credit t db ~rng
+
+  let run_debit_credit_exec t db ~exec =
+    let module Executor = Mrdb_exec.Executor in
+    match
+      debit_credit ~executor:(Executor.id exec) t db ~rng:(Executor.rng exec)
+    with
+    | () -> Executor.note_commit exec
+    | exception Db.Aborted _ -> Executor.note_abort exec
 
   let audit t db =
     ignore t;

@@ -27,6 +27,15 @@ module Bank : sig
       balances, append a history record — the paper's ~4-log-record
       transaction (plus index maintenance). *)
 
+  val run_debit_credit_exec : t -> Db.t -> exec:Mrdb_exec.Executor.t -> unit
+  (** {!run_debit_credit} on a logical executor: draws from the
+      executor's own RNG stream, runs the transaction under the
+      executor's id (so its REDO records go to that SLB region), and
+      records the outcome on the executor's commit/abort counters.  A
+      lock-conflict abort is absorbed (counted, not raised) — the unit of
+      work for {!Sim_exec.run_scheduled} and the schedule-driven
+      determinism scenarios. *)
+
   val audit : t -> Db.t -> int64
   (** Sum of all account balances. *)
 

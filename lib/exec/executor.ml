@@ -1,0 +1,26 @@
+type t = {
+  id : int;
+  rng : Mrdb_util.Rng.t;
+  mutable commits : int;
+  mutable aborts : int;
+}
+
+let spawn ~seed ~n =
+  if n < 1 then Mrdb_util.Fatal.misuse "Executor.spawn: n must be >= 1";
+  (* One master generator, split once per executor in id order: executor
+     [i]'s stream depends only on (seed, i), never on how the others are
+     consumed — the same property Sim_exec relies on for its clients. *)
+  let master = Mrdb_util.Rng.of_int seed in
+  Array.init n (fun id ->
+      { id; rng = Mrdb_util.Rng.split master; commits = 0; aborts = 0 })
+
+let id t = t.id
+let rng t = t.rng
+let note_commit t = t.commits <- t.commits + 1
+let note_abort t = t.aborts <- t.aborts + 1
+let commits t = t.commits
+let aborts t = t.aborts
+
+let pp ppf t =
+  Format.fprintf ppf "executor %d (commits=%d aborts=%d)" t.id t.commits
+    t.aborts

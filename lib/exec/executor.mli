@@ -1,0 +1,30 @@
+(** A logical transaction executor.
+
+    The paper removes the log hot spot with per-transaction log-block
+    chains; an executor is the unit that exploits this: a stable identity
+    owning one SLB region, one slice of the lock-shard space and its own
+    deterministic random stream.  In this PR executors are still logical —
+    they interleave on the single simulated clock under a {!Schedule} —
+    which is exactly what lets a later PR map them onto OCaml 5 domains
+    without changing recovery semantics. *)
+
+type t
+
+val spawn : seed:int -> n:int -> t array
+(** [spawn ~seed ~n] creates executors [0 .. n-1], each with an
+    independent random stream split off a master generator seeded with
+    [seed].  Executor [i]'s stream is a function of [(seed, i)] only, so
+    draws by one executor never perturb another.
+    @raise Invalid_argument when [n < 1]. *)
+
+val id : t -> int
+val rng : t -> Mrdb_util.Rng.t
+
+(** {2 Per-executor tallies} (scratch counters for drivers and benches) *)
+
+val note_commit : t -> unit
+val note_abort : t -> unit
+val commits : t -> int
+val aborts : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+type policy = Round_robin | Weighted of float array
+
+type t = {
+  executors : Executor.t array;
+  policy : policy;
+  rng : Mrdb_util.Rng.t;
+  failed : bool array;
+  mutable cursor : int;
+}
+
+let create ?(policy = Round_robin) ~seed executors =
+  let n = Array.length executors in
+  if n = 0 then Mrdb_util.Fatal.misuse "Schedule.create: no executors";
+  (match policy with
+  | Round_robin -> ()
+  | Weighted w ->
+      if Array.length w <> n then
+        Mrdb_util.Fatal.misuse "Schedule.create: weight per executor required";
+      Array.iter
+        (fun x ->
+          if x < 0.0 then Mrdb_util.Fatal.misuse "Schedule.create: negative weight")
+        w);
+  {
+    executors;
+    policy;
+    rng = Mrdb_util.Rng.of_int seed;
+    failed = Array.make n false;
+    cursor = 0;
+  }
+
+let executors t = t.executors
+let size t = Array.length t.executors
+
+let live_count t =
+  Array.fold_left (fun n f -> if f then n else n + 1) 0 t.failed
+
+let mark_failed t i =
+  if i < 0 || i >= size t then Mrdb_util.Fatal.misuse "Schedule.mark_failed";
+  t.failed.(i) <- true
+
+let revive t i =
+  if i < 0 || i >= size t then Mrdb_util.Fatal.misuse "Schedule.revive";
+  t.failed.(i) <- false
+
+let revive_all t = Array.fill t.failed 0 (Array.length t.failed) false
+
+(* Weighted selection draws one uniform float over the live weight mass.
+   The draw happens even when only one executor is live so that the random
+   stream advances identically whether or not its peers are failed — a
+   schedule replay must not depend on transient failure timing more than
+   the failures themselves. *)
+let next_weighted t w =
+  let total = ref 0.0 in
+  Array.iteri (fun i x -> if not t.failed.(i) then total := !total +. x) w;
+  if !total <= 0.0 then None
+  else begin
+    let pick = Mrdb_util.Rng.float t.rng !total in
+    let acc = ref 0.0 and chosen = ref (-1) in
+    Array.iteri
+      (fun i x ->
+        if (not t.failed.(i)) && !chosen < 0 then begin
+          acc := !acc +. x;
+          if pick < !acc then chosen := i
+        end)
+      w;
+    (* Float accumulation can leave pick a hair past the last live bucket. *)
+    if !chosen < 0 then
+      Array.iteri
+        (fun i _ -> if (not t.failed.(i)) && !chosen < 0 then chosen := i)
+        w;
+    Some t.executors.(!chosen)
+  end
+
+let next t =
+  if live_count t = 0 then None
+  else
+    match t.policy with
+    | Round_robin ->
+        let n = size t in
+        let rec skip k =
+          if k >= n then None
+          else begin
+            let i = t.cursor mod n in
+            t.cursor <- t.cursor + 1;
+            if t.failed.(i) then skip (k + 1) else Some t.executors.(i)
+          end
+        in
+        skip 0
+    | Weighted w -> next_weighted t w
+
+let run t ~steps ~f =
+  let done_ = ref 0 in
+  (try
+     for _ = 1 to steps do
+       match next t with
+       | None -> raise Exit
+       | Some e ->
+           f e;
+           incr done_
+     done
+   with Exit -> ());
+  !done_

@@ -1,0 +1,41 @@
+(** Deterministic interleaving of executor steps.
+
+    A schedule decides which executor performs the next transaction.  It
+    is seeded and purely sequential, so a given [(policy, seed, executor
+    set, failure history)] always yields the same interleaving — the
+    property the executors=4 determinism golden and the torture replay
+    depend on.
+
+    Executors can be marked failed (an executor-failure fault domain);
+    the schedule skips them until they are revived after recovery. *)
+
+type policy =
+  | Round_robin        (** strict rotation over live executors *)
+  | Weighted of float array
+      (** seeded proportional draw; one non-negative weight per executor *)
+
+type t
+
+val create : ?policy:policy -> seed:int -> Executor.t array -> t
+(** @raise Invalid_argument on an empty executor set, a weight-count
+    mismatch, or a negative weight. *)
+
+val executors : t -> Executor.t array
+val size : t -> int
+
+val next : t -> Executor.t option
+(** The next executor to step, or [None] when every executor is failed.
+    Round-robin advances a cursor past failed executors; weighted draws
+    from the seeded stream over the live weight mass (the stream advances
+    identically regardless of which executors are currently failed). *)
+
+val run : t -> steps:int -> f:(Executor.t -> unit) -> int
+(** [run t ~steps ~f] applies [f] to the next executor [steps] times,
+    stopping early if all executors fail; returns the steps performed. *)
+
+(** {2 Failure domains} *)
+
+val mark_failed : t -> int -> unit
+val revive : t -> int -> unit
+val revive_all : t -> unit
+val live_count : t -> int

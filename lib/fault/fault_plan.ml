@@ -7,6 +7,7 @@ type event =
   | Fail_side of { side : side; at_us : float }
   | Torn_write of { target : target; keep_fraction : float }
   | Corrupt_stable of { off : int; len : int; at_us : float }
+  | Fail_executor of { executor : int; at_us : float }
 
 type t = { seed : int option; events : event list }
 
@@ -22,7 +23,7 @@ let seed t = t.seed
    corruption is media the archive covers, so it is fair game on any plan
    run with [archive = true].  Stable-memory corruption is never random —
    only scripted tests aim at the well-known area's redundancy. *)
-let random ~seed ~horizon_us ~window_pages ~ckpt_pages =
+let random ?(executors = 1) ~seed ~horizon_us ~window_pages ~ckpt_pages () =
   let rng = Mrdb_util.Rng.of_int seed in
   let victim = if Mrdb_util.Rng.bool rng then Primary else Mirror in
   let victim_target = match victim with Primary -> Log_primary | Mirror -> Log_mirror in
@@ -56,6 +57,15 @@ let random ~seed ~horizon_us ~window_pages ~ckpt_pages =
   if Mrdb_util.Rng.int rng 4 = 0 then
     push
       (Torn_write { target = Ckpt; keep_fraction = 0.1 +. Mrdb_util.Rng.float rng 0.8 });
+  (* Executor failure domains — drawn LAST and only when the machine runs
+     more than one executor, so single-executor plans consume the identical
+     RNG stream they did before executor faults existed (seed replays are
+     stable across the feature's introduction). *)
+  if executors > 1 then
+    for _ = 1 to Mrdb_util.Rng.int rng 3 do
+      push
+        (Fail_executor { executor = Mrdb_util.Rng.int rng executors; at_us = at () })
+    done;
   { seed = Some seed; events = List.rev !events }
 
 let pp_target ppf = function
@@ -78,6 +88,8 @@ let pp_event ppf = function
       Format.fprintf ppf "torn-write %a keep=%.2f" pp_target target keep_fraction
   | Corrupt_stable { off; len; at_us } ->
       Format.fprintf ppf "corrupt-stable [%d,+%d) @@%.0fus" off len at_us
+  | Fail_executor { executor; at_us } ->
+      Format.fprintf ppf "fail-executor e%d @@%.0fus" executor at_us
 
 let pp ppf t =
   (match t.seed with

@@ -30,17 +30,28 @@ type event =
       (** Stable-memory bit rot (scripted plans only — random campaigns
           never inject it because a single cell loss is only survivable
           where the layout keeps redundancy, i.e. the well-known area). *)
+  | Fail_executor of { executor : int; at_us : float }
+      (** Logical executor failure: the harness's [on_executor_fail]
+          callback fires at the given time (typically marking the
+          executor failed in its {!Mrdb_exec.Schedule}).  The executor's
+          SLB region keeps its committed records — recovery drains all
+          regions regardless of executor liveness. *)
 
 type t
 
 val scripted : event list -> t
 
 val random :
-  seed:int -> horizon_us:float -> window_pages:int -> ckpt_pages:int -> t
+  ?executors:int ->
+  seed:int -> horizon_us:float -> window_pages:int -> ckpt_pages:int ->
+  unit -> t
 (** A seeded plan confined to a single failure domain: one victim log side
     absorbs all log corruption / failure / torn-write events, so the other
     mirror stays intact and the committed prefix remains recoverable.
-    Checkpoint-disk events assume the archive is enabled. *)
+    Checkpoint-disk events assume the archive is enabled.  With
+    [executors > 1] (default 1) the plan may additionally fail logical
+    executors; those draws happen after everything else, so the plan for
+    a given seed at [executors = 1] is unchanged by the option. *)
 
 val events : t -> event list
 val seed : t -> int option

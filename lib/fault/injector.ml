@@ -14,6 +14,7 @@ type t = {
   events : Fault_plan.event array;
   fired : bool array;
   recorder : Mrdb_obs.Flight_recorder.t option;
+  on_executor_fail : (int -> unit) option;
 }
 
 let fired_count t = Array.fold_left (fun n f -> if f then n + 1 else n) 0 t.fired
@@ -100,6 +101,12 @@ let fire_timed t i = function
       | Some m ->
           Stable_mem.corrupt m ~off ~len;
           fire t i "fault_stable_corruptions_injected")
+  | Fault_plan.Fail_executor { executor; at_us = _ } -> (
+      match t.on_executor_fail with
+      | None -> t.fired.(i) <- true (* harness runs no executor schedule *)
+      | Some f ->
+          fire t i "fault_executor_fails_injected";
+          f executor)
   | Fault_plan.Transient_read _ | Fault_plan.Torn_write _ ->
       Mrdb_util.Fatal.invariant ~mod_:"Injector" "hook-driven event scheduled as timed"
 
@@ -116,12 +123,13 @@ let arm t =
         match ev with
         | Fault_plan.Corrupt_page { at_us; _ }
         | Fault_plan.Fail_side { at_us; _ }
-        | Fault_plan.Corrupt_stable { at_us; _ } ->
+        | Fault_plan.Corrupt_stable { at_us; _ }
+        | Fault_plan.Fail_executor { at_us; _ } ->
             schedule at_us
         | Fault_plan.Transient_read _ | Fault_plan.Torn_write _ -> ())
     t.events
 
-let install ~plan ~sim ~trace ~log ?ckpt ?stable ?recorder () =
+let install ~plan ~sim ~trace ~log ?ckpt ?stable ?recorder ?on_executor_fail () =
   let t =
     {
       plan;
@@ -133,6 +141,7 @@ let install ~plan ~sim ~trace ~log ?ckpt ?stable ?recorder () =
       events = Array.of_list (Fault_plan.events plan);
       fired = Array.make (List.length (Fault_plan.events plan)) false;
       recorder;
+      on_executor_fail;
     }
   in
   Disk.set_fault_hook (Duplex.primary log) (Some (hook_for t Fault_plan.Log_primary));

@@ -10,7 +10,8 @@
     Every injected fault is visible in the trace:
     [fault_transient_reads_injected], [fault_pages_corrupted],
     [fault_mirror_failures_injected], [fault_torn_writes_injected],
-    [fault_stable_corruptions_injected]. *)
+    [fault_stable_corruptions_injected],
+    [fault_executor_fails_injected]. *)
 
 type t
 
@@ -22,12 +23,16 @@ val install :
   ?ckpt:Mrdb_hw.Disk.t ->
   ?stable:Mrdb_hw.Stable_mem.t ->
   ?recorder:Mrdb_obs.Flight_recorder.t ->
+  ?on_executor_fail:(int -> unit) ->
   unit ->
   t
 (** Install device hooks and schedule the plan's timed events.  Events
     aimed at a device not supplied here are marked spent silently.
     [recorder] additionally receives a [Fault] flight event (tagged with
-    the trace-counter name) for every fault that fires. *)
+    the trace-counter name) for every fault that fires.
+    [on_executor_fail] receives the executor id of each
+    {!Fault_plan.Fail_executor} event as it fires; without it those
+    events are marked spent silently. *)
 
 val arm : t -> unit
 (** (Re-)schedule the not-yet-fired timed events — call after each crash,

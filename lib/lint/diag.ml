@@ -1,4 +1,4 @@
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | Parse_error
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | Parse_error
 
 type t = { rule : rule; file : string; line : int; col : int; msg : string }
 
@@ -9,6 +9,7 @@ let rule_name = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | R7 -> "R7"
   | Parse_error -> "parse"
 
 let rule_title = function
@@ -18,6 +19,7 @@ let rule_title = function
   | R4 -> "sealed interfaces"
   | R5 -> "fault-injection containment"
   | R6 -> "output discipline"
+  | R7 -> "SLB region ownership"
   | Parse_error -> "unparseable source"
 
 let paper_clause = function
@@ -43,6 +45,11 @@ let paper_clause = function
       "observability: runtime output goes through Mrdb_obs.Export or "
       ^ "Mrdb_util.Texttab; no bare Printf.printf/print_string under lib/ "
       ^ "outside lib/obs and util/texttab.ml"
+  | R7 ->
+      "executor sharding: each striped SLB region is appended only by its "
+      ^ "owning executor's logging path; all appends funnel through "
+      ^ "core/db_system.ml (the per-executor redo sink) or stay inside "
+      ^ "mrdb_wal"
   | Parse_error -> "mrdb_lint cannot check what it cannot parse"
 
 let make ~rule ~file ~line ~col msg = { rule; file; line; col; msg }

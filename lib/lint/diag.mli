@@ -1,6 +1,6 @@
 (** Lint diagnostics: a violated rule anchored at [file:line:col]. *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | Parse_error
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | Parse_error
 
 type t = { rule : rule; file : string; line : int; col : int; msg : string }
 

@@ -11,6 +11,7 @@ let libraries =
     ("util", "mrdb_util");
     ("sim", "mrdb_sim");
     ("obs", "mrdb_obs");
+    ("exec", "mrdb_exec");
     ("hw", "mrdb_hw");
     ("fault", "mrdb_fault");
     ("storage", "mrdb_storage");
@@ -39,6 +40,7 @@ let allowed_deps =
     ("mrdb_util", []);
     ("mrdb_sim", [ "mrdb_util" ]);
     ("mrdb_obs", [ "mrdb_util"; "mrdb_sim" ]);
+    ("mrdb_exec", [ "mrdb_util" ]);
     ("mrdb_hw", [ "mrdb_util"; "mrdb_sim" ]);
     ("mrdb_fault", [ "mrdb_util"; "mrdb_sim"; "mrdb_obs"; "mrdb_hw" ]);
     ("mrdb_storage", [ "mrdb_util"; "mrdb_hw" ]);
@@ -65,6 +67,7 @@ let allowed_deps =
         "mrdb_util";
         "mrdb_sim";
         "mrdb_obs";
+        "mrdb_exec";
         "mrdb_hw";
         "mrdb_storage";
         "mrdb_index";
@@ -170,3 +173,15 @@ let print_ident path =
    live outside lib/ and are not linted. *)
 let print_allowed rel =
   (String.length rel >= 4 && String.sub rel 0 4 = "obs/") || rel = "util/texttab.ml"
+
+(* -- R7: SLB region ownership ------------------------------------------------ *)
+
+(* Each striped SLB region belongs to one executor; every append must funnel
+   through the per-executor redo sink in core/db_system.ml (which routes a
+   transaction's records to its executor's region) or stay inside the WAL
+   component that defines the regions.  Confined call sites keep the
+   region-ownership invariant auditable: no other layer can interleave
+   records into a region it does not own. *)
+let slb_append_allowed rel =
+  (String.length rel >= 4 && String.sub rel 0 4 = "wal/")
+  || rel = "core/db_system.ml"

@@ -18,7 +18,11 @@
     - {b R6 output discipline}: bare [Printf.printf] / [print_string] /
       [print_endline] / [print_newline] are banned under [lib/] outside
       [lib/obs/] and [util/texttab.ml] — library code renders through
-      [Mrdb_obs.Export] or [Mrdb_util.Texttab]; only binaries print. *)
+      [Mrdb_obs.Export] or [Mrdb_util.Texttab]; only binaries print.
+    - {b R7 SLB region ownership}: [Slb.append] / [Slb.Region.append] call
+      sites are confined to [core/db_system.ml] (the per-executor redo
+      sink) and [lib/wal/] — each striped region is appended only by its
+      owning executor's logging path. *)
 
 val libraries : (string * string) list
 (** Directory under [lib/] -> wrapped library name. *)
@@ -62,3 +66,8 @@ val print_ident : string list -> string option
 val print_allowed : string -> bool
 (** [print_allowed rel] — [rel] relative to [lib/]: the [obs/] renderers
     and [util/texttab.ml]. *)
+
+val slb_append_allowed : string -> bool
+(** [slb_append_allowed rel] — [rel] relative to [lib/]: the WAL component
+    itself and [core/db_system.ml], the per-executor redo sink that routes
+    each transaction's records to its executor's SLB region. *)

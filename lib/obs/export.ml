@@ -2,7 +2,9 @@
    deliberately avoids new dependencies.  Everything goes through [str]/
    [num] so escaping and float formatting stay uniform. *)
 
-let schema = "mrdb-obs/1"
+(* /2: flight-recorder txn and slb_append events carry an "exec" field
+   (originating executor id). *)
+let schema = "mrdb-obs/2"
 
 (* -- JSON primitives -------------------------------------------------------- *)
 
@@ -112,10 +114,12 @@ let add_series buf metrics =
   Buffer.add_char buf '}'
 
 let event_fields = function
-  | Flight_recorder.Txn_begin { txn } -> ("txn_begin", [ ("txn", txn) ])
-  | Txn_commit { txn } -> ("txn_commit", [ ("txn", txn) ])
-  | Txn_abort { txn } -> ("txn_abort", [ ("txn", txn) ])
-  | Slb_append { txn; bytes } -> ("slb_append", [ ("txn", txn); ("bytes", bytes) ])
+  | Flight_recorder.Txn_begin { txn; exec } ->
+      ("txn_begin", [ ("txn", txn); ("exec", exec) ])
+  | Txn_commit { txn; exec } -> ("txn_commit", [ ("txn", txn); ("exec", exec) ])
+  | Txn_abort { txn; exec } -> ("txn_abort", [ ("txn", txn); ("exec", exec) ])
+  | Slb_append { txn; bytes; exec } ->
+      ("slb_append", [ ("txn", txn); ("bytes", bytes); ("exec", exec) ])
   | Sorter_drain { txns; records } ->
       ("sorter_drain", [ ("txns", txns); ("records", records) ])
   | Bin_flush { segment; partition } ->

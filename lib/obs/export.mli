@@ -1,9 +1,10 @@
 (** Stable machine- and human-readable renderings of an {!Obs} snapshot.
 
-    The JSON schema is [mrdb-obs/1]:
+    The JSON schema is [mrdb-obs/2] (the /1 → /2 bump added the ["exec"]
+    originating-executor field to the txn and slb_append flight events):
 
     {v
-    { "schema": "mrdb-obs/1",
+    { "schema": "mrdb-obs/2",
       "now_us": <float>,                     // simulated clock at snapshot
       "counters": { "<name>": <int>, ... },  // registry + attached Trace
       "gauges": { "<name>": <int>, ... },
@@ -29,7 +30,7 @@
     change. *)
 
 val schema : string
-(** ["mrdb-obs/1"]. *)
+(** ["mrdb-obs/2"]. *)
 
 val json : ?events_limit:int -> t:Obs.t -> unit -> string
 (** The snapshot as a JSON document (no trailing newline).

@@ -4,10 +4,10 @@
    bounds the cost in CI). *)
 
 type event =
-  | Txn_begin of { txn : int }
-  | Txn_commit of { txn : int }
-  | Txn_abort of { txn : int }
-  | Slb_append of { txn : int; bytes : int }
+  | Txn_begin of { txn : int; exec : int }
+  | Txn_commit of { txn : int; exec : int }
+  | Txn_abort of { txn : int; exec : int }
+  | Slb_append of { txn : int; bytes : int; exec : int }
   | Sorter_drain of { txns : int; records : int }
   | Bin_flush of { segment : int; partition : int }
   | Ckpt_trigger of { segment : int; partition : int; by_age : bool }
@@ -84,10 +84,10 @@ let push t kind a b c =
   t.times.(slot) <- t.now ();
   t.next <- t.next + 1
 
-let txn_begin t ~txn = push t k_txn_begin txn 0 0
-let txn_commit t ~txn = push t k_txn_commit txn 0 0
-let txn_abort t ~txn = push t k_txn_abort txn 0 0
-let slb_append t ~txn ~bytes = push t k_slb_append txn bytes 0
+let txn_begin t ~txn ~exec = push t k_txn_begin txn exec 0
+let txn_commit t ~txn ~exec = push t k_txn_commit txn exec 0
+let txn_abort t ~txn ~exec = push t k_txn_abort txn exec 0
+let slb_append t ~txn ~bytes ~exec = push t k_slb_append txn bytes exec
 let sorter_drain t ~txns ~records = push t k_sorter_drain txns records 0
 let bin_flush t ~segment ~partition = push t k_bin_flush segment partition 0
 
@@ -110,10 +110,10 @@ let clear t = t.next <- 0
 let decode t slot =
   let a = t.a.(slot) and b = t.b.(slot) and c = t.c.(slot) in
   match t.kinds.(slot) with
-  | 0 -> Txn_begin { txn = a }
-  | 1 -> Txn_commit { txn = a }
-  | 2 -> Txn_abort { txn = a }
-  | 3 -> Slb_append { txn = a; bytes = b }
+  | 0 -> Txn_begin { txn = a; exec = b }
+  | 1 -> Txn_commit { txn = a; exec = b }
+  | 2 -> Txn_abort { txn = a; exec = b }
+  | 3 -> Slb_append { txn = a; bytes = b; exec = c }
   | 4 -> Sorter_drain { txns = a; records = b }
   | 5 -> Bin_flush { segment = a; partition = b }
   | 6 -> Ckpt_trigger { segment = a; partition = b; by_age = c = 1 }
@@ -133,11 +133,12 @@ let events ?limit t =
       (t.times.(slot), decode t slot))
 
 let pp_event ppf = function
-  | Txn_begin { txn } -> Format.fprintf ppf "txn_begin txn=%d" txn
-  | Txn_commit { txn } -> Format.fprintf ppf "txn_commit txn=%d" txn
-  | Txn_abort { txn } -> Format.fprintf ppf "txn_abort txn=%d" txn
-  | Slb_append { txn; bytes } ->
-      Format.fprintf ppf "slb_append txn=%d bytes=%d" txn bytes
+  | Txn_begin { txn; exec } -> Format.fprintf ppf "txn_begin txn=%d e%d" txn exec
+  | Txn_commit { txn; exec } ->
+      Format.fprintf ppf "txn_commit txn=%d e%d" txn exec
+  | Txn_abort { txn; exec } -> Format.fprintf ppf "txn_abort txn=%d e%d" txn exec
+  | Slb_append { txn; bytes; exec } ->
+      Format.fprintf ppf "slb_append txn=%d bytes=%d e%d" txn bytes exec
   | Sorter_drain { txns; records } ->
       Format.fprintf ppf "sorter_drain txns=%d records=%d" txns records
   | Bin_flush { segment; partition } ->

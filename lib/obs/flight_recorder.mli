@@ -18,10 +18,12 @@ type t
 
 (** Decoded event (read side). *)
 type event =
-  | Txn_begin of { txn : int }
-  | Txn_commit of { txn : int }
-  | Txn_abort of { txn : int }
-  | Slb_append of { txn : int; bytes : int }
+  | Txn_begin of { txn : int; exec : int }
+  | Txn_commit of { txn : int; exec : int }
+  | Txn_abort of { txn : int; exec : int }
+  | Slb_append of { txn : int; bytes : int; exec : int }
+      (** [exec] is the id of the executor the event originated on (the
+          SLB region id for appends); 0 for system transactions. *)
   | Sorter_drain of { txns : int; records : int }
   | Bin_flush of { segment : int; partition : int }
   | Ckpt_trigger of { segment : int; partition : int; by_age : bool }
@@ -36,10 +38,10 @@ val create : ?capacity:int -> now:(unit -> float) -> unit -> t
 
 (** {2 Recording} (allocation-free) *)
 
-val txn_begin : t -> txn:int -> unit
-val txn_commit : t -> txn:int -> unit
-val txn_abort : t -> txn:int -> unit
-val slb_append : t -> txn:int -> bytes:int -> unit
+val txn_begin : t -> txn:int -> exec:int -> unit
+val txn_commit : t -> txn:int -> exec:int -> unit
+val txn_abort : t -> txn:int -> exec:int -> unit
+val slb_append : t -> txn:int -> bytes:int -> exec:int -> unit
 val sorter_drain : t -> txns:int -> records:int -> unit
 val bin_flush : t -> segment:int -> partition:int -> unit
 val ckpt_trigger : t -> segment:int -> partition:int -> by_age:bool -> unit

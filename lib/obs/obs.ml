@@ -20,6 +20,10 @@ let now_us t = t.now ()
 
 let txn_latency t = Metrics.histogram t.metrics ~unit_:"ns" "txn_latency_ns"
 
+let txn_latency_exec t ~exec =
+  Metrics.histogram t.metrics ~unit_:"ns"
+    (Printf.sprintf "txn_latency_ns.e%d" exec)
+
 let restore_latency t =
   Metrics.histogram t.metrics ~unit_:"ns" "restore_latency_ns"
 

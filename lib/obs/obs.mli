@@ -34,6 +34,12 @@ val txn_latency : t -> Metrics.histogram
     in simulated ns (includes lock waits, on-demand restores and
     synchronous checkpoint work absorbed by the commit path). *)
 
+val txn_latency_exec : t -> exec:int -> Metrics.histogram
+(** ["txn_latency_ns.e<exec>"]: the per-executor slice of {!txn_latency}.
+    [Db] records into it only when the instance runs more than one
+    executor, so single-executor snapshots keep the /1-era histogram
+    set. *)
+
 val restore_latency : t -> Metrics.histogram
 (** ["restore_latency_ns"]: per-partition restore latency in simulated ns
     (checkpoint-image read ∥ log-stream read + replay). *)

@@ -56,19 +56,35 @@ end
 
 module Res_table = Hashtbl.Make (Res)
 
+(* The resource table is sharded by resource hash: each shard is an
+   independent hash table, so executors working disjoint key ranges touch
+   disjoint shards.  All grant/queue logic is per-entry and the waits-for
+   search walks [by_txn] (which spans shards), so sharding is purely a
+   partition of the table — observable behavior is identical for any
+   shard count. *)
 type t = {
-  table : entry Res_table.t;
+  shards : entry Res_table.t array;
   by_txn : (int, resource list ref) Hashtbl.t;
 }
 
-let create () = { table = Res_table.create 512; by_txn = Hashtbl.create 64 }
+let create ?(shards = 1) () =
+  if shards < 1 then Mrdb_util.Fatal.misuse "Lock_mgr.create: shards must be >= 1";
+  {
+    shards = Array.init shards (fun _ -> Res_table.create 512);
+    by_txn = Hashtbl.create 64;
+  }
+
+let shard_count t = Array.length t.shards
+let shard_of t res = Res.hash res mod Array.length t.shards
+let table_for t res = t.shards.(shard_of t res)
 
 let entry_of t res =
-  match Res_table.find_opt t.table res with
+  let table = table_for t res in
+  match Res_table.find_opt table res with
   | Some e -> e
   | None ->
       let e = { queue = [] } in
-      Res_table.add t.table res e;
+      Res_table.add table res e;
       e
 
 let request_of entry txn = List.find_opt (fun r -> r.txn = txn) entry.queue
@@ -113,7 +129,7 @@ let waiting_request_of t ~txn =
   | Some resources ->
       List.find_map
         (fun res ->
-          match Res_table.find_opt t.table res with
+          match Res_table.find_opt (table_for t res) res with
           | None -> None
           | Some entry -> (
               match request_of entry txn with
@@ -218,7 +234,7 @@ let acquire t ~txn res mode =
       end
 
 let holds t ~txn res mode =
-  match Res_table.find_opt t.table res with
+  match Res_table.find_opt (table_for t res) res with
   | None -> false
   | Some entry -> (
       match request_of entry txn with
@@ -288,11 +304,12 @@ let release_all t ~txn =
       let woken = ref [] in
       List.iter
         (fun res ->
-          match Res_table.find_opt t.table res with
+          let table = table_for t res in
+          match Res_table.find_opt table res with
           | None -> ()
           | Some entry ->
               entry.queue <- List.filter (fun r -> r.txn <> txn) entry.queue;
-              if entry.queue = [] then Res_table.remove t.table res
+              if entry.queue = [] then Res_table.remove table res
               else
                 List.iter
                   (fun id -> if not (List.mem id !woken) then woken := id :: !woken)

@@ -27,7 +27,18 @@ type outcome =
 
 type t
 
-val create : unit -> t
+val create : ?shards:int -> unit -> t
+(** [shards] (default 1) partitions the resource table by resource hash.
+    Sharding only partitions storage: grant, FIFO and deadlock semantics
+    are identical for any shard count — the waits-for search follows the
+    per-transaction resource index and so crosses shards freely.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val shard_count : t -> int
+
+val shard_of : t -> resource -> int
+(** The shard a resource hashes to (test hook for constructing
+    cross-shard scenarios). *)
 
 val compatible : mode -> mode -> bool
 (** The standard hierarchical-locking compatibility matrix. *)

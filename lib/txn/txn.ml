@@ -4,6 +4,7 @@ type status = Active | Precommitted | Committed | Aborted
 
 type t = {
   id : int;
+  executor : int;
   mutable status : status;
   mutable chain : Undo_space.chain option;
   mutable redo_count : int;
@@ -11,6 +12,7 @@ type t = {
 }
 
 let id t = t.id
+let executor t = t.executor
 let status t = t.status
 
 let undo_records t =
@@ -41,14 +43,16 @@ module Manager = struct
   let record_event mgr f =
     match mgr.recorder with None -> () | Some fr -> f fr
 
-  let begin_txn mgr =
+  let begin_txn ?(executor = 0) mgr =
+    if executor < 0 then Mrdb_util.Fatal.misuse "Txn.begin_txn: negative executor";
     let t =
-      { id = mgr.next_id; status = Active; chain = None; redo_count = 0;
-        started_us = mgr.now () }
+      { id = mgr.next_id; executor; status = Active; chain = None;
+        redo_count = 0; started_us = mgr.now () }
     in
     mgr.next_id <- mgr.next_id + 1;
     Hashtbl.add mgr.live t.id t;
-    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_begin fr ~txn:t.id);
+    record_event mgr (fun fr ->
+        Mrdb_obs.Flight_recorder.txn_begin fr ~txn:t.id ~exec:executor);
     t
 
   let find mgr id = Hashtbl.find_opt mgr.live id
@@ -89,7 +93,7 @@ module Manager = struct
     require_active t "commit";
     drop_undo mgr t;
     t.status <- Committed;
-    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_commit fr ~txn:t.id);
+    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_commit fr ~txn:t.id ~exec:t.executor);
     retire mgr t
 
   let precommit mgr t =
@@ -101,7 +105,7 @@ module Manager = struct
     if t.status <> Precommitted then
       Mrdb_util.Fatal.misuse (Printf.sprintf "Txn.finalize_commit: transaction %d not precommitted" t.id);
     t.status <- Committed;
-    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_commit fr ~txn:t.id);
+    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_commit fr ~txn:t.id ~exec:t.executor);
     retire mgr t
 
   let abort mgr t =
@@ -120,7 +124,7 @@ module Manager = struct
           records;
         Hashtbl.iter (fun seg () -> mgr.invalidate_overlay seg) touched_segments);
     t.status <- Aborted;
-    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_abort fr ~txn:t.id);
+    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_abort fr ~txn:t.id ~exec:t.executor);
     retire mgr t
 
   let crash_discard mgr =

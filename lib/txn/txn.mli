@@ -25,6 +25,13 @@ type status = Active | Precommitted | Committed | Aborted
 type t
 
 val id : t -> int
+
+val executor : t -> int
+(** The logical executor the transaction runs on (0 for system
+    transactions and single-executor instances).  Fixed at
+    {!Manager.begin_txn}; the facade routes the transaction's SLB appends
+    to the region this id owns. *)
+
 val status : t -> status
 val undo_records : t -> int
 val redo_records : t -> int
@@ -55,7 +62,11 @@ module Manager : sig
       to a constant 0.0); [recorder] receives begin/commit/abort flight
       events. *)
 
-  val begin_txn : mgr -> t
+  val begin_txn : ?executor:int -> mgr -> t
+  (** [executor] (default 0) tags the transaction with its originating
+      executor; flight events carry it.
+      @raise Invalid_argument when negative. *)
+
   val find : mgr -> int -> t option
   val active_count : mgr -> int
 

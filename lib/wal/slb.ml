@@ -1,7 +1,7 @@
 exception Slb_full
 
 (* Block layout: u32 txn_id | u32 next_block+1 (0 = none) | u32 used |
-   payload of u16-framed records. *)
+   payload of u16-framed records.  Block ids are region-local. *)
 let hdr_txn = 0
 let hdr_next = 4
 let hdr_used = 8
@@ -9,171 +9,277 @@ let payload_off = 12
 
 type chain = { mutable first : int; mutable last : int }
 
-type t = {
+type region = {
+  owner : int; (* region id = owning executor id *)
   layout : Stable_layout.t;
+  blocks : Mrdb_hw.Stable_mem.Blocks.alloc;
   chains : (int, chain) Hashtbl.t; (* txn -> uncommitted chain *)
-  mutable draining : bool;
   scratch : bytes; (* append framing buffer: one frame composed, one write *)
   rscratch : bytes; (* drain read buffer: one block payload decoded in place *)
-  mutable recorder : Mrdb_obs.Flight_recorder.t option;
+  recorder : Mrdb_obs.Flight_recorder.t option ref; (* shared with t *)
 }
 
-let mem t = Stable_layout.mem t.layout
-let blocks t = Stable_layout.slb_blocks t.layout
-let block_off t i = Mrdb_hw.Stable_mem.Blocks.offset_of_block (blocks t) i
-let block_bytes t = Mrdb_hw.Stable_mem.Blocks.block_bytes (blocks t)
+type t = {
+  layout : Stable_layout.t;
+  regions : region array;
+  mutable draining : bool;
+  recorder : Mrdb_obs.Flight_recorder.t option ref;
+}
 
-let get_used t b = Mrdb_hw.Stable_mem.get_u32 (mem t) ~off:(block_off t b + hdr_used)
-let set_used t b v = Mrdb_hw.Stable_mem.put_u32 (mem t) ~off:(block_off t b + hdr_used) v
-let get_next t b =
-  let raw = Mrdb_hw.Stable_mem.get_u32 (mem t) ~off:(block_off t b + hdr_next) in
-  raw - 1
-let set_next t b v = Mrdb_hw.Stable_mem.put_u32 (mem t) ~off:(block_off t b + hdr_next) (v + 1)
-let set_txn t b v = Mrdb_hw.Stable_mem.put_u32 (mem t) ~off:(block_off t b + hdr_txn) v
-
-let create layout =
+let mk_region layout recorder owner =
   (* Both scratches are sized to a block once, up front: the steady-state
      append and drain paths never allocate. *)
   let block_bytes = (Stable_layout.config layout).Stable_layout.slb_block_bytes in
   {
+    owner;
     layout;
+    blocks = Stable_layout.slb_blocks layout ~region:owner;
     chains = Hashtbl.create 64;
-    draining = false;
     scratch = Bytes.create block_bytes;
     rscratch = Bytes.create block_bytes;
-    recorder = None;
+    recorder;
   }
 
-let set_recorder t recorder = t.recorder <- recorder
+let create layout =
+  let recorder = ref None in
+  {
+    layout;
+    regions =
+      Array.init (Stable_layout.regions layout) (mk_region layout recorder);
+    draining = false;
+    recorder;
+  }
 
-let capacity_ring t = (Stable_layout.config t.layout).Stable_layout.committed_capacity
+let set_recorder t recorder = t.recorder := recorder
 
-let ring_get t i =
-  let off = Stable_layout.committed_entry_off t.layout (i mod capacity_ring t) in
-  let txn = Mrdb_hw.Stable_mem.get_u32 (mem t) ~off in
-  let first = Mrdb_hw.Stable_mem.get_u32 (mem t) ~off:(off + 4) - 1 in
-  (txn, first)
+let regions t = Array.length t.regions
 
-let ring_put t i (txn, first) =
-  let off = Stable_layout.committed_entry_off t.layout (i mod capacity_ring t) in
-  Mrdb_hw.Stable_mem.put_u32 (mem t) ~off txn;
-  Mrdb_hw.Stable_mem.put_u32 (mem t) ~off:(off + 4) (first + 1)
+let region t i =
+  if i < 0 || i >= Array.length t.regions then
+    Mrdb_util.Fatal.misuse "Slb.region: bad region id";
+  t.regions.(i)
 
-let alloc_block t ~txn_id =
-  match Mrdb_hw.Stable_mem.Blocks.alloc (blocks t) with
-  | None -> raise Slb_full
-  | Some b ->
-      set_txn t b txn_id;
-      set_next t b (-1);
-      set_used t b 0;
-      b
+module Region = struct
+  type t = region
 
-let append t ~txn_id record =
-  let size = Log_record.encoded_size record in
-  let frame = 2 + size in
-  if frame > block_bytes t - payload_off then
-    Mrdb_util.Fatal.misuse "Slb.append: record exceeds block size";
-  (* Compose the whole frame (u16 length + record) in the reusable scratch,
-     then issue exactly one stable-memory write — no per-record buffers. *)
-  Mrdb_util.Codec.put_u16 t.scratch 0 size;
-  let stop = Log_record.encode_into record t.scratch ~pos:2 in
-  if stop <> frame then
-    Mrdb_util.Fatal.invariantf ~mod_:"Slb"
-      "append: encoded %d bytes but encoded_size said %d" (stop - 2) size;
-  let chain =
-    match Hashtbl.find_opt t.chains txn_id with
-    | Some c -> c
-    | None ->
-        let b = alloc_block t ~txn_id in
-        let c = { first = b; last = b } in
-        Hashtbl.add t.chains txn_id c;
-        c
-  in
-  let used = get_used t chain.last in
-  let target, used =
-    if payload_off + used + frame <= block_bytes t then (chain.last, used)
+  let id r = r.owner
+  let mem (r : t) = Stable_layout.mem r.layout
+  let block_off r i = Mrdb_hw.Stable_mem.Blocks.offset_of_block r.blocks i
+  let block_bytes r = Mrdb_hw.Stable_mem.Blocks.block_bytes r.blocks
+
+  let get_used r b = Mrdb_hw.Stable_mem.get_u32 (mem r) ~off:(block_off r b + hdr_used)
+  let set_used r b v = Mrdb_hw.Stable_mem.put_u32 (mem r) ~off:(block_off r b + hdr_used) v
+  let get_next r b =
+    let raw = Mrdb_hw.Stable_mem.get_u32 (mem r) ~off:(block_off r b + hdr_next) in
+    raw - 1
+  let set_next r b v = Mrdb_hw.Stable_mem.put_u32 (mem r) ~off:(block_off r b + hdr_next) (v + 1)
+  let set_txn r b v = Mrdb_hw.Stable_mem.put_u32 (mem r) ~off:(block_off r b + hdr_txn) v
+
+  let capacity_ring (r : t) = Stable_layout.region_ring_capacity r.layout
+
+  let ring_get (r : t) i =
+    let off =
+      Stable_layout.committed_entry_off r.layout ~region:r.owner
+        (i mod capacity_ring r)
+    in
+    let txn = Mrdb_hw.Stable_mem.get_u32 (mem r) ~off in
+    let first = Mrdb_hw.Stable_mem.get_u32 (mem r) ~off:(off + 4) - 1 in
+    let seq = Mrdb_hw.Stable_mem.get_u32 (mem r) ~off:(off + 8) in
+    (txn, first, seq)
+
+  let ring_put (r : t) i (txn, first, seq) =
+    let off =
+      Stable_layout.committed_entry_off r.layout ~region:r.owner
+        (i mod capacity_ring r)
+    in
+    Mrdb_hw.Stable_mem.put_u32 (mem r) ~off txn;
+    Mrdb_hw.Stable_mem.put_u32 (mem r) ~off:(off + 4) (first + 1);
+    Mrdb_hw.Stable_mem.put_u32 (mem r) ~off:(off + 8) seq
+
+  let alloc_block r ~txn_id =
+    match Mrdb_hw.Stable_mem.Blocks.alloc r.blocks with
+    | None -> raise Slb_full
+    | Some b ->
+        set_txn r b txn_id;
+        set_next r b (-1);
+        set_used r b 0;
+        b
+
+  let append r ~txn_id record =
+    let size = Log_record.encoded_size record in
+    let frame = 2 + size in
+    if frame > block_bytes r - payload_off then
+      Mrdb_util.Fatal.misuse "Slb.append: record exceeds block size";
+    (* Compose the whole frame (u16 length + record) in the reusable scratch,
+       then issue exactly one stable-memory write — no per-record buffers. *)
+    Mrdb_util.Codec.put_u16 r.scratch 0 size;
+    let stop = Log_record.encode_into record r.scratch ~pos:2 in
+    if stop <> frame then
+      Mrdb_util.Fatal.invariantf ~mod_:"Slb"
+        "append: encoded %d bytes but encoded_size said %d" (stop - 2) size;
+    let chain =
+      match Hashtbl.find_opt r.chains txn_id with
+      | Some c -> c
+      | None ->
+          let b = alloc_block r ~txn_id in
+          let c = { first = b; last = b } in
+          Hashtbl.add r.chains txn_id c;
+          c
+    in
+    let used = get_used r chain.last in
+    let target, used =
+      if payload_off + used + frame <= block_bytes r then (chain.last, used)
+      else begin
+        let b = alloc_block r ~txn_id in
+        set_next r chain.last b;
+        chain.last <- b;
+        (b, 0) (* alloc_block just zeroed the new block's used counter *)
+      end
+    in
+    let off = block_off r target + payload_off + used in
+    Mrdb_hw.Stable_mem.write_sub (mem r) ~off r.scratch ~pos:0 ~len:frame;
+    set_used r target (used + frame);
+    match !(r.recorder) with
+    | None -> ()
+    | Some fr ->
+        Mrdb_obs.Flight_recorder.slb_append fr ~txn:txn_id ~bytes:frame
+          ~exec:r.owner
+
+  let iter_chain r first ~f =
+    let b = ref first in
+    while !b >= 0 do
+      let used = get_used r !b in
+      (* One block-sized read into the shared scratch, then decode each frame
+         in place — no per-record or per-payload copies. *)
+      Mrdb_hw.Stable_mem.blit_out (mem r)
+        ~off:(block_off r !b + payload_off)
+        r.rscratch ~pos:0 ~len:used;
+      Log_page.iter_frames r.rscratch ~pos:0 ~used ~f;
+      b := get_next r !b
+    done
+
+  let decode_chain r first =
+    let records = ref [] in
+    iter_chain r first ~f:(fun rec_ -> records := rec_ :: !records);
+    List.rev !records
+
+  let free_chain r first =
+    let b = ref first in
+    while !b >= 0 do
+      let next = get_next r !b in
+      Mrdb_hw.Stable_mem.Blocks.free r.blocks !b;
+      b := next
+    done
+
+  let commit (r : t) ~txn_id =
+    match Hashtbl.find_opt r.chains txn_id with
+    | None -> () (* read-only transaction: nothing to log *)
+    | Some chain ->
+        let head = Stable_layout.committed_head r.layout ~region:r.owner in
+        let tail = Stable_layout.committed_tail r.layout ~region:r.owner in
+        if tail - head >= capacity_ring r then raise Slb_full;
+        (* Stamp the global commit sequence into the entry: the total order
+           the recovery side merges the striped rings by.  Burning a
+           sequence number on a commit that then dies before the tail
+           advance is harmless — the merge only sorts, gaps are fine. *)
+        let seq = Stable_layout.commit_seq r.layout in
+        ring_put r tail (txn_id, chain.first, seq);
+        Stable_layout.set_commit_seq r.layout (seq + 1);
+        (* Advancing the tail cursor makes the commit durable. *)
+        Stable_layout.set_committed_tail r.layout ~region:r.owner (tail + 1);
+        Hashtbl.remove r.chains txn_id
+
+  let abort r ~txn_id =
+    match Hashtbl.find_opt r.chains txn_id with
+    | None -> ()
+    | Some chain ->
+        free_chain r chain.first;
+        Hashtbl.remove r.chains txn_id
+
+  let records_of r ~txn_id =
+    match Hashtbl.find_opt r.chains txn_id with
+    | None -> []
+    | Some chain -> decode_chain r chain.first
+
+  let pending_committed (r : t) =
+    Stable_layout.committed_tail r.layout ~region:r.owner
+    - Stable_layout.committed_head r.layout ~region:r.owner
+
+  let uncommitted_count r = Hashtbl.length r.chains
+  let blocks_free r = Mrdb_hw.Stable_mem.Blocks.free_count r.blocks
+
+  (* Sequence number of the oldest undrained commit, if any. *)
+  let head_seq (r : t) =
+    let head = Stable_layout.committed_head r.layout ~region:r.owner in
+    let tail = Stable_layout.committed_tail r.layout ~region:r.owner in
+    if head >= tail then None
+    else
+      let _, _, seq = ring_get r head in
+      Some seq
+
+  let drain_one (r : t) ~f =
+    let head = Stable_layout.committed_head r.layout ~region:r.owner in
+    let tail = Stable_layout.committed_tail r.layout ~region:r.owner in
+    if head >= tail then false
     else begin
-      let b = alloc_block t ~txn_id in
-      set_next t chain.last b;
-      chain.last <- b;
-      (b, 0) (* alloc_block just zeroed the new block's used counter *)
+      let txn_id, first, _seq = ring_get r head in
+      iter_chain r first ~f:(fun rec_ -> f ~txn_id rec_);
+      free_chain r first;
+      Stable_layout.set_committed_head r.layout ~region:r.owner (head + 1);
+      true
     end
-  in
-  let off = block_off t target + payload_off + used in
-  Mrdb_hw.Stable_mem.write_sub (mem t) ~off t.scratch ~pos:0 ~len:frame;
-  set_used t target (used + frame);
-  match t.recorder with
-  | None -> ()
-  | Some fr -> Mrdb_obs.Flight_recorder.slb_append fr ~txn:txn_id ~bytes:frame
+end
 
-let iter_chain t first ~f =
-  let b = ref first in
-  while !b >= 0 do
-    let used = get_used t !b in
-    (* One block-sized read into the shared scratch, then decode each frame
-       in place — no per-record or per-payload copies. *)
-    Mrdb_hw.Stable_mem.blit_out (mem t)
-      ~off:(block_off t !b + payload_off)
-      t.rscratch ~pos:0 ~len:used;
-    Log_page.iter_frames t.rscratch ~pos:0 ~used ~f;
-    b := get_next t !b
-  done
-
-let decode_chain t first =
-  let records = ref [] in
-  iter_chain t first ~f:(fun r -> records := r :: !records);
-  List.rev !records
-
-let free_chain t first =
-  let b = ref first in
-  while !b >= 0 do
-    let next = get_next t !b in
-    Mrdb_hw.Stable_mem.Blocks.free (blocks t) !b;
-    b := next
-  done
-
-let commit t ~txn_id =
-  match Hashtbl.find_opt t.chains txn_id with
-  | None -> () (* read-only transaction: nothing to log *)
-  | Some chain ->
-      let head = Stable_layout.committed_head t.layout in
-      let tail = Stable_layout.committed_tail t.layout in
-      if tail - head >= capacity_ring t then raise Slb_full;
-      ring_put t tail (txn_id, chain.first);
-      (* Advancing the tail cursor makes the commit durable. *)
-      Stable_layout.set_committed_tail t.layout (tail + 1);
-      Hashtbl.remove t.chains txn_id
+(* Single-region compatibility surface: system transactions, the boot
+   path and the pre-striping tests all log through region 0. *)
+let append t ~txn_id record = Region.append t.regions.(0) ~txn_id record
+let commit t ~txn_id = Region.commit t.regions.(0) ~txn_id
+let iter_chain t first ~f = Region.iter_chain t.regions.(0) first ~f
 
 let abort t ~txn_id =
-  match Hashtbl.find_opt t.chains txn_id with
-  | None -> ()
-  | Some chain ->
-      free_chain t chain.first;
-      Hashtbl.remove t.chains txn_id
+  Array.iter (fun r -> Region.abort r ~txn_id) t.regions
 
 let records_of t ~txn_id =
-  match Hashtbl.find_opt t.chains txn_id with
-  | None -> []
-  | Some chain -> decode_chain t chain.first
+  (* A transaction's chain lives in exactly one region (its executor's). *)
+  let rec find i =
+    if i >= Array.length t.regions then []
+    else
+      match Region.records_of t.regions.(i) ~txn_id with
+      | [] -> find (i + 1)
+      | records -> records
+  in
+  find 0
 
 let pending_committed t =
-  Stable_layout.committed_tail t.layout - Stable_layout.committed_head t.layout
+  Array.fold_left (fun n r -> n + Region.pending_committed r) 0 t.regions
 
-let uncommitted_count t = Hashtbl.length t.chains
+let uncommitted_count t =
+  Array.fold_left (fun n r -> n + Region.uncommitted_count r) 0 t.regions
 
-let blocks_free t = Mrdb_hw.Stable_mem.Blocks.free_count (blocks t)
+let blocks_free t =
+  Array.fold_left (fun n r -> n + Region.blocks_free r) 0 t.regions
+
+(* Deterministic N-way merge: always drain the region whose oldest
+   undrained commit carries the smallest global sequence number, so the
+   merged stream reaching the Stable Log Tail is in commit order exactly
+   as in the single-region layout. *)
+let next_region_to_drain t =
+  let best = ref None in
+  Array.iter
+    (fun r ->
+      match Region.head_seq r with
+      | None -> ()
+      | Some seq -> (
+          match !best with
+          | Some (_, best_seq) when best_seq <= seq -> ()
+          | Some _ | None -> best := Some (r, seq)))
+    t.regions;
+  match !best with Some (r, _) -> Some r | None -> None
 
 let drain_one t ~f =
-  let head = Stable_layout.committed_head t.layout in
-  let tail = Stable_layout.committed_tail t.layout in
-  if head >= tail then false
-  else begin
-    let txn_id, first = ring_get t head in
-    iter_chain t first ~f:(fun r -> f ~txn_id r);
-    free_chain t first;
-    Stable_layout.set_committed_head t.layout (head + 1);
-    true
-  end
+  match next_region_to_drain t with
+  | None -> false
+  | Some r -> Region.drain_one r ~f
 
 let drain t ~f =
   (* Draining can suspend on log-disk backpressure, during which the event
@@ -197,17 +303,22 @@ let drain t ~f =
 
 let recover layout =
   let t = create layout in
-  (* Only blocks reachable from undrained committed entries are live. *)
-  let live = ref [] in
-  let head = Stable_layout.committed_head layout in
-  let tail = Stable_layout.committed_tail layout in
-  for i = head to tail - 1 do
-    let _, first = ring_get t i in
-    let b = ref first in
-    while !b >= 0 do
-      live := !b :: !live;
-      b := get_next t !b
-    done
-  done;
-  Mrdb_hw.Stable_mem.Blocks.rebuild_after_crash (blocks t) ~live:!live;
+  (* Only blocks reachable from undrained committed entries are live;
+     uncommitted chains are garbage by definition.  Each region's block
+     allocator is rebuilt from its own ring stripe. *)
+  Array.iter
+    (fun r ->
+      let live = ref [] in
+      let head = Stable_layout.committed_head layout ~region:r.owner in
+      let tail = Stable_layout.committed_tail layout ~region:r.owner in
+      for i = head to tail - 1 do
+        let _, first, _ = Region.ring_get r i in
+        let b = ref first in
+        while !b >= 0 do
+          live := !b :: !live;
+          b := Region.get_next r !b
+        done
+      done;
+      Mrdb_hw.Stable_mem.Blocks.rebuild_after_crash r.blocks ~live:!live)
+    t.regions;
   t

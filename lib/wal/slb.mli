@@ -7,6 +7,15 @@
     separate lists, transactions do not have to synchronize with each other
     to write to the log", which removes the classical log-tail hot spot.
 
+    The buffer is striped into [slb_regions] independent {e regions}, one
+    per executor: each region has its own block allocator, its own
+    uncommitted-chain table, its own committed ring stripe and its own
+    scratch buffers, so executors never contend on append or commit.
+    Commit stamps a global commit sequence number into the ring entry; the
+    drain side merges the striped rings back into one stream ordered by
+    that sequence, so {!Log_sorter} and everything behind it see exactly
+    the commit-ordered stream of the single-region design.
+
     Chains live on one of two lists.  Commit moves a chain from the
     uncommitted to the {e committed} list — a stable ring written in commit
     order; appending that ring entry {e is} the commit point ("transactions
@@ -14,9 +23,9 @@
     records are flushed to disk").  The recovery CPU later {!drain}s
     committed chains into the Stable Log Tail and frees their blocks.
 
-    After a crash, {!recover} rebuilds the block allocator from the
-    committed ring (uncommitted chains are garbage by definition) so the
-    undrained records can still be sorted into bins. *)
+    After a crash, {!recover} rebuilds each region's block allocator from
+    its committed ring stripe (uncommitted chains are garbage by
+    definition) so the undrained records can still be sorted into bins. *)
 
 type t
 
@@ -25,56 +34,101 @@ exception Slb_full
     to stall the writer until the recovery CPU drains. *)
 
 val create : Stable_layout.t -> t
-(** Fresh SLB over a fresh layout (zeroes volatile chain state only). *)
+(** Fresh SLB over a fresh layout (zeroes volatile chain state only); one
+    region per [slb_regions] in the layout's configuration. *)
 
 val recover : Stable_layout.t -> t
-(** Re-attach after a crash: scan the committed ring, mark reachable blocks
-    live, discard uncommitted chains. *)
+(** Re-attach after a crash: scan each region's committed ring stripe,
+    mark reachable blocks live, discard uncommitted chains. *)
 
 val set_recorder : t -> Mrdb_obs.Flight_recorder.t option -> unit
-(** Attach a flight recorder: every {!append} then records an
-    [Slb_append] event (five array stores — bench/hotpath.ml's
-    [append_obs] bounds the cost).  [None] detaches. *)
+(** Attach a flight recorder: every append then records an [Slb_append]
+    event carrying the owning region id (five array stores —
+    bench/hotpath.ml's [append_obs] bounds the cost).  [None] detaches;
+    the recorder is shared by all regions. *)
+
+val regions : t -> int
+
+(** Per-region operations — the striped API.  An executor must only touch
+    its own region (lint rule R7 confines the append call sites). *)
+module Region : sig
+  type t
+
+  val id : t -> int
+
+  val append : t -> txn_id:int -> Log_record.t -> unit
+  (** Add a REDO record to the transaction's (uncommitted) chain in this
+      region.  The frame (u16 length + record) is composed in a reusable
+      per-region scratch buffer and lands in stable memory as exactly one
+      write — the steady-state append path allocates nothing.
+      @raise Slb_full when the region has no free block. *)
+
+  val commit : t -> txn_id:int -> unit
+  (** Move the chain to this region's committed ring (the commit point),
+      stamped with the next global commit sequence number.  A transaction
+      with no records commits trivially without a ring entry.
+      @raise Slb_full when the region's ring stripe is full. *)
+
+  val abort : t -> txn_id:int -> unit
+  (** Discard the transaction's chain and free its blocks. *)
+
+  val records_of : t -> txn_id:int -> Log_record.t list
+  val pending_committed : t -> int
+  val uncommitted_count : t -> int
+  val blocks_free : t -> int
+
+  val iter_chain : t -> int -> f:(Log_record.t -> unit) -> unit
+
+  val drain_one : t -> f:(txn_id:int -> Log_record.t -> unit) -> bool
+  (** Drain this region's oldest committed chain regardless of the global
+      merge order — use {!Slb.drain} for the merged stream. *)
+end
+
+val region : t -> int -> Region.t
+(** The region owned by executor [i].
+    @raise Invalid_argument when out of range. *)
+
+(** {2 Single-region surface}
+
+    Region-0 shims: system transactions, the boot path and the
+    pre-striping tests log through region 0.  The whole-buffer queries
+    ([pending_committed], [uncommitted_count], [blocks_free],
+    [records_of], [abort]) aggregate or search across all regions. *)
 
 val append : t -> txn_id:int -> Log_record.t -> unit
-(** Add a REDO record to the transaction's (uncommitted) chain.  The frame
-    (u16 length + record) is composed in a reusable per-SLB scratch buffer
-    and lands in stable memory as exactly one write — the steady-state
-    append path allocates nothing.
-    @raise Slb_full when no block is available. *)
+(** Region-0 {!Region.append}. *)
 
 val commit : t -> txn_id:int -> unit
-(** Move the chain to the committed list (the commit point).  A transaction
-    with no records commits trivially without a ring entry.
-    @raise Slb_full when the committed ring is full. *)
+(** Region-0 {!Region.commit}. *)
 
 val abort : t -> txn_id:int -> unit
-(** Discard the transaction's chain and free its blocks. *)
+(** Discard the transaction's chain whichever region holds it. *)
 
 val records_of : t -> txn_id:int -> Log_record.t list
-(** Current (uncommitted) chain contents, oldest first — test hook. *)
+(** Current (uncommitted) chain contents, oldest first, searching all
+    regions — test hook. *)
 
 val pending_committed : t -> int
-(** Committed transactions not yet drained. *)
+(** Committed transactions not yet drained, all regions. *)
 
 val uncommitted_count : t -> int
 val blocks_free : t -> int
 
 val iter_chain : t -> int -> f:(Log_record.t -> unit) -> unit
-(** Stream the records of the chain headed at the given block (oldest
-    first) through [f], decoding each in place from a per-SLB read buffer —
-    no per-record copies, no lists.  The buffer is shared: chains must not
-    be iterated concurrently (drains already exclude each other via the
-    reentrancy guard, and {!records_of} is a test hook used outside
-    drains). *)
+(** Region-0 {!Region.iter_chain}.  The read buffer is per region: chains
+    of one region must not be iterated concurrently (drains already
+    exclude each other via the reentrancy guard, and {!records_of} is a
+    test hook used outside drains). *)
 
 val drain : t -> f:(txn_id:int -> Log_record.t -> unit) -> int
-(** Process every pending committed chain in commit order: stream its
-    records (oldest first) through [f] via {!iter_chain}, free the blocks,
-    advance the ring head.  Returns the number of transactions drained.
-    Reentrant calls (possible when [f] suspends on log-disk backpressure
-    and the event loop runs another commit) return 0 immediately; the outer
-    drain picks up anything committed meanwhile. *)
+(** Process every pending committed chain across all regions in global
+    commit-sequence order: repeatedly pick the region whose oldest
+    undrained entry has the smallest sequence, stream its records (oldest
+    first) through [f], free the blocks, advance that region's ring head.
+    Returns the number of transactions drained.  Reentrant calls (possible
+    when [f] suspends on log-disk backpressure and the event loop runs
+    another commit) return 0 immediately; the outer drain picks up
+    anything committed meanwhile. *)
 
 val drain_one : t -> f:(txn_id:int -> Log_record.t -> unit) -> bool
-(** Drain a single committed chain; false when none pending. *)
+(** Drain the globally-oldest committed chain; false when none pending. *)

@@ -1,6 +1,7 @@
 type config = {
   slb_block_bytes : int;
   slb_block_count : int;
+  slb_regions : int;
   committed_capacity : int;
   log_page_bytes : int;
   page_pool_count : int;
@@ -13,6 +14,7 @@ let default_config =
   {
     slb_block_bytes = 2048;
     slb_block_count = 512;
+    slb_regions = 1;
     committed_capacity = 1024;
     log_page_bytes = 8192;
     page_pool_count = 576;
@@ -29,9 +31,19 @@ let bin_info_bytes cfg = bin_info_fixed + (16 * cfg.dir_size)
 
 let header_bytes = 64
 
+(* Committed-ring entries are 16 bytes: u32 txn | u32 first block+1 |
+   u32 commit sequence | 4 bytes pad.  The commit sequence is the global
+   order recovery merges the striped rings by. *)
+let ring_entry_bytes = 16
+
+(* Per-region cursor cells following the header: u32 head | u32 tail. *)
+let cursor_bytes = 8
+
 let required_bytes cfg =
-  header_bytes + cfg.wellknown_bytes
-  + (8 * cfg.committed_capacity)
+  header_bytes
+  + (cursor_bytes * cfg.slb_regions)
+  + cfg.wellknown_bytes
+  + (ring_entry_bytes * cfg.committed_capacity)
   + (cfg.slb_block_bytes * cfg.slb_block_count)
   + (bin_info_bytes cfg * cfg.bin_count)
   + (cfg.log_page_bytes * cfg.page_pool_count)
@@ -39,42 +51,55 @@ let required_bytes cfg =
 type t = {
   cfg : config;
   mem : Mrdb_hw.Stable_mem.t;
+  cursors_off : int;
   wellknown_off : int;
   committed_off : int;
   slb_off : int;
   bins_off : int;
   pages_off : int;
-  slb_blocks : Mrdb_hw.Stable_mem.Blocks.alloc;
+  slb_blocks : Mrdb_hw.Stable_mem.Blocks.alloc array; (* one per region *)
   page_pool : Mrdb_hw.Stable_mem.Blocks.alloc;
 }
 
 (* Header cell offsets. *)
 let off_lsn = 0
-let off_committed_head = 8
-let off_committed_tail = 12
 let off_bin_count = 16
+let off_commit_seq = 20
 
 let attach cfg mem =
+  if cfg.slb_regions < 1 then
+    Mrdb_util.Fatal.misuse "Stable_layout.attach: slb_regions must be >= 1";
+  if cfg.slb_block_count mod cfg.slb_regions <> 0 then
+    Mrdb_util.Fatal.misuse
+      "Stable_layout.attach: slb_block_count not divisible by slb_regions";
+  if cfg.committed_capacity mod cfg.slb_regions <> 0 then
+    Mrdb_util.Fatal.misuse
+      "Stable_layout.attach: committed_capacity not divisible by slb_regions";
   if Mrdb_hw.Stable_mem.size mem < required_bytes cfg then
     Mrdb_util.Fatal.misuse
       (Printf.sprintf "Stable_layout.attach: need %d bytes, have %d"
          (required_bytes cfg) (Mrdb_hw.Stable_mem.size mem));
-  let wellknown_off = header_bytes in
+  let cursors_off = header_bytes in
+  let wellknown_off = cursors_off + (cursor_bytes * cfg.slb_regions) in
   let committed_off = wellknown_off + cfg.wellknown_bytes in
-  let slb_off = committed_off + (8 * cfg.committed_capacity) in
+  let slb_off = committed_off + (ring_entry_bytes * cfg.committed_capacity) in
   let bins_off = slb_off + (cfg.slb_block_bytes * cfg.slb_block_count) in
   let pages_off = bins_off + (bin_info_bytes cfg * cfg.bin_count) in
+  let blocks_per_region = cfg.slb_block_count / cfg.slb_regions in
   {
     cfg;
     mem;
+    cursors_off;
     wellknown_off;
     committed_off;
     slb_off;
     bins_off;
     pages_off;
     slb_blocks =
-      Mrdb_hw.Stable_mem.Blocks.create mem ~region_off:slb_off
-        ~block_bytes:cfg.slb_block_bytes ~count:cfg.slb_block_count;
+      Array.init cfg.slb_regions (fun r ->
+          Mrdb_hw.Stable_mem.Blocks.create mem
+            ~region_off:(slb_off + (r * blocks_per_region * cfg.slb_block_bytes))
+            ~block_bytes:cfg.slb_block_bytes ~count:blocks_per_region);
     page_pool =
       Mrdb_hw.Stable_mem.Blocks.create mem ~region_off:pages_off
         ~block_bytes:cfg.log_page_bytes ~count:cfg.page_pool_count;
@@ -82,28 +107,56 @@ let attach cfg mem =
 
 let config t = t.cfg
 let mem t = t.mem
+let regions t = t.cfg.slb_regions
 
 let next_lsn t = Mrdb_hw.Stable_mem.get_i64 t.mem ~off:off_lsn
 let set_next_lsn t v = Mrdb_hw.Stable_mem.put_i64 t.mem ~off:off_lsn v
 
-let committed_head t = Mrdb_hw.Stable_mem.get_u32 t.mem ~off:off_committed_head
-let committed_tail t = Mrdb_hw.Stable_mem.get_u32 t.mem ~off:off_committed_tail
-let set_committed_head t v = Mrdb_hw.Stable_mem.put_u32 t.mem ~off:off_committed_head v
-let set_committed_tail t v = Mrdb_hw.Stable_mem.put_u32 t.mem ~off:off_committed_tail v
+let check_region t r what =
+  if r < 0 || r >= t.cfg.slb_regions then
+    Mrdb_util.Fatal.misuse (Printf.sprintf "Stable_layout.%s: bad region" what)
+
+let cursor_off t r = t.cursors_off + (cursor_bytes * r)
+
+let committed_head t ~region =
+  check_region t region "committed_head";
+  Mrdb_hw.Stable_mem.get_u32 t.mem ~off:(cursor_off t region)
+
+let committed_tail t ~region =
+  check_region t region "committed_tail";
+  Mrdb_hw.Stable_mem.get_u32 t.mem ~off:(cursor_off t region + 4)
+
+let set_committed_head t ~region v =
+  check_region t region "set_committed_head";
+  Mrdb_hw.Stable_mem.put_u32 t.mem ~off:(cursor_off t region) v
+
+let set_committed_tail t ~region v =
+  check_region t region "set_committed_tail";
+  Mrdb_hw.Stable_mem.put_u32 t.mem ~off:(cursor_off t region + 4) v
+
+let commit_seq t = Mrdb_hw.Stable_mem.get_u32 t.mem ~off:off_commit_seq
+let set_commit_seq t v = Mrdb_hw.Stable_mem.put_u32 t.mem ~off:off_commit_seq v
 
 let bin_count_used t = Mrdb_hw.Stable_mem.get_u32 t.mem ~off:off_bin_count
 let set_bin_count_used t v = Mrdb_hw.Stable_mem.put_u32 t.mem ~off:off_bin_count v
 
 let wellknown_off t = t.wellknown_off
 
-let committed_entry_off t i =
-  if i < 0 || i >= t.cfg.committed_capacity then
+let region_ring_capacity t = t.cfg.committed_capacity / t.cfg.slb_regions
+
+let committed_entry_off t ~region i =
+  check_region t region "committed_entry_off";
+  let cap = region_ring_capacity t in
+  if i < 0 || i >= cap then
     Mrdb_util.Fatal.misuse "Stable_layout.committed_entry_off";
-  t.committed_off + (8 * i)
+  t.committed_off + (ring_entry_bytes * ((region * cap) + i))
 
 let bin_info_off t i =
   if i < 0 || i >= t.cfg.bin_count then Mrdb_util.Fatal.misuse "Stable_layout.bin_info_off";
   t.bins_off + (bin_info_bytes t.cfg * i)
 
-let slb_blocks t = t.slb_blocks
+let slb_blocks t ~region =
+  check_region t region "slb_blocks";
+  t.slb_blocks.(region)
+
 let page_pool t = t.page_pool

@@ -1,0 +1,1 @@
+val smuggle : Mrdb_wal.Slb.t -> unit

@@ -6,12 +6,19 @@
    refactor of the recovery path that changes scheduling, instruction
    accounting, or replay order shows up here as a counter or clock drift.
 
+   Two scenarios are locked: the original single-executor run (whose
+   golden predates the executor refactor and must stay byte-identical),
+   and a four-executor run driven by a deterministic round-robin
+   schedule over striped SLB regions.
+
    New counters introduced at module seams after the capture (the
    [sorter_] / [restorer_] / [ckpt_deferred_] families) are excluded from
    the golden comparison; they are asserted separately in
    test_recovery.ml. *)
 
 open Mrdb_core
+module Executor = Mrdb_exec.Executor
+module Schedule = Mrdb_exec.Schedule
 
 let check = Alcotest.check
 
@@ -65,8 +72,65 @@ let golden_counters =
 
 let golden_elapsed_us = 0x1.98e23p+21
 
-let capture () =
-  let counters, elapsed = run_scenario () in
+(* The four-executor scenario: same bank, same transaction count, but the
+   transactions are spread round-robin over four executors (each drawing
+   from its own RNG stream) and their REDO records land in four striped
+   SLB regions that recovery merges by commit sequence. *)
+let run_scenario_exec4 () =
+  let config =
+    (* Striping divides the SLB block pool by the executor count, but the
+       bank setup still runs its whole populate workload through region 0
+       — scale the pool so each region keeps the single-executor budget. *)
+    let stable =
+      {
+        Config.small.Config.stable with
+        Mrdb_wal.Stable_layout.slb_block_count =
+          4 * Config.small.Config.stable.Mrdb_wal.Stable_layout.slb_block_count;
+      }
+    in
+    { Config.small with Config.executors = 4; stable }
+  in
+  let db = Db.create ~config () in
+  let bank = Workload.Bank.setup db ~accounts:400 ~tellers:8 ~branches:2 () in
+  let sched = Schedule.create ~seed:42 (Executor.spawn ~seed:42 ~n:4) in
+  let step e = Workload.Bank.run_debit_credit_exec bank db ~exec:e in
+  ignore (Sim_exec.run_scheduled ~db ~schedule:sched ~steps:300 ~f:step ());
+  Db.crash db;
+  Db.recover db;
+  ignore (Sim_exec.run_scheduled ~db ~schedule:sched ~steps:100 ~f:step ());
+  Db.quiesce db;
+  Db.checkpoint_all db;
+  Db.quiesce db;
+  Alcotest.(check bool) "bank consistent at 4 executors" true
+    (Workload.Bank.consistent bank db);
+  let counters =
+    List.filter
+      (fun (name, _) -> not (post_seed_counter name))
+      (Mrdb_sim.Trace.counters (Db.trace db))
+  in
+  (counters, Mrdb_sim.Sim.now (Db.sim db))
+
+(* Golden values for the four-executor scenario, captured when the
+   executor refactor landed (MRDB_DETERMINISM_CAPTURE=1 MRDB_EXECUTORS=4). *)
+let golden_counters_e4 =
+  [
+    ("checkpoints", 175);
+    ("ckpt_req_age", 5);
+    ("ckpt_req_update_count", 156);
+    ("commits", 413);
+    ("crashes", 1);
+    ("indices_created", 1);
+    ("log_records", 4837);
+    ("partitions_recovered", 30);
+    ("recoveries", 1);
+    ("recovery_records_applied", 89);
+    ("relations_created", 4);
+  ]
+
+let golden_elapsed_us_e4 = 0x1.9b582p+21
+
+let capture scenario =
+  let counters, elapsed = scenario () in
   Printf.printf "let golden_counters = [\n";
   List.iter (fun (n, c) -> Printf.printf "  (%S, %d);\n" n c) counters;
   Printf.printf "]\n\nlet golden_elapsed_us = %h\n" elapsed
@@ -87,8 +151,26 @@ let test_scenario_repeatable () =
   check Alcotest.(list (pair string int)) "counters repeatable" c1 c2;
   check (Alcotest.float 0.0) "clock repeatable" e1 e2
 
+let test_counters_and_clock_e4 () =
+  let counters, elapsed = run_scenario_exec4 () in
+  check
+    Alcotest.(list (pair string int))
+    "trace counters identical to executors=4 capture" golden_counters_e4
+    counters;
+  check (Alcotest.float 0.0) "simulated elapsed time identical to capture"
+    golden_elapsed_us_e4 elapsed
+
+let test_scenario_repeatable_e4 () =
+  let c1, e1 = run_scenario_exec4 () in
+  let c2, e2 = run_scenario_exec4 () in
+  check Alcotest.(list (pair string int)) "counters repeatable" c1 c2;
+  check (Alcotest.float 0.0) "clock repeatable" e1 e2
+
 let () =
-  if Sys.getenv_opt "MRDB_DETERMINISM_CAPTURE" <> None then capture ()
+  if Sys.getenv_opt "MRDB_DETERMINISM_CAPTURE" <> None then
+    capture
+      (if Sys.getenv_opt "MRDB_EXECUTORS" = Some "4" then run_scenario_exec4
+       else run_scenario)
   else
     Alcotest.run "determinism"
       [
@@ -97,5 +179,11 @@ let () =
             Alcotest.test_case "repeatable" `Quick test_scenario_repeatable;
             Alcotest.test_case "matches seed capture" `Quick
               test_counters_and_clock;
+          ] );
+        ( "debit_credit_4_executors",
+          [
+            Alcotest.test_case "repeatable" `Quick test_scenario_repeatable_e4;
+            Alcotest.test_case "matches capture" `Quick
+              test_counters_and_clock_e4;
           ] );
       ]

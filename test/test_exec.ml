@@ -1,0 +1,176 @@
+(* Tests for the logical-executor layer: seeded executor spawning and the
+   deterministic schedule (round-robin and weighted), including failure
+   domains — the schedule must replay identically for a given seed and
+   skip failed executors without disturbing the draw stream. *)
+
+module Executor = Mrdb_exec.Executor
+module Schedule = Mrdb_exec.Schedule
+module Rng = Mrdb_util.Rng
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let ints_t = Alcotest.list Alcotest.int
+
+let ids_of sched ~steps =
+  List.init steps (fun _ ->
+      match Schedule.next sched with
+      | Some e -> Executor.id e
+      | None -> -1)
+
+(* -- Executor -------------------------------------------------------------- *)
+
+let test_spawn_ids_and_streams () =
+  let execs = Executor.spawn ~seed:7 ~n:4 in
+  check ints_t "ids are 0..n-1" [ 0; 1; 2; 3 ]
+    (Array.to_list (Array.map Executor.id execs));
+  (* Stream depends only on (seed, id): respawning yields the same draws. *)
+  let draws a = Array.map (fun e -> Rng.int (Executor.rng e) 1_000_000) a in
+  let d1 = draws execs and d2 = draws (Executor.spawn ~seed:7 ~n:4) in
+  check bool_t "respawn replays each stream" true (d1 = d2);
+  let d3 = draws (Executor.spawn ~seed:8 ~n:4) in
+  check bool_t "different seed, different streams" true (d1 <> d3);
+  (* Streams are independent: consuming executor 0 heavily must not shift
+     executor 3's draws. *)
+  let a = Executor.spawn ~seed:7 ~n:4 in
+  for _ = 1 to 100 do
+    ignore (Rng.next64 (Executor.rng a.(0)))
+  done;
+  check int_t "e3 unaffected by e0 consumption"
+    (Rng.int (Executor.rng (Executor.spawn ~seed:7 ~n:4).(3)) 1_000_000)
+    (Rng.int (Executor.rng a.(3)) 1_000_000)
+
+let test_counters () =
+  let e = (Executor.spawn ~seed:1 ~n:1).(0) in
+  Executor.note_commit e;
+  Executor.note_commit e;
+  Executor.note_abort e;
+  check int_t "commits" 2 (Executor.commits e);
+  check int_t "aborts" 1 (Executor.aborts e)
+
+let test_spawn_rejects_zero () =
+  Alcotest.check_raises "n=0 rejected"
+    (Invalid_argument "Executor.spawn: n must be >= 1") (fun () ->
+      ignore (Executor.spawn ~seed:1 ~n:0))
+
+(* -- Schedule: round-robin ------------------------------------------------- *)
+
+let test_round_robin_rotation () =
+  let sched = Schedule.create ~seed:3 (Executor.spawn ~seed:3 ~n:3) in
+  check ints_t "strict rotation" [ 0; 1; 2; 0; 1; 2; 0 ] (ids_of sched ~steps:7)
+
+let test_round_robin_skips_failed () =
+  let sched = Schedule.create ~seed:3 (Executor.spawn ~seed:3 ~n:3) in
+  ignore (ids_of sched ~steps:2);
+  Schedule.mark_failed sched 1;
+  check ints_t "cursor passes over the failed executor" [ 2; 0; 2; 0 ]
+    (ids_of sched ~steps:4);
+  check int_t "live count" 2 (Schedule.live_count sched);
+  Schedule.revive sched 1;
+  check bool_t "revived executor rejoins the rotation" true
+    (List.mem 1 (ids_of sched ~steps:3))
+
+let test_all_failed_yields_none () =
+  let sched = Schedule.create ~seed:3 (Executor.spawn ~seed:3 ~n:2) in
+  Schedule.mark_failed sched 0;
+  Schedule.mark_failed sched 1;
+  check bool_t "next is None" true (Schedule.next sched = None);
+  check int_t "run stops immediately" 0
+    (Schedule.run sched ~steps:5 ~f:(fun _ -> ()));
+  Schedule.revive_all sched;
+  check int_t "revive_all restores everyone" 2 (Schedule.live_count sched);
+  check bool_t "next works again" true (Schedule.next sched <> None)
+
+let test_run_counts_steps () =
+  let sched = Schedule.create ~seed:3 (Executor.spawn ~seed:3 ~n:2) in
+  let seen = ref [] in
+  let n = Schedule.run sched ~steps:5 ~f:(fun e -> seen := Executor.id e :: !seen) in
+  check int_t "all steps performed" 5 n;
+  check ints_t "round-robin order" [ 0; 1; 0; 1; 0 ] (List.rev !seen)
+
+(* -- Schedule: weighted ---------------------------------------------------- *)
+
+let test_weighted_deterministic_replay () =
+  let mk () =
+    Schedule.create ~policy:(Schedule.Weighted [| 1.0; 3.0 |]) ~seed:11
+      (Executor.spawn ~seed:11 ~n:2)
+  in
+  let a = ids_of (mk ()) ~steps:200 and b = ids_of (mk ()) ~steps:200 in
+  check bool_t "same seed, same interleaving" true (a = b);
+  let heavy = List.length (List.filter (fun i -> i = 1) a) in
+  (* 3:1 weights: the heavy executor dominates (a loose, deterministic
+     bound on this fixed seed's draws). *)
+  check bool_t "weights respected" true (heavy > 100)
+
+let test_weighted_draw_stream_ignores_failures () =
+  (* The seeded draw happens identically whether or not executors are
+     failed; failure only redirects the chosen slot to the live mass.
+     Consequence: failing then reviving an executor leaves the subsequent
+     schedule exactly where an uninterrupted run would be. *)
+  let mk () =
+    Schedule.create ~policy:(Schedule.Weighted [| 1.0; 1.0; 1.0 |]) ~seed:5
+      (Executor.spawn ~seed:5 ~n:3)
+  in
+  let uninterrupted = mk () in
+  ignore (ids_of uninterrupted ~steps:10);
+  let interrupted = mk () in
+  ignore (ids_of interrupted ~steps:4);
+  Schedule.mark_failed interrupted 0;
+  ignore (ids_of interrupted ~steps:3);
+  Schedule.revive interrupted 0;
+  ignore (ids_of interrupted ~steps:3);
+  check ints_t "post-revive tail matches the uninterrupted run"
+    (ids_of uninterrupted ~steps:20)
+    (ids_of interrupted ~steps:20)
+
+let test_weighted_skips_zero_weight_only_under_failure () =
+  let sched =
+    Schedule.create ~policy:(Schedule.Weighted [| 0.0; 1.0 |]) ~seed:2
+      (Executor.spawn ~seed:2 ~n:2)
+  in
+  check bool_t "zero-weight executor never drawn" true
+    (List.for_all (fun i -> i = 1) (ids_of sched ~steps:50));
+  Schedule.mark_failed sched 1;
+  check bool_t "no live weight left yields None" true (Schedule.next sched = None)
+
+let test_create_validates () =
+  let execs = Executor.spawn ~seed:1 ~n:2 in
+  let bad policy = fun () -> ignore (Schedule.create ~policy ~seed:1 execs) in
+  Alcotest.check_raises "weight count mismatch"
+    (Invalid_argument "Schedule.create: weight per executor required")
+    (bad (Schedule.Weighted [| 1.0 |]));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Schedule.create: negative weight")
+    (bad (Schedule.Weighted [| 1.0; -0.5 |]))
+
+let () =
+  Alcotest.run "mrdb_exec"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "spawn ids and independent streams" `Quick
+            test_spawn_ids_and_streams;
+          Alcotest.test_case "commit/abort counters" `Quick test_counters;
+          Alcotest.test_case "spawn rejects n=0" `Quick test_spawn_rejects_zero;
+        ] );
+      ( "round_robin",
+        [
+          Alcotest.test_case "strict rotation" `Quick test_round_robin_rotation;
+          Alcotest.test_case "skips failed executors" `Quick
+            test_round_robin_skips_failed;
+          Alcotest.test_case "all failed yields None" `Quick
+            test_all_failed_yields_none;
+          Alcotest.test_case "run counts steps" `Quick test_run_counts_steps;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "deterministic replay" `Quick
+            test_weighted_deterministic_replay;
+          Alcotest.test_case "draw stream ignores failures" `Quick
+            test_weighted_draw_stream_ignores_failures;
+          Alcotest.test_case "zero weight never drawn" `Quick
+            test_weighted_skips_zero_weight_only_under_failure;
+          Alcotest.test_case "create validates weights" `Quick
+            test_create_validates;
+        ] );
+    ]

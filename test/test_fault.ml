@@ -26,7 +26,8 @@ let part_a : Addr.partition = { Addr.segment = 1; partition = 0 }
 
 let small_config =
   {
-    Stable_layout.slb_block_bytes = 256;
+    Stable_layout.slb_regions = 1;
+    slb_block_bytes = 256;
     slb_block_count = 64;
     committed_capacity = 32;
     log_page_bytes = 512;
@@ -38,8 +39,9 @@ let small_config =
 
 (* -- Fault_plan -------------------------------------------------------------- *)
 
-let mk_plan seed =
-  Fault_plan.random ~seed ~horizon_us:1_000_000.0 ~window_pages:8 ~ckpt_pages:64
+let mk_plan ?executors seed =
+  Fault_plan.random ?executors ~seed ~horizon_us:1_000_000.0 ~window_pages:8
+    ~ckpt_pages:64 ()
 
 let test_plan_determinism () =
   let show p = Format.asprintf "%a" Fault_plan.pp p in
@@ -74,6 +76,40 @@ let test_plan_single_failure_domain () =
           true
           (List.for_all (fun u -> u = t) rest)
   done
+
+let test_plan_executor_faults () =
+  let open Fault_plan in
+  let show p = Format.asprintf "%a" Fault_plan.pp p in
+  let is_exec_fault = function Fail_executor _ -> true | _ -> false in
+  for seed = 0 to 63 do
+    (* executors=1 plans never fail the only executor, and the option is
+       drawn last, so the rest of the plan is byte-identical with or
+       without it — seed replays from before the feature stay valid. *)
+    check Alcotest.string
+      (Printf.sprintf "seed %d: executors:1 leaves the plan unchanged" seed)
+      (show (mk_plan seed))
+      (show (mk_plan ~executors:1 seed));
+    check bool_t "no executor faults at executors=1" false
+      (List.exists is_exec_fault (events (mk_plan ~executors:1 seed)));
+    let p4 = mk_plan ~executors:4 seed in
+    let others e = List.filter (fun x -> not (is_exec_fault x)) e in
+    check bool_t
+      (Printf.sprintf "seed %d: executor draws only append events" seed)
+      true
+      (others (events p4) = events (mk_plan seed));
+    List.iter
+      (function
+        | Fail_executor { executor; _ } ->
+            check bool_t "victim executor in range" true
+              (executor >= 0 && executor < 4)
+        | _ -> ())
+      (events p4)
+  done;
+  (* Deterministic: across a seed range, some plan fails an executor. *)
+  check bool_t "some plan carries an executor fault" true
+    (List.exists
+       (fun seed -> List.exists is_exec_fault (events (mk_plan ~executors:4 seed)))
+       (List.init 64 Fun.id))
 
 (* -- Injector against a bare duplex ------------------------------------------ *)
 
@@ -447,6 +483,8 @@ let () =
         [
           Alcotest.test_case "seeded plans replay identically" `Quick
             test_plan_determinism;
+          Alcotest.test_case "executor faults gated and appended last" `Quick
+            test_plan_executor_faults;
           Alcotest.test_case "random plans keep one failure domain" `Quick
             test_plan_single_failure_domain;
         ] );

@@ -1,7 +1,8 @@
 (* Golden tests for mrdb_lint: a fixture corpus seeds exactly one violation
    per rule (R1 wild write, R2 layering, R3 partiality, R4 unsealed, R5
-   fault injection, R6 bare printing), plus one clean file that must pass.
-   Each rule must fire at the expected file:line — and nowhere else. *)
+   fault injection, R6 bare printing, R7 rogue SLB append), plus one clean
+   file that must pass.  Each rule must fire at the expected file:line —
+   and nowhere else. *)
 
 open Mrdb_lint
 
@@ -17,6 +18,7 @@ let lint_fixtures () = Engine.lint ~lib_dir:fixture_root
 let expected =
   [
     ("R5", "lint_fixtures/core/inject.ml", 4);
+    ("R7", "lint_fixtures/core/rogue_append.ml", 4);
     ("R1", "lint_fixtures/core/wild_write.ml", 4);
     ("R2", "lint_fixtures/recovery/upcall.ml", 3);
     ("R6", "lint_fixtures/storage/noisy.ml", 3);
@@ -91,6 +93,16 @@ let test_print_discipline_allowlist () =
   check bool_t "formatter-taking printers stay legal" true
     (Rules.print_ident [ "Format"; "pp_print_string" ] = None)
 
+let test_slb_ownership_allowlist () =
+  check bool_t "the WAL may append to its own regions" true
+    (Rules.slb_append_allowed "wal/slb.ml");
+  check bool_t "the per-executor redo sink may append" true
+    (Rules.slb_append_allowed "core/db_system.ml");
+  check bool_t "the facade must route through the sink" false
+    (Rules.slb_append_allowed "core/db.ml");
+  check bool_t "recovery drains, never appends" false
+    (Rules.slb_append_allowed "recovery/log_sorter.ml")
+
 let test_fault_containment_allowlist () =
   check bool_t "lib/fault may inject" true (Rules.fault_injection_allowed "fault/injector.ml");
   check bool_t "duplex fails its member disk" true (Rules.fault_injection_allowed "hw/duplex.ml");
@@ -112,6 +124,8 @@ let () =
             test_declared_order_keeps_two_cpu_split;
           Alcotest.test_case "fault containment allowlist" `Quick
             test_fault_containment_allowlist;
+          Alcotest.test_case "SLB ownership allowlist" `Quick
+            test_slb_ownership_allowlist;
           Alcotest.test_case "print discipline allowlist" `Quick
             test_print_discipline_allowlist;
         ] );

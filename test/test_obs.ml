@@ -1,6 +1,6 @@
 (* Tests for the observability subsystem: the metrics registry and its
    log-linear histograms, the flight-recorder ring, the recovery timeline,
-   and the stable mrdb-obs/1 export shape. *)
+   and the stable mrdb-obs/2 export shape. *)
 
 module Metrics = Mrdb_obs.Metrics
 module Flight_recorder = Mrdb_obs.Flight_recorder
@@ -109,14 +109,14 @@ let test_ring_wrap () =
   check int_t "capacity clamps to the 16-event minimum" 16
     (Flight_recorder.capacity fr);
   for i = 1 to 40 do
-    Flight_recorder.txn_begin fr ~txn:i
+    Flight_recorder.txn_begin fr ~txn:i ~exec:0
   done;
   check int_t "recorded counts everything ever seen" 40
     (Flight_recorder.recorded fr);
   let evs = Flight_recorder.events fr in
   check int_t "ring retains only capacity" 16 (List.length evs);
   (match evs with
-  | (_, Flight_recorder.Txn_begin { txn }) :: _ ->
+  | (_, Flight_recorder.Txn_begin { txn; _ }) :: _ ->
       check int_t "oldest retained is 25" 25 txn
   | _ -> Alcotest.fail "expected Txn_begin");
   (* Timestamps come from the [now] callback and stay ordered. *)
@@ -126,8 +126,8 @@ let test_ring_wrap () =
 
 let test_event_decode_roundtrip () =
   let fr, _ = mk_recorder ~capacity:32 () in
-  Flight_recorder.txn_commit fr ~txn:4;
-  Flight_recorder.slb_append fr ~txn:4 ~bytes:56;
+  Flight_recorder.txn_commit fr ~txn:4 ~exec:1;
+  Flight_recorder.slb_append fr ~txn:4 ~bytes:56 ~exec:1;
   Flight_recorder.sorter_drain fr ~txns:2 ~records:9;
   Flight_recorder.bin_flush fr ~segment:1 ~partition:3;
   Flight_recorder.ckpt_trigger fr ~segment:1 ~partition:3 ~by_age:true;
@@ -139,8 +139,8 @@ let test_event_decode_roundtrip () =
   let expect =
     Flight_recorder.
       [
-        Txn_commit { txn = 4 };
-        Slb_append { txn = 4; bytes = 56 };
+        Txn_commit { txn = 4; exec = 1 };
+        Slb_append { txn = 4; bytes = 56; exec = 1 };
         Sorter_drain { txns = 2; records = 9 };
         Bin_flush { segment = 1; partition = 3 };
         Ckpt_trigger { segment = 1; partition = 3; by_age = true };
@@ -155,12 +155,12 @@ let test_event_decode_roundtrip () =
 let test_events_limit_and_clear () =
   let fr, _ = mk_recorder ~capacity:16 () in
   for i = 1 to 10 do
-    Flight_recorder.txn_begin fr ~txn:i
+    Flight_recorder.txn_begin fr ~txn:i ~exec:0
   done;
   let newest = Flight_recorder.events ~limit:3 fr in
   check int_t "limit keeps the newest" 3 (List.length newest);
   (match List.rev newest with
-  | (_, Flight_recorder.Txn_begin { txn }) :: _ ->
+  | (_, Flight_recorder.Txn_begin { txn; _ }) :: _ ->
       check int_t "last is the most recent" 10 txn
   | _ -> Alcotest.fail "expected Txn_begin");
   Flight_recorder.clear fr;
@@ -238,10 +238,10 @@ let test_export_json_shape () =
   Metrics.observe_us (Obs.txn_latency obs) 120.0;
   Metrics.observe_us (Obs.restore_latency obs) 800.0;
   Metrics.observe (Obs.drain_batch obs) 7;
-  Flight_recorder.txn_commit (Obs.recorder obs) ~txn:1;
+  Flight_recorder.txn_commit (Obs.recorder obs) ~txn:1 ~exec:0;
   Timeline.add (Obs.timeline obs) Timeline.Slt_scan ~dur_us:42.0;
   let j = Export.json ~t:obs () in
-  check bool_t "schema tag" true (contains j "\"schema\": \"mrdb-obs/1\"");
+  check bool_t "schema tag" true (contains j "\"schema\": \"mrdb-obs/2\"");
   List.iter
     (fun n -> check bool_t ("histogram " ^ n) true (contains j ("\"" ^ n ^ "\"")))
     [ "txn_latency_ns"; "restore_latency_ns"; "drain_batch_records" ];
@@ -252,7 +252,9 @@ let test_export_json_shape () =
       "on_demand_restore"; "background_sweep";
     ];
   check bool_t "counters section" true (contains j "\"commits\": 1");
-  check bool_t "flight recorder section" true (contains j "\"recorded\": 1")
+  check bool_t "flight recorder section" true (contains j "\"recorded\": 1");
+  (* /2 over /1: txn and slb_append flight events carry their executor. *)
+  check bool_t "flight events carry exec" true (contains j "\"exec\": 0")
 
 let test_export_texttab_renders () =
   let obs = mk_obs () in
@@ -269,7 +271,7 @@ let test_recording_reads_but_never_advances_the_clock () =
   let obs = Obs.create ~now:(fun () -> Mrdb_sim.Sim.now sim) () in
   let before = Mrdb_sim.Sim.now sim in
   for i = 1 to 100 do
-    Flight_recorder.slb_append (Obs.recorder obs) ~txn:i ~bytes:24;
+    Flight_recorder.slb_append (Obs.recorder obs) ~txn:i ~bytes:24 ~exec:0;
     Metrics.observe_us (Obs.txn_latency obs) 10.0
   done;
   check bool_t "clock untouched" true (Mrdb_sim.Sim.now sim = before)

@@ -9,7 +9,8 @@ let int_t = Alcotest.int
 
 let small_config =
   {
-    Mrdb_wal.Stable_layout.slb_block_bytes = 256;
+    Mrdb_wal.Stable_layout.slb_regions = 1;
+    slb_block_bytes = 256;
     slb_block_count = 16;
     committed_capacity = 16;
     log_page_bytes = 512;

@@ -14,8 +14,13 @@
    Environment knobs:
      MRDB_TORTURE_SEEDS=<n>   campaign size (default 200 seeds)
      MRDB_TORTURE_SEED=<s>    replay one failing seed
+     MRDB_EXECUTORS=<n>       logical executors per machine (default 1);
+                              transactions are spread over them by a
+                              deterministic round-robin schedule and the
+                              fault plan may fail individual executors
 
-   Every failure message embeds the exact replay command line. *)
+   Every failure message embeds the exact replay command line (including
+   the executor count when it is not 1). *)
 
 open Mrdb_storage
 open Mrdb_core
@@ -24,8 +29,22 @@ module Sim = Mrdb_sim.Sim
 module Rng = Mrdb_util.Rng
 module Fault_plan = Mrdb_fault.Fault_plan
 module Injector = Mrdb_fault.Injector
+module Executor = Mrdb_exec.Executor
+module Schedule = Mrdb_exec.Schedule
 
 exception Crash_now
+
+let executors =
+  match Sys.getenv_opt "MRDB_EXECUTORS" with
+  | Some s -> int_of_string s
+  | None -> 1
+
+let replay_line seed =
+  if executors = 1 then
+    Printf.sprintf "MRDB_TORTURE_SEED=%d dune exec test/test_torture.exe" seed
+  else
+    Printf.sprintf "MRDB_EXECUTORS=%d MRDB_TORTURE_SEED=%d dune exec test/test_torture.exe"
+      executors seed
 
 let schema = Schema.of_list [ ("k", Schema.Int); ("v", Schema.Int) ]
 
@@ -53,21 +72,26 @@ let apply_model tbl ops =
 let run_seed seed =
   (* The archive must be on: random plans corrupt checkpoint-disk pages,
      and a lost image is only recoverable from the archive (§2.6). *)
-  let config = { Config.small with Config.archive = true } in
+  let config = { Config.small with Config.archive = true; Config.executors } in
   let db = Db.create ~config () in
   Db.create_relation db ~name:"t" ~schema;
   let sim = Db.sim db in
   let rng = Rng.of_int seed in
+  (* Round-robin over the executor set: scheduling itself consumes no
+     randomness, so the executors=1 campaign replays the pre-executor
+     RNG stream exactly. *)
+  let sched = Schedule.create ~seed (Executor.spawn ~seed ~n:executors) in
   let plan =
-    Fault_plan.random ~seed ~horizon_us:400_000.0
+    Fault_plan.random ~executors ~seed ~horizon_us:400_000.0
       ~window_pages:config.Config.log_window_pages
-      ~ckpt_pages:config.Config.ckpt_disk_pages
+      ~ckpt_pages:config.Config.ckpt_disk_pages ()
   in
   let inj =
     Injector.install ~plan ~sim ~trace:(Db.trace db)
       ~log:(Log_disk.duplex (Db.log_disk db))
       ~ckpt:(Db.ckpt_disk db) ~stable:(Db.stable_mem db)
       ~recorder:(Mrdb_obs.Obs.recorder (Db.obs db))
+      ~on_executor_fail:(Schedule.mark_failed sched)
       ()
   in
   let model = Hashtbl.create 64 in
@@ -82,15 +106,14 @@ let run_seed seed =
        when the campaign fails. *)
     let oc = open_out "torture-flight-dump.txt" in
     let fmt = Format.formatter_of_out_channel oc in
-    Format.fprintf fmt
-      "seed %d: %s@.plan: %a@.replay: MRDB_TORTURE_SEED=%d dune exec test/test_torture.exe@.@."
-      seed what Fault_plan.pp plan seed;
+    Format.fprintf fmt "seed %d: %s@.plan: %a@.replay: %s@.@." seed what
+      Fault_plan.pp plan (replay_line seed);
     Mrdb_obs.Flight_recorder.dump fmt (Mrdb_obs.Obs.recorder (Db.obs db));
     Format.pp_print_flush fmt ();
     close_out oc;
     Alcotest.failf
-      "seed %d: %s@.plan: %a@.replay: MRDB_TORTURE_SEED=%d dune exec test/test_torture.exe@.flight recorder dumped to torture-flight-dump.txt"
-      seed what Fault_plan.pp plan seed
+      "seed %d: %s@.plan: %a@.replay: %s@.flight recorder dumped to torture-flight-dump.txt"
+      seed what Fault_plan.pp plan (replay_line seed)
   in
   let rebuild_addrs () =
     Hashtbl.reset addr_of;
@@ -109,6 +132,9 @@ let run_seed seed =
     Injector.arm inj;
     Db.recover db;
     Db.recover_everything db;
+    (* Recovery restarts every logical executor along with the system;
+       their striped SLB regions were drained by the merge above. *)
+    Schedule.revive_all sched;
     let obs = observed db in
     if obs <> snapshot model then begin
       let committed = Hashtbl.copy model in
@@ -146,37 +172,45 @@ let run_seed seed =
          in
          staged := ops;
          committing := false;
-         (try
-            let tx = Db.begin_txn db in
-            List.iter
-              (fun (k, op) ->
-                match (op, Hashtbl.find_opt addr_of k) with
-                | `Put v, Some a ->
-                    Hashtbl.replace addr_of k
-                      (Db.update_field db tx ~rel:"t" a ~column:"v" (Schema.int v))
-                | `Put v, None ->
-                    Hashtbl.replace addr_of k
-                      (Db.insert db tx ~rel:"t" [| Schema.int k; Schema.int v |])
-                | `Del, Some a ->
-                    Db.delete db tx ~rel:"t" a;
-                    Hashtbl.remove addr_of k
-                | `Del, None -> ())
-              ops;
-            if Rng.int rng 8 = 0 then begin
-              Db.abort db tx;
-              staged := [];
-              rebuild_addrs ()
-            end
-            else begin
-              committing := true;
-              Db.commit db tx;
-              apply_model model ops;
-              staged := [];
-              committing := false
-            end
-          with Db.Aborted _ ->
-            staged := [];
-            rebuild_addrs ());
+         (match Schedule.next sched with
+          | None ->
+              (* Every executor is failed; nothing runs until the next
+                 crash/recovery revives the set. *)
+              staged := []
+          | Some e -> (
+              try
+                let tx = Db.begin_txn ~executor:(Executor.id e) db in
+                List.iter
+                  (fun (k, op) ->
+                    match (op, Hashtbl.find_opt addr_of k) with
+                    | `Put v, Some a ->
+                        Hashtbl.replace addr_of k
+                          (Db.update_field db tx ~rel:"t" a ~column:"v" (Schema.int v))
+                    | `Put v, None ->
+                        Hashtbl.replace addr_of k
+                          (Db.insert db tx ~rel:"t" [| Schema.int k; Schema.int v |])
+                    | `Del, Some a ->
+                        Db.delete db tx ~rel:"t" a;
+                        Hashtbl.remove addr_of k
+                    | `Del, None -> ())
+                  ops;
+                if Rng.int rng 8 = 0 then begin
+                  Db.abort db tx;
+                  staged := [];
+                  rebuild_addrs ()
+                end
+                else begin
+                  committing := true;
+                  Db.commit db tx;
+                  Executor.note_commit e;
+                  apply_model model ops;
+                  staged := [];
+                  committing := false
+                end
+              with Db.Aborted _ ->
+                Executor.note_abort e;
+                staged := [];
+                rebuild_addrs ()));
          if Rng.int rng 4 = 0 then ignore (Db.process_checkpoints db)
        done
      with Crash_now -> ());

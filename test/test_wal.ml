@@ -15,7 +15,8 @@ let part_b : Addr.partition = { Addr.segment = 2; partition = 5 }
 
 let small_config =
   {
-    Stable_layout.slb_block_bytes = 256;
+    Stable_layout.slb_regions = 1;
+    slb_block_bytes = 256;
     slb_block_count = 64;
     committed_capacity = 32;
     log_page_bytes = 512;
