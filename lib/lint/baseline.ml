@@ -1,0 +1,49 @@
+(* The committed violation baseline: one fingerprint per line, [#]
+   comments and blank lines ignored.  A diagnostic whose fingerprint is
+   in the baseline is suppressed (it predates the rule and is tracked for
+   burn-down); anything else is new and fails the build.  Baseline
+   entries that no longer match any diagnostic are *stale* — they must be
+   deleted, and [--check-baseline] turns them into failures so the file
+   can only shrink. *)
+
+type t = { entries : string list }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_lines lines =
+  let entries =
+    List.filter_map
+      (fun line ->
+        let line = String.trim (strip_comment line) in
+        if line = "" then None else Some line)
+      lines
+  in
+  { entries }
+
+let load path =
+  if not (Sys.file_exists path) then { entries = [] }
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        parse_lines (List.rev !lines))
+  end
+
+let partition t (diags : Diag.t list) =
+  List.partition (fun (d : Diag.t) -> List.mem d.Diag.fp t.entries) diags
+
+let stale t (diags : Diag.t list) =
+  List.filter
+    (fun entry ->
+      not (List.exists (fun (d : Diag.t) -> d.Diag.fp = entry) diags))
+    t.entries

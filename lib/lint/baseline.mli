@@ -1,0 +1,22 @@
+(** The committed violation baseline for "no new violations" CI.
+
+    Format: one {!Diag.t} fingerprint ([rule:file:key]) per line; [#]
+    starts a comment, blank lines are ignored.  Every entry is expected
+    to carry a justification comment.  The file can only shrink: stale
+    entries (matching no current diagnostic) are reported and fail
+    [--check-baseline]. *)
+
+type t
+
+val load : string -> t
+(** Missing file loads as the empty baseline. *)
+
+val parse_lines : string list -> t
+
+val partition : t -> Diag.t list -> Diag.t list * Diag.t list
+(** [(suppressed, fresh)] — fresh diagnostics are the ones not covered by
+    the baseline. *)
+
+val stale : t -> Diag.t list -> string list
+(** Baseline entries matching no current diagnostic — candidates for
+    deletion, failures under [--check-baseline]. *)

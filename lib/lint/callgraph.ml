@@ -1,0 +1,333 @@
+(* Phase 2 of the two-phase analyzer: resolve the per-binding reference
+   lists of the Index into a cross-module call graph, then answer the
+   reachability questions R8 (forward, from the commit/drain/recovery
+   entry points) and R9 (reverse, from a write site, stopping at owner
+   modules) ask.
+
+   Resolution is syntactic, mirroring how the wrapped libraries force
+   cross-library references to be spelled: a [Mrdb_x] head names the
+   library; a bare module head is first expanded through the file's
+   top-level [module S = ...] aliases, then looked up among the library's
+   sibling modules, then through the file's [open]s; a bare value name
+   resolves to the file's own bindings, then to the bindings of opened
+   modules, then — as a last resort — to the unique module in the whole
+   index that defines it.  Unresolvable references (stdlib, locals,
+   functor bodies) simply contribute no edge: the graph under-approximates
+   calls into code we cannot see, which is the right direction for
+   reachability *from* our own entry points. *)
+
+type node = { n_rel : string; n_binding : string }
+
+let node ~rel ~binding = { n_rel = rel; n_binding = binding }
+
+let node_label (n : node) =
+  Printf.sprintf "%s:%s" (Index.module_name_of_rel n.n_rel) n.n_binding
+
+type t = {
+  index : Index.t;
+  by_scope : (string * string, Index.modinfo) Hashtbl.t;
+      (* (library-or-directory, module name) -> modinfo *)
+  edges : (node, node list) Hashtbl.t;
+  redges : (node, node list) Hashtbl.t;
+}
+
+(* -- module lookup ---------------------------------------------------------- *)
+
+let scope_of (m : Index.modinfo) =
+  match m.Index.m_lib with
+  | Some lib -> lib
+  | None -> Filename.dirname m.Index.m_rel
+
+let lib_of_head head =
+  if String.length head > 5 && String.sub head 0 5 = "Mrdb_" then
+    let l = String.lowercase_ascii head in
+    if Rules.is_known_library l then Some l else None
+  else None
+
+let find_mod t ~scope name = Hashtbl.find_opt t.by_scope (scope, name)
+
+(* The module an [open] puts in scope: either a whole wrapped library
+   ([open Mrdb_storage]) or a single module ([open Db_state],
+   [open Mrdb_wal.Slb]). *)
+type opened = O_lib of string | O_mod of Index.modinfo
+
+let resolve_open t (from : Index.modinfo) (path : string list) : opened option =
+  match path with
+  | [ head ] -> (
+      match lib_of_head head with
+      | Some lib -> Some (O_lib lib)
+      | None -> (
+          match find_mod t ~scope:(scope_of from) head with
+          | Some m -> Some (O_mod m)
+          | None -> None))
+  | [ head; sub ] -> (
+      match lib_of_head head with
+      | Some lib -> (
+          match find_mod t ~scope:lib sub with
+          | Some m -> Some (O_mod m)
+          | None -> None)
+      | None -> None)
+  | _ -> None
+
+(* Longest dotted prefix of [rest] that names a binding of [m] — matches
+   both [drain] (k=1) and [Manager.commit] (k=2, a submodule member). *)
+let resolve_in_mod (m : Index.modinfo) (rest : string list) : node option =
+  let rec try_k k =
+    if k = 0 then None
+    else
+      let name = String.concat "." (List.filteri (fun i _ -> i < k) rest) in
+      match Index.find_binding m name with
+      | Some _ -> Some { n_rel = m.Index.m_rel; n_binding = name }
+      | None -> try_k (k - 1)
+  in
+  try_k (List.length rest)
+
+let expand_alias (from : Index.modinfo) (path : string list) =
+  match path with
+  | head :: rest -> (
+      match List.assoc_opt head from.Index.m_aliases with
+      | Some target -> target @ rest
+      | None -> path)
+  | [] -> path
+
+let resolve_ref t (from : Index.modinfo) (path : string list) : node option =
+  match expand_alias from path with
+  | [] -> None
+  | [ x ] -> (
+      match Index.find_binding from x with
+      | Some _ -> Some { n_rel = from.Index.m_rel; n_binding = x }
+      | None -> (
+          let via_open =
+            List.find_map
+              (fun o ->
+                match resolve_open t from o with
+                | Some (O_mod m) -> (
+                    match Index.find_binding m x with
+                    | Some _ -> Some { n_rel = m.Index.m_rel; n_binding = x }
+                    | None -> None)
+                | _ -> None)
+              from.Index.m_opens
+          in
+          match via_open with
+          | Some n -> Some n
+          | None -> (
+              (* Last resort: the name is defined in exactly one module of
+                 the whole index.  Ambiguous names resolve to nothing. *)
+              match
+                List.filter
+                  (fun m -> Index.find_binding m x <> None)
+                  t.index
+              with
+              | [ m ] -> Some { n_rel = m.Index.m_rel; n_binding = x }
+              | _ -> None)))
+  | head :: rest -> (
+      match lib_of_head head with
+      | Some lib -> (
+          match rest with
+          | mname :: rest' -> (
+              match find_mod t ~scope:lib mname with
+              | Some m -> resolve_in_mod m rest'
+              | None -> None)
+          | [] -> None)
+      | None -> (
+          match find_mod t ~scope:(scope_of from) head with
+          | Some m -> resolve_in_mod m rest
+          | None -> (
+              let via_open =
+                List.find_map
+                  (fun o ->
+                    match resolve_open t from o with
+                    | Some (O_lib lib) -> (
+                        match find_mod t ~scope:lib head with
+                        | Some m -> resolve_in_mod m rest
+                        | None -> None)
+                    | Some (O_mod m) ->
+                        (* [head] may be a submodule of the opened module:
+                           its members are indexed as dotted bindings. *)
+                        resolve_in_mod m (head :: rest)
+                    | None -> None)
+                  from.Index.m_opens
+              in
+              match via_open with
+              | Some n -> Some n
+              | None -> (
+                  match Index.modules_named t.index head with
+                  | [ m ] -> resolve_in_mod m rest
+                  | _ -> None))))
+
+(* Same walk, but the terminal is a declared exception name rather than a
+   value binding.  An [exception E = Path.E] rebind is followed from the
+   rebinding module's own viewpoint (fuel bounds alias cycles). *)
+let rec resolve_exn_fuel fuel t (from : Index.modinfo) (path : string list) :
+    (string * string) option =
+  if fuel = 0 then None
+  else
+    let in_mod (m : Index.modinfo) rest =
+      let name = String.concat "." rest in
+      if rest = [] then None
+      else if Index.declares_exception m name then Some (m.Index.m_rel, name)
+      else
+        match List.assoc_opt name m.Index.m_exn_aliases with
+        | Some target -> resolve_exn_fuel (fuel - 1) t m target
+        | None -> None
+    in
+  match expand_alias from path with
+  | [] -> None
+  | [ x ] -> (
+      match in_mod from [ x ] with
+      | Some r -> Some r
+      | None -> (
+          let via_open =
+            List.find_map
+              (fun o ->
+                match resolve_open t from o with
+                | Some (O_mod m) -> in_mod m [ x ]
+                | _ -> None)
+              from.Index.m_opens
+          in
+          match via_open with
+          | Some r -> Some r
+          | None -> (
+              match
+                List.filter (fun m -> Index.declares_exception m x) t.index
+              with
+              | [ m ] -> Some (m.Index.m_rel, x)
+              | _ -> None)))
+  | head :: rest -> (
+      match lib_of_head head with
+      | Some lib -> (
+          match rest with
+          | mname :: rest' -> (
+              match find_mod t ~scope:lib mname with
+              | Some m -> in_mod m rest'
+              | None -> None)
+          | [] -> None)
+      | None -> (
+          match find_mod t ~scope:(scope_of from) head with
+          | Some m -> in_mod m rest
+          | None ->
+              List.find_map
+                (fun o ->
+                  match resolve_open t from o with
+                  | Some (O_lib lib) -> (
+                      match find_mod t ~scope:lib head with
+                      | Some m -> in_mod m rest
+                      | None -> None)
+                  | Some (O_mod m) -> in_mod m (head :: rest)
+                  | None -> None)
+                from.Index.m_opens))
+
+let resolve_exn t from path = resolve_exn_fuel 8 t from path
+
+(* -- construction ------------------------------------------------------------ *)
+
+let add_edge tbl a b =
+  let existing = match Hashtbl.find_opt tbl a with Some l -> l | None -> [] in
+  if not (List.mem b existing) then Hashtbl.replace tbl a (b :: existing)
+
+let build (index : Index.t) =
+  let by_scope = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Index.modinfo) ->
+      Hashtbl.replace by_scope (scope_of m, m.Index.m_name) m)
+    index;
+  let t =
+    { index; by_scope; edges = Hashtbl.create 256; redges = Hashtbl.create 256 }
+  in
+  List.iter
+    (fun (m : Index.modinfo) ->
+      List.iter
+        (fun (b : Index.binding) ->
+          let src = { n_rel = m.Index.m_rel; n_binding = b.Index.b_name } in
+          List.iter
+            (fun (path, _loc) ->
+              match resolve_ref t m path with
+              | Some dst when dst <> src ->
+                  add_edge t.edges src dst;
+                  add_edge t.redges dst src
+              | _ -> ())
+            b.Index.b_refs)
+        m.Index.m_bindings)
+    index;
+  t
+
+let callees t n = match Hashtbl.find_opt t.edges n with Some l -> l | None -> []
+let callers t n = match Hashtbl.find_opt t.redges n with Some l -> l | None -> []
+
+let mem t n =
+  match Index.find_module t.index ~rel:n.n_rel with
+  | Some m -> Index.find_binding m n.n_binding <> None
+  | None -> false
+
+(* -- forward reachability (R8) ---------------------------------------------- *)
+
+let reachable t ~roots =
+  let parent : (node, node option) Hashtbl.t = Hashtbl.create 256 in
+  let q = Queue.create () in
+  List.iter
+    (fun r ->
+      if mem t r && not (Hashtbl.mem parent r) then begin
+        Hashtbl.replace parent r None;
+        Queue.push r q
+      end)
+    roots;
+  while not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem parent c) then begin
+          Hashtbl.replace parent c (Some n);
+          Queue.push c q
+        end)
+      (callees t n)
+  done;
+  parent
+
+let chain parents n =
+  let rec up acc n =
+    match Hashtbl.find_opt parents n with
+    | Some (Some p) -> up (n :: acc) p
+    | Some None -> n :: acc
+    | None -> n :: acc
+  in
+  up [] n
+
+(* -- reverse escape search (R9) ---------------------------------------------- *)
+
+(* Does any call chain reach [start] without passing through a function
+   whose file satisfies [owned]?  Walk the caller edges, refusing to
+   expand owner-module callers (a path through the owner is sanctioned —
+   that is exactly what an owning API means).  A visited non-owner function with no
+   callers at all is an escape: it is an exported root the graph cannot
+   vouch for.  Returns the escaping chain, outermost first. *)
+let escape_chain t ~owned (start : node) =
+  let parent : (node, node option) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace parent start None;
+  let q = Queue.create () in
+  Queue.push start q;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    let cs = callers t n in
+    if cs = [] then found := Some n
+    else
+      List.iter
+        (fun c ->
+          if (not (owned c.n_rel)) && not (Hashtbl.mem parent c) then begin
+            Hashtbl.replace parent c (Some n);
+            Queue.push c q
+          end)
+        cs
+  done;
+  match !found with
+  | None -> None
+  | Some root ->
+      (* [parent] points one step toward [start]; follow it from the
+         escaping root so the chain reads root -> ... -> start. *)
+      let rec walk acc n =
+        let acc = n :: acc in
+        match Hashtbl.find_opt parent n with
+        | Some (Some next) -> walk acc next
+        | _ -> List.rev acc
+      in
+      Some (walk [] root)

@@ -1,0 +1,50 @@
+(** Phase 2 of the two-phase analyzer: the cross-module call graph.
+
+    Nodes are top-level bindings identified by (file, dotted binding
+    name).  Edges come from resolving each binding's reference list
+    against the whole-program {!Index}: a [Mrdb_x] head names the
+    library; bare module heads go through the file's [module S = ...]
+    aliases, the library's sibling modules, then the file's [open]s; bare
+    value names resolve to the file's own bindings, opened modules, or
+    (last resort) the unique defining module in the index.  References
+    the resolver cannot place (stdlib, locals) contribute no edge — the
+    graph under-approximates calls into code it cannot see. *)
+
+type node = { n_rel : string; n_binding : string }
+
+val node : rel:string -> binding:string -> node
+
+val node_label : node -> string
+(** ["Db_system:user_sink"] — for diagnostics. *)
+
+type t
+
+val build : Index.t -> t
+
+val mem : t -> node -> bool
+(** The node names a real indexed binding. *)
+
+val callees : t -> node -> node list
+val callers : t -> node -> node list
+
+val resolve_ref : t -> Index.modinfo -> string list -> node option
+(** Resolve one flattened reference as seen from a module.  Exposed for
+    the call-graph golden tests. *)
+
+val resolve_exn : t -> Index.modinfo -> string list -> (string * string) option
+(** Resolve an exception-constructor path to (declaring file, exception
+    name), for R10. *)
+
+val reachable : t -> roots:node list -> (node, node option) Hashtbl.t
+(** Forward BFS.  The table maps every reachable node to its BFS parent
+    ([None] for a root); membership is reachability. *)
+
+val chain : (node, node option) Hashtbl.t -> node -> node list
+(** The root -> ... -> node call chain recorded by {!reachable}. *)
+
+val escape_chain : t -> owned:(string -> bool) -> node -> node list option
+(** R9's reverse search: does any call chain invoke [node] without
+    passing through a file satisfying [owned]?  Walks caller edges,
+    never expanding owner-file callers; a reached non-owner function
+    with no callers at all is an escape (an exported root the graph
+    cannot vouch for).  Returns the escaping chain, outermost first. *)

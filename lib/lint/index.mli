@@ -1,0 +1,60 @@
+(** Phase 1 of the two-phase analyzer: a syntactic whole-program index.
+
+    One pass per file distills what the interprocedural rules (R8-R11)
+    consume: per-top-level-binding reference lists (the raw edges of the
+    call graph), raise sites, record-field writes, wildcard exception
+    handlers, and per-module declarations (exceptions, mutable record
+    fields, module aliases, opens).  No typechecking — identifiers are
+    recorded as spelled and resolved later by {!Callgraph}. *)
+
+type raise_arg =
+  | Constructs of string list
+      (** [raise (Exn ...)]: the flattened constructor path *)
+  | Reraise  (** [raise e]: re-raise of a caught variable — always legal *)
+  | Opaque  (** [raise (f x)]: a computed exception the analyzer cannot name *)
+
+type raise_site = { r_arg : raise_arg; r_loc : Location.t }
+
+type binding = {
+  b_name : string;
+      (** top-level value name; submodule members are dotted
+          (["Manager.commit"]) *)
+  b_loc : Location.t;
+  b_refs : (string list * Location.t) list;
+      (** every flattened identifier referenced in the body, in order *)
+  b_raises : raise_site list;
+  b_setfields : (string list * Location.t) list;
+      (** record fields assigned ([x.f <- ...]) *)
+  b_wildcards : Location.t list;  (** [try ... with _ ->] sites *)
+  b_sorts : bool;
+      (** the body references [List.sort]/[Array.sort] family — the
+          "call site sorts" escape for unordered-iteration diagnostics *)
+}
+
+type modinfo = {
+  m_rel : string;  (** path relative to the linted root, e.g. ["wal/slb.ml"] *)
+  m_lib : string option;  (** wrapped library name, from the directory *)
+  m_name : string;  (** OCaml module name, e.g. ["Slb"] *)
+  m_aliases : (string * string list) list;
+      (** top-level [module S = Path] aliases *)
+  m_opens : string list list;  (** top-level [open Path] directives, in order *)
+  m_bindings : binding list;
+  m_exceptions : string list;  (** exception names declared in the file *)
+  m_exn_aliases : (string * string list) list;
+      (** [exception E = Path.E] re-exports — resolution follows the
+          alias to the original declaration site *)
+  m_mutable_fields : string list;
+      (** names of record fields declared [mutable] in the file *)
+}
+
+type t = modinfo list
+
+val module_name_of_rel : string -> string
+(** ["storage/catalog.ml"] -> ["Catalog"]. *)
+
+val of_structure : rel:string -> lib:string option -> Parsetree.structure -> modinfo
+
+val find_module : t -> rel:string -> modinfo option
+val find_binding : modinfo -> string -> binding option
+val modules_named : t -> string -> modinfo list
+val declares_exception : modinfo -> string -> bool

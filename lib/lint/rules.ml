@@ -174,6 +174,233 @@ let print_ident path =
 let print_allowed rel =
   (String.length rel >= 4 && String.sub rel 0 4 = "obs/") || rel = "util/texttab.ml"
 
+(* -- R8: nondeterminism sources ---------------------------------------------- *)
+
+type nondet = Clock | Random_src | Poly_hash | Unordered_iter
+
+(* Classify a flattened reference as a nondeterminism source.  Matching
+   scans the whole path, so [Stdlib.Hashtbl.fold], [Hashtbl.fold] and
+   [Mrdb_foo.Hashtbl.fold] all hit; [Mrdb_util.Rng] (our seeded
+   splitmix64) deliberately does not. *)
+let nondet_ident path =
+  let rec scan = function
+    | "Random" :: _ -> Some (Random_src, "Random")
+    | "Unix" :: (("gettimeofday" | "time" | "times") as f) :: _ ->
+        Some (Clock, "Unix." ^ f)
+    | "Sys" :: "time" :: _ -> Some (Clock, "Sys.time")
+    | "Hashtbl" :: (("hash" | "hash_param" | "seeded_hash") as f) :: _ ->
+        Some (Poly_hash, "Hashtbl." ^ f)
+    | "Hashtbl"
+      :: (("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values") as f)
+      :: _ ->
+        Some (Unordered_iter, "Hashtbl." ^ f)
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan path
+
+(* -- interprocedural configuration (R8-R11) ---------------------------------- *)
+
+type entry_point = { e_rel : string; e_binding : string }
+
+type allow = {
+  a_rel : string;
+  a_binding : string;
+  a_ident : string;
+  a_why : string;
+}
+
+type resource = {
+  res_name : string;
+  res_write_idents : (string * string) list;
+      (* (module-anywhere-in-path, function) pairs, matched like R7 *)
+  res_fields : string list;  (* mutable record fields whose [<-] is a write *)
+  res_owners : string list;  (* rel prefixes ("wal/") or exact files *)
+}
+
+type exn_decl = { x_rel : string; x_name : string }
+
+type config = {
+  r8_entry_points : entry_point list;
+  r8_allow : allow list;
+  r8_random_ok : string list;
+  r9_resources : resource list;
+  r10_exceptions : exn_decl list;
+  r10_stdlib_exceptions : string list;
+  r10_raise_ok : string list;
+  r10_wildcard_allow : allow list;
+}
+
+let owner_matches owners rel =
+  List.exists
+    (fun o ->
+      o = rel
+      || (String.length o > 0
+          && o.[String.length o - 1] = '/'
+          && String.length rel >= String.length o
+          && String.sub rel 0 (String.length o) = o))
+    owners
+
+let write_ident_call res path =
+  let rec scan = function
+    | m :: f :: _ when List.mem (m, f) res.res_write_idents ->
+        Some (m ^ "." ^ f)
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan path
+
+let default_config =
+  {
+    (* R8 roots: the commit path (facade -> per-executor redo sink), the
+       sorter's drain, and the recovery restart path.  Everything these
+       reach must be replay-deterministic. *)
+    r8_entry_points =
+      [
+        { e_rel = "core/db.ml"; e_binding = "commit" };
+        { e_rel = "core/db.ml"; e_binding = "with_txn" };
+        { e_rel = "core/db.ml"; e_binding = "begin_txn" };
+        { e_rel = "core/db_system.ml"; e_binding = "user_sink" };
+        { e_rel = "core/db_system.ml"; e_binding = "with_system_txn" };
+        { e_rel = "core/db_system.ml"; e_binding = "drain" };
+        { e_rel = "recovery/recovery_mgr.ml"; e_binding = "restart" };
+        { e_rel = "recovery/log_sorter.ml"; e_binding = "drain" };
+        { e_rel = "recovery/log_sorter.ml"; e_binding = "sort_backlog" };
+        { e_rel = "recovery/restorer.ml"; e_binding = "ensure_partition" };
+        { e_rel = "recovery/restorer.ml"; e_binding = "restore_catalog" };
+        { e_rel = "recovery/restorer.ml"; e_binding = "background_step" };
+      ];
+    (* Each entry is a justified suppression; R11 fails the build the
+       moment the file, binding or identifier it cites stops existing, so
+       none of these can go stale silently. *)
+    r8_allow =
+      [
+        {
+          a_rel = "txn/lock_mgr.ml";
+          a_binding = "Res.hash";
+          a_ident = "Hashtbl.hash";
+          (* Polymorphic hash of monomorphic int tuples is a pure function
+             of the value within one program build; it only picks a shard,
+             and grant order inside each shard is FIFO, so no ordering
+             derived from it reaches exports, goldens or log records. *)
+          a_why = "shard selection only; FIFO per shard, order never exported";
+        };
+        {
+          a_rel = "storage/addr.ml";
+          a_binding = "hash";
+          a_ident = "Hashtbl.hash";
+          (* Same argument: a pure int-tuple hash feeding hash-table
+             placement, never an exported ordering. *)
+          a_why = "pure int-tuple hash for table placement, order never exported";
+        };
+        {
+          a_rel = "storage/addr.ml";
+          a_binding = "hash_partition";
+          a_ident = "Hashtbl.hash";
+          a_why = "pure int-tuple hash for table placement, order never exported";
+        };
+        {
+          a_rel = "txn/txn.ml";
+          a_binding = "Manager.abort";
+          a_ident = "Hashtbl.iter";
+          (* Iterates the touched-segment set to invalidate index overlay
+             caches; invalidation is idempotent and per-segment, so the
+             visit order is unobservable. *)
+          a_why = "overlay invalidation is idempotent; visit order unobservable";
+        };
+        {
+          a_rel = "txn/txn.ml";
+          a_binding = "Manager.active_count";
+          a_ident = "Hashtbl.fold";
+          (* Folds to a commutative count — the result is order-free. *)
+          a_why = "commutative count; fold order cannot be observed";
+        };
+      ];
+    r8_random_ok = [ "exec/executor.ml"; "util/rng.ml" ];
+    (* R9: the shared-mutable-state registry.  Every write site must
+       either live in the owning module or be reachable only through it
+       (checked on the call graph, not per-file paths like R7). *)
+    r9_resources =
+      [
+        {
+          res_name = "catalog descriptors";
+          res_write_idents = [];
+          res_fields =
+            [ "indices"; "partitions"; "ckpt_page"; "ckpt_page_count"; "resident" ];
+          res_owners = [ "storage/catalog.ml" ];
+        };
+        {
+          res_name = "relation runtimes";
+          res_write_idents = [];
+          res_fields = [ "index_insts"; "indices_attached" ];
+          res_owners = [ "core/" ];
+        };
+        {
+          res_name = "striped SLB regions";
+          res_write_idents = [ ("Slb", "append"); ("Region", "append") ];
+          res_fields = [];
+          res_owners = [ "wal/"; "core/db_system.ml" ];
+        };
+        {
+          res_name = "lock-manager shards";
+          res_write_idents =
+            [
+              ("Lock_mgr", "acquire");
+              ("Lock_mgr", "release");
+              ("Lock_mgr", "release_all");
+            ];
+          res_fields = [];
+          res_owners = [ "txn/"; "core/" ];
+        };
+      ];
+    (* R10: the sanctioned structured exceptions.  A [raise] under lib/
+       must construct one of these (or re-raise); R11 checks each entry
+       still names a declared exception. *)
+    r10_exceptions =
+      [
+        { x_rel = "util/fatal.ml"; x_name = "Invariant" };
+        { x_rel = "wal/slb.ml"; x_name = "Slb_full" };
+        { x_rel = "wal/partition_bin.ml"; x_name = "Pool_exhausted" };
+        { x_rel = "wal/slt.ml"; x_name = "Bin_table_full" };
+        { x_rel = "wal/slt.ml"; x_name = "Record_too_large" };
+        { x_rel = "storage/partition.ml"; x_name = "No_space" };
+        { x_rel = "storage/relation.ml"; x_name = "Tuple_too_large" };
+        { x_rel = "txn/undo_space.ml"; x_name = "Out_of_undo_space" };
+        { x_rel = "hw/duplex.ml"; x_name = "Both_mirrors_failed" };
+        { x_rel = "hw/volatile.ml"; x_name = "Lost" };
+        { x_rel = "core/db_state.ml"; x_name = "Aborted" };
+        { x_rel = "core/db_state.ml"; x_name = "Crashed" };
+        { x_rel = "core/db_state.ml"; x_name = "Unknown_relation" };
+        { x_rel = "core/db_state.ml"; x_name = "Unknown_index" };
+      ];
+    r10_stdlib_exceptions = [ "Not_found"; "Exit" ];
+    (* fatal.ml is the one module allowed to raise outside the registry:
+       it implements the escape hatch itself (Invalid_argument for
+       misuse). *)
+    r10_raise_ok = [ "util/fatal.ml" ];
+    r10_wildcard_allow =
+      [
+        {
+          a_rel = "core/sim_exec.ml";
+          a_binding = "run";
+          a_ident = "_";
+          (* Best-effort abort while propagating a programming error: the
+             original exception is re-raised on the next line, so nothing
+             is swallowed. *)
+          a_why = "best-effort abort during exception propagation; original re-raised";
+        };
+        {
+          a_rel = "recovery/wellknown.ml";
+          a_binding = "load";
+          a_ident = "_";
+          (* Decoding a possibly-rotted well-known copy: any decode
+             failure means fall through to the redundant second copy —
+             exactly the point of keeping two CRC'd copies. *)
+          a_why = "rotted-copy decode failure falls to the redundant copy";
+        };
+      ];
+  }
+
 (* -- R7: SLB region ownership ------------------------------------------------ *)
 
 (* Each striped SLB region belongs to one executor; every append must funnel

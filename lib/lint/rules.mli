@@ -22,7 +22,22 @@
     - {b R7 SLB region ownership}: [Slb.append] / [Slb.Region.append] call
       sites are confined to [core/db_system.ml] (the per-executor redo
       sink) and [lib/wal/] — each striped region is appended only by its
-      owning executor's logging path. *)
+      owning executor's logging path.
+
+    Interprocedural rules (run on the whole-program call graph built by
+    {!Index} + {!Callgraph}, configured by {!type:config}):
+    - {b R8 determinism}: no function reachable from a commit/drain/recovery
+      entry point may touch a nondeterminism source ([Random], wall
+      clocks, polymorphic hashing, unordered [Hashtbl] iteration) unless
+      the call site sorts or carries a justified allowlist entry.
+    - {b R9 ownership}: writes to registered shared mutable state must
+      resolve — via the call graph, not per-file paths — to the declared
+      owning module.
+    - {b R10 structured raises}: every [raise] must construct a declared
+      structured exception (or re-raise); [try ... with _ ->] wildcards
+      are flagged.
+    - {b R11 allowlist hygiene}: every allowlist/registry entry in the
+      configuration must still name a real file, binding and identifier. *)
 
 val libraries : (string * string) list
 (** Directory under [lib/] -> wrapped library name. *)
@@ -71,3 +86,58 @@ val slb_append_allowed : string -> bool
 (** [slb_append_allowed rel] — [rel] relative to [lib/]: the WAL component
     itself and [core/db_system.ml], the per-executor redo sink that routes
     each transaction's records to its executor's SLB region. *)
+
+(** {2 Interprocedural configuration (R8-R11)} *)
+
+type nondet = Clock | Random_src | Poly_hash | Unordered_iter
+
+val nondet_ident : string list -> (nondet * string) option
+(** Classify a flattened reference as a nondeterminism source; returns the
+    kind and a display name ("Sys.time", "Hashtbl.fold", ...). *)
+
+type entry_point = { e_rel : string; e_binding : string }
+
+type allow = {
+  a_rel : string;  (** file, relative to the linted root *)
+  a_binding : string;  (** top-level (possibly dotted) binding name *)
+  a_ident : string;  (** display name of the tolerated identifier *)
+  a_why : string;  (** human justification, surfaced by R11 *)
+}
+
+type resource = {
+  res_name : string;
+  res_write_idents : (string * string) list;
+      (** (module-anywhere-in-path, function) write calls, matched like R7 *)
+  res_fields : string list;
+      (** mutable record fields whose [<-] counts as a write *)
+  res_owners : string list;
+      (** owning rel prefixes (["wal/"]) or exact files *)
+}
+
+type exn_decl = { x_rel : string; x_name : string }
+
+type config = {
+  r8_entry_points : entry_point list;
+  r8_allow : allow list;
+  r8_random_ok : string list;
+      (** files where [Random]-family references are legal (the seeded
+          executor streams and the splitmix implementation itself) *)
+  r9_resources : resource list;
+  r10_exceptions : exn_decl list;  (** the sanctioned structured exceptions *)
+  r10_stdlib_exceptions : string list;  (** e.g. [Not_found], [Exit] *)
+  r10_raise_ok : string list;  (** files exempt from the raise registry *)
+  r10_wildcard_allow : allow list;
+      (** justified [try ... with _ ->] sites, keyed by file + binding *)
+}
+
+val owner_matches : string list -> string -> bool
+(** [owner_matches owners rel]: [rel] equals an entry or extends a
+    ["dir/"]-style prefix entry. *)
+
+val write_ident_call : resource -> string list -> string option
+(** Does the flattened path contain one of the resource's write calls?
+    Returns the display name. *)
+
+val default_config : config
+(** The real tree's configuration; every allow entry carries its
+    justification and is validated by R11 against the live index. *)

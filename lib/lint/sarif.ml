@@ -1,0 +1,128 @@
+(* SARIF 2.1.0 rendering of a diagnostic list, hand-rolled (the toolchain
+   has no JSON library and the schema subset we emit is tiny).  The output
+   is what CI uploads and what PR annotation consumes: one run, one rule
+   descriptor per rule citing its paper clause, one result per diagnostic
+   with the fingerprint under partialFingerprints so baselines survive
+   line motion. *)
+
+let buf_add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Minimal JSON AST: enough structure to keep the emission honest without
+   string-splicing field by field. *)
+type json =
+  | S of string
+  | I of int
+  | L of json list
+  | O of (string * json) list
+
+let rec emit buf = function
+  | S s -> buf_add_json_string buf s
+  | I n -> Buffer.add_string buf (string_of_int n)
+  | L xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | O fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          buf_add_json_string buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let rule_descriptor rule =
+  O
+    [
+      ("id", S (Diag.rule_name rule));
+      ("name", S (Diag.rule_title rule));
+      ( "shortDescription",
+        O [ ("text", S (Diag.rule_title rule)) ] );
+      ( "fullDescription",
+        O [ ("text", S (Diag.paper_clause rule)) ] );
+    ]
+
+let result (d : Diag.t) =
+  O
+    [
+      ("ruleId", S (Diag.rule_name d.Diag.rule));
+      ("level", S "error");
+      ("message", O [ ("text", S d.Diag.msg) ]);
+      ( "locations",
+        L
+          [
+            O
+              [
+                ( "physicalLocation",
+                  O
+                    [
+                      ( "artifactLocation",
+                        O [ ("uri", S d.Diag.file) ] );
+                      ( "region",
+                        O
+                          [
+                            ("startLine", I d.Diag.line);
+                            ("startColumn", I (d.Diag.col + 1));
+                          ] );
+                    ] );
+              ];
+          ] );
+      ( "partialFingerprints",
+        O [ ("mrdbLint/v1", S d.Diag.fp) ] );
+    ]
+
+let render (diags : Diag.t list) =
+  let doc =
+    O
+      [
+        ( "$schema",
+          S
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+        );
+        ("version", S "2.1.0");
+        ( "runs",
+          L
+            [
+              O
+                [
+                  ( "tool",
+                    O
+                      [
+                        ( "driver",
+                          O
+                            [
+                              ("name", S "mrdb_lint");
+                              ("informationUri", S "DESIGN.md");
+                              ( "rules",
+                                L (List.map rule_descriptor Diag.all_rules) );
+                            ] );
+                      ] );
+                  ("results", L (List.map result diags));
+                ];
+            ] );
+      ]
+  in
+  let buf = Buffer.create 4096 in
+  emit buf doc;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** SARIF 2.1.0 rendering for [mrdb_lint --format json].
+
+    One run, one rule descriptor per rule (its [fullDescription] is the
+    paper clause the rule protects), one result per diagnostic.  The
+    diagnostic fingerprint is emitted under
+    [partialFingerprints.mrdbLint/v1] so CI baselining survives line
+    motion. *)
+
+val render : Diag.t list -> string
+(** The complete SARIF document, newline-terminated. *)

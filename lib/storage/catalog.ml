@@ -325,13 +325,21 @@ let find_relation_by_id t id = Hashtbl.find_opt t.by_id id
 
 let partition_desc t part = Addr.Partition_table.find_opt t.part_index part
 
-let iter_relations f t = Hashtbl.iter (fun _ rel -> f rel) t.by_id
+(* Iteration is in ascending rel_id order, never raw hash-table order:
+   checkpoint and restore schedules derive their visit order from here,
+   and replay determinism (R8) requires it to be a pure function of the
+   catalog contents. *)
+let sorted_rels t =
+  Hashtbl.fold (fun _ rel acc -> rel :: acc) t.by_id []
+  |> List.sort (fun a b -> Int.compare a.rel_id b.rel_id)
+
+let iter_relations f t = List.iter f (sorted_rels t)
+
+let fold_relations f t acc =
+  List.fold_left (fun acc rel -> f rel acc) acc (sorted_rels t)
 
 let relations t =
-  Hashtbl.fold
-    (fun _ rel acc -> if rel.rel_name = catalog_rel_name then acc else rel :: acc)
-    t.by_id []
-  |> List.sort (fun a b -> Int.compare a.rel_id b.rel_id)
+  List.filter (fun rel -> rel.rel_name <> catalog_rel_name) (sorted_rels t)
 
 let decode_from_segment segment =
   if Segment.id segment <> catalog_segment_id then

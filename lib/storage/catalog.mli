@@ -100,9 +100,18 @@ val relation_of_segment : t -> int -> rel_desc option
     segments). *)
 
 val partition_desc : t -> Addr.partition -> partition_desc option
+
 val iter_relations : (rel_desc -> unit) -> t -> unit
+(** Visits every relation (including ["__catalog__"]) in ascending
+    [rel_id] order — checkpoint and restore schedules depend on the
+    order being a pure function of the catalog contents (R8). *)
+
+val fold_relations : (rel_desc -> 'a -> 'a) -> t -> 'a -> 'a
+(** Same ascending-[rel_id] visit order as {!iter_relations}. *)
+
 val relations : t -> rel_desc list
-(** User relations (excludes ["__catalog__"]). *)
+(** User relations (excludes ["__catalog__"]), in ascending [rel_id]
+    order. *)
 
 val fresh_segment_id : t -> int
 (** Allocate the next unused segment id (also used by recovery when

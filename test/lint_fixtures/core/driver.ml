@@ -1,0 +1,15 @@
+(* Fixture: the R8 entry point, an R9 escape, and an R10 cross-module
+   raise.  Every violation here is only visible through the call graph. *)
+
+(* R9: reaches Holder.bump's cursor write without passing through the
+   declared owner (core/keeper.ml). *)
+let kick () = Mrdb_storage.Holder.bump ()
+
+(* R10: constructs an exception declared in storage/boom.ml that is not
+   in the fixture's sanctioned registry. *)
+let fling () = raise (Mrdb_storage.Boom.Kaboom "fixture")
+
+(* R8 entry point: everything reachable from here must be deterministic.
+   Clockuser.stamp consults the wall clock two modules away. *)
+let commit_like () =
+  Mrdb_storage.Clockuser.stamp () + Mrdb_storage.Clockuser.tally ()

@@ -1,0 +1,3 @@
+val kick : unit -> int
+val fling : unit -> 'a
+val commit_like : unit -> int

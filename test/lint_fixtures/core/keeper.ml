@@ -1,0 +1,5 @@
+(* Fixture: the declared owner of the "cursor boxes" resource.  Calling
+   Quiet.tidy from here sanctions that write site — every chain reaching
+   it passes through the owner. *)
+
+let sweep () = Mrdb_storage.Quiet.tidy ()

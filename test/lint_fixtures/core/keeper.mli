@@ -1,0 +1,1 @@
+val sweep : unit -> unit

@@ -1,0 +1,1 @@
+val quell : (unit -> 'a) -> 'a option

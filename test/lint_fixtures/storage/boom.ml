@@ -1,0 +1,7 @@
+(* Fixture: exception declarations resolved cross-module by R10.
+   [Safely] is in the fixture's sanctioned registry; [Kaboom] is not, so
+   raising it (from core/driver.ml, two modules away) is a violation
+   attributed to the raise site. *)
+
+exception Kaboom of string
+exception Safely

@@ -1,0 +1,2 @@
+exception Kaboom of string
+exception Safely

@@ -1,0 +1,3 @@
+val stamp : unit -> int
+val offline : unit -> int
+val tally : unit -> int

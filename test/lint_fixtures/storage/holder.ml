@@ -1,0 +1,11 @@
+(* Fixture: an R9 violation only a cross-module chain exposes.  The
+   cursor write below is fine per-file — the problem is that Driver.kick
+   reaches it without passing through the owner, core/keeper.ml. *)
+
+type box = { mutable cursor : int }
+
+let the_box = { cursor = 0 }
+
+let bump () =
+  the_box.cursor <- the_box.cursor + 1;
+  the_box.cursor

@@ -1,0 +1,4 @@
+type box = { mutable cursor : int }
+
+val the_box : box
+val bump : unit -> int

@@ -1,0 +1,12 @@
+(* Fixture: the sanctioned counterpart to holder.ml.  [tidy] writes the
+   registered cursor field but is only ever called by the owning module
+   (core/keeper.ml), so R9 stays silent; [guard] raises an exception that
+   IS in the fixture registry, so R10 stays silent. *)
+
+type slot = { mutable cursor : int }
+
+let slot = { cursor = 0 }
+
+let tidy () = slot.cursor <- 0
+
+let guard () = raise Boom.Safely

@@ -1,0 +1,5 @@
+type slot = { mutable cursor : int }
+
+val slot : slot
+val tidy : unit -> unit
+val guard : unit -> 'a

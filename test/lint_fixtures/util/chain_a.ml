@@ -1,0 +1,10 @@
+(* Fixture: call-graph builder goldens.  [size] is shadowed — both
+   chain_a and chain_b define one, and [ping]'s qualified call must
+   resolve to chain_b's copy, never fall back to the local binding.
+   [ping]/[pong] form a cross-module cycle the BFS must terminate on. *)
+
+let size () = 1
+
+let ping () = Chain_b.size () + Chain_b.pong ()
+
+let start () = Chain_b.pong ()

@@ -1,0 +1,3 @@
+val size : unit -> int
+val ping : unit -> int
+val start : unit -> int

@@ -1,0 +1,6 @@
+(* Fixture: the other half of the chain_a cycle and of the shadowed
+   [size] pair. *)
+
+let size () = 2
+
+let pong () = Chain_a.ping ()

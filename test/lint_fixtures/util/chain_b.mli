@@ -1,0 +1,2 @@
+val size : unit -> int
+val pong : unit -> int

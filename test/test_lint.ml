@@ -1,8 +1,13 @@
 (* Golden tests for mrdb_lint: a fixture corpus seeds exactly one violation
-   per rule (R1 wild write, R2 layering, R3 partiality, R4 unsealed, R5
-   fault injection, R6 bare printing, R7 rogue SLB append), plus one clean
-   file that must pass.  Each rule must fire at the expected file:line —
-   and nowhere else. *)
+   per rule — the per-file rules (R1 wild write, R2 layering, R3 partiality,
+   R4 unsealed, R5 fault injection, R6 bare printing, R7 rogue SLB append)
+   plus the interprocedural rules (R8 determinism, R9 ownership, R10
+   structured raises, R11 stale allowlist), whose violations are only
+   visible through the cross-module call graph.  Each rule must fire at
+   the expected file:line — and nowhere else: the negative cases
+   (unreachable clock read, sorted Hashtbl fold, owner-routed write,
+   registered exception) are asserted by their absence from the golden
+   list. *)
 
 open Mrdb_lint
 
@@ -11,16 +16,61 @@ let int_t = Alcotest.int
 let bool_t = Alcotest.bool
 
 let fixture_root = "lint_fixtures"
-let lint_fixtures () = Engine.lint ~lib_dir:fixture_root
+
+(* The fixture tree's interprocedural configuration.  The real tree's
+   Rules.default_config references files that exist only under lib/, so
+   the fixtures carry their own: one entry point (Driver.commit_like),
+   one owned resource (the [cursor] boxes, owned by core/keeper.ml), one
+   sanctioned exception (Boom.Safely) — and one deliberately stale
+   allowlist entry that R11 must flag. *)
+let fixture_config =
+  {
+    Rules.r8_entry_points =
+      [ { Rules.e_rel = "core/driver.ml"; e_binding = "commit_like" } ];
+    r8_allow =
+      [
+        {
+          Rules.a_rel = "storage/ghost.ml";
+          a_binding = "gone";
+          a_ident = "Sys.time";
+          a_why = "deliberately stale: no such file";
+        };
+      ];
+    r8_random_ok = [];
+    r9_resources =
+      [
+        {
+          Rules.res_name = "cursor boxes";
+          res_write_idents = [];
+          res_fields = [ "cursor" ];
+          res_owners = [ "core/keeper.ml" ];
+        };
+      ];
+    r10_exceptions = [ { Rules.x_rel = "storage/boom.ml"; x_name = "Safely" } ];
+    r10_stdlib_exceptions = [ "Not_found"; "Exit" ];
+    r10_raise_ok = [];
+    r10_wildcard_allow = [];
+  }
+
+let lint_fixtures () =
+  Engine.lint ~config:fixture_config ~lib_dir:fixture_root ()
 
 (* The golden corpus: every diagnostic the fixture tree must produce, in
-   the engine's sorted order. *)
+   the engine's sorted order.  Notably absent: Clockuser.offline (clock
+   read unreachable from the entry point), Clockuser.tally (unordered
+   fold, but the call site sorts), Quiet.tidy (cursor write reached only
+   through the owner), Quiet.guard (raise of a registered exception). *)
 let expected =
   [
+    ("R10", "lint_fixtures/core/driver.ml", 10);
     ("R5", "lint_fixtures/core/inject.ml", 4);
     ("R7", "lint_fixtures/core/rogue_append.ml", 4);
     ("R1", "lint_fixtures/core/wild_write.ml", 4);
+    ("R10", "lint_fixtures/recovery/sloppy.ml", 3);
     ("R2", "lint_fixtures/recovery/upcall.ml", 3);
+    ("R8", "lint_fixtures/storage/clockuser.ml", 7);
+    ("R11", "lint_fixtures/storage/ghost.ml", 1);
+    ("R9", "lint_fixtures/storage/holder.ml", 10);
     ("R6", "lint_fixtures/storage/noisy.ml", 3);
     ("R3", "lint_fixtures/storage/partial.ml", 3);
     ("R4", "lint_fixtures/storage/unsealed.ml", 1);
@@ -36,20 +86,158 @@ let test_golden_corpus () =
   in
   check triple_t "each rule fires exactly at its seeded violation" expected got
 
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
 let test_r1_cites_wild_write_clause () =
   let r1 =
     List.filter (fun d -> d.Diag.rule = Diag.R1) (lint_fixtures ())
   in
   check int_t "one R1" 1 (List.length r1);
   let rendered = Diag.to_string (List.hd r1) in
-  let contains ~needle hay =
-    let n = String.length needle and h = String.length hay in
-    let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
-    scan 0
-  in
   check bool_t "mentions Stable_mem mutator" true
     (contains ~needle:"Stable_mem.put_u32" rendered);
   check bool_t "cites paper 2.2" true (contains ~needle:"2.2" rendered)
+
+(* The interprocedural diagnostics carry the call chain that convicts
+   them — the whole point of phase 2 is that the chain crosses modules. *)
+let test_r8_message_carries_cross_module_chain () =
+  let r8 = List.filter (fun d -> d.Diag.rule = Diag.R8) (lint_fixtures ()) in
+  check int_t "one R8" 1 (List.length r8);
+  let d = List.hd r8 in
+  check bool_t "names the source" true (contains ~needle:"Sys.time" d.Diag.msg);
+  check bool_t "chain starts at the entry point" true
+    (contains ~needle:"Driver:commit_like -> Clockuser:stamp" d.Diag.msg)
+
+let test_r9_message_carries_escape_chain () =
+  let r9 = List.filter (fun d -> d.Diag.rule = Diag.R9) (lint_fixtures ()) in
+  check int_t "one R9" 1 (List.length r9);
+  let d = List.hd r9 in
+  check bool_t "escape chain crosses modules" true
+    (contains ~needle:"Driver:kick -> Holder:bump" d.Diag.msg)
+
+let test_r10_resolves_exception_cross_module () =
+  let r10 =
+    List.filter
+      (fun d ->
+        d.Diag.rule = Diag.R10 && contains ~needle:"driver.ml" d.Diag.file)
+      (lint_fixtures ())
+  in
+  check int_t "one R10 at the raise site" 1 (List.length r10);
+  check bool_t "names the declaring module" true
+    (contains ~needle:"storage/boom.ml" (List.hd r10).Diag.msg)
+
+(* --- call-graph builder goldens ------------------------------------------- *)
+
+let graph () =
+  let index = Engine.index_tree ~lib_dir:fixture_root in
+  (index, Callgraph.build index)
+
+let test_callgraph_reachability_golden () =
+  let _, g = graph () in
+  let root = Callgraph.node ~rel:"util/chain_a.ml" ~binding:"start" in
+  let parents = Callgraph.reachable g ~roots:[ root ] in
+  let got =
+    Hashtbl.fold (fun n _ acc -> Callgraph.node_label n :: acc) parents []
+    |> List.sort String.compare
+  in
+  (* The ping/pong cycle terminates; the shadowed [size] resolves to
+     chain_b's copy, so Chain_a:size is NOT reachable. *)
+  check
+    Alcotest.(list string)
+    "reachable set from Chain_a:start"
+    [ "Chain_a:ping"; "Chain_a:start"; "Chain_b:pong"; "Chain_b:size" ]
+    got
+
+let test_shadowed_name_resolves_to_qualified_module () =
+  let index, g = graph () in
+  let m =
+    match Index.find_module index ~rel:"util/chain_a.ml" with
+    | Some m -> m
+    | None -> Alcotest.fail "chain_a.ml not indexed"
+  in
+  match Callgraph.resolve_ref g m [ "Chain_b"; "size" ] with
+  | Some n ->
+      check Alcotest.string "resolves to chain_b, not the local size"
+        "util/chain_b.ml" n.Callgraph.n_rel
+  | None -> Alcotest.fail "Chain_b.size did not resolve"
+
+let test_chain_renders_root_to_target () =
+  let _, g = graph () in
+  let root = Callgraph.node ~rel:"util/chain_a.ml" ~binding:"start" in
+  let parents = Callgraph.reachable g ~roots:[ root ] in
+  let target = Callgraph.node ~rel:"util/chain_a.ml" ~binding:"ping" in
+  let labels = List.map Callgraph.node_label (Callgraph.chain parents target) in
+  check
+    Alcotest.(list string)
+    "BFS parent chain" [ "Chain_a:start"; "Chain_b:pong"; "Chain_a:ping" ]
+    labels
+
+(* --- baseline / SARIF / explain -------------------------------------------- *)
+
+let test_baseline_partition_and_stale () =
+  let diags = lint_fixtures () in
+  let fps = List.map (fun d -> d.Diag.fp) diags in
+  let b =
+    Baseline.parse_lines
+      (("# header comment" :: List.map (fun f -> f ^ "  # why") fps) @ [ "" ])
+  in
+  let suppressed, fresh = Baseline.partition b diags in
+  check int_t "all suppressed" (List.length diags) (List.length suppressed);
+  check int_t "none fresh" 0 (List.length fresh);
+  check int_t "no stale entries" 0 (List.length (Baseline.stale b diags));
+  let b2 = Baseline.parse_lines [ "R1:nowhere/ghost.ml:L1" ] in
+  let suppressed2, fresh2 = Baseline.partition b2 diags in
+  check int_t "nothing suppressed" 0 (List.length suppressed2);
+  check int_t "all fresh" (List.length diags) (List.length fresh2);
+  check int_t "one stale entry" 1 (List.length (Baseline.stale b2 diags))
+
+let test_fingerprint_survives_line_motion () =
+  (* Interprocedural fingerprints key on binding + identifier, not the
+     line, so a baseline survives edits above the violation. *)
+  let r8 = List.filter (fun d -> d.Diag.rule = Diag.R8) (lint_fixtures ()) in
+  check bool_t "R8 fingerprint is line-free" true
+    ((List.hd r8).Diag.fp = "R8:lint_fixtures/storage/clockuser.ml:stamp:Sys.time")
+
+let test_sarif_document () =
+  let s = Sarif.render (lint_fixtures ()) in
+  check bool_t "sarif version" true (contains ~needle:"\"version\":\"2.1.0\"" s);
+  check bool_t "has R8 result" true (contains ~needle:"\"ruleId\":\"R8\"" s);
+  check bool_t "rule descriptors cite the paper" true
+    (contains ~needle:"recovery replays the SLB->SLT commit order" s);
+  check bool_t "fingerprints present" true
+    (contains ~needle:"\"mrdbLint/v1\"" s)
+
+let test_explain_lookup () =
+  check bool_t "R8 resolves" true (Diag.rule_of_name "R8" = Some Diag.R8);
+  check bool_t "R11 resolves" true (Diag.rule_of_name "R11" = Some Diag.R11);
+  check bool_t "unknown rejected" true (Diag.rule_of_name "R99" = None);
+  (* The rule id sits in its own stable column so CI can grep ': R8 ['. *)
+  let d = List.hd (lint_fixtures ()) in
+  check bool_t "rule id in stable column" true
+    (contains
+       ~needle:(Printf.sprintf ": %s [" (Diag.rule_name d.Diag.rule))
+       (Diag.to_string d))
+
+(* --- real-tree configuration sanity ---------------------------------------- *)
+
+let test_default_config_shape () =
+  let c = Rules.default_config in
+  check bool_t "commit is an entry point" true
+    (List.exists
+       (fun (e : Rules.entry_point) ->
+         e.Rules.e_rel = "core/db.ml" && e.Rules.e_binding = "commit")
+       c.Rules.r8_entry_points);
+  check bool_t "recovery restart is an entry point" true
+    (List.exists
+       (fun (e : Rules.entry_point) -> e.Rules.e_rel = "recovery/recovery_mgr.ml")
+       c.Rules.r8_entry_points);
+  check bool_t "every allow entry is justified" true
+    (List.for_all
+       (fun (a : Rules.allow) -> String.length a.Rules.a_why > 0)
+       (c.Rules.r8_allow @ c.Rules.r10_wildcard_allow))
 
 let test_clean_file_passes () =
   let diags = Engine.lint_ml ~lib_dir:fixture_root ~rel:"storage/clean.ml" in
@@ -109,6 +297,17 @@ let test_fault_containment_allowlist () =
   check bool_t "core must not inject" false (Rules.fault_injection_allowed "core/db.ml");
   check bool_t "wal must not inject" false (Rules.fault_injection_allowed "wal/slt.ml")
 
+let test_nondet_classifier () =
+  check bool_t "Sys.time is a clock" true
+    (Rules.nondet_ident [ "Sys"; "time" ] = Some (Rules.Clock, "Sys.time"));
+  check bool_t "Stdlib-qualified spelling matches" true
+    (Rules.nondet_ident [ "Stdlib"; "Hashtbl"; "fold" ]
+    = Some (Rules.Unordered_iter, "Hashtbl.fold"));
+  check bool_t "Hashtbl.replace is not flagged" true
+    (Rules.nondet_ident [ "Hashtbl"; "replace" ] = None);
+  check bool_t "our seeded rng is not Random" true
+    (Rules.nondet_ident [ "Mrdb_util"; "Rng"; "int" ] = None)
+
 let () =
   Alcotest.run "lint"
     [
@@ -117,6 +316,26 @@ let () =
           Alcotest.test_case "golden fixture corpus" `Quick test_golden_corpus;
           Alcotest.test_case "R1 cites the wild-write clause" `Quick
             test_r1_cites_wild_write_clause;
+          Alcotest.test_case "R8 message carries the cross-module chain" `Quick
+            test_r8_message_carries_cross_module_chain;
+          Alcotest.test_case "R9 message carries the escape chain" `Quick
+            test_r9_message_carries_escape_chain;
+          Alcotest.test_case "R10 resolves the exception cross-module" `Quick
+            test_r10_resolves_exception_cross_module;
+          Alcotest.test_case "call-graph reachability golden" `Quick
+            test_callgraph_reachability_golden;
+          Alcotest.test_case "shadowed name resolves to qualified module" `Quick
+            test_shadowed_name_resolves_to_qualified_module;
+          Alcotest.test_case "BFS chain renders root to target" `Quick
+            test_chain_renders_root_to_target;
+          Alcotest.test_case "baseline partition and staleness" `Quick
+            test_baseline_partition_and_stale;
+          Alcotest.test_case "fingerprint survives line motion" `Quick
+            test_fingerprint_survives_line_motion;
+          Alcotest.test_case "SARIF document shape" `Quick test_sarif_document;
+          Alcotest.test_case "--explain rule lookup" `Quick test_explain_lookup;
+          Alcotest.test_case "default config shape" `Quick
+            test_default_config_shape;
           Alcotest.test_case "clean file passes" `Quick test_clean_file_passes;
           Alcotest.test_case "unparseable file is a diagnostic" `Quick
             test_unparseable_reported_not_fatal;
@@ -128,5 +347,7 @@ let () =
             test_slb_ownership_allowlist;
           Alcotest.test_case "print discipline allowlist" `Quick
             test_print_discipline_allowlist;
+          Alcotest.test_case "nondeterminism classifier" `Quick
+            test_nondet_classifier;
         ] );
     ]
