@@ -123,9 +123,61 @@ let commit_mode_comparison ~txns =
   in
   [
     run Config.Instant "instant (stable SLB)";
-    run (Config.Group 8) "group commit (n=8)";
+    run (Config.group 8) "group commit (n=8)";
     run Config.Disk_force "disk-force WAL";
   ]
+
+type group_row = {
+  batch_size : int;
+  g_simulated_ms : float;
+  txns_per_s : float;
+  wait_p50_us : float;
+  wait_p99_us : float;
+  flushes : int;
+  stable_writes_per_flush : float;
+}
+
+(* Group-commit batch-size sweep: same update-heavy workload at every
+   batch size, measuring end-to-end simulated time (throughput) against
+   the commit-wait distribution (latency cost of batching) and the
+   stable-memory write coalescing the batch buys. *)
+let group_batch_sweep ~txns =
+  List.map
+    (fun batch_size ->
+      let config =
+        {
+          Config.small with
+          Config.commit_mode =
+            Config.Group { Config.batch_size; timeout_us = 0.0 };
+        }
+      in
+      let db = Db.create ~config () in
+      let w = Workload.Update_heavy.setup db ~rows:200 () in
+      let rng = Mrdb_util.Rng.of_int 11 in
+      Db.quiesce db;
+      let t0 = Sim.now (Db.sim db) in
+      for _ = 1 to txns do
+        Workload.Update_heavy.run_one w db ~rng
+      done;
+      Db.flush_group db;
+      Db.quiesce db;
+      let elapsed_us = Sim.now (Db.sim db) -. t0 in
+      let trace = Db.trace db in
+      let flushes = Mrdb_sim.Trace.count trace "group_flushes" in
+      let writes = Mrdb_sim.Trace.count trace "group_flush_writes" in
+      let wait = Mrdb_obs.Obs.group_commit_wait (Db.obs db) in
+      {
+        batch_size;
+        g_simulated_ms = elapsed_us /. 1000.0;
+        txns_per_s = float_of_int txns /. (elapsed_us /. 1.0e6);
+        wait_p50_us = float_of_int (Mrdb_obs.Metrics.quantile wait 0.5) /. 1000.0;
+        wait_p99_us = float_of_int (Mrdb_obs.Metrics.quantile wait 0.99) /. 1000.0;
+        flushes;
+        stable_writes_per_flush =
+          (if flushes = 0 then 0.0
+           else float_of_int writes /. float_of_int flushes);
+      })
+    [ 1; 2; 4; 8; 16 ]
 
 type strategy_row = {
   strategy : string;

@@ -21,6 +21,15 @@ type t = {
 val encode : page_bytes:int -> t -> bytes
 (** Page-multiple image ready for a track write. *)
 
+val encode_into :
+  page_bytes:int -> part:Addr.partition -> watermark:int -> snapshot:bytes ->
+  bytes -> int
+(** {!encode} into a caller-owned buffer, returning the page-rounded image
+    length.  [snapshot] is only read, so it may be the partition's live
+    backing buffer — the zero-copy checkpoint path encodes straight out of
+    it instead of materializing a {!Mrdb_storage.Partition.snapshot}.
+    @raise Invalid_argument when the buffer is smaller than the image. *)
+
 val pages_needed : page_bytes:int -> snapshot_bytes:int -> int
 
 val decode : bytes -> (t, string) result

@@ -1,4 +1,9 @@
-type commit_mode = Instant | Group of int | Disk_force
+type group_commit = { batch_size : int; timeout_us : float }
+
+type commit_mode = Instant | Group of group_commit | Disk_force
+
+(* Batch-size-only group commit (no timeout), the common test spelling. *)
+let group n = Group { batch_size = n; timeout_us = 0.0 }
 
 type recovery_mode = On_demand | Predeclare | Full_reload
 
@@ -92,7 +97,10 @@ let validate t =
   if t.log_window_pages < 2 * cfg.Mrdb_wal.Stable_layout.dir_size then
     Mrdb_util.Fatal.misuse "Config: log window too small for directory spans";
   (match t.commit_mode with
-  | Group n when n < 1 -> Mrdb_util.Fatal.misuse "Config: group size must be >= 1"
+  | Group { batch_size; _ } when batch_size < 1 ->
+      Mrdb_util.Fatal.misuse "Config: group size must be >= 1"
+  | Group { timeout_us; _ } when timeout_us < 0.0 ->
+      Mrdb_util.Fatal.misuse "Config: group timeout must be >= 0"
   | Group _ | Instant | Disk_force -> ());
   if t.n_update < 1 then Mrdb_util.Fatal.misuse "Config: n_update must be >= 1";
   (* Index node records must fit a log page and an SLB block. *)

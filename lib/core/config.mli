@@ -5,15 +5,23 @@
     geometry, plus the commit-path and post-crash recovery policies used by
     the baseline comparisons. *)
 
+(** Group-commit tuning: flush when [batch_size] precommitted transactions
+    have accumulated, or — when [timeout_us > 0] — when the oldest has
+    waited that long on the simulated clock, whichever comes first. *)
+type group_commit = { batch_size : int; timeout_us : float }
+
 (** How transactions reach the committed state (§1.2 / §2.3.1). *)
 type commit_mode =
   | Instant
       (** Stable-SLB commit: durable the moment the committed-list entry is
           written to stable memory — the paper's design. *)
-  | Group of int
-      (** FASTPATH-style group commit: precommit releases locks; the group
-          officially commits when [n] transactions have accumulated (or on
-          an explicit flush). *)
+  | Group of group_commit
+      (** FASTPATH-style group commit: precommit releases locks and stages
+          the transaction's REDO in volatile memory; the group officially
+          commits — all staged chains materialized into stable memory in
+          coalesced batch writes, then ring-committed in precommit order —
+          when [batch_size] transactions have accumulated, the [timeout_us]
+          deadline fires, or {!Db.flush_group} is called. *)
   | Disk_force
       (** Conventional disk-WAL baseline: commit additionally forces the
           transaction's log records to the log disk and waits. *)
@@ -58,6 +66,10 @@ type t = {
           main-CPU polling); when false, call {!Db.process_checkpoints}
           manually *)
 }
+
+val group : int -> commit_mode
+(** [group n] is [Group { batch_size = n; timeout_us = 0.0 }] — flush on
+    batch size only. *)
 
 val default : t
 (** Paper-flavoured geometry: 48 KB partitions, 8 KB log pages,

@@ -82,13 +82,18 @@ val begin_txn : ?declare:string list -> ?executor:int -> t -> txn
 val txn_id : txn -> int
 val commit : t -> txn -> unit
 (** Commit per the configured {!Config.commit_mode}.  Under [Group _] the
-    transaction precommits and joins the current group. *)
+    transaction precommits and joins the current group; its REDO stays in
+    a volatile staging buffer until the group flushes (when the batch
+    size is reached, the group timeout fires on the simulated clock, or
+    {!flush_group} is called). *)
 
 val abort : t -> txn -> unit
 val flush_group : t -> unit
-(** Officially commit the pending group now: the group's log records are
-    already in stable memory, so the flush is a commit-list write, not a
-    disk force.  No-op outside group mode. *)
+(** Officially commit the pending group now: every staged chain is
+    materialized into stable memory in coalesced per-region batch writes,
+    then ring-committed in precommit order — still a stable-memory write,
+    not a disk force.  No-op outside group mode or when the group is
+    empty. *)
 
 val with_txn : ?executor:int -> t -> (txn -> 'a) -> 'a
 (** Run, commit on return, abort on exception (re-raised); [executor] as
@@ -119,7 +124,12 @@ val cardinality : t -> rel:string -> int
 val process_checkpoints : t -> int
 (** Run pending checkpoint transactions (the main CPU's between-transaction
     polling); returns how many completed.  Requests whose relation lock is
-    held by a live transaction are deferred. *)
+    held by a live transaction are deferred.  Under group commit the
+    pending group is flushed first (as in {!checkpoint_partition}): a
+    precommitted transaction has already released its locks, so an image
+    taken before the flush could durably capture effects whose commit
+    record is still volatile — recovery would then resurrect a
+    transaction that never durably committed. *)
 
 val pending_checkpoints : t -> int
 val checkpoint_partition : t -> Addr.partition -> unit

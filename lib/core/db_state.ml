@@ -50,7 +50,8 @@ type vol = {
   disk_map : Disk_map.t;
   ckpt_q : Ckpt_queue.t;
   seq : int Addr.Partition_table.t;
-  group : Txn_core.t Queue.t;
+  group : (Txn_core.t * float) Queue.t; (* precommitted txn, precommit time *)
+  mutable group_epoch : int; (* bumped per flush; stale timeout guards *)
   overlay_by_segment : (int, index_inst) Hashtbl.t;
 }
 
@@ -74,7 +75,7 @@ let mk_vol ctx ~slb ~slt ~cat ~ckpt_q =
         | None -> ())
       ~now:(fun () -> Mrdb_obs.Obs.now_us ctx.obs)
       ~recorder:(Mrdb_obs.Obs.recorder ctx.obs)
-      ()
+      ~executors:ctx.cfg.Config.executors ()
   in
   {
     slb;
@@ -91,6 +92,7 @@ let mk_vol ctx ~slb ~slt ~cat ~ckpt_q =
     ckpt_q;
     seq = Addr.Partition_table.create 256;
     group = Queue.create ();
+    group_epoch = 0;
     overlay_by_segment;
   }
 
@@ -104,9 +106,9 @@ let ensure_segment ctx seg_id = Restorer.ensure_segment (restorer ctx) seg_id
 (* -- relation runtimes ---------------------------------------------------- *)
 
 let rt_of ctx v name =
-  match Hashtbl.find_opt v.rels name with
-  | Some rt -> rt
-  | None -> (
+  match Hashtbl.find v.rels name with
+  | rt -> rt
+  | exception Not_found -> (
       match Catalog.find_relation v.cat name with
       | None -> raise (Unknown_relation name)
       | Some desc ->

@@ -47,7 +47,12 @@ type vol = {
   disk_map : Mrdb_ckpt.Disk_map.t;
   ckpt_q : Mrdb_ckpt.Ckpt_queue.t;
   seq : int Addr.Partition_table.t;
-  group : Mrdb_txn.Txn.t Queue.t;
+  group : (Mrdb_txn.Txn.t * float) Queue.t;
+      (** precommitted transactions awaiting the group flush, with their
+          precommit times (simulated µs) for the wait histogram *)
+  mutable group_epoch : int;
+      (** bumped on every group flush; a pending timeout event compares
+          its captured epoch so a stale deadline never double-flushes *)
   overlay_by_segment : (int, index_inst) Hashtbl.t;
 }
 

@@ -21,7 +21,9 @@ let tag_for v (part : Addr.partition) =
 
 let next_seq v part =
   let c =
-    match Addr.Partition_table.find_opt v.seq part with Some c -> c | None -> 0
+    match Addr.Partition_table.find v.seq part with
+    | c -> c
+    | exception Not_found -> 0
   in
   Addr.Partition_table.replace v.seq part (c + 1);
   c + 1
@@ -55,19 +57,38 @@ and with_system_txn : 'a. ctx -> vol -> (Relation.log_sink -> 'a) -> 'a =
   result
 
 let user_sink ctx v tx : Relation.log_sink =
- fun part ~redo ~undo ->
-  if part.Addr.segment <> Catalog.catalog_segment_id then ensure_registered ctx v part;
-  Txn_core.Manager.record_update v.txn_mgr tx part ~redo ~undo;
-  let bin_index = Slt.bin_index_of v.slt part in
-  let seq = next_seq v part in
-  (* The transaction's appends land in its executor's own SLB region —
-     the whole point of the striping (lint R7 confines this call site). *)
-  Slb.Region.append
-    (Slb.region v.slb (Txn_core.executor tx))
-    ~txn_id:(Txn_core.id tx)
-    (Log_record.make ~tag:(tag_for v part) ~bin_index ~txn_id:(Txn_core.id tx) ~seq
-       ~op:redo);
-  Trace.incr ctx.trace "log_records"
+  (* One closure per transaction, cached on the transaction itself: DML
+     operations ask for the sink once per call, and a debit/credit
+     transaction makes several. *)
+  match Txn_core.sink tx with
+  | Some s -> s
+  | None ->
+      let region = Slb.region v.slb (Txn_core.executor tx) in
+      let txn_id = Txn_core.id tx in
+      let staged =
+        match ctx.cfg.Config.commit_mode with
+        | Config.Group _ -> true
+        | Config.Instant | Config.Disk_force -> false
+      in
+      let s (part : Addr.partition) ~redo ~undo =
+        if part.Addr.segment <> Catalog.catalog_segment_id then
+          ensure_registered ctx v part;
+        Txn_core.Manager.record_update v.txn_mgr tx part ~redo ~undo;
+        let bin_index = Slt.bin_index_of v.slt part in
+        let seq = next_seq v part in
+        (* The transaction's appends land in its executor's own SLB region —
+           the whole point of the striping (lint R7 confines this call
+           site).  Group mode stages in volatile memory instead; the group
+           flush materializes the chain into the same region. *)
+        let record =
+          Log_record.make ~tag:(tag_for v part) ~bin_index ~txn_id ~seq ~op:redo
+        in
+        if staged then Slb.Region.stage_append region ~txn_id record
+        else Slb.Region.append region ~txn_id record;
+        Trace.incr ctx.trace "log_records"
+      in
+      Txn_core.set_sink tx s;
+      s
 
 let update_wellknown ctx v =
   Ckpt_mgr.update_wellknown ~layout:(ctx.layout ()) ~cat:v.cat

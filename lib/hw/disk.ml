@@ -60,6 +60,14 @@ type t = {
   mutable pages_written : int;
   mutable pages_read : int;
   mutable busy_us : float;
+  (* Submit-time copies are mandatory (the caller may reuse its buffer
+     before the simulated transfer completes), but the copies themselves
+     recycle: completed ops return their buffers here and the next submit
+     blits into a spare instead of allocating.  Capped so a burst cannot
+     retain unbounded scratch. *)
+  mutable spare_pages : bytes list; (* page_bytes-sized, for Write ops *)
+  mutable spare_page_count : int;
+  mutable spare_tracks : bytes list; (* track images, at most two *)
 }
 
 let create ?(name = "disk") sim ~params ~capacity_pages =
@@ -80,6 +88,9 @@ let create ?(name = "disk") sim ~params ~capacity_pages =
     pages_written = 0;
     pages_read = 0;
     busy_us = 0.0;
+    spare_pages = [];
+    spare_page_count = 0;
+    spare_tracks = [];
   }
 
 let name t = t.name
@@ -126,13 +137,54 @@ let read_fault t ~page =
 
 let media_failed_msg t = t.name ^ ": media failure"
 
+let private_page_copy t data =
+  match t.spare_pages with
+  | b :: rest ->
+      t.spare_pages <- rest;
+      t.spare_page_count <- t.spare_page_count - 1;
+      Bytes.blit data 0 b 0 (Bytes.length data);
+      b
+  | [] -> Bytes.copy data
+
+let recycle_page t b =
+  if t.spare_page_count < 16 then begin
+    t.spare_pages <- b :: t.spare_pages;
+    t.spare_page_count <- t.spare_page_count + 1
+  end
+
+let private_track_copy t data =
+  let len = Bytes.length data in
+  match t.spare_tracks with
+  | b :: rest when Bytes.length b = len ->
+      t.spare_tracks <- rest;
+      Bytes.blit data 0 b 0 len;
+      b
+  | [ a; b ] when Bytes.length b = len ->
+      t.spare_tracks <- [ a ];
+      Bytes.blit data 0 b 0 len;
+      b
+  | _ -> Bytes.copy data
+
+let recycle_track t b =
+  t.spare_tracks <-
+    (match t.spare_tracks with a :: _ -> [ b; a ] | [] -> [ b ])
+
 let apply t op =
   match op with
   | Write { page; data; k } ->
       if not t.failed then begin
-        t.store.(page) <- Some (Bytes.copy data);
+        (* The store page is mutated in place when present: the platter
+           already owns a buffer of exactly this size, and every read out
+           of the store copies.  The op's private buffer goes back to the
+           spare pool either way. *)
+        (match t.store.(page) with
+        | Some b ->
+            Bytes.blit data 0 b 0 (Bytes.length data);
+            recycle_page t data
+        | None -> t.store.(page) <- Some data);
         t.pages_written <- t.pages_written + 1
-      end;
+      end
+      else recycle_page t data;
       (* A failed drive's electronics still complete the request; the bytes
          just never reach the platters.  Completion must fire either way or
          a duplexed write against a dying mirror would hang forever. *)
@@ -154,14 +206,17 @@ let apply t op =
             k (Ok data)
       end
   | Write_track { first_page; data; k } ->
-      let pages = Bytes.length data / t.params.page_bytes in
+      let pb = t.params.page_bytes in
+      let pages = Bytes.length data / pb in
       if not t.failed then begin
         for i = 0 to pages - 1 do
-          t.store.(first_page + i) <-
-            Some (Bytes.sub data (i * t.params.page_bytes) t.params.page_bytes)
+          match t.store.(first_page + i) with
+          | Some b -> Bytes.blit data (i * pb) b 0 pb
+          | None -> t.store.(first_page + i) <- Some (Bytes.sub data (i * pb) pb)
         done;
         t.pages_written <- t.pages_written + pages
       end;
+      recycle_track t data;
       t.last_page <- first_page + pages - 1;
       k ()
   | Read_track { first_page; pages; k } ->
@@ -205,7 +260,7 @@ let write_page t ~page data k =
   if Bytes.length data <> t.params.page_bytes then
     Mrdb_util.Fatal.misuse (Printf.sprintf "%s: write_page size %d <> page size %d" t.name
                    (Bytes.length data) t.params.page_bytes);
-  submit t (Write { page; data = Bytes.copy data; k })
+  submit t (Write { page; data = private_page_copy t data; k })
 
 let read_page t ~page k =
   check_page t page;
@@ -218,7 +273,7 @@ let write_track t ~first_page data k =
   let pages = Bytes.length data / t.params.page_bytes in
   if pages = 0 then Mrdb_util.Fatal.misuse (t.name ^ ": write_track empty");
   check_page t (first_page + pages - 1);
-  submit t (Write_track { first_page; data = Bytes.copy data; k })
+  submit t (Write_track { first_page; data = private_track_copy t data; k })
 
 let read_track t ~first_page ~pages k =
   check_page t first_page;

@@ -188,6 +188,7 @@ let nondet_ident path =
     | "Unix" :: (("gettimeofday" | "time" | "times") as f) :: _ ->
         Some (Clock, "Unix." ^ f)
     | "Sys" :: "time" :: _ -> Some (Clock, "Sys.time")
+    | "Sim" :: "now" :: _ -> Some (Clock, "Sim.now")
     | "Hashtbl" :: (("hash" | "hash_param" | "seeded_hash") as f) :: _ ->
         Some (Poly_hash, "Hashtbl." ^ f)
     | "Hashtbl"
@@ -275,29 +276,61 @@ let default_config =
        none of these can go stale silently. *)
     r8_allow =
       [
+        (* Sim.now is the discrete-event simulated clock: a pure function
+           of the event schedule, not wall time.  It is classified as a
+           Clock source anyway so every read on the deterministic path
+           carries an explicit justification that the value feeds
+           accounting or observability, never an exported ordering. *)
         {
-          a_rel = "txn/lock_mgr.ml";
-          a_binding = "Res.hash";
-          a_ident = "Hashtbl.hash";
-          (* Polymorphic hash of monomorphic int tuples is a pure function
-             of the value within one program build; it only picks a shard,
-             and grant order inside each shard is FIFO, so no ordering
-             derived from it reaches exports, goldens or log records. *)
-          a_why = "shard selection only; FIFO per shard, order never exported";
+          a_rel = "core/db.ml";
+          a_binding = "observe_txn_latency";
+          a_ident = "Sim.now";
+          a_why = "simulated-clock latency sample; feeds obs histograms only";
         };
         {
-          a_rel = "storage/addr.ml";
-          a_binding = "hash";
-          a_ident = "Hashtbl.hash";
-          (* Same argument: a pure int-tuple hash feeding hash-table
-             placement, never an exported ordering. *)
-          a_why = "pure int-tuple hash for table placement, order never exported";
+          a_rel = "core/db.ml";
+          a_binding = "commit";
+          a_ident = "Sim.now";
+          (* Group commit: the precommit timestamp paired with each queued
+             transaction, and the flush deadline scheduled from it — both
+             against the deterministic simulated clock. *)
+          a_why = "group enqueue timestamp + deadline on the simulated clock";
         };
         {
-          a_rel = "storage/addr.ml";
-          a_binding = "hash_partition";
-          a_ident = "Hashtbl.hash";
-          a_why = "pure int-tuple hash for table placement, order never exported";
+          a_rel = "core/db.ml";
+          a_binding = "flush_pending";
+          a_ident = "Sim.now";
+          a_why = "group-wait histogram sample on the simulated clock; obs only";
+        };
+        {
+          a_rel = "hw/disk.ml";
+          a_binding = "service";
+          a_ident = "Sim.now";
+          a_why = "device service-time accounting on the simulated clock";
+        };
+        {
+          a_rel = "recovery/recovery_mgr.ml";
+          a_binding = "restart";
+          a_ident = "Sim.now";
+          a_why = "recovery timeline timestamps on the simulated clock; obs only";
+        };
+        {
+          a_rel = "recovery/restorer.ml";
+          a_binding = "recover_partition";
+          a_ident = "Sim.now";
+          a_why = "restore-latency measurement on the simulated clock; obs only";
+        };
+        {
+          a_rel = "sim/cpu.ml";
+          a_binding = "enqueue";
+          a_ident = "Sim.now";
+          a_why = "instruction-time accounting on the simulated clock";
+        };
+        {
+          a_rel = "sim/cpu.ml";
+          a_binding = "execute";
+          a_ident = "Sim.now";
+          a_why = "instruction-time accounting on the simulated clock";
         };
         {
           a_rel = "txn/txn.ml";
@@ -337,7 +370,13 @@ let default_config =
         };
         {
           res_name = "striped SLB regions";
-          res_write_idents = [ ("Slb", "append"); ("Region", "append") ];
+          res_write_idents =
+            [
+              ("Slb", "append");
+              ("Region", "append");
+              ("Slb", "stage_append");
+              ("Region", "stage_append");
+            ];
           res_fields = [];
           res_owners = [ "wal/"; "core/db_system.ml" ];
         };

@@ -32,28 +32,34 @@ let create () =
 
 (* -- counters / gauges ------------------------------------------------------ *)
 
+(* [find]-with-exception instead of [find_opt]: these run on hot paths
+   (Slb.append instrumentation, per-commit observations) where the [Some]
+   wrapper is a per-call allocation. *)
 let counter_ref t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find t.counters name with
+  | r -> r
+  | exception Not_found ->
       let r = ref 0 in
       Hashtbl.add t.counters name r;
       r
 
 let incr t name = Stdlib.incr (counter_ref t name)
-let add t name n = counter_ref t name := !(counter_ref t name) + n
+
+let add t name n =
+  let r = counter_ref t name in
+  r := !r + n
 
 let count t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  match Hashtbl.find t.counters name with r -> !r | exception Not_found -> 0
 
 let gauge t name f = Hashtbl.replace t.gauges name f
 
 (* -- histograms ------------------------------------------------------------- *)
 
 let histogram t ?(unit_ = "ns") name =
-  match Hashtbl.find_opt t.histos name with
-  | Some h -> h
-  | None ->
+  match Hashtbl.find t.histos name with
+  | h -> h
+  | exception Not_found ->
       let h =
         { h_name = name; h_unit = unit_; counts = Array.make buckets 0;
           n = 0; max = 0; sum = 0.0 }

@@ -29,3 +29,8 @@ let restore_latency t =
 
 let drain_batch t =
   Metrics.histogram t.metrics ~unit_:"records" "drain_batch_records"
+
+let group_batch t = Metrics.histogram t.metrics ~unit_:"txns" "group_batch_txns"
+
+let group_commit_wait t =
+  Metrics.histogram t.metrics ~unit_:"ns" "group_commit_wait_ns"

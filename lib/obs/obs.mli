@@ -46,3 +46,12 @@ val restore_latency : t -> Metrics.histogram
 
 val drain_batch : t -> Metrics.histogram
 (** ["drain_batch_records"]: committed records moved per sorter drain. *)
+
+val group_batch : t -> Metrics.histogram
+(** ["group_batch_txns"]: transactions per group-commit flush. *)
+
+val group_commit_wait : t -> Metrics.histogram
+(** ["group_commit_wait_ns"]: simulated time each transaction spent
+    precommitted waiting for its group to flush (0 when the batch-size
+    trigger fires within one synchronous call, up to the configured
+    timeout when the deadline flushes a partial group). *)

@@ -28,11 +28,13 @@ type t = {
   seq : int Addr.Partition_table.t;
   disk_map : Disk_map.t;
   ckpt_q : Ckpt_queue.t;
+  mutable img_scratch : bytes; (* reusable checkpoint-image buffer *)
 }
 
 let create ~env ~deps ~restorer ~cat ~slt ~slb ~txn_mgr ~lock_mgr ~seq ~disk_map
     ~ckpt_q =
-  { env; deps; restorer; cat; slt; slb; txn_mgr; lock_mgr; seq; disk_map; ckpt_q }
+  { env; deps; restorer; cat; slt; slb; txn_mgr; lock_mgr; seq; disk_map;
+    ckpt_q; img_scratch = Bytes.create 0 }
 
 let queue c = c.ckpt_q
 let disk_map c = c.disk_map
@@ -119,7 +121,16 @@ let run c (part : Addr.partition) =
             Segment.find_exn (Restorer.segment_of c.restorer part.Addr.segment)
               part.Addr.partition
           in
-          let snapshot = Partition.snapshot p in
+          (* The archive keeps images forever, so it gets a real copy; the
+             disk image is encoded straight out of the partition's backing
+             buffer into the reusable scratch — no simulated time passes
+             between here and the submit-time capture inside
+             [Disk.write_track], so the bytes are the locked state. *)
+          let arch_snapshot =
+            match c.env.Recovery_env.archiver with
+            | Some _ -> Some (Partition.snapshot p)
+            | None -> None
+          in
           let watermark =
             match Addr.Partition_table.find_opt c.seq part with
             | Some n -> n
@@ -133,9 +144,21 @@ let run c (part : Addr.partition) =
                  to the watermark rule. *)
               Trace.incr trace "ckpt_shadow_busy");
           ignore (Lock_mgr.release_all c.lock_mgr ~txn:(Txn_core.id tx));
-          let image = Ckpt_image.encode ~page_bytes:(page_bytes c)
-              { Ckpt_image.part; watermark; snapshot }
+          let raw = Partition.unsafe_raw p in
+          let total =
+            Ckpt_image.pages_needed ~page_bytes:(page_bytes c)
+              ~snapshot_bytes:(Bytes.length raw)
+            * page_bytes c
           in
+          (* Exact-size match: [write_track] takes the whole buffer, and all
+             partitions of one instance share a configured size anyway. *)
+          if Bytes.length c.img_scratch <> total then
+            c.img_scratch <- Bytes.create total;
+          let image = c.img_scratch in
+          ignore
+            (Ckpt_image.encode_into ~page_bytes:(page_bytes c) ~part ~watermark
+               ~snapshot:raw image
+              : int);
           let pages = Bytes.length image / page_bytes c in
           let old =
             if desc.Catalog.ckpt_page >= 0 then
@@ -155,12 +178,12 @@ let run c (part : Addr.partition) =
           Mrdb_hw.Disk.write_track (c.env.Recovery_env.ckpt_disk ()) ~first_page
             image (fun () -> durable := true);
           Recovery_env.pump_until c.env (fun () -> !durable);
-          (match c.env.Recovery_env.archiver with
-          | Some a ->
+          (match (c.env.Recovery_env.archiver, arch_snapshot) with
+          | Some a, Some snapshot ->
               Archive.on_ckpt_image a
                 { Ckpt_image.part; watermark; snapshot }
                 ~page_bytes:(page_bytes c)
-          | None -> ());
+          | _ -> ());
           (* Commit installs the new location atomically. *)
           Slb.commit c.slb ~txn_id:(Txn_core.id tx);
           Txn_core.Manager.commit c.txn_mgr tx;

@@ -33,10 +33,12 @@ let drain s =
   let records = ref 0 and bytes = ref 0 in
   let pages0 = Log_disk.pages_written s.log_disk in
   let txns =
-    Slb.drain s.slb ~f:(fun ~txn_id:_ r ->
+    (* Raw frames end-to-end: no Log_record is ever materialized between
+       the SLB chain and the partition bin. *)
+    Slb.drain_raw s.slb ~f:(fun ~txn_id:_ buf ~pos ~len ->
         incr records;
-        bytes := !bytes + Log_record.encoded_size r;
-        Slt.accept s.slt r)
+        bytes := !bytes + len;
+        Slt.accept_raw s.slt buf ~pos ~len)
   in
   let pages = Log_disk.pages_written s.log_disk - pages0 in
   Trace.add s.env.Recovery_env.trace "sorter_records_streamed" !records;
@@ -58,7 +60,9 @@ let drain s =
   if instructions > 0 then Cpu.execute s.cpu ~instructions (fun () -> ())
 
 let sort_backlog ~slb ~slt =
-  ignore (Slb.drain slb ~f:(fun ~txn_id:_ r -> Slt.accept slt r))
+  ignore
+    (Slb.drain_raw slb ~f:(fun ~txn_id:_ buf ~pos ~len ->
+         Slt.accept_raw slt buf ~pos ~len))
 
 let force_log s =
   List.iter (fun part -> Slt.flush_partition s.slt part) (Slt.active_partitions s.slt);

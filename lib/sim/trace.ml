@@ -5,19 +5,24 @@ type t = {
 
 let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 16 }
 
+(* [find]-with-exception instead of [find_opt]: counters are bumped on the
+   per-record hot path and the [Some] wrapper is a per-call allocation. *)
 let counter_ref t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find t.counters name with
+  | r -> r
+  | exception Not_found ->
       let r = ref 0 in
       Hashtbl.add t.counters name r;
       r
 
 let incr t name = Stdlib.incr (counter_ref t name)
-let add t name n = counter_ref t name := !(counter_ref t name) + n
+
+let add t name n =
+  let r = counter_ref t name in
+  r := !r + n
 
 let count t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  match Hashtbl.find t.counters name with r -> !r | exception Not_found -> 0
 
 let stats t name =
   match Hashtbl.find_opt t.series name with

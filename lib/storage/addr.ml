@@ -20,7 +20,13 @@ let compare (a : t) (b : t) =
       | c -> c)
   | c -> c
 
-let hash (t : t) = Hashtbl.hash (t.segment, t.partition, t.slot)
+(* Multiplicative int mixing instead of [Hashtbl.hash (a, b, c)]: the
+   polymorphic hash forces a tuple allocation per call, and address hashing
+   sits on the per-record transaction path (sequence tables, lock tables,
+   overlay tables). *)
+let hash (t : t) =
+  ((((t.segment * 0x3b58_66e9) + t.partition) * 0x3b58_66e9) + t.slot)
+  land max_int
 
 let equal_partition (a : partition) (b : partition) =
   a.segment = b.segment && a.partition = b.partition
@@ -30,7 +36,8 @@ let compare_partition (a : partition) (b : partition) =
   | 0 -> Int.compare a.partition b.partition
   | c -> c
 
-let hash_partition (p : partition) = Hashtbl.hash (p.segment, p.partition)
+let hash_partition (p : partition) =
+  ((p.segment * 0x3b58_66e9) + p.partition) land max_int
 
 let pp ppf (t : t) =
   Format.fprintf ppf "%d.%d.%d" t.segment t.partition t.slot

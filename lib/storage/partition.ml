@@ -60,6 +60,15 @@ let read t ~slot =
     Some (Bytes.sub t.buf (slot_off t slot) (slot_len t slot))
   else None
 
+let read_with t ~slot ~alloc =
+  if is_live t ~slot then begin
+    let len = slot_len t slot in
+    let b = alloc len in
+    Bytes.blit t.buf (slot_off t slot) b 0 len;
+    Some b
+  end
+  else None
+
 let read_exn t ~slot =
   match read t ~slot with
   | Some b -> b
@@ -205,6 +214,7 @@ let update_at t ~slot b =
   end
 
 let snapshot t = Bytes.copy t.buf
+let unsafe_raw t = t.buf
 
 let of_snapshot b =
   if Bytes.length b < header_bytes then

@@ -74,6 +74,11 @@ val delete_at : t -> slot:int -> unit
 val read : t -> slot:int -> bytes option
 (** Copy of the entity at [slot]; [None] when free or out of range. *)
 
+val read_with : t -> slot:int -> alloc:(int -> bytes) -> bytes option
+(** {!read} into a caller-supplied buffer source — the transaction arena
+    stages before-images through this without a fresh [bytes] per read.
+    [alloc] must return a buffer of exactly the requested length. *)
+
 val read_exn : t -> slot:int -> bytes
 val is_live : t -> slot:int -> bool
 val iter : (int -> bytes -> unit) -> t -> unit
@@ -85,6 +90,13 @@ val fold : ('a -> int -> bytes -> 'a) -> 'a -> t -> 'a
 
 val snapshot : t -> bytes
 (** Byte image of the whole partition (a checkpoint copy). *)
+
+val unsafe_raw : t -> bytes
+(** The partition's backing buffer itself, no copy.  Strictly read-only
+    for the caller, and only valid until the next mutating operation on
+    the partition — the checkpoint manager encodes its disk image straight
+    out of this under the checkpoint's relation lock, where no simulated
+    time passes before the bytes are captured. *)
 
 val of_snapshot : bytes -> t
 (** Rebuild a partition from a checkpoint image.

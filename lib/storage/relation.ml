@@ -13,8 +13,16 @@ let name t = t.name
 let schema t = t.schema
 let segment t = t.segment
 
-let insert t ~log tuple =
-  let data = Tuple.encode t.schema tuple in
+(* Tuple staging: encode into a buffer from [alloc] — the transaction
+   arena on the hot path, [Bytes.create] by default.  The buffer's length
+   is the record length, so it must be exact. *)
+let encode_tuple t ~alloc tuple =
+  let data = alloc (Tuple.encoded_size t.schema tuple) in
+  ignore (Tuple.encode_into t.schema tuple data 0 : int);
+  data
+
+let insert t ?(alloc = Bytes.create) ~log tuple =
+  let data = encode_tuple t ~alloc tuple in
   match Segment.insert_entity t.segment data with
   | None -> raise (Tuple_too_large { rel = t.name; bytes = Bytes.length data })
   | Some addr ->
@@ -30,8 +38,8 @@ let read t (addr : Addr.t) =
 let read_exn t addr =
   match read t addr with Some tuple -> tuple | None -> raise Not_found
 
-let delete t ~log (addr : Addr.t) =
-  match Segment.read_entity t.segment addr with
+let delete t ?(alloc = Bytes.create) ~log (addr : Addr.t) =
+  match Segment.read_entity_with t.segment addr ~alloc with
   | None -> raise Not_found
   | Some old_data ->
       Segment.delete_entity t.segment addr;
@@ -40,31 +48,33 @@ let delete t ~log (addr : Addr.t) =
         ~undo:(Part_op.undo_of ~before:(Some old_data) redo);
       Tuple.decode t.schema old_data
 
-let update t ~log (addr : Addr.t) tuple =
-  let data = Tuple.encode t.schema tuple in
+let update_given t ?(alloc = Bytes.create) ~log (addr : Addr.t) ~old_data tuple =
+  let data = encode_tuple t ~alloc tuple in
+  match Segment.update_entity t.segment addr data with
+  | () ->
+      let redo = Part_op.Update { slot = addr.Addr.slot; data } in
+      log (Addr.partition_of addr) ~redo
+        ~undo:(Part_op.undo_of ~before:(Some old_data) redo);
+      addr
+  | exception Partition.No_space _ ->
+      (* The grown tuple no longer fits its partition: relocate.  Two
+         operations, two log records, possibly two partitions. *)
+      Segment.delete_entity t.segment addr;
+      let redo_del = Part_op.Delete { slot = addr.Addr.slot } in
+      log (Addr.partition_of addr) ~redo:redo_del
+        ~undo:(Part_op.undo_of ~before:(Some old_data) redo_del);
+      (match Segment.insert_entity t.segment data with
+      | None -> raise (Tuple_too_large { rel = t.name; bytes = Bytes.length data })
+      | Some addr' ->
+          let redo_ins = Part_op.Insert { slot = addr'.Addr.slot; data } in
+          log (Addr.partition_of addr') ~redo:redo_ins
+            ~undo:(Part_op.undo_of ~before:None redo_ins);
+          addr')
+
+let update t ?alloc ~log (addr : Addr.t) tuple =
   match Segment.read_entity t.segment addr with
   | None -> raise Not_found
-  | Some old_data -> (
-      match Segment.update_entity t.segment addr data with
-      | () ->
-          let redo = Part_op.Update { slot = addr.Addr.slot; data } in
-          log (Addr.partition_of addr) ~redo
-            ~undo:(Part_op.undo_of ~before:(Some old_data) redo);
-          addr
-      | exception Partition.No_space _ ->
-          (* The grown tuple no longer fits its partition: relocate.  Two
-             operations, two log records, possibly two partitions. *)
-          Segment.delete_entity t.segment addr;
-          let redo_del = Part_op.Delete { slot = addr.Addr.slot } in
-          log (Addr.partition_of addr) ~redo:redo_del
-            ~undo:(Part_op.undo_of ~before:(Some old_data) redo_del);
-          (match Segment.insert_entity t.segment data with
-          | None -> raise (Tuple_too_large { rel = t.name; bytes = Bytes.length data })
-          | Some addr' ->
-              let redo_ins = Part_op.Insert { slot = addr'.Addr.slot; data } in
-              log (Addr.partition_of addr') ~redo:redo_ins
-                ~undo:(Part_op.undo_of ~before:None redo_ins);
-              addr'))
+  | Some old_data -> update_given t ?alloc ~log addr ~old_data tuple
 
 let update_field t ~log addr column value =
   match read t addr with

@@ -28,8 +28,11 @@ val name : t -> string
 val schema : t -> Schema.t
 val segment : t -> Segment.t
 
-val insert : t -> log:log_sink -> Tuple.t -> Addr.t
-(** @raise Invalid_argument on schema mismatch.
+val insert : t -> ?alloc:(int -> bytes) -> log:log_sink -> Tuple.t -> Addr.t
+(** [alloc] supplies the staging buffer for the encoded tuple (default
+    [Bytes.create]; the facade passes the transaction arena so the write
+    path reuses buffers across transactions).
+    @raise Invalid_argument on schema mismatch.
     @raise Tuple_too_large when the tuple exceeds the partition size. *)
 
 val read : t -> Addr.t -> Tuple.t option
@@ -37,17 +40,25 @@ val read : t -> Addr.t -> Tuple.t option
 
 val read_exn : t -> Addr.t -> Tuple.t
 
-val update : t -> log:log_sink -> Addr.t -> Tuple.t -> Addr.t
+val update : t -> ?alloc:(int -> bytes) -> log:log_sink -> Addr.t -> Tuple.t -> Addr.t
 (** Replace the whole tuple.  Usually returns the same address; relocates
     (delete + insert) when the grown tuple no longer fits its partition, in
     which case the new address is returned and the caller must fix any
     index entries.
     @raise Not_found when the address is dead. *)
 
+val update_given :
+  t -> ?alloc:(int -> bytes) -> log:log_sink -> Addr.t -> old_data:bytes ->
+  Tuple.t -> Addr.t
+(** {!update} for a caller that already read the entity's current bytes
+    (the before-image for the undo record) — the facade reads an entity
+    once per update instead of once here and once for its own index
+    bookkeeping. *)
+
 val update_field : t -> log:log_sink -> Addr.t -> int -> Schema.value -> Addr.t
 (** Single-field update — the paper's typical small log record. *)
 
-val delete : t -> log:log_sink -> Addr.t -> Tuple.t
+val delete : t -> ?alloc:(int -> bytes) -> log:log_sink -> Addr.t -> Tuple.t
 (** Returns the deleted tuple (callers remove index entries).
     @raise Not_found when the address is dead. *)
 

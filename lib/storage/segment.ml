@@ -129,6 +129,13 @@ let read_entity t (addr : Addr.t) =
     | Some p -> Partition.read p ~slot:addr.Addr.slot
     | None -> None
 
+let read_entity_with t (addr : Addr.t) ~alloc =
+  if addr.Addr.segment <> t.id then None
+  else
+    match find t addr.Addr.partition with
+    | Some p -> Partition.read_with p ~slot:addr.Addr.slot ~alloc
+    | None -> None
+
 let update_entity t (addr : Addr.t) b =
   if addr.Addr.segment <> t.id then Mrdb_util.Fatal.misuse "Segment.update_entity: wrong segment";
   let p = find_exn t addr.Addr.partition in

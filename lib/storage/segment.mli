@@ -57,6 +57,11 @@ val insert_entity : t -> bytes -> Addr.t option
     needed; [None] only if the entity exceeds the partition capacity. *)
 
 val read_entity : t -> Addr.t -> bytes option
+
+(** {!read_entity} into a caller-supplied buffer source (see
+    {!Partition.read_with}); the write path reads before-images through
+    the transaction arena with this. *)
+val read_entity_with : t -> Addr.t -> alloc:(int -> bytes) -> bytes option
 val update_entity : t -> Addr.t -> bytes -> unit
 val delete_entity : t -> Addr.t -> unit
 (** @raise Failure / [Not_found] on bad addresses.  [update_entity] falls

@@ -28,11 +28,48 @@ let decode_value dec : Schema.value =
   | 2 -> Schema.S (Mrdb_util.Codec.Dec.string dec)
   | n -> Mrdb_util.Fatal.invariantf ~mod_:"Tuple" "decode_value: bad tag %d" n
 
+let encoded_value_size (v : Schema.value) =
+  match v with
+  | Schema.I _ | Schema.F _ -> 9
+  | Schema.S x ->
+      let n = String.length x in
+      1 + Mrdb_util.Codec.varint_size n + n
+
+let encoded_size schema tuple =
+  validate schema tuple;
+  let n = ref 0 in
+  Array.iter (fun v -> n := !n + encoded_value_size v) tuple;
+  !n
+
+let encode_value_at b pos (v : Schema.value) =
+  match v with
+  | Schema.I x ->
+      Bytes.unsafe_set b pos '\000';
+      Mrdb_util.Codec.put_i64 b (pos + 1) x;
+      pos + 9
+  | Schema.F x ->
+      Bytes.unsafe_set b pos '\001';
+      Mrdb_util.Codec.put_i64 b (pos + 1) (Int64.bits_of_float x);
+      pos + 9
+  | Schema.S x ->
+      Bytes.unsafe_set b pos '\002';
+      let n = String.length x in
+      let pos = Mrdb_util.Codec.put_varint b (pos + 1) n in
+      Bytes.blit_string x 0 b pos n;
+      pos + n
+
+let encode_into schema tuple b pos =
+  validate schema tuple;
+  let p = ref pos in
+  Array.iter (fun v -> p := encode_value_at b !p v) tuple;
+  !p
+
 let encode schema tuple =
   validate schema tuple;
-  let enc = Mrdb_util.Codec.Enc.create () in
-  Array.iter (encode_value enc) tuple;
-  Mrdb_util.Codec.Enc.to_bytes enc
+  let b = Bytes.create (encoded_size schema tuple) in
+  let p = ref 0 in
+  Array.iter (fun v -> p := encode_value_at b !p v) tuple;
+  b
 
 let decode schema b =
   let dec = Mrdb_util.Codec.Dec.of_bytes b in
@@ -41,8 +78,6 @@ let decode schema b =
     Mrdb_util.Fatal.invariant ~mod_:"Tuple" "decode: trailing bytes";
   validate schema tuple;
   tuple
-
-let encoded_size schema tuple = Bytes.length (encode schema tuple)
 
 let field tuple i = tuple.(i)
 

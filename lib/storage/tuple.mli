@@ -14,6 +14,15 @@ val decode : Schema.t -> bytes -> t
 (** @raise Failure on malformed input. *)
 
 val encoded_size : Schema.t -> t -> int
+(** Exact encoded byte count, computed arithmetically — no trial encode,
+    no allocation beyond the validation walk. *)
+
+val encode_into : Schema.t -> t -> bytes -> int -> int
+(** [encode_into schema tuple b pos] serializes into a caller-owned buffer
+    (which must have {!encoded_size} bytes of room at [pos]) and returns
+    the position one past the last byte written.  This is the hot-path
+    variant: the transaction arena stages tuple images through it without
+    a fresh [bytes] per write. *)
 
 val field : t -> int -> Schema.value
 val set_field : Schema.t -> t -> int -> Schema.value -> t

@@ -1,0 +1,69 @@
+(* Per-executor transaction arena: a pool of reusable byte buffers for the
+   write path's short-lived staging data (encoded tuple images, before
+   images read for undo).  Everything staged here is dead by the time the
+   owning executor has no active transaction left — tuple bytes are copied
+   into the partition, undo payloads into the undo blocks, and redo
+   payloads into the SLB — so the manager resets the arena at that point
+   and the same buffers serve the next transaction.
+
+   Staged buffers must be length-exact (Part_op carries [bytes] whose
+   length IS the record length), so the pool is searched for an
+   exact-length match.  The pool is kept as one array split into a used
+   prefix [0, used) and a free suffix [used, total): [stage] scans the
+   suffix and swaps a hit into the prefix; a miss allocates a fresh buffer
+   and (up to [cap]) adopts it into the pool.  Transaction workloads write
+   a small set of fixed-size tuples, so after warm-up every stage is a
+   hit and the write path allocates nothing. *)
+
+type t = {
+  mutable bufs : bytes array;
+  mutable used : int; (* staged since the last reset *)
+  mutable total : int; (* pooled buffers (used + free) *)
+  cap : int;
+  mutable fn : int -> bytes; (* cached closure over [stage] *)
+  mutable misses : int;
+}
+
+let stage t len =
+  let i = ref t.used in
+  while !i < t.total && Bytes.length t.bufs.(!i) <> len do incr i done;
+  if !i < t.total then begin
+    let b = t.bufs.(!i) in
+    t.bufs.(!i) <- t.bufs.(t.used);
+    t.bufs.(t.used) <- b;
+    t.used <- t.used + 1;
+    b
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let b = Bytes.create len in
+    if t.total < t.cap then begin
+      if t.total = Array.length t.bufs then begin
+        let bigger = Array.make (2 * t.total) Bytes.empty in
+        Array.blit t.bufs 0 bigger 0 t.total;
+        t.bufs <- bigger
+      end;
+      (* Adopt at the end of the used prefix; the free buffer displaced
+         from that slot moves to the end of the pool. *)
+      t.bufs.(t.total) <- t.bufs.(t.used);
+      t.bufs.(t.used) <- b;
+      t.total <- t.total + 1;
+      t.used <- t.used + 1
+    end;
+    b
+  end
+
+let create ?(cap = 256) () =
+  if cap < 1 then Mrdb_util.Fatal.misuse "Arena.create: cap must be >= 1";
+  let t =
+    { bufs = Array.make 16 Bytes.empty; used = 0; total = 0; cap;
+      fn = (fun _ -> Bytes.empty); misses = 0 }
+  in
+  t.fn <- (fun len -> stage t len);
+  t
+
+let alloc t = t.fn
+let reset t = t.used <- 0
+let in_use t = t.used
+let pooled t = t.total
+let misses t = t.misses

@@ -1,0 +1,40 @@
+(** Per-executor transaction arena.
+
+    A pool of reusable, length-exact byte buffers for the write path's
+    short-lived staging data (encoded tuple images, before images read
+    for undo).  The transaction manager resets its executor's arena as
+    soon as that executor has no active transaction, so buffers staged by
+    one transaction are recycled by the next instead of being reallocated
+    — the core of the per-transaction allocation budget.
+
+    Buffers are handed out with the exact requested length (operation
+    payloads use [Bytes.length] as the record length).  Reset does not
+    zero buffer contents; callers always overwrite what they stage. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap] bounds the number of pooled buffers (default 256); beyond it,
+    [stage] still returns fresh buffers but stops adopting them. *)
+
+val stage : t -> int -> bytes
+(** An exact-[len] buffer: recycled from the pool when a free one of that
+    length exists, freshly allocated (and pooled, up to [cap]) otherwise.
+    The buffer is owned by the caller until the next {!reset}. *)
+
+val alloc : t -> int -> bytes
+(** Pre-built closure over {!stage} — pass it as an [?alloc] argument
+    without allocating a closure per call site. *)
+
+val reset : t -> unit
+(** Return every staged buffer to the free pool.  Safe only once nothing
+    staged since the previous reset is still referenced. *)
+
+val in_use : t -> int
+(** Buffers handed out since the last {!reset}. *)
+
+val pooled : t -> int
+(** Buffers currently owned by the pool. *)
+
+val misses : t -> int
+(** Lifetime count of [stage] calls that had to allocate. *)

@@ -9,6 +9,9 @@ type t = {
   mutable chain : Undo_space.chain option;
   mutable redo_count : int;
   started_us : float;
+  mutable sink : (Addr.partition -> redo:Part_op.t -> undo:Part_op.t -> unit) option;
+      (* The facade's per-transaction redo sink, cached here so DML calls
+         reuse one closure instead of building one per operation. *)
 }
 
 let id t = t.id
@@ -20,6 +23,8 @@ let undo_records t =
 
 let redo_records t = t.redo_count
 let started_us t = t.started_us
+let sink t = t.sink
+let set_sink t s = t.sink <- Some s
 
 let is_terminated t =
   match t.status with Committed | Aborted -> true | Active | Precommitted -> false
@@ -33,26 +38,44 @@ module Manager = struct
     mutable next_id : int;
     now : unit -> float;
     recorder : Mrdb_obs.Flight_recorder.t option;
+    arenas : Arena.t array; (* one per executor *)
+    active : int array; (* Active transactions per executor *)
   }
 
   let create ~undo ~resolve_partition ~invalidate_overlay ?(now = fun () -> 0.0)
-      ?recorder () =
+      ?recorder ?(executors = 1) () =
+    if executors < 1 then Mrdb_util.Fatal.misuse "Txn.Manager.create: executors";
     { undo; resolve_partition; invalidate_overlay; live = Hashtbl.create 64;
-      next_id = 1; now; recorder }
+      next_id = 1; now; recorder;
+      arenas = Array.init executors (fun _ -> Arena.create ());
+      active = Array.make executors 0 }
 
-  let record_event mgr f =
-    match mgr.recorder with None -> () | Some fr -> f fr
+  let arena mgr ~executor = mgr.arenas.(executor)
+  let arena_of mgr t = mgr.arenas.(t.executor)
+  let _ = arena_of
+
+  (* The arena resets only when its executor goes fully idle: system
+     transactions nest inside user transactions on the same executor, so a
+     nested commit must not recycle buffers the outer transaction is still
+     staging through. *)
+  let leave_active mgr t =
+    let e = t.executor in
+    mgr.active.(e) <- mgr.active.(e) - 1;
+    if mgr.active.(e) = 0 then Arena.reset mgr.arenas.(e)
 
   let begin_txn ?(executor = 0) mgr =
-    if executor < 0 then Mrdb_util.Fatal.misuse "Txn.begin_txn: negative executor";
+    if executor < 0 || executor >= Array.length mgr.active then
+      Mrdb_util.Fatal.misuse "Txn.begin_txn: executor out of range";
     let t =
       { id = mgr.next_id; executor; status = Active; chain = None;
-        redo_count = 0; started_us = mgr.now () }
+        redo_count = 0; started_us = mgr.now (); sink = None }
     in
     mgr.next_id <- mgr.next_id + 1;
     Hashtbl.add mgr.live t.id t;
-    record_event mgr (fun fr ->
-        Mrdb_obs.Flight_recorder.txn_begin fr ~txn:t.id ~exec:executor);
+    mgr.active.(executor) <- mgr.active.(executor) + 1;
+    (match mgr.recorder with
+    | None -> ()
+    | Some fr -> Mrdb_obs.Flight_recorder.txn_begin fr ~txn:t.id ~exec:executor);
     t
 
   let find mgr id = Hashtbl.find_opt mgr.live id
@@ -93,19 +116,27 @@ module Manager = struct
     require_active t "commit";
     drop_undo mgr t;
     t.status <- Committed;
-    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_commit fr ~txn:t.id ~exec:t.executor);
+    leave_active mgr t;
+    (match mgr.recorder with
+    | None -> ()
+    | Some fr -> Mrdb_obs.Flight_recorder.txn_commit fr ~txn:t.id ~exec:t.executor);
     retire mgr t
 
   let precommit mgr t =
     require_active t "precommit";
     drop_undo mgr t;
-    t.status <- Precommitted
+    t.status <- Precommitted;
+    (* A precommitted transaction no longer references arena staging: its
+       undo is discarded and its redo already reached the WAL layer. *)
+    leave_active mgr t
 
   let finalize_commit mgr t =
     if t.status <> Precommitted then
       Mrdb_util.Fatal.misuse (Printf.sprintf "Txn.finalize_commit: transaction %d not precommitted" t.id);
     t.status <- Committed;
-    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_commit fr ~txn:t.id ~exec:t.executor);
+    (match mgr.recorder with
+    | None -> ()
+    | Some fr -> Mrdb_obs.Flight_recorder.txn_commit fr ~txn:t.id ~exec:t.executor);
     retire mgr t
 
   let abort mgr t =
@@ -124,9 +155,14 @@ module Manager = struct
           records;
         Hashtbl.iter (fun seg () -> mgr.invalidate_overlay seg) touched_segments);
     t.status <- Aborted;
-    record_event mgr (fun fr -> Mrdb_obs.Flight_recorder.txn_abort fr ~txn:t.id ~exec:t.executor);
+    leave_active mgr t;
+    (match mgr.recorder with
+    | None -> ()
+    | Some fr -> Mrdb_obs.Flight_recorder.txn_abort fr ~txn:t.id ~exec:t.executor);
     retire mgr t
 
   let crash_discard mgr =
-    Hashtbl.reset mgr.live
+    Hashtbl.reset mgr.live;
+    Array.fill mgr.active 0 (Array.length mgr.active) 0;
+    Array.iter Arena.reset mgr.arenas
 end

@@ -42,6 +42,12 @@ val started_us : t -> float
     created without a [now] source) — the observability layer derives the
     transaction-latency histogram from it. *)
 
+val sink : t -> (Addr.partition -> redo:Part_op.t -> undo:Part_op.t -> unit) option
+val set_sink : t -> (Addr.partition -> redo:Part_op.t -> undo:Part_op.t -> unit) -> unit
+(** Per-transaction redo-sink cache: the facade builds the closure once on
+    the transaction's first write and reuses it for every later operation
+    (one closure per transaction, not per DML call). *)
+
 (** Transaction manager: id assignment, live-transaction registry, undo
     bookkeeping. *)
 module Manager : sig
@@ -53,6 +59,7 @@ module Manager : sig
     invalidate_overlay:(int -> unit) ->
     ?now:(unit -> float) ->
     ?recorder:Mrdb_obs.Flight_recorder.t ->
+    ?executors:int ->
     unit -> mgr
   (** [resolve_partition] maps a partition address to its resident memory
       copy (abort must find the partitions it wrote).
@@ -60,7 +67,15 @@ module Manager : sig
       partition bytes changed underneath (index cache coherence).
       [now] supplies the simulated clock for {!started_us} stamps (defaults
       to a constant 0.0); [recorder] receives begin/commit/abort flight
-      events. *)
+      events.  [executors] (default 1) sizes the per-executor arena and
+      active-transaction arrays. *)
+
+  val arena : mgr -> executor:int -> Arena.t
+  (** The executor's staging arena.  It is reset automatically whenever
+      the executor has no [Active] transaction left (commit, precommit or
+      abort of the last one) — system transactions nest inside user
+      transactions on the same executor, so the reset fires only when the
+      whole nest has unwound. *)
 
   val begin_txn : ?executor:int -> mgr -> t
   (** [executor] (default 0) tags the transaction with its originating

@@ -52,19 +52,16 @@ let open_chain t =
   let b = alloc_block t in
   { blocks_held = [ b ]; records = 0; bytes = 0 }
 
-let encode_record part op =
-  let enc = Mrdb_util.Codec.Enc.create () in
-  Addr.encode_partition enc part;
-  Part_op.encode enc op;
-  Mrdb_util.Codec.Enc.to_bytes enc
-
 (* Record framing inside a block: u16 length | payload.  A record that does
    not fit the current block's remainder goes to a fresh block (records do
-   not span blocks; a zero-length sentinel is implied by `used`). *)
-let push t chain part op =
+   not span blocks; a zero-length sentinel is implied by `used`).  The
+   payload — partition address (two i64) followed by the encoded operation —
+   is serialized straight into the block: the undo path allocates nothing
+   per record. *)
+let push t chain (part : Addr.partition) op =
   check_live t;
-  let payload = encode_record part op in
-  let frame_len = 2 + Bytes.length payload in
+  let payload_len = 16 + Part_op.encoded_size op in
+  let frame_len = 2 + payload_len in
   if frame_len > t.block_bytes then Mrdb_util.Fatal.misuse "Undo_space.push: record exceeds block size";
   let head =
     match chain.blocks_held with
@@ -79,8 +76,11 @@ let push t chain part op =
       t.blocks.(b)
     end
   in
-  Mrdb_util.Codec.put_u16 block.buf block.used (Bytes.length payload);
-  Bytes.blit payload 0 block.buf (block.used + 2) (Bytes.length payload);
+  Mrdb_util.Codec.put_u16 block.buf block.used payload_len;
+  let pos = block.used + 2 in
+  Mrdb_util.Codec.put_i64 block.buf pos (Int64.of_int part.Addr.segment);
+  Mrdb_util.Codec.put_i64 block.buf (pos + 8) (Int64.of_int part.Addr.partition);
+  ignore (Part_op.encode_into op block.buf ~pos:(pos + 16) : int);
   block.used <- block.used + frame_len;
   chain.records <- chain.records + 1;
   chain.bytes <- chain.bytes + frame_len

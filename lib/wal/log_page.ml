@@ -20,11 +20,12 @@ let payload_off ~dir_size = fixed_header + (8 * dir_size)
 let payload_capacity ~page_bytes ~dir_size =
   page_bytes - payload_off ~dir_size - 4 (* trailing crc *)
 
-let prepare ~page_bytes ~dir_size ~lsn ~(part : Addr.partition) ~prev_lsn ~dir ~used ~nrecords =
+let prepare_into ~dir_size ~lsn ~(part : Addr.partition) ~prev_lsn ~dir ~used ~nrecords page =
+  let page_bytes = Bytes.length page in
   if Array.length dir > dir_size then Mrdb_util.Fatal.misuse "Log_page.build: directory too long";
   if used > payload_capacity ~page_bytes ~dir_size then
     Mrdb_util.Fatal.misuse "Log_page.build: payload too large";
-  let page = Bytes.make page_bytes '\000' in
+  Bytes.fill page 0 page_bytes '\000';
   Mrdb_util.Codec.put_u32 page 0 magic;
   Mrdb_util.Codec.put_i64 page 4 lsn;
   Mrdb_util.Codec.put_i64 page 12 (Int64.of_int part.Addr.segment);
@@ -33,7 +34,11 @@ let prepare ~page_bytes ~dir_size ~lsn ~(part : Addr.partition) ~prev_lsn ~dir ~
   Mrdb_util.Codec.put_u32 page 36 nrecords;
   Mrdb_util.Codec.put_u32 page 40 used;
   Mrdb_util.Codec.put_u32 page 44 (Array.length dir);
-  Array.iteri (fun i l -> Mrdb_util.Codec.put_i64 page (fixed_header + (8 * i)) l) dir;
+  Array.iteri (fun i l -> Mrdb_util.Codec.put_i64 page (fixed_header + (8 * i)) l) dir
+
+let prepare ~page_bytes ~dir_size ~lsn ~(part : Addr.partition) ~prev_lsn ~dir ~used ~nrecords =
+  let page = Bytes.create page_bytes in
+  prepare_into ~dir_size ~lsn ~part ~prev_lsn ~dir ~used ~nrecords page;
   page
 
 let finish page =

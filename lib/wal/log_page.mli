@@ -30,6 +30,15 @@ val build :
 (** Compose a full page image (payload = used bytes of framed records).
     @raise Invalid_argument when the payload or directory exceed capacity. *)
 
+val prepare_into :
+  dir_size:int -> lsn:int64 -> part:Addr.partition -> prev_lsn:int64 ->
+  dir:int64 array -> used:int -> nrecords:int -> bytes -> unit
+(** {!prepare} into a caller-owned page buffer (its length is the page
+    size): zeroes the buffer, writes the header, leaves the payload region
+    for the caller to blit before {!finish}.  The hot seal path reuses one
+    such buffer per bin so the steady state allocates no page images.
+    @raise Invalid_argument when [used] or the directory exceed capacity. *)
+
 val prepare :
   page_bytes:int -> dir_size:int -> lsn:int64 -> part:Addr.partition ->
   prev_lsn:int64 -> dir:int64 array -> used:int -> nrecords:int -> bytes

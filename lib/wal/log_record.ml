@@ -53,6 +53,25 @@ let encode_into t b ~pos =
   let pos = put_varint b pos t.seq in
   Part_op.encode_into t.op b ~pos
 
+(* Allocation-free field scans over an encoded record: the raw drain path
+   routes frames by bin index and sequence number without materializing a
+   record value.  All-int recursion — no refs, no tuples. *)
+let rec skip_varint b pos =
+  if Char.code (Bytes.unsafe_get b pos) < 0x80 then pos + 1
+  else skip_varint b (pos + 1)
+
+let rec read_varint b pos shift acc =
+  let byte = Char.code (Bytes.unsafe_get b pos) in
+  let acc = acc lor ((byte land 0x7F) lsl shift) in
+  if byte < 0x80 then acc else read_varint b (pos + 1) (shift + 7) acc
+
+let peek_bin_index b ~pos = read_varint b (pos + 1) 0 0
+
+let peek_seq b ~pos =
+  let p = skip_varint b (pos + 1) in
+  let p = skip_varint b p in
+  read_varint b p 0 0
+
 let decode_at b ~pos ~len =
   let start = pos in
   let dec = Mrdb_util.Codec.Dec.of_bytes ~pos b in

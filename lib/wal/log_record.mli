@@ -50,6 +50,15 @@ val decode_at : bytes -> pos:int -> len:int -> t
     @raise Mrdb_util.Fatal.Invariant when the encoding does not consume
     exactly [len] bytes. *)
 
+val peek_bin_index : bytes -> pos:int -> int
+(** Read just the bin index out of an encoded record starting at [pos] —
+    an allocation-free varint scan.  The raw drain path uses it to route a
+    frame to its partition bin without decoding the record. *)
+
+val peek_seq : bytes -> pos:int -> int
+(** Read just the per-partition sequence number out of an encoded record
+    starting at [pos], allocation-free (skips tag, bin index, txn id). *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val tag_to_string : tag -> string

@@ -81,6 +81,7 @@ type t = {
   inflight : (int * int64) option array;
   mutable last_seq : int;
   mutable scratch : bytes; (* grow-on-demand append framing buffer *)
+  mutable page_scratch : bytes; (* reusable seal-page image buffer *)
 }
 
 let mem t = Stable_layout.mem t.layout
@@ -139,6 +140,20 @@ let persist t =
         Mrdb_hw.Stable_mem.put_i64 m ~off:(t.base + off_dir + (8 * (n + i))) lsn)
       t.shadow.dir
 
+(* Append-path persist: appending a record only advances the update
+   counter, the live buffer cursor fields and the sequence watermark —
+   every other stable field was persisted by the operation that last
+   changed it (activate, seal_page, flush_complete, the cut protocol).
+   Writing just these five fields keeps the per-record drain cost flat
+   instead of re-serializing the whole info block and both directories. *)
+let persist_append_meta t =
+  let m = mem t in
+  Mrdb_hw.Stable_mem.put_u32 m ~off:(t.base + off_update_count) t.update_count;
+  Mrdb_hw.Stable_mem.put_u32 m ~off:(t.base + off_buf_block) (t.live.buf_block + 1);
+  Mrdb_hw.Stable_mem.put_u32 m ~off:(t.base + off_buf_used) t.live.buf_used;
+  Mrdb_hw.Stable_mem.put_u32 m ~off:(t.base + off_buf_nrecords) t.live.buf_nrecords;
+  Mrdb_hw.Stable_mem.put_i64 m ~off:(t.base + off_last_seq) (Int64.of_int t.last_seq)
+
 let activate layout ~idx part =
   let t =
     {
@@ -153,6 +168,7 @@ let activate layout ~idx part =
       inflight = Array.make inflight_slots None;
       last_seq = 0;
       scratch = Bytes.create 0;
+      page_scratch = Bytes.create 0;
     }
   in
   persist t;
@@ -220,6 +236,7 @@ let load layout ~idx =
         last_seq =
           Int64.to_int (Mrdb_hw.Stable_mem.get_i64 m ~off:(base + off_last_seq));
         scratch = Bytes.create 0;
+        page_scratch = Bytes.create 0;
       }
   end
 
@@ -259,19 +276,28 @@ let chain_buf_off t chain =
 
 let buf_off t = chain_buf_off t t.live
 
-let append t record =
-  let size = Log_record.encoded_size record in
-  let frame = 2 + size in
-  if frame > payload_capacity t then
-    Mrdb_util.Fatal.misuse "Partition_bin.append: record exceeds page capacity";
-  if t.live.buf_block < 0 then begin
+let ensure_buffer t =
+  if t.live.buf_block < 0 then
     match Mrdb_hw.Stable_mem.Blocks.alloc (pool t) with
     | None -> raise Pool_exhausted
     | Some b ->
         t.live.buf_block <- b;
         t.live.buf_used <- 0;
         t.live.buf_nrecords <- 0
-  end;
+
+let note_appended t ~frame ~seq =
+  t.live.buf_used <- t.live.buf_used + frame;
+  t.live.buf_nrecords <- t.live.buf_nrecords + 1;
+  t.update_count <- t.update_count + 1;
+  if seq > t.last_seq then t.last_seq <- seq;
+  persist_append_meta t
+
+let append t record =
+  let size = Log_record.encoded_size record in
+  let frame = 2 + size in
+  if frame > payload_capacity t then
+    Mrdb_util.Fatal.misuse "Partition_bin.append: record exceeds page capacity";
+  ensure_buffer t;
   if t.live.buf_used + frame > payload_capacity t then `Page_full
   else begin
     (* Frame into the bin's reusable scratch (grown on demand, so the
@@ -283,11 +309,24 @@ let append t record =
     ignore (Log_record.encode_into record t.scratch ~pos:2 : int);
     Mrdb_hw.Stable_mem.write_sub (mem t) ~off:(buf_off t + t.live.buf_used)
       t.scratch ~pos:0 ~len:frame;
-    t.live.buf_used <- t.live.buf_used + frame;
-    t.live.buf_nrecords <- t.live.buf_nrecords + 1;
-    t.update_count <- t.update_count + 1;
-    if record.Log_record.seq > t.last_seq then t.last_seq <- record.Log_record.seq;
-    persist t;
+    note_appended t ~frame ~seq:record.Log_record.seq;
+    `Buffered
+  end
+
+let append_raw t buf ~pos ~len =
+  let frame = 2 + len in
+  if frame > payload_capacity t then
+    Mrdb_util.Fatal.misuse "Partition_bin.append_raw: record exceeds page capacity";
+  ensure_buffer t;
+  if t.live.buf_used + frame > payload_capacity t then `Page_full
+  else begin
+    (* The SLB stages chains with the same [u16 len | record] framing as
+       the bin buffer, so the drain forwards the whole frame — header at
+       [pos - 2] — with one stable-memory write and zero copies or
+       decodes in between. *)
+    Mrdb_hw.Stable_mem.write_sub (mem t) ~off:(buf_off t + t.live.buf_used)
+      buf ~pos:(pos - 2) ~len:frame;
+    note_appended t ~frame ~seq:(Log_record.peek_seq buf ~pos);
     `Buffered
   end
 
@@ -310,13 +349,16 @@ let seal_page t ~log_disk =
     in
     let lsn = Log_disk.alloc_lsn log_disk in
     (* Compose the page image around the staged payload: header via
-       [prepare], payload blitted straight out of stable memory (no
-       intermediate copy), CRC stamped by [finish]. *)
-    let image =
-      Log_page.prepare ~page_bytes:(page_bytes t) ~dir_size:(dir_capacity t)
-        ~lsn ~part:t.part ~prev_lsn:t.live.prev_lsn ~dir:embed
-        ~used:t.live.buf_used ~nrecords:t.live.buf_nrecords
-    in
+       [prepare_into] over the bin's reusable page buffer (every downstream
+       consumer — stable memory, the disk submit path, the archive tap —
+       captures its own copy synchronously), payload blitted straight out
+       of stable memory (no intermediate copy), CRC stamped by [finish]. *)
+    if Bytes.length t.page_scratch <> page_bytes t then
+      t.page_scratch <- Bytes.create (page_bytes t);
+    let image = t.page_scratch in
+    Log_page.prepare_into ~dir_size:(dir_capacity t) ~lsn ~part:t.part
+      ~prev_lsn:t.live.prev_lsn ~dir:embed ~used:t.live.buf_used
+      ~nrecords:t.live.buf_nrecords image;
     Mrdb_hw.Stable_mem.blit_out (mem t) ~off:(buf_off t) image
       ~pos:(Log_page.payload_off ~dir_size:(dir_capacity t))
       ~len:t.live.buf_used;

@@ -106,6 +106,15 @@ val append : t -> Log_record.t -> [ `Buffered | `Page_full ]
     must {!seal_page} and retry.
     @raise Pool_exhausted when the page pool is empty. *)
 
+val append_raw : t -> bytes -> pos:int -> len:int -> [ `Buffered | `Page_full ]
+(** Zero-copy {!append}: the [len]-byte encoded record sits at [pos] in a
+    caller-owned buffer with its u16 frame header at [pos - 2] — exactly
+    what {!Slb.drain_raw} hands out, since SLB chains and bin buffers use
+    identical framing.  The whole frame is forwarded with one stable-memory
+    write; the record is never decoded (the sequence watermark comes from
+    {!Log_record.peek_seq}).
+    @raise Pool_exhausted when the page pool is empty. *)
+
 val seal_page : t -> log_disk:Log_disk.t -> (int64 * bytes) option
 (** Compose the buffered records into a page image in the buffer block,
     allocate its LSN, link it into the chain and the directory, mark the

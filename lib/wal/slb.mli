@@ -63,10 +63,34 @@ module Region : sig
       write — the steady-state append path allocates nothing.
       @raise Slb_full when the region has no free block. *)
 
+  val stage_append : t -> txn_id:int -> Log_record.t -> unit
+  (** Group-commit append: the framed record accumulates in a {e volatile}
+      per-transaction staging buffer (pooled, no steady-state allocation)
+      instead of stable memory — the transaction is not durable until the
+      group flush materializes its chain.  A crash before the flush loses
+      the staged records, exactly the FASTPATH precommit window. *)
+
+  val materialize : t -> txn_id:int -> unit
+  (** Convert a staged transaction's records into chained block images in
+      the region's batch buffer, allocating its stable-memory blocks, and
+      register the chain as uncommitted.  Writes nothing to stable memory:
+      call {!flush_batch} before {!commit}ing any materialized chain.
+      No-op for transactions with nothing staged.
+      @raise Slb_full when the region has no free block. *)
+
+  val flush_batch : t -> int
+  (** Write every materialized block image to stable memory, coalescing
+      runs of consecutive block ids into single writes — a whole group's
+      REDO typically lands in one stable-memory write per region.  Returns
+      the number of writes issued (0 when nothing is pending). *)
+
   val commit : t -> txn_id:int -> unit
   (** Move the chain to this region's committed ring (the commit point),
       stamped with the next global commit sequence number.  A transaction
-      with no records commits trivially without a ring entry.
+      with no records commits trivially without a ring entry.  A chain
+      still sitting in the staging buffer is materialized and flushed
+      first, so commit never makes a transaction durable before its
+      records are.
       @raise Slb_full when the region's ring stripe is full. *)
 
   val abort : t -> txn_id:int -> unit
@@ -120,15 +144,28 @@ val iter_chain : t -> int -> f:(Log_record.t -> unit) -> unit
     exclude each other via the reentrancy guard, and {!records_of} is a
     test hook used outside drains). *)
 
-val drain : t -> f:(txn_id:int -> Log_record.t -> unit) -> int
+val drain_raw : t -> f:(txn_id:int -> bytes -> pos:int -> len:int -> unit) -> int
 (** Process every pending committed chain across all regions in global
     commit-sequence order: repeatedly pick the region whose oldest
-    undrained entry has the smallest sequence, stream its records (oldest
-    first) through [f], free the blocks, advance that region's ring head.
-    Returns the number of transactions drained.  Reentrant calls (possible
-    when [f] suspends on log-disk backpressure and the event loop runs
-    another commit) return 0 immediately; the outer drain picks up
-    anything committed meanwhile. *)
+    undrained entry has the smallest sequence, stream its record frames
+    (oldest first) through [f], free the blocks, advance that region's
+    ring head.  Returns the number of transactions drained.
+
+    [f] receives each encoded record in place inside a per-region read
+    buffer — valid only for the duration of the call, with the u16 frame
+    header guaranteed at [pos - 2] (so a consumer may forward the whole
+    [len + 2]-byte frame verbatim, e.g. {!Partition_bin.append_raw}).
+    Nothing is decoded and nothing is allocated per record: this is the
+    zero-copy drain path ({!Log_record.peek_bin_index} and [peek_seq]
+    extract routing fields without materializing records).
+
+    Reentrant calls (possible when [f] suspends on log-disk backpressure
+    and the event loop runs another commit) return 0 immediately; the
+    outer drain picks up anything committed meanwhile. *)
+
+val drain : t -> f:(txn_id:int -> Log_record.t -> unit) -> int
+(** {!drain_raw} with each frame decoded into a {!Log_record.t} —
+    convenience for tests and low-rate callers. *)
 
 val drain_one : t -> f:(txn_id:int -> Log_record.t -> unit) -> bool
 (** Drain the globally-oldest committed chain; false when none pending. *)

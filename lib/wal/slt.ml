@@ -234,6 +234,40 @@ let accept t record =
   if Partition_bin.update_count bin >= t.n_update then
     request_checkpoint t (Partition_bin.partition bin) Update_count
 
+let accept_raw t buf ~pos ~len =
+  (* Zero-copy sibling of {!accept}: routes the encoded frame straight
+     from the SLB drain buffer into the partition bin.  The bin index is
+     peeked out of the frame without decoding; the frame stays valid
+     across the backpressure waits below because reentrant drains are
+     excluded by the SLB guard and commits use a different scratch. *)
+  let bin =
+    let idx = Log_record.peek_bin_index buf ~pos in
+    match bin_of_index t idx with
+    | Some bin -> bin
+    | None ->
+        Mrdb_util.Fatal.invariantf ~mod_:"Slt" "accept_raw: record for unknown bin %d"
+          idx
+  in
+  let rec append () =
+    match Partition_bin.append_raw bin buf ~pos ~len with
+    | `Buffered -> ()
+    | `Page_full ->
+        seal_and_write t bin;
+        (match Partition_bin.append_raw bin buf ~pos ~len with
+        | `Buffered -> ()
+        | `Page_full ->
+            raise
+              (Record_too_large
+                 { partition = Partition_bin.partition bin; bytes = len }))
+    | exception Partition_bin.Pool_exhausted ->
+        let sim = Log_disk.sim t.log_disk in
+        if Mrdb_sim.Sim.step sim then append ()
+        else raise Partition_bin.Pool_exhausted
+  in
+  append ();
+  if Partition_bin.update_count bin >= t.n_update then
+    request_checkpoint t (Partition_bin.partition bin) Update_count
+
 let accept_all t records = List.iter (accept t) records
 
 let flush_partition t part =

@@ -61,10 +61,17 @@ val accept : t -> Log_record.t -> unit
 (** The sorting step: place one committed record into its bin, sealing and
     writing pages as they fill, and fire checkpoint triggers. *)
 
+val accept_raw : t -> bytes -> pos:int -> len:int -> unit
+(** Zero-copy {!accept}: sort one encoded record frame — as handed out by
+    {!Slb.drain_raw}, u16 header at [pos - 2] — into its bin without
+    decoding or copying it.  The bin index and sequence watermark are
+    peeked out of the encoding; the frame lands in the bin buffer as one
+    stable-memory write.  This is the hot drain path. *)
+
 val accept_all : t -> Log_record.t list -> unit
 (** [List.iter (accept t)] — convenience for recovery/test paths.  The hot
-    drain path streams records one at a time straight off the SLB chains
-    ({!Slb.drain}) instead of materializing lists. *)
+    drain path streams record frames straight off the SLB chains
+    ({!Slb.drain_raw} + {!accept_raw}) instead of materializing records. *)
 
 val flush_partition : t -> Addr.partition -> unit
 (** Seal and write the partition's partial page, if any (checkpoint step 7

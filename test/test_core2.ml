@@ -25,7 +25,7 @@ let test_group_commit_unflushed_not_durable () =
   (* The FASTPATH tradeoff: precommitted transactions have released their
      locks but are not durable until the group flushes.  A crash before
      the flush must lose them — and only them. *)
-  let config = { Config.small with Config.commit_mode = Config.Group 10 } in
+  let config = { Config.small with Config.commit_mode = Config.group 10 } in
   let db = Db.create ~config () in
   Db.create_relation db ~name:"t" ~schema;
   (* First group: filled and flushed explicitly. *)
@@ -50,7 +50,7 @@ let test_group_commit_unflushed_not_durable () =
     (kv_of db)
 
 let test_group_commit_flush_on_group_boundary_is_durable () =
-  let config = { Config.small with Config.commit_mode = Config.Group 2 } in
+  let config = { Config.small with Config.commit_mode = Config.group 2 } in
   let db = Db.create ~config () in
   Db.create_relation db ~name:"t" ~schema;
   for i = 1 to 4 do

@@ -220,7 +220,162 @@ let run_seed seed =
   done;
   total_injected := !total_injected + Injector.fired_count inj
 
+(* -- Group-commit crash-anywhere campaign ------------------------------------
+
+   Under [Config.Group] a committed-to-the-caller transaction is durable
+   only once its group flushes, so crash-anywhere acceptance weakens from
+   "exactly the committed state" to a prefix property: the recovered
+   state must equal the committed state after dropping some SUFFIX of the
+   commit-order transaction sequence (whole unflushed groups are lost
+   wholesale, never an individual transaction out of order), optionally
+   extended by the one transaction whose [Db.commit] call the crash
+   interrupted.  After an explicit [flush_group], no slack: every
+   committed transaction must be durable. *)
+
+let group_replay_line seed =
+  Printf.sprintf "MRDB_GROUP_SEED=%d dune exec test/test_torture.exe" seed
+
+let total_group_flushes = ref 0
+let total_group_timeout_flushes = ref 0
+let total_group_commits = ref 0
+let total_group_suffix_losses = ref 0
+
+let run_group_seed seed =
+  let config =
+    {
+      Config.small with
+      Config.commit_mode = Config.Group { Config.batch_size = 3; timeout_us = 5_000.0 };
+    }
+  in
+  let db = Db.create ~config () in
+  Db.create_relation db ~name:"t" ~schema;
+  let sim = Db.sim db in
+  (* Offset the stream so the campaign is not a replay of the main one. *)
+  let rng = Rng.of_int (0x9C0DE + seed) in
+  let base = Hashtbl.create 64 in
+  let committed_log = ref [] (* newest first *) in
+  let inflight = ref None in
+  let addr_of = Hashtbl.create 64 in
+  let next_val = ref 0 in
+  let rebuild_addrs () =
+    Hashtbl.reset addr_of;
+    Db.with_txn db (fun tx ->
+        List.iter
+          (fun (a, tup) ->
+            Hashtbl.replace addr_of (Schema.to_int (Tuple.field tup 0)) a)
+          (Db.scan db tx ~rel:"t"))
+  in
+  (* The committed state replayed up to commit-order position [p],
+     optionally with the interrupted commit's operations on top. *)
+  let candidate p ~with_inflight =
+    let t = Hashtbl.copy base in
+    List.iteri (fun i ops -> if i < p then apply_model t ops) (List.rev !committed_log);
+    (match (with_inflight, !inflight) with
+    | true, Some ops -> apply_model t ops
+    | _ -> ());
+    t
+  in
+  let crash_recover_verify ~require_full =
+    Db.crash db;
+    Db.recover db;
+    Db.recover_everything db;
+    let obs = observed db in
+    let n = List.length !committed_log in
+    let matches t = obs = snapshot t in
+    let rec longest_prefix p =
+      if p < 0 then None
+      else
+        let t = candidate p ~with_inflight:false in
+        if matches t then Some (p, t) else longest_prefix (p - 1)
+    in
+    let accepted =
+      (* The interrupted transaction, if any, precommitted last; it can
+         only be durable together with every earlier committed one. *)
+      let with_tail = candidate n ~with_inflight:true in
+      if !inflight <> None && matches with_tail then Some (n, with_tail)
+      else longest_prefix n
+    in
+    (match accepted with
+    | Some (p, t) ->
+        if require_full && p < n then
+          Alcotest.failf
+            "group seed %d: explicit flush lost committed work (%d of %d durable)@.replay: %s"
+            seed p n (group_replay_line seed);
+        if p < n then incr total_group_suffix_losses;
+        Hashtbl.reset base;
+        Hashtbl.iter (fun k v -> Hashtbl.replace base k v) t
+    | None ->
+        Alcotest.failf
+          "group seed %d: recovered state matches no committed prefix (%d committed since last crash)@.replay: %s"
+          seed n (group_replay_line seed));
+    committed_log := [];
+    inflight := None;
+    rebuild_addrs ()
+  in
+  let rounds = 2 + Rng.int rng 2 in
+  for _round = 1 to rounds do
+    let bomb_delay = 10.0 ** (3.0 +. Rng.float rng 2.0) in
+    Sim.schedule sim ~delay:bomb_delay (fun () -> raise Crash_now);
+    (try
+       let txns = 6 + Rng.int rng 15 in
+       for _ = 1 to txns do
+         let ops =
+           List.init
+             (1 + Rng.int rng 3)
+             (fun _ ->
+               let k = Rng.int rng 32 in
+               if Rng.int rng 5 = 0 then (k, `Del)
+               else begin
+                 incr next_val;
+                 (k, `Put !next_val)
+               end)
+         in
+         (try
+            let tx = Db.begin_txn db in
+            List.iter
+              (fun (k, op) ->
+                match (op, Hashtbl.find_opt addr_of k) with
+                | `Put v, Some a ->
+                    Hashtbl.replace addr_of k
+                      (Db.update_field db tx ~rel:"t" a ~column:"v" (Schema.int v))
+                | `Put v, None ->
+                    Hashtbl.replace addr_of k
+                      (Db.insert db tx ~rel:"t" [| Schema.int k; Schema.int v |])
+                | `Del, Some a ->
+                    Db.delete db tx ~rel:"t" a;
+                    Hashtbl.remove addr_of k
+                | `Del, None -> ())
+              ops;
+            if Rng.int rng 8 = 0 then begin
+              Db.abort db tx;
+              rebuild_addrs ()
+            end
+            else begin
+              inflight := Some ops;
+              Db.commit db tx;
+              committed_log := ops :: !committed_log;
+              inflight := None
+            end
+          with Db.Aborted _ -> rebuild_addrs ());
+         (* Let the simulated clock reach the group deadline sometimes, so
+            the timeout path flushes partial batches under fire. *)
+         if Rng.int rng 6 = 0 then Db.quiesce db;
+         if Rng.int rng 5 = 0 then ignore (Db.process_checkpoints db)
+       done
+     with Crash_now -> ());
+    crash_recover_verify ~require_full:false
+  done;
+  (* Planned shutdown: an explicit flush must make every commit durable. *)
+  Db.flush_group db;
+  crash_recover_verify ~require_full:true;
+  let trace = Db.trace db in
+  total_group_flushes := !total_group_flushes + Mrdb_sim.Trace.count trace "group_flushes";
+  total_group_timeout_flushes :=
+    !total_group_timeout_flushes + Mrdb_sim.Trace.count trace "group_timeout_flushes";
+  total_group_commits := !total_group_commits + Mrdb_sim.Trace.count trace "group_commits"
+
 let () =
+  let group_replay = Sys.getenv_opt "MRDB_GROUP_SEED" in
   let seeds, replay =
     match Sys.getenv_opt "MRDB_TORTURE_SEED" with
     | Some s -> ([ int_of_string s ], true)
@@ -228,7 +383,18 @@ let () =
         let n =
           match Sys.getenv_opt "MRDB_TORTURE_SEEDS" with
           | Some s -> int_of_string s
-          | None -> 200
+          | None -> if group_replay <> None then 0 else 200
+        in
+        (List.init n (fun i -> i), false)
+  in
+  let group_seeds, group_replaying =
+    match group_replay with
+    | Some s -> ([ int_of_string s ], true)
+    | None ->
+        let n =
+          match Sys.getenv_opt "MRDB_GROUP_SEEDS" with
+          | Some s -> int_of_string s
+          | None -> if replay then 0 else 24
         in
         (List.init n (fun i -> i), false)
   in
@@ -240,7 +406,7 @@ let () =
       seeds
   in
   let stats =
-    if replay then []
+    if replay || seeds = [] then []
     else
       [
         Alcotest.test_case "campaign statistics" `Quick (fun () ->
@@ -253,4 +419,32 @@ let () =
                 (!total_injected > 0));
       ]
   in
-  Alcotest.run "mrdb_torture" [ ("torture", cases @ stats) ]
+  let group_cases =
+    List.map
+      (fun seed ->
+        Alcotest.test_case (Printf.sprintf "group seed %d" seed) `Quick (fun () ->
+            run_group_seed seed))
+      group_seeds
+  in
+  let group_stats =
+    if group_replaying || group_seeds = [] then []
+    else
+      [
+        Alcotest.test_case "group campaign statistics" `Quick (fun () ->
+            (* Deterministic per seed set: batching must actually happen,
+               both trigger paths must fire, and at least one crash must
+               land on an unflushed group (otherwise the prefix acceptance
+               never exercised its weaker clause). *)
+            Alcotest.(check bool) "groups flushed" true (!total_group_flushes > 0);
+            Alcotest.(check bool) "transactions group-committed" true
+              (!total_group_commits > 0);
+            if List.length group_seeds >= 24 then begin
+              Alcotest.(check bool) "timeout deadline flushed partial groups" true
+                (!total_group_timeout_flushes > 0);
+              Alcotest.(check bool) "some crash caught an unflushed group" true
+                (!total_group_suffix_losses > 0)
+            end);
+      ]
+  in
+  Alcotest.run "mrdb_torture"
+    [ ("torture", cases @ stats); ("group_commit", group_cases @ group_stats) ]

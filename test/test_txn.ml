@@ -449,6 +449,68 @@ let test_txn_ids_monotonic () =
   check bool_t "monotonic ids" true (Txn.id b > Txn.id a);
   check int_t "two active" 2 (Txn.Manager.active_count w.mgr)
 
+(* -- Per-executor arena ------------------------------------------------------ *)
+
+(* Insert through the arena allocator, as Db's write path does. *)
+let arena_insert w a t i =
+  ignore
+    (Relation.insert w.relation ~alloc:(Arena.alloc a) ~log:(log_via w t)
+       [| Schema.int i; Schema.int (i * 10) |])
+
+let test_arena_reset_on_commit () =
+  let w = mk_world () in
+  let a = Txn.Manager.arena w.mgr ~executor:0 in
+  check int_t "starts empty" 0 (Arena.in_use a);
+  let t = Txn.Manager.begin_txn w.mgr in
+  arena_insert w a t 1;
+  check bool_t "buffers staged" true (Arena.in_use a > 0);
+  Txn.Manager.commit w.mgr t;
+  check int_t "fully reset on commit" 0 (Arena.in_use a);
+  check bool_t "buffers pooled, not dropped" true (Arena.pooled a > 0);
+  (* A second transaction of the same shape recycles pooled buffers: the
+     lifetime miss count must not grow. *)
+  let misses_before = Arena.misses a in
+  let t2 = Txn.Manager.begin_txn w.mgr in
+  arena_insert w a t2 2;
+  Txn.Manager.commit w.mgr t2;
+  check int_t "second txn recycles (no new misses)" misses_before (Arena.misses a);
+  check int_t "reset again" 0 (Arena.in_use a)
+
+let test_arena_reset_on_abort () =
+  let w = mk_world () in
+  let a = Txn.Manager.arena w.mgr ~executor:0 in
+  let t = Txn.Manager.begin_txn w.mgr in
+  arena_insert w a t 1;
+  check bool_t "buffers staged" true (Arena.in_use a > 0);
+  Txn.Manager.abort w.mgr t;
+  check int_t "fully reset on abort" 0 (Arena.in_use a);
+  check bool_t "buffers pooled" true (Arena.pooled a > 0)
+
+let test_arena_reset_on_crash () =
+  let w = mk_world () in
+  let a = Txn.Manager.arena w.mgr ~executor:0 in
+  let t = Txn.Manager.begin_txn w.mgr in
+  arena_insert w a t 1;
+  check bool_t "buffers staged" true (Arena.in_use a > 0);
+  Txn.Manager.crash_discard w.mgr;
+  check int_t "fully reset on crash" 0 (Arena.in_use a)
+
+let test_arena_survives_concurrent_txns () =
+  (* The arena resets only when its executor goes fully idle: with two
+     live transactions on executor 0, committing one must NOT recycle the
+     other's staged buffers. *)
+  let w = mk_world () in
+  let a = Txn.Manager.arena w.mgr ~executor:0 in
+  let t1 = Txn.Manager.begin_txn w.mgr in
+  let t2 = Txn.Manager.begin_txn w.mgr in
+  arena_insert w a t1 1;
+  arena_insert w a t2 2;
+  let staged = Arena.in_use a in
+  Txn.Manager.commit w.mgr t1;
+  check int_t "t2 still active: nothing recycled" staged (Arena.in_use a);
+  Txn.Manager.commit w.mgr t2;
+  check int_t "last commit resets" 0 (Arena.in_use a)
+
 let prop_txn_random_abort_equals_noop =
   QCheck.Test.make ~name:"abort is a no-op on relation state" ~count:60
     QCheck.(make Gen.(list_size (int_range 1 40) (int_bound 2)))
@@ -540,4 +602,12 @@ let () =
           Alcotest.test_case "monotonic ids" `Quick test_txn_ids_monotonic;
         ]
         @ qsuite [ prop_txn_random_abort_equals_noop ] );
+      ( "arena",
+        [
+          Alcotest.test_case "reset on commit + recycle" `Quick test_arena_reset_on_commit;
+          Alcotest.test_case "reset on abort" `Quick test_arena_reset_on_abort;
+          Alcotest.test_case "reset on crash" `Quick test_arena_reset_on_crash;
+          Alcotest.test_case "held across concurrent txns" `Quick
+            test_arena_survives_concurrent_txns;
+        ] );
     ]

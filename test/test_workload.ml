@@ -84,7 +84,7 @@ let test_config_rejects_bad_geometry () =
     (fun () -> Config.validate { Config.small with Config.ckpt_disk_pages = 1 });
   Alcotest.check_raises "zero group"
     (Invalid_argument "Config: group size must be >= 1") (fun () ->
-      Config.validate { Config.small with Config.commit_mode = Config.Group 0 });
+      Config.validate { Config.small with Config.commit_mode = Config.group 0 });
   Alcotest.check_raises "zero n_update"
     (Invalid_argument "Config: n_update must be >= 1") (fun () ->
       Config.validate { Config.small with Config.n_update = 0 });
@@ -108,13 +108,13 @@ let run_bank_with mode =
 
 let test_group_commit_equivalent_results () =
   let db_i, bank_i = run_bank_with Config.Instant in
-  let db_g, bank_g = run_bank_with (Config.Group 4) in
+  let db_g, bank_g = run_bank_with (Config.group 4) in
   check Alcotest.int64 "same totals under same seed"
     (Workload.Bank.audit bank_i db_i) (Workload.Bank.audit bank_g db_g);
   check bool_t "group invariant" true (Workload.Bank.consistent bank_g db_g)
 
 let test_group_commit_survives_crash_after_flush () =
-  let db, bank = run_bank_with (Config.Group 4) in
+  let db, bank = run_bank_with (Config.group 4) in
   let total = Workload.Bank.audit bank db in
   Db.crash db;
   Db.recover db;
