@@ -17,7 +17,7 @@
      Config.default, including commit, the sorter and page flushes; also
      reports wall-clock p50/p99 per-transaction latency from an
      Mrdb_obs.Metrics histogram, and (after an untimed crash/recovery
-     cycle) embeds the instance's full mrdb-obs/2 snapshot;
+     cycle) embeds the instance's full mrdb-obs/3 snapshot;
    - debit_credit_nexec: the same workload driven through the
      deterministic executor schedule (Sim_exec.run_scheduled) at
      executors=4 over striped SLB regions, with the executors=1 scheduled

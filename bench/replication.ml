@@ -1,0 +1,69 @@
+(* Warm-standby replication experiment (EXPERIMENTS.md §A6): how the ship
+   lag bound trades steady-state shipping work against the backlog a
+   standby must drain after an outage.
+
+   For each lag bound L the run is identical apart from L: a steady phase
+   (80 single-insert transactions with [maybe_ship] after every commit),
+   a standby outage spanning 30 more transactions (cuts fall on the dead
+   wire; the cursor freezes), resume, then cuts until the lag is zero —
+   the simulated time from resume to lag-zero is the catchup time.  The
+   standby is then promoted and the failover timeline phase reported.
+
+   Regenerate the table with: dune exec bench/replication.exe *)
+
+module Db = Mrdb_core.Db
+module Sim = Mrdb_sim.Sim
+module Schema = Mrdb_storage.Schema
+module Replica = Mrdb_replica.Replica
+
+let schema = Schema.of_list [ ("k", Schema.Int); ("v", Schema.Int) ]
+
+let failover_ms db =
+  let _, _, us =
+    List.find
+      (fun (p, _, _) -> p = Mrdb_obs.Timeline.Failover)
+      (Mrdb_obs.Timeline.phases (Mrdb_obs.Obs.timeline (Db.obs db)))
+  in
+  us /. 1000.0
+
+let run_one lag_bound =
+  let cl = Replica.create ~lag_bound () in
+  let p = Replica.primary cl in
+  Db.create_relation p ~name:"t" ~schema;
+  ignore (Replica.ship_cut cl);
+  let key = ref 0 in
+  let txn () =
+    incr key;
+    Db.with_txn p (fun tx ->
+        ignore (Db.insert p tx ~rel:"t" [| Schema.int !key; Schema.int (- !key) |]))
+  in
+  for _ = 1 to 80 do
+    txn ();
+    ignore (Replica.maybe_ship cl)
+  done;
+  let cuts_steady = Replica.cuts_shipped cl in
+  Replica.crash_standby cl;
+  for _ = 1 to 30 do
+    txn ();
+    ignore (Replica.maybe_ship cl)
+  done;
+  Replica.resume_standby cl;
+  let lag_at_resume = Replica.lag_records cl in
+  let t0 = Sim.now (Db.sim p) in
+  let drain_cuts = ref 0 in
+  while Replica.lag_records cl > 0 do
+    incr drain_cuts;
+    ignore (Replica.ship_cut cl)
+  done;
+  let catchup_ms = (Sim.now (Db.sim p) -. t0) /. 1000.0 in
+  let promoted = Replica.promote cl in
+  Db.recover_everything promoted;
+  Printf.printf "| %4d | %10d | %13d | %10d | %10.2f | %11.2f |\n" lag_bound
+    cuts_steady lag_at_resume !drain_cuts catchup_ms (failover_ms promoted)
+
+let () =
+  print_string
+    "| lag bound (records) | steady cuts | lag at resume | drain cuts | catchup \
+     ms | failover ms |\n";
+  print_string "|---|---|---|---|---|---|\n";
+  List.iter run_one [ 4; 8; 16; 32; 64; 128 ]

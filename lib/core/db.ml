@@ -22,6 +22,11 @@ exception Crashed = Db_state.Crashed
 exception Unknown_relation = Db_state.Unknown_relation
 exception Unknown_index = Db_state.Unknown_index
 
+(* Replication role (§ warm standby).  A standby accepts shipped durable
+   artifacts and local recovery, but refuses user transactions and DDL
+   until promoted — the split-brain guard is this one flag. *)
+type role = Primary | Standby
+
 type t = {
   cfg : Config.t;
   sim : Sim.t;
@@ -37,6 +42,7 @@ type t = {
   obs : Mrdb_obs.Obs.t; (* survives crashes, like the trace *)
   mutable vol : vol option;
   mutable cached_ctx : Db_state.ctx option;
+  mutable role : role;
 }
 
 type txn = Txn_core.t
@@ -48,6 +54,15 @@ let obs t = t.obs
 let txn_id = Txn_core.id
 
 let vol t = match t.vol with Some v -> v | None -> raise Crashed
+
+let role t = t.role
+
+let require_primary t what =
+  match t.role with
+  | Primary -> ()
+  | Standby ->
+      Mrdb_util.Fatal.misuse
+        (Printf.sprintf "Db.%s: node is a standby (promote it first)" what)
 
 (* The stable layout stripes the SLB one region per executor; the config's
    [stable.slb_regions] is overridden so callers only set [executors]. *)
@@ -136,12 +151,16 @@ let acquire t v tx resource mode =
 (* -- DDL (delegated to the system-transaction layer) ----------------------- *)
 
 let create_relation t ~name ~schema =
+  require_primary t "create_relation";
   Db_system.create_relation (ctx t) (vol t) ~name ~schema
 
 let create_index t ~rel ~name ~kind ~key_column =
+  require_primary t "create_index";
   Db_system.create_index (ctx t) (vol t) ~rel ~name ~kind ~key_column
 
-let drop_relation t ~name = Db_system.drop_relation (ctx t) (vol t) ~name
+let drop_relation t ~name =
+  require_primary t "drop_relation";
+  Db_system.drop_relation (ctx t) (vol t) ~name
 
 let relations t =
   let v = vol t in
@@ -280,6 +299,7 @@ let commit t tx =
       observe_txn_latency t tx
 
 let begin_txn ?(declare = []) ?(executor = 0) t =
+  require_primary t "begin_txn";
   let v = vol t in
   if executor < 0 || executor >= t.cfg.Config.executors then
     Mrdb_util.Fatal.misuse
@@ -525,6 +545,31 @@ let recover ?mode t =
   | Config.Full_reload -> recover_everything t
   | Config.On_demand | Config.Predeclare -> ()
 
+(* -- replication roles --------------------------------------------------------- *)
+
+let demote_to_standby t =
+  if t.vol <> None then
+    Mrdb_util.Fatal.misuse "Db.demote_to_standby: crash the node first";
+  t.role <- Standby
+
+let promote ?mode t =
+  (match t.role with
+  | Primary -> Mrdb_util.Fatal.misuse "Db.promote: node is already the primary"
+  | Standby -> ());
+  let started = Sim.now t.sim in
+  Mrdb_obs.Flight_recorder.phase (Mrdb_obs.Obs.recorder t.obs) "failover";
+  (* A cold standby holds only shipped durable artifacts; promotion is the
+     standard restart against them.  A warm standby (already recovered
+     locally) just flips the role.  The role flips AFTER the recovery
+     succeeds, so a promotion that dies mid-restart leaves the node a
+     standby.  Note {!recover} resets the timeline, so the failover charge
+     is added afterwards and survives. *)
+  if t.vol = None then recover ?mode t;
+  t.role <- Primary;
+  Mrdb_obs.Timeline.add (Mrdb_obs.Obs.timeline t.obs) Mrdb_obs.Timeline.Failover
+    ~dur_us:(Sim.now t.sim -. started);
+  Trace.incr t.trace "promotions"
+
 (* -- construction ------------------------------------------------------------- *)
 
 let create ?(config = Config.default) () =
@@ -574,6 +619,7 @@ let create ?(config = Config.default) () =
       obs;
       vol = None;
       cached_ctx = None;
+      role = Primary;
     }
   in
   let slb = Slb.create layout in
@@ -630,6 +676,39 @@ let fail_checkpoint_disk t =
       ~params:(Mrdb_hw.Disk.params t.ckpt_disk)
       ~capacity_pages:(Mrdb_hw.Disk.capacity_pages t.ckpt_disk);
   Trace.incr t.trace "ckpt_disk_failures"
+
+(* -- replication introspection (shipping side reads, all untimed) ------------- *)
+
+let commit_seq t = Stable_layout.commit_seq t.layout
+
+let partition_snapshot t (part : Addr.partition) =
+  match t.vol with
+  | None -> None
+  | Some v -> (
+      match Hashtbl.find_opt v.segments part.Addr.segment with
+      | None -> None
+      | Some seg -> (
+          match Segment.find seg part.Addr.partition with
+          | None -> None
+          | Some p -> Some (Partition.snapshot p)))
+
+let checkpoint_location t part =
+  let v = vol t in
+  match Catalog.partition_desc v.cat part with
+  | None -> None
+  | Some d ->
+      if d.Catalog.ckpt_page < 0 then None
+      else Some (d.Catalog.ckpt_page, d.Catalog.ckpt_page_count)
+
+let all_partitions t =
+  let v = vol t in
+  Catalog.fold_relations
+    (fun r acc ->
+      List.fold_left
+        (fun acc (d : Catalog.partition_desc) -> d.Catalog.part :: acc)
+        acc r.Catalog.partitions)
+    v.cat []
+  |> List.sort Addr.compare_partition
 
 let partition_of_addr t ~rel addr =
   ignore t;

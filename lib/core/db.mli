@@ -77,7 +77,7 @@ val begin_txn : ?declare:string list -> ?executor:int -> t -> txn
     transaction runs on: its REDO records go to that executor's SLB
     region and its flight events carry the id.
     @raise Invalid_argument when [executor] is outside
-    [0 .. Config.executors - 1]. *)
+    [0 .. Config.executors - 1], or when the node is a {!Standby}. *)
 
 val txn_id : txn -> int
 val commit : t -> txn -> unit
@@ -155,6 +155,30 @@ val recover : ?mode:Config.recovery_mode -> t -> unit
 val ensure_relation : t -> string -> unit
 (** Demand-restore a relation (all its partitions and index overlays). *)
 
+(** {2 Replication roles and failover ({!Mrdb_replica})} *)
+
+type role = Primary | Standby
+
+val role : t -> role
+(** Every instance is born [Primary].  A [Standby] refuses {!begin_txn}
+    and DDL ([Invalid_argument]) — the split-brain guard — while still
+    accepting {!crash}, {!recover} (local warm-up, role unchanged) and the
+    shipped-artifact installs performed by {!Mrdb_replica}. *)
+
+val demote_to_standby : t -> unit
+(** Make a crashed node a standby.
+    @raise Invalid_argument while volatile state exists: quiesce and
+    {!crash} first, so demotion can never strand live transactions. *)
+
+val promote : ?mode:Config.recovery_mode -> t -> unit
+(** Failover: make this standby the primary.  A cold standby first runs
+    {!recover} against its shipped durable artifacts (so promotion works
+    mid-catchup — remaining partitions restore on demand under [mode]);
+    a warm standby just flips the role.  The elapsed simulated time lands
+    in the timeline's [Failover] phase and the ["promotions"] trace
+    counter.
+    @raise Invalid_argument when the node is already the primary. *)
+
 val background_recovery_step : t -> bool
 (** Restore one more not-yet-resident partition (the paper's low-priority
     background sweep); false when the database is fully resident. *)
@@ -192,6 +216,27 @@ val stable_mem : t -> Mrdb_hw.Stable_mem.t
     target it (injection itself is lint-restricted to lib/fault / tests). *)
 
 val catalog : t -> Catalog.t
+
+(** {3 Replication introspection (untimed; {!Mrdb_replica} shipping side)} *)
+
+val commit_seq : t -> int
+(** The stable global commit sequence counter — on a standby this reads
+    the value carried by the last installed stable-memory image, so
+    [primary commit_seq - standby commit_seq] is the replication lag in
+    committed records. *)
+
+val partition_snapshot : t -> Addr.partition -> bytes option
+(** Byte snapshot of a memory-resident partition ([None] when the node is
+    crashed or the partition is absent/non-resident) — the divergence
+    handshake's source of per-partition CRCs. *)
+
+val checkpoint_location : t -> Addr.partition -> (int * int) option
+(** [(first_page, page_count)] of the partition's checkpoint image on the
+    checkpoint disk; [None] when never checkpointed. *)
+
+val all_partitions : t -> Addr.partition list
+(** Every catalogued partition (tuple and index segments), sorted. *)
+
 val partition_of_addr : t -> rel:string -> Addr.t -> Addr.partition
 val relation_partitions : t -> rel:string -> Addr.partition list
 (** Tuple-segment partitions of a relation (catalogued). *)

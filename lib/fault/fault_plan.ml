@@ -1,5 +1,6 @@
 type target = Log_primary | Log_mirror | Ckpt
 type side = Primary | Mirror
+type node = Primary_node | Standby_node
 
 type event =
   | Transient_read of { target : target; at_read : int }
@@ -8,6 +9,9 @@ type event =
   | Torn_write of { target : target; keep_fraction : float }
   | Corrupt_stable of { off : int; len : int; at_us : float }
   | Fail_executor of { executor : int; at_us : float }
+  | Fail_node of { node : node; at_us : float }
+  | Resume_node of { node : node; at_us : float }
+  | Partition_link of { delay_us : float; drop : bool; at_us : float; heal_us : float }
 
 type t = { seed : int option; events : event list }
 
@@ -16,6 +20,19 @@ let scripted events = { seed = None; events }
 let events t = t.events
 let seed t = t.seed
 
+(* The node-level failure domain: every [Fail_node] in one plan must aim at
+   the same node, mirroring the single-victim-log-side rule below — with
+   one node always alive a two-node campaign keeps a survivor to promote,
+   so the commit-order-prefix acceptance stays decidable. *)
+let node_fault_domain_ok t =
+  let victims =
+    List.filter_map
+      (function Fail_node { node; _ } -> Some node | _ -> None)
+      t.events
+  in
+  not
+    (List.mem Primary_node victims && List.mem Standby_node victims)
+
 (* Single-failure-domain discipline: each random plan picks ONE victim log
    side and confines corruptions, the mirror failure and torn log writes to
    it, so the other mirror always holds an intact copy and a committed
@@ -23,7 +40,8 @@ let seed t = t.seed
    corruption is media the archive covers, so it is fair game on any plan
    run with [archive = true].  Stable-memory corruption is never random —
    only scripted tests aim at the well-known area's redundancy. *)
-let random ?(executors = 1) ~seed ~horizon_us ~window_pages ~ckpt_pages () =
+let random ?(executors = 1) ?(nodes = false) ~seed ~horizon_us ~window_pages
+    ~ckpt_pages () =
   let rng = Mrdb_util.Rng.of_int seed in
   let victim = if Mrdb_util.Rng.bool rng then Primary else Mirror in
   let victim_target = match victim with Primary -> Log_primary | Mirror -> Log_mirror in
@@ -66,7 +84,42 @@ let random ?(executors = 1) ~seed ~horizon_us ~window_pages ~ckpt_pages () =
       push
         (Fail_executor { executor = Mrdb_util.Rng.int rng executors; at_us = at () })
     done;
-  { seed = Some seed; events = List.rev !events }
+  (* Node-level events — drawn after ALL single-node draws (and gated on
+     [nodes]) so single-node plans for a given seed are byte-identical to
+     what they were before replication existed.  One victim node absorbs
+     every [Fail_node]; link degradation carries no node identity, so it
+     is fair game regardless of the victim (like Ckpt corruption above). *)
+  if nodes then begin
+    let victim_node =
+      if Mrdb_util.Rng.bool rng then Primary_node else Standby_node
+    in
+    for _ = 1 to Mrdb_util.Rng.int rng 3 do
+      let fail_at = at () in
+      push (Fail_node { node = victim_node; at_us = fail_at });
+      push
+        (Resume_node
+           {
+             node = victim_node;
+             at_us = fail_at +. Mrdb_util.Rng.float rng (horizon_us /. 4.0);
+           })
+    done;
+    for _ = 1 to Mrdb_util.Rng.int rng 3 do
+      let at_us = at () in
+      push
+        (Partition_link
+           {
+             delay_us = Mrdb_util.Rng.float rng 20_000.0;
+             drop = Mrdb_util.Rng.int rng 3 = 0;
+             at_us;
+             heal_us = at_us +. Mrdb_util.Rng.float rng (horizon_us /. 4.0);
+           })
+    done
+  end;
+  let t = { seed = Some seed; events = List.rev !events } in
+  if not (node_fault_domain_ok t) then
+    Mrdb_util.Fatal.invariant ~mod_:"Fault_plan"
+      "random plan targets both nodes with Fail_node";
+  t
 
 let pp_target ppf = function
   | Log_primary -> Format.fprintf ppf "log.primary"
@@ -76,6 +129,10 @@ let pp_target ppf = function
 let pp_side ppf = function
   | Primary -> Format.fprintf ppf "primary"
   | Mirror -> Format.fprintf ppf "mirror"
+
+let pp_node ppf = function
+  | Primary_node -> Format.fprintf ppf "node.primary"
+  | Standby_node -> Format.fprintf ppf "node.standby"
 
 let pp_event ppf = function
   | Transient_read { target; at_read } ->
@@ -90,6 +147,13 @@ let pp_event ppf = function
       Format.fprintf ppf "corrupt-stable [%d,+%d) @@%.0fus" off len at_us
   | Fail_executor { executor; at_us } ->
       Format.fprintf ppf "fail-executor e%d @@%.0fus" executor at_us
+  | Fail_node { node; at_us } ->
+      Format.fprintf ppf "fail-node %a @@%.0fus" pp_node node at_us
+  | Resume_node { node; at_us } ->
+      Format.fprintf ppf "resume-node %a @@%.0fus" pp_node node at_us
+  | Partition_link { delay_us; drop; at_us; heal_us } ->
+      Format.fprintf ppf "partition-link delay=%.0fus drop=%b @@%.0fus..%.0fus"
+        delay_us drop at_us heal_us
 
 let pp ppf t =
   (match t.seed with

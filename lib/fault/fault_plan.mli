@@ -14,6 +14,11 @@
 type target = Log_primary | Log_mirror | Ckpt
 type side = Primary | Mirror
 
+type node = Primary_node | Standby_node
+(** The two machines of a replicated pair (see {!Mrdb_replica}).  A plan
+    armed against a single-node harness marks node events spent
+    silently. *)
+
 type event =
   | Transient_read of { target : target; at_read : int }
       (** The [at_read]-th read op on that device fails once (1-based,
@@ -36,6 +41,21 @@ type event =
           executor failed in its {!Mrdb_exec.Schedule}).  The executor's
           SLB region keeps its committed records — recovery drains all
           regions regardless of executor liveness. *)
+  | Fail_node of { node : node; at_us : float }
+      (** Whole-node crash: the harness's [on_node_fail] callback fires
+          (typically {!Mrdb_replica.Cluster.crash_node}).  {e Failure
+          domain}: every [Fail_node] of one plan targets the same node —
+          see {!node_fault_domain_ok}. *)
+  | Resume_node of { node : node; at_us : float }
+      (** Node restart: the harness's [on_node_resume] callback fires
+          (typically recover-and-rejoin).  Drawn paired after a
+          [Fail_node] of the same node in random plans. *)
+  | Partition_link of { delay_us : float; drop : bool; at_us : float; heal_us : float }
+      (** Link degradation from [at_us] to [heal_us]: shipped frames gain
+          [delay_us] extra latency, and with [drop] set they are discarded
+          outright (the ship protocol's cursor/ack resend recovers).  The
+          injector restores the healthy link at [heal_us], rescheduling
+          the heal across crashes. *)
 
 type t
 
@@ -43,6 +63,7 @@ val scripted : event list -> t
 
 val random :
   ?executors:int ->
+  ?nodes:bool ->
   seed:int -> horizon_us:float -> window_pages:int -> ckpt_pages:int ->
   unit -> t
 (** A seeded plan confined to a single failure domain: one victim log side
@@ -51,7 +72,20 @@ val random :
     Checkpoint-disk events assume the archive is enabled.  With
     [executors > 1] (default 1) the plan may additionally fail logical
     executors; those draws happen after everything else, so the plan for
-    a given seed at [executors = 1] is unchanged by the option. *)
+    a given seed at [executors = 1] is unchanged by the option.  With
+    [nodes] (default false) the plan may additionally crash/restart one
+    {e victim node} and degrade the replication link; those draws happen
+    after the executor draws, so plans without the option are unchanged
+    again, and the node draws obey the node failure domain: a random plan
+    never aims [Fail_node] at both nodes (validated at construction —
+    with one node always alive, a replication campaign always has a
+    survivor whose state the acceptance check can interrogate). *)
+
+val node_fault_domain_ok : t -> bool
+(** Whether the plan respects the node failure domain (no two [Fail_node]
+    events naming different nodes).  Always true for {!random} plans —
+    exposed so campaigns can assert it and scripted plans can check
+    themselves. *)
 
 val events : t -> event list
 val seed : t -> int option

@@ -15,6 +15,12 @@ type t = {
   fired : bool array;
   recorder : Mrdb_obs.Flight_recorder.t option;
   on_executor_fail : (int -> unit) option;
+  on_node_fail : (Fault_plan.node -> unit) option;
+  on_node_resume : (Fault_plan.node -> unit) option;
+  on_link_change : (delay_us:float -> drop:bool -> unit) option;
+  (* [Partition_link] events fire twice (degrade, heal); the heal leg gets
+     its own spent flag so [arm] can reschedule it across crashes. *)
+  healed : bool array;
 }
 
 let fired_count t = Array.fold_left (fun n f -> if f then n + 1 else n) 0 t.fired
@@ -76,7 +82,7 @@ let corruption_span ~page_bytes ~page =
   let at = page * 131 mod (page_bytes - len + 1) in
   (at, len)
 
-let fire_timed t i = function
+let rec fire_timed t i = function
   | Fault_plan.Corrupt_page { target; page; at_us = _ } -> (
       match disk_of t target with
       | None -> t.fired.(i) <- true (* no such device in this machine *)
@@ -107,29 +113,76 @@ let fire_timed t i = function
       | Some f ->
           fire t i "fault_executor_fails_injected";
           f executor)
+  | Fault_plan.Fail_node { node; at_us = _ } -> (
+      match t.on_node_fail with
+      | None -> t.fired.(i) <- true (* single-node harness *)
+      | Some f ->
+          fire t i "fault_node_fails_injected";
+          f node)
+  | Fault_plan.Resume_node { node; at_us = _ } -> (
+      match t.on_node_resume with
+      | None -> t.fired.(i) <- true
+      | Some f ->
+          fire t i "fault_node_resumes_injected";
+          f node)
+  | Fault_plan.Partition_link { delay_us; drop; at_us = _; heal_us } -> (
+      match t.on_link_change with
+      | None ->
+          t.fired.(i) <- true;
+          t.healed.(i) <- true
+      | Some f ->
+          fire t i "fault_links_degraded";
+          f ~delay_us ~drop;
+          schedule_heal t i heal_us)
   | Fault_plan.Transient_read _ | Fault_plan.Torn_write _ ->
       Mrdb_util.Fatal.invariant ~mod_:"Injector" "hook-driven event scheduled as timed"
+
+and schedule_heal t i heal_us =
+  Sim.schedule t.sim
+    ~delay:(Stdlib.max 0.0 (heal_us -. Sim.now t.sim))
+    (fun () ->
+      if not t.healed.(i) then begin
+        t.healed.(i) <- true;
+        Trace.incr t.trace "fault_links_healed";
+        (match t.recorder with
+        | None -> ()
+        | Some fr -> Mrdb_obs.Flight_recorder.fault fr ~kind:"fault_links_healed");
+        match t.on_link_change with
+        | None -> ()
+        | Some f -> f ~delay_us:0.0 ~drop:false
+      end)
 
 let arm t =
   let now = Sim.now t.sim in
   Array.iteri
     (fun i ev ->
+      let schedule at_us =
+        Sim.schedule t.sim ~delay:(Stdlib.max 0.0 (at_us -. now)) (fun () ->
+            (* The fired flag also de-duplicates accidental double-arming. *)
+            if not t.fired.(i) then fire_timed t i ev)
+      in
       if not t.fired.(i) then
-        let schedule at_us =
-          Sim.schedule t.sim ~delay:(Stdlib.max 0.0 (at_us -. now)) (fun () ->
-              (* The fired flag also de-duplicates accidental double-arming. *)
-              if not t.fired.(i) then fire_timed t i ev)
-        in
         match ev with
         | Fault_plan.Corrupt_page { at_us; _ }
         | Fault_plan.Fail_side { at_us; _ }
         | Fault_plan.Corrupt_stable { at_us; _ }
-        | Fault_plan.Fail_executor { at_us; _ } ->
+        | Fault_plan.Fail_executor { at_us; _ }
+        | Fault_plan.Fail_node { at_us; _ }
+        | Fault_plan.Resume_node { at_us; _ }
+        | Fault_plan.Partition_link { at_us; _ } ->
             schedule at_us
-        | Fault_plan.Transient_read _ | Fault_plan.Torn_write _ -> ())
+        | Fault_plan.Transient_read _ | Fault_plan.Torn_write _ -> ()
+      else
+        (* A degraded link whose heal was wiped by a crash's [Sim.clear]:
+           re-schedule the heal leg so the link never sticks degraded. *)
+        match ev with
+        | Fault_plan.Partition_link { heal_us; _ } when not t.healed.(i) ->
+            schedule_heal t i heal_us
+        | _ -> ())
     t.events
 
-let install ~plan ~sim ~trace ~log ?ckpt ?stable ?recorder ?on_executor_fail () =
+let install ~plan ~sim ~trace ~log ?ckpt ?stable ?recorder ?on_executor_fail
+    ?on_node_fail ?on_node_resume ?on_link_change () =
   let t =
     {
       plan;
@@ -142,6 +195,10 @@ let install ~plan ~sim ~trace ~log ?ckpt ?stable ?recorder ?on_executor_fail () 
       fired = Array.make (List.length (Fault_plan.events plan)) false;
       recorder;
       on_executor_fail;
+      on_node_fail;
+      on_node_resume;
+      on_link_change;
+      healed = Array.make (List.length (Fault_plan.events plan)) false;
     }
   in
   Disk.set_fault_hook (Duplex.primary log) (Some (hook_for t Fault_plan.Log_primary));

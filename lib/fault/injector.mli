@@ -10,8 +10,9 @@
     Every injected fault is visible in the trace:
     [fault_transient_reads_injected], [fault_pages_corrupted],
     [fault_mirror_failures_injected], [fault_torn_writes_injected],
-    [fault_stable_corruptions_injected],
-    [fault_executor_fails_injected]. *)
+    [fault_stable_corruptions_injected], [fault_executor_fails_injected],
+    [fault_node_fails_injected], [fault_node_resumes_injected],
+    [fault_links_degraded], [fault_links_healed]. *)
 
 type t
 
@@ -24,6 +25,9 @@ val install :
   ?stable:Mrdb_hw.Stable_mem.t ->
   ?recorder:Mrdb_obs.Flight_recorder.t ->
   ?on_executor_fail:(int -> unit) ->
+  ?on_node_fail:(Fault_plan.node -> unit) ->
+  ?on_node_resume:(Fault_plan.node -> unit) ->
+  ?on_link_change:(delay_us:float -> drop:bool -> unit) ->
   unit ->
   t
 (** Install device hooks and schedule the plan's timed events.  Events
@@ -32,7 +36,12 @@ val install :
     the trace-counter name) for every fault that fires.
     [on_executor_fail] receives the executor id of each
     {!Fault_plan.Fail_executor} event as it fires; without it those
-    events are marked spent silently. *)
+    events are marked spent silently.  [on_node_fail]/[on_node_resume]
+    receive {!Fault_plan.Fail_node}/{!Fault_plan.Resume_node} the same
+    way.  [on_link_change] receives each {!Fault_plan.Partition_link}
+    twice: the degraded parameters at [at_us] and
+    [~delay_us:0.0 ~drop:false] at [heal_us] (the heal leg is
+    re-scheduled by {!arm} if a crash's [Sim.clear] wiped it). *)
 
 val arm : t -> unit
 (** (Re-)schedule the not-yet-fired timed events — call after each crash,

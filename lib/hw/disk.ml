@@ -344,6 +344,18 @@ let peek_page t ~page =
   check_page t page;
   Option.map Bytes.copy t.store.(page)
 
+let install_page t ~page data =
+  check_page t page;
+  if Bytes.length data <> t.params.page_bytes then
+    Mrdb_util.Fatal.misuse
+      (Printf.sprintf "%s: install_page size %d <> page size %d" t.name
+         (Bytes.length data) t.params.page_bytes);
+  if not t.failed then begin
+    (match t.store.(page) with
+    | Some b -> Bytes.blit data 0 b 0 (Bytes.length data)
+    | None -> t.store.(page) <- Some (Bytes.copy data))
+  end
+
 let is_written t ~page =
   check_page t page;
   t.store.(page) <> None

@@ -107,10 +107,18 @@ val corrupt_page : t -> page:int -> at:int -> len:int -> unit
     starting from zeros.
     @raise Invalid_argument on a bad range. *)
 
-(** {2 Untimed inspection (tests and crash-state capture)} *)
+(** {2 Untimed inspection and installation (tests, crash-state capture,
+    replication apply)} *)
 
 val peek_page : t -> page:int -> bytes option
 (** Contents of a page if it has ever been written (copy). *)
+
+val install_page : t -> page:int -> bytes -> unit
+(** Install a page image directly onto the media, untimed and atomic —
+    the replication apply path ({!Mrdb_replica}): a CRC-verified shipped
+    batch lands on the standby's devices between simulated events, so a
+    crash bomb can never observe a half-applied batch.  No-op on a failed
+    drive.  @raise on bad page index or wrong buffer size. *)
 
 val is_written : t -> page:int -> bool
 

@@ -162,3 +162,8 @@ let peek_page t ~page =
   if t.a.status = Ok_ then Disk.peek_page t.a.disk ~page
   else if t.b.status = Ok_ then Disk.peek_page t.b.disk ~page
   else None
+
+let install_page t ~page data =
+  List.iter
+    (fun s -> if s.status <> Failed then Disk.install_page s.disk ~page data)
+    [ t.a; t.b ]

@@ -72,3 +72,7 @@ val crash_queue : t -> unit
 
 val peek_page : t -> page:int -> bytes option
 (** Reads the surviving copy (untimed). *)
+
+val install_page : t -> page:int -> bytes -> unit
+(** {!Disk.install_page} on every non-failed member: the replication apply
+    path lands a shipped page on both mirrors atomically, untimed. *)

@@ -1,0 +1,71 @@
+type t = {
+  sim : Mrdb_sim.Sim.t;
+  name : string;
+  base_delay_us : float;
+  mutable extra_delay_us : float;
+  mutable dropping : bool;
+  mutable deliver : (bytes -> unit) option;
+  mutable last_arrival_us : float;
+  mutable frames_sent : int;
+  mutable frames_dropped : int;
+  mutable frames_delivered : int;
+  mutable bytes_shipped : int;
+}
+
+let create ?(name = "ship") ?(delay_us = 500.0) sim =
+  if delay_us < 0.0 then Mrdb_util.Fatal.misuse "Ship_channel.create: delay_us";
+  {
+    sim;
+    name;
+    base_delay_us = delay_us;
+    extra_delay_us = 0.0;
+    dropping = false;
+    deliver = None;
+    last_arrival_us = 0.0;
+    frames_sent = 0;
+    frames_dropped = 0;
+    frames_delivered = 0;
+    bytes_shipped = 0;
+  }
+
+let name t = t.name
+
+let attach t f = t.deliver <- Some f
+let detach t = t.deliver <- None
+
+let send t frame =
+  t.frames_sent <- t.frames_sent + 1;
+  if t.dropping then t.frames_dropped <- t.frames_dropped + 1
+  else begin
+    t.bytes_shipped <- t.bytes_shipped + Bytes.length frame;
+    (* The receiver may not run until the propagation delay has elapsed,
+       and frames never overtake each other: each arrival is clamped to
+       the previous one (FIFO even when the delay shrinks mid-flight). *)
+    let arrival =
+      Float.max
+        (Mrdb_sim.Sim.now t.sim +. t.base_delay_us +. t.extra_delay_us)
+        t.last_arrival_us
+    in
+    t.last_arrival_us <- arrival;
+    let data = Bytes.copy frame in
+    Mrdb_sim.Sim.schedule_at t.sim arrival (fun () ->
+        match t.deliver with
+        | None -> t.frames_dropped <- t.frames_dropped + 1
+        | Some f ->
+            t.frames_delivered <- t.frames_delivered + 1;
+            f data)
+  end
+
+let set_extra_delay t us =
+  if us < 0.0 then Mrdb_util.Fatal.misuse "Ship_channel.set_extra_delay";
+  t.extra_delay_us <- us
+
+let set_drop t b = t.dropping <- b
+
+let extra_delay_us t = t.extra_delay_us
+let dropping t = t.dropping
+
+let frames_sent t = t.frames_sent
+let frames_dropped t = t.frames_dropped
+let frames_delivered t = t.frames_delivered
+let bytes_shipped t = t.bytes_shipped

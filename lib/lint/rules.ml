@@ -23,6 +23,7 @@ let libraries =
     ("archive", "mrdb_archive");
     ("recovery", "mrdb_recovery");
     ("core", "mrdb_core");
+    ("replica", "mrdb_replica");
     ("lint", "mrdb_lint");
   ]
 
@@ -77,6 +78,22 @@ let allowed_deps =
         "mrdb_recovery";
         "mrdb_archive";
       ] );
+    (* The replica sits above core (it drives two Db instances) but below
+       nothing: no library may depend back on it, so the single-node build
+       is never entangled with replication. *)
+    ( "mrdb_replica",
+      [
+        "mrdb_util";
+        "mrdb_sim";
+        "mrdb_obs";
+        "mrdb_hw";
+        "mrdb_storage";
+        "mrdb_wal";
+        "mrdb_ckpt";
+        "mrdb_recovery";
+        "mrdb_core";
+        "mrdb_fault";
+      ] );
     ("mrdb_lint", [ "mrdb_util" ]);
   ]
 
@@ -92,12 +109,15 @@ let stable_mem_mutators = [ "write"; "write_sub"; "fill"; "put_u32"; "put_i64" ]
 
 (* Files allowed to write stable memory raw (paths relative to lib/):
    the WAL components (SLB, SLT, partition bins, the stable layout), the
-   recovery manager's well-known region, and the defining module itself. *)
+   recovery manager's well-known region, the defining module itself, and
+   the standby batch-install path — the ONLY place replication may write
+   a shipped stable image. *)
 let wild_write_allowed rel =
   String.length rel >= 4
   && String.sub rel 0 4 = "wal/"
   || rel = "recovery/wellknown.ml"
   || rel = "hw/stable_mem.ml"
+  || rel = "replica/apply.ml"
 
 (* -- R3: partiality --------------------------------------------------------- *)
 
@@ -134,6 +154,7 @@ let fault_injection_idents =
     ("Disk", [ "set_fault_hook"; "corrupt_page"; "fail" ]);
     ("Duplex", [ "fail_primary"; "fail_mirror" ]);
     ("Stable_mem", [ "set_fault_hook"; "corrupt" ]);
+    ("Ship_channel", [ "set_extra_delay"; "set_drop" ]);
   ]
 
 (* Who may inject (relative to lib/): the fault subsystem itself and the
@@ -143,6 +164,7 @@ let fault_injection_idents =
 let fault_injection_allowed rel =
   (String.length rel >= 6 && String.sub rel 0 6 = "fault/")
   || rel = "hw/disk.ml" || rel = "hw/duplex.ml" || rel = "hw/stable_mem.ml"
+  || rel = "hw/ship_channel.ml"
 
 (* -- R6: output discipline --------------------------------------------------- *)
 
@@ -379,6 +401,21 @@ let default_config =
             ];
           res_fields = [];
           res_owners = [ "wal/"; "core/db_system.ml" ];
+        };
+        {
+          (* Bypassing-the-clock page installs: the replication transport
+             writing received durable artifacts.  Outside the devices
+             themselves, only the standby's batch-install path may call
+             them — a primary must never install_page its own media. *)
+          res_name = "standby durable page images";
+          res_write_idents =
+            [
+              ("Disk", "install_page");
+              ("Duplex", "install_page");
+              ("Log_disk", "install_page");
+            ];
+          res_fields = [];
+          res_owners = [ "hw/"; "wal/log_disk.ml"; "replica/apply.ml" ];
         };
         {
           res_name = "lock-manager shards";

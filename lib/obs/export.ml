@@ -3,8 +3,11 @@
    [num] so escaping and float formatting stay uniform. *)
 
 (* /2: flight-recorder txn and slb_append events carry an "exec" field
-   (originating executor id). *)
-let schema = "mrdb-obs/2"
+   (originating executor id).
+   /3: the timeline gains a sixth "failover" phase, and replication
+   snapshots carry the "ship_batch_records" histogram and the
+   "replication_lag_records" gauge. *)
+let schema = "mrdb-obs/3"
 
 (* -- JSON primitives -------------------------------------------------------- *)
 

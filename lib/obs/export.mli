@@ -1,10 +1,13 @@
 (** Stable machine- and human-readable renderings of an {!Obs} snapshot.
 
-    The JSON schema is [mrdb-obs/2] (the /1 → /2 bump added the ["exec"]
-    originating-executor field to the txn and slb_append flight events):
+    The JSON schema is [mrdb-obs/3] (the /1 → /2 bump added the ["exec"]
+    originating-executor field to the txn and slb_append flight events;
+    /2 → /3 added warm-standby replication: the sixth timeline phase
+    [failover], the [ship_batch_records] histogram and — on a replicating
+    primary — the [replication_lag_records] gauge):
 
     {v
-    { "schema": "mrdb-obs/2",
+    { "schema": "mrdb-obs/3",
       "now_us": <float>,                     // simulated clock at snapshot
       "counters": { "<name>": <int>, ... },  // registry + attached Trace
       "gauges": { "<name>": <int>, ... },
@@ -15,7 +18,7 @@
       "timeline": {
         "started_us": <float>, "total_us": <float>,
         "phases": [ { "phase": "<name>", "count": <int>,
-                      "total_us": <float> }, ...always all five... ] },
+                      "total_us": <float> }, ...always all six... ] },
       "series": { "<name>": { "count": <int>, "mean": <float>,
                               "p50": <float>, "p99": <float>,
                               "max": <float> }, ... },
@@ -30,7 +33,7 @@
     change. *)
 
 val schema : string
-(** ["mrdb-obs/2"]. *)
+(** ["mrdb-obs/3"]. *)
 
 val json : ?events_limit:int -> t:Obs.t -> unit -> string
 (** The snapshot as a JSON document (no trailing newline).

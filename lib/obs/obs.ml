@@ -30,6 +30,9 @@ let restore_latency t =
 let drain_batch t =
   Metrics.histogram t.metrics ~unit_:"records" "drain_batch_records"
 
+let ship_batch t =
+  Metrics.histogram t.metrics ~unit_:"records" "ship_batch_records"
+
 let group_batch t = Metrics.histogram t.metrics ~unit_:"txns" "group_batch_txns"
 
 let group_commit_wait t =

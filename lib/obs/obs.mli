@@ -47,6 +47,12 @@ val restore_latency : t -> Metrics.histogram
 val drain_batch : t -> Metrics.histogram
 (** ["drain_batch_records"]: committed records moved per sorter drain. *)
 
+val ship_batch : t -> Metrics.histogram
+(** ["ship_batch_records"]: committed records carried per log-shipping
+    batch (a replication ship cut delivered to the warm standby).  The
+    companion ["replication_lag_records"] gauge is registered by
+    {!Mrdb_replica.Replica} on the standby's registry. *)
+
 val group_batch : t -> Metrics.histogram
 (** ["group_batch_txns"]: transactions per group-commit flush. *)
 

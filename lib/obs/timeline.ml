@@ -4,10 +4,11 @@ type phase =
   | Slt_scan
   | On_demand_restore
   | Background_sweep
+  | Failover
 
 let all_phases =
   [ Wellknown_bootstrap; Catalog_restore; Slt_scan; On_demand_restore;
-    Background_sweep ]
+    Background_sweep; Failover ]
 
 let phase_name = function
   | Wellknown_bootstrap -> "wellknown_bootstrap"
@@ -15,6 +16,7 @@ let phase_name = function
   | Slt_scan -> "slt_scan"
   | On_demand_restore -> "on_demand_restore"
   | Background_sweep -> "background_sweep"
+  | Failover -> "failover"
 
 let index = function
   | Wellknown_bootstrap -> 0
@@ -22,6 +24,9 @@ let index = function
   | Slt_scan -> 2
   | On_demand_restore -> 3
   | Background_sweep -> 4
+  | Failover -> 5
+
+let n_phases = 6
 
 type t = {
   counts : int array;
@@ -29,11 +34,13 @@ type t = {
   mutable started_us : float;
 }
 
-let create () = { counts = Array.make 5 0; totals = Array.make 5 0.0; started_us = 0.0 }
+let create () =
+  { counts = Array.make n_phases 0; totals = Array.make n_phases 0.0;
+    started_us = 0.0 }
 
 let reset t ~now_us =
-  Array.fill t.counts 0 5 0;
-  Array.fill t.totals 0 5 0.0;
+  Array.fill t.counts 0 n_phases 0;
+  Array.fill t.totals 0 n_phases 0.0;
   t.started_us <- now_us
 
 let add t phase ~dur_us =

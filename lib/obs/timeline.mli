@@ -6,8 +6,8 @@
     long until the database is fully resident.  This type makes that story
     a first-class runtime artifact: {!Mrdb_recovery.Recovery_mgr} resets it
     at restart and each recovery phase accumulates its simulated duration
-    and invocation count.  All five phases are always present (zero when a
-    phase did not run), so the [mrdb-obs/1] snapshot shape is stable. *)
+    and invocation count.  All six phases are always present (zero when a
+    phase did not run), so the [mrdb-obs/3] snapshot shape is stable. *)
 
 type phase =
   | Wellknown_bootstrap  (** read the well-known area's catalog pointers *)
@@ -15,9 +15,12 @@ type phase =
   | Slt_scan             (** SLB/SLT stable-memory scan + backlog sort *)
   | On_demand_restore    (** per-partition restores driven by transactions *)
   | Background_sweep     (** the low-priority restore-everything sweep *)
+  | Failover             (** standby promotion: recover-from-shipped + role flip *)
 
 val all_phases : phase list
-(** The five phases in canonical (paper §2.5 restart) order. *)
+(** The six phases in canonical (paper §2.5 restart) order; [Failover]
+    (warm-standby promotion, not part of the paper's single-node restart)
+    comes last. *)
 
 val phase_name : phase -> string
 (** Stable snake_case name used in the JSON schema. *)
@@ -37,7 +40,7 @@ val started_us : t -> float
 (** Simulated time of the last {!reset} (0 before any). *)
 
 val phases : t -> (phase * int * float) list
-(** [(phase, count, total_us)] for all five phases, canonical order. *)
+(** [(phase, count, total_us)] for all six phases, canonical order. *)
 
 val total_us : t -> float
 (** Sum of all phase durations. *)

@@ -26,6 +26,20 @@ val segment_of : t -> int -> Segment.t
 (** The segment runtime for [seg_id], creating it (and reserving all
     catalogued partition numbers) on first touch. *)
 
+val apply_records :
+  partition:Partition.t ->
+  watermark:int ->
+  ?on_applied:(unit -> unit) ->
+  Mrdb_wal.Log_record.t list ->
+  int
+(** The REDO kernel shared by every replay path: apply each record with
+    [seq > watermark] to the partition in stream order and return the
+    highest sequence seen (or [watermark] for an empty/filtered stream).
+    Reused by the warm-standby apply path ({!Mrdb_replica}), which replays
+    shipped log records onto shadow partitions exactly as restart replay
+    does onto restored ones.  [on_applied] fires once per record actually
+    applied. *)
+
 val ensure_partition : t -> Addr.partition -> unit
 (** Restore the partition if it is not memory-resident: checkpoint image
     and log stream are fetched in parallel (different disks), records with

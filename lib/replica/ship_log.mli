@@ -1,0 +1,50 @@
+(** Log-shipping frame codec.
+
+    What actually crosses the {!Mrdb_hw.Ship_channel}: a CRC-enveloped,
+    self-describing encoding of one replication message.  The channel is a
+    dumb byte pipe; every protocol rule (what a batch contains, how acks
+    move the cursor) lives in {!Replica}, and every byte-level concern
+    lives here.
+
+    A {e batch} is one ship cut's worth of durable artifacts, in install
+    order: sealed log pages, changed checkpoint-disk pages, the
+    per-partition divergence checks, and — last, because installing it is
+    the batch's commit point — the full stable-memory image.  A receiver
+    that installs a verified batch atomically leaves its durable state
+    exactly crash-consistent with the primary's at the cut. *)
+
+type part_check = {
+  part : Mrdb_storage.Addr.partition;
+  ckpt_page : int;  (** first checkpoint-disk page; -1 = never checkpointed *)
+  ckpt_pages : int;
+  crc : int32;  (** CRC-32 of the primary's live partition snapshot at the cut *)
+}
+(** One partition's entry in the divergence handshake: where the standby
+    should find its checkpoint image, and what byte state image + log
+    replay must reproduce. *)
+
+type batch = {
+  epoch : int;  (** re-seed generation; a mismatch forces a full re-seed *)
+  cut : int;  (** monotonically increasing cut number (the cursor) *)
+  full : bool;  (** a re-seed: standby state is replaced, epoch adopted *)
+  log_pages : (int64 * bytes) list;  (** sealed pages, ascending LSN *)
+  ckpt_pages : (int * bytes) list;  (** checkpoint-disk pages by page number *)
+  checks : part_check list;
+  stable : bytes;  (** full stable-memory image — the batch's commit point *)
+}
+
+type ack_status =
+  | Applied  (** batch installed and audited clean; cursor may advance *)
+  | Diverged  (** audit failed — primary must ship a full re-seed *)
+
+type frame =
+  | Batch of batch
+  | Ack of { epoch : int; cut : int; status : ack_status }
+
+val encode : frame -> bytes
+
+val decode : bytes -> (frame, string) result
+(** Verify magic and payload CRC-32, then decode.  A corrupted or
+    truncated frame returns [Error] — the shipping protocol treats it
+    exactly like a dropped frame (the cursor does not advance, so the
+    next cut re-covers the gap). *)

@@ -94,4 +94,14 @@ let read_page t ~lsn k =
                   k (Error (Stale_slot { wanted = lsn; found = header.Log_page.lsn }))
                 else k (Ok (header, records))))
 
+let install_page t ~lsn image =
+  if Bytes.length image <> page_bytes t then
+    Mrdb_util.Fatal.misuse "Log_disk.install_page: wrong image size";
+  if lsn < 0L then Mrdb_util.Fatal.misuse "Log_disk.install_page: negative LSN";
+  Mrdb_hw.Duplex.install_page t.duplex ~page:(slot t lsn) image
+
+let peek_page t ~lsn =
+  if in_window t lsn then Mrdb_hw.Duplex.peek_page t.duplex ~page:(slot t lsn)
+  else None
+
 let pages_written t = t.pages_written

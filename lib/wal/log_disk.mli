@@ -69,4 +69,18 @@ val read_page :
 (** Read, checksum-verify (with mirror fallback) and decode the page at
     [lsn]. *)
 
+val install_page : t -> lsn:int64 -> bytes -> unit
+(** Untimed atomic page install at [lsn]'s window slot on every live
+    mirror — the replication apply path ({!Mrdb_replica}): a shipped,
+    CRC-verified log page lands on the standby's log disk between
+    simulated events.  Unlike {!write_page} the LSN is not checked against
+    this node's window: the standby's stable [next_lsn] is advanced
+    separately as part of the shipped stable-memory image, so during a
+    batch apply the slot legitimately runs ahead of the local counter. *)
+
+val peek_page : t -> lsn:int64 -> bytes option
+(** Raw image of the in-window page at [lsn] from a surviving mirror
+    (untimed; [None] when out of window or never written) — the shipping
+    side reads sealed pages without disturbing device queues. *)
+
 val pages_written : t -> int

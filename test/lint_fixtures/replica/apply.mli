@@ -1,0 +1,1 @@
+val install : Mrdb_hw.Stable_mem.t -> unit

@@ -1,0 +1,7 @@
+(* R1/R5 fixture: a standby-side module mutating stable memory raw and
+   degrading the ship link from outside the sanctioned install path —
+   replication code other than replica/apply.ml may do neither. *)
+
+let smuggle mem = Mrdb_hw.Stable_mem.put_u32 mem ~off:0 0xBEEF
+
+let strangle ch = Mrdb_hw.Ship_channel.set_drop ch true

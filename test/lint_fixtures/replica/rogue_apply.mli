@@ -1,0 +1,2 @@
+val smuggle : Mrdb_hw.Stable_mem.t -> unit
+val strangle : Mrdb_hw.Ship_channel.t -> unit

@@ -39,8 +39,8 @@ let small_config =
 
 (* -- Fault_plan -------------------------------------------------------------- *)
 
-let mk_plan ?executors seed =
-  Fault_plan.random ?executors ~seed ~horizon_us:1_000_000.0 ~window_pages:8
+let mk_plan ?executors ?nodes seed =
+  Fault_plan.random ?executors ?nodes ~seed ~horizon_us:1_000_000.0 ~window_pages:8
     ~ckpt_pages:64 ()
 
 let test_plan_determinism () =
@@ -110,6 +110,89 @@ let test_plan_executor_faults () =
     (List.exists
        (fun seed -> List.exists is_exec_fault (events (mk_plan ~executors:4 seed)))
        (List.init 64 Fun.id))
+
+let test_plan_node_faults () =
+  let open Fault_plan in
+  let show p = Format.asprintf "%a" Fault_plan.pp p in
+  let is_node_event = function
+    | Fail_node _ | Resume_node _ | Partition_link _ -> true
+    | _ -> false
+  in
+  for seed = 0 to 63 do
+    (* Node draws happen last (after the executor draws), so plans without
+       the option are byte-identical — replication campaigns do not
+       perturb single-node seed replays. *)
+    check Alcotest.string
+      (Printf.sprintf "seed %d: nodes:false leaves the plan unchanged" seed)
+      (show (mk_plan seed))
+      (show (mk_plan ~nodes:false seed));
+    let pn = mk_plan ~nodes:true seed in
+    let others e = List.filter (fun x -> not (is_node_event x)) e in
+    check bool_t
+      (Printf.sprintf "seed %d: node draws only append events" seed)
+      true
+      (others (events pn) = events (mk_plan seed));
+    (* Node draws compose with executor draws, appended after them. *)
+    let pboth = mk_plan ~executors:4 ~nodes:true seed in
+    check bool_t
+      (Printf.sprintf "seed %d: node draws append after executor draws" seed)
+      true
+      (others (events pboth) = events (mk_plan ~executors:4 seed));
+    check Alcotest.string
+      (Printf.sprintf "seed %d: executors+nodes plan replays identically" seed)
+      (show pboth)
+      (show (mk_plan ~executors:4 ~nodes:true seed));
+    (* The node failure domain: a random plan never crashes both nodes,
+       so a replication campaign always has a survivor to interrogate. *)
+    check bool_t
+      (Printf.sprintf "seed %d: single victim node" seed)
+      true (node_fault_domain_ok pn);
+    let victims =
+      List.filter_map
+        (function Fail_node { node; _ } -> Some node | _ -> None)
+        (events pn)
+    in
+    (match victims with
+    | [] -> ()
+    | n :: rest ->
+        check bool_t
+          (Printf.sprintf "seed %d: every Fail_node names the same victim" seed)
+          true
+          (List.for_all (fun m -> m = n) rest));
+    (* Every Fail_node is paired with a Resume_node of the same victim
+       drawn after it. *)
+    List.iter
+      (function
+        | Fail_node { node; at_us } ->
+            check bool_t "fail has a later resume" true
+              (List.exists
+                 (function
+                   | Resume_node { node = n; at_us = r } -> n = node && r > at_us
+                   | _ -> false)
+                 (events pn))
+        | Partition_link { heal_us; at_us; _ } ->
+            check bool_t "link heals after it degrades" true (heal_us > at_us)
+        | _ -> ())
+      (events pn)
+  done;
+  (* Deterministic: across a seed range, node and link events both occur. *)
+  let any_event f =
+    List.exists
+      (fun seed -> List.exists f (events (mk_plan ~nodes:true seed)))
+      (List.init 64 Fun.id)
+  in
+  check bool_t "some plan crashes a node" true
+    (any_event (function Fail_node _ -> true | _ -> false));
+  check bool_t "some plan degrades the link" true
+    (any_event (function Partition_link _ -> true | _ -> false));
+  (* Scripted plans can violate the domain; the predicate must say so. *)
+  check bool_t "scripted double-victim flagged" false
+    (node_fault_domain_ok
+       (scripted
+          [
+            Fail_node { node = Primary_node; at_us = 1.0 };
+            Fail_node { node = Standby_node; at_us = 2.0 };
+          ]))
 
 (* -- Injector against a bare duplex ------------------------------------------ *)
 
@@ -485,6 +568,8 @@ let () =
             test_plan_determinism;
           Alcotest.test_case "executor faults gated and appended last" `Quick
             test_plan_executor_faults;
+          Alcotest.test_case "node faults appended last, one victim node" `Quick
+            test_plan_node_faults;
           Alcotest.test_case "random plans keep one failure domain" `Quick
             test_plan_single_failure_domain;
         ] );

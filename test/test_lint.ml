@@ -68,6 +68,8 @@ let expected =
     ("R1", "lint_fixtures/core/wild_write.ml", 4);
     ("R10", "lint_fixtures/recovery/sloppy.ml", 3);
     ("R2", "lint_fixtures/recovery/upcall.ml", 3);
+    ("R1", "lint_fixtures/replica/rogue_apply.ml", 5);
+    ("R5", "lint_fixtures/replica/rogue_apply.ml", 7);
     ("R8", "lint_fixtures/storage/clockuser.ml", 7);
     ("R11", "lint_fixtures/storage/ghost.ml", 1);
     ("R9", "lint_fixtures/storage/holder.ml", 10);
@@ -95,11 +97,18 @@ let test_r1_cites_wild_write_clause () =
   let r1 =
     List.filter (fun d -> d.Diag.rule = Diag.R1) (lint_fixtures ())
   in
-  check int_t "one R1" 1 (List.length r1);
-  let rendered = Diag.to_string (List.hd r1) in
-  check bool_t "mentions Stable_mem mutator" true
-    (contains ~needle:"Stable_mem.put_u32" rendered);
-  check bool_t "cites paper 2.2" true (contains ~needle:"2.2" rendered)
+  (* Two seeded wild writes: the main-CPU one (core/wild_write.ml) and the
+     replication one outside the sanctioned install path
+     (replica/rogue_apply.ml).  replica/apply.ml performs the same
+     mutation and must stay silent. *)
+  check int_t "two R1s" 2 (List.length r1);
+  List.iter
+    (fun d ->
+      let rendered = Diag.to_string d in
+      check bool_t "mentions Stable_mem mutator" true
+        (contains ~needle:"Stable_mem.put_u32" rendered);
+      check bool_t "cites paper 2.2" true (contains ~needle:"2.2" rendered))
+    r1
 
 (* The interprocedural diagnostics carry the call chain that convicts
    them — the whole point of phase 2 is that the chain crosses modules. *)
@@ -294,8 +303,40 @@ let test_slb_ownership_allowlist () =
 let test_fault_containment_allowlist () =
   check bool_t "lib/fault may inject" true (Rules.fault_injection_allowed "fault/injector.ml");
   check bool_t "duplex fails its member disk" true (Rules.fault_injection_allowed "hw/duplex.ml");
+  check bool_t "the ship channel degrades itself" true
+    (Rules.fault_injection_allowed "hw/ship_channel.ml");
   check bool_t "core must not inject" false (Rules.fault_injection_allowed "core/db.ml");
-  check bool_t "wal must not inject" false (Rules.fault_injection_allowed "wal/slt.ml")
+  check bool_t "wal must not inject" false (Rules.fault_injection_allowed "wal/slt.ml");
+  check bool_t "replica must not degrade its own link" false
+    (Rules.fault_injection_allowed "replica/replica.ml")
+
+(* PR 9's confinement: shipped durable artifacts land on the standby only
+   through replica/apply.ml — as raw stable-memory image (R1) and as
+   clock-bypassing page installs (the R9 resource). *)
+let test_replica_confinement_allowlists () =
+  check bool_t "the batch-install path may write stable memory" true
+    (Rules.wild_write_allowed "replica/apply.ml");
+  check bool_t "the rest of the replica must not" false
+    (Rules.wild_write_allowed "replica/replica.ml");
+  check bool_t "the ship codec must not" false
+    (Rules.wild_write_allowed "replica/ship_log.ml");
+  let res =
+    List.find_opt
+      (fun r -> r.Rules.res_name = "standby durable page images")
+      Rules.default_config.Rules.r9_resources
+  in
+  match res with
+  | None -> Alcotest.fail "standby durable page images not registered for R9"
+  | Some r ->
+      check bool_t "install_page is a registered write" true
+        (Rules.write_ident_call r [ "Mrdb_wal"; "Log_disk"; "install_page" ]
+        <> None);
+      check bool_t "the install path owns it" true
+        (Rules.owner_matches r.Rules.res_owners "replica/apply.ml");
+      check bool_t "the devices own their own installs" true
+        (Rules.owner_matches r.Rules.res_owners "hw/disk.ml");
+      check bool_t "the scenario driver does not" false
+        (Rules.owner_matches r.Rules.res_owners "replica/scenario.ml")
 
 let test_nondet_classifier () =
   check bool_t "Sys.time is a clock" true
@@ -343,6 +384,8 @@ let () =
             test_declared_order_keeps_two_cpu_split;
           Alcotest.test_case "fault containment allowlist" `Quick
             test_fault_containment_allowlist;
+          Alcotest.test_case "replica confinement allowlists" `Quick
+            test_replica_confinement_allowlists;
           Alcotest.test_case "SLB ownership allowlist" `Quick
             test_slb_ownership_allowlist;
           Alcotest.test_case "print discipline allowlist" `Quick

@@ -1,6 +1,6 @@
 (* Tests for the observability subsystem: the metrics registry and its
    log-linear histograms, the flight-recorder ring, the recovery timeline,
-   and the stable mrdb-obs/2 export shape. *)
+   and the stable mrdb-obs/3 export shape. *)
 
 module Metrics = Mrdb_obs.Metrics
 module Flight_recorder = Mrdb_obs.Flight_recorder
@@ -189,13 +189,13 @@ let test_dump_renders () =
 let test_timeline_all_phases_always_present () =
   let tl = Timeline.create () in
   let ps = Timeline.phases tl in
-  check int_t "five phases" 5 (List.length ps);
+  check int_t "six phases" 6 (List.length ps);
   check
     (Alcotest.list Alcotest.string)
     "canonical order and stable names"
     [
       "wellknown_bootstrap"; "catalog_restore"; "slt_scan";
-      "on_demand_restore"; "background_sweep";
+      "on_demand_restore"; "background_sweep"; "failover";
     ]
     (List.map (fun (p, _, _) -> Timeline.phase_name p) ps);
   List.iter (fun (_, n, us) -> check bool_t "zero" true (n = 0 && us = 0.0)) ps
@@ -241,7 +241,7 @@ let test_export_json_shape () =
   Flight_recorder.txn_commit (Obs.recorder obs) ~txn:1 ~exec:0;
   Timeline.add (Obs.timeline obs) Timeline.Slt_scan ~dur_us:42.0;
   let j = Export.json ~t:obs () in
-  check bool_t "schema tag" true (contains j "\"schema\": \"mrdb-obs/2\"");
+  check bool_t "schema tag" true (contains j "\"schema\": \"mrdb-obs/3\"");
   List.iter
     (fun n -> check bool_t ("histogram " ^ n) true (contains j ("\"" ^ n ^ "\"")))
     [ "txn_latency_ns"; "restore_latency_ns"; "drain_batch_records" ];
@@ -249,12 +249,31 @@ let test_export_json_shape () =
     (fun p -> check bool_t ("phase " ^ p) true (contains j ("\"" ^ p ^ "\"")))
     [
       "wellknown_bootstrap"; "catalog_restore"; "slt_scan";
-      "on_demand_restore"; "background_sweep";
+      "on_demand_restore"; "background_sweep"; "failover";
     ];
   check bool_t "counters section" true (contains j "\"commits\": 1");
   check bool_t "flight recorder section" true (contains j "\"recorded\": 1");
   (* /2 over /1: txn and slb_append flight events carry their executor. *)
   check bool_t "flight events carry exec" true (contains j "\"exec\": 0")
+
+(* The /2 → /3 bump: the failover timeline phase and the ship_batch_records
+   histogram (warm-standby replication).  The new surfaces must export, and
+   the failover phase-transition flight event must decode back. *)
+let test_export_v3_replication_surfaces () =
+  let obs = mk_obs () in
+  Metrics.observe (Obs.ship_batch obs) 48;
+  Metrics.gauge (Obs.metrics obs) "replication_lag_records" (fun () -> 17);
+  Timeline.add (Obs.timeline obs) Timeline.Failover ~dur_us:900.0;
+  Flight_recorder.phase (Obs.recorder obs) "failover";
+  let j = Export.json ~t:obs () in
+  check bool_t "ship_batch histogram exported" true
+    (contains j "\"ship_batch_records\"");
+  check bool_t "lag gauge exported" true
+    (contains j "\"replication_lag_records\": 17");
+  check bool_t "failover phase charged" true (contains j "\"failover\"");
+  match List.map snd (Flight_recorder.events (Obs.recorder obs)) with
+  | [ Flight_recorder.Phase "failover" ] -> ()
+  | _ -> Alcotest.fail "failover phase event did not decode back"
 
 let test_export_texttab_renders () =
   let obs = mk_obs () in
@@ -311,6 +330,8 @@ let () =
       ( "export",
         [
           Alcotest.test_case "json shape" `Quick test_export_json_shape;
+          Alcotest.test_case "v3 replication surfaces" `Quick
+            test_export_v3_replication_surfaces;
           Alcotest.test_case "texttab renders" `Quick
             test_export_texttab_renders;
         ] );

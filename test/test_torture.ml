@@ -374,8 +374,311 @@ let run_group_seed seed =
     !total_group_timeout_flushes + Mrdb_sim.Trace.count trace "group_timeout_flushes";
   total_group_commits := !total_group_commits + Mrdb_sim.Trace.count trace "group_commits"
 
+(* -- Replication crash-anywhere campaign --------------------------------------
+
+   Two-node seeds: a primary under the usual device-fault plan EXTENDED
+   with node events (whole-node crash/restart of one victim node, link
+   partitions adding delay or dropping ship frames), a standby consuming
+   ship cuts, crash bombs aimed at BOTH nodes, and a final promotion.
+   Acceptance: the promoted standby's committed state is a commit-order
+   PREFIX of the primary's history (and the full history when the last
+   cut drained the backlog).
+
+   On top of the random plan, each seed deterministically exercises one
+   headline flow so the campaign always covers all three:
+     seed % 3 = 0  scripted standby outage + catchup drain
+     seed % 3 = 1  promotion under lag, serving mid-restore
+     seed % 3 = 2  scripted standby checkpoint rot -> divergence re-seed
+
+   Environment knobs:
+     MRDB_REPLICA_SEEDS=<n>   campaign size (default 24 seeds)
+     MRDB_REPLICA_SEED=<s>    replay one failing seed *)
+
+module Replica = Mrdb_replica.Replica
+module Ship_channel = Mrdb_hw.Ship_channel
+
+let replica_replay_line seed =
+  Printf.sprintf "MRDB_REPLICA_SEED=%d dune exec test/test_torture.exe" seed
+
+let total_promotions = ref 0
+let total_catchups = ref 0
+let total_midrestore_promotions = ref 0
+let total_divergence_reseeds = ref 0
+let total_node_faults = ref 0
+
+let run_replica_seed seed =
+  let config = { Config.small with Config.archive = true } in
+  let cl = Replica.create ~config ~lag_bound:(8 + (seed mod 17)) () in
+  let db = Replica.primary cl in
+  Db.create_relation db ~name:"t" ~schema;
+  ignore (Replica.ship_cut cl);
+  let sim = Db.sim db in
+  let rng = Rng.of_int (0x5EED0 + seed) in
+  let plan =
+    Fault_plan.random ~nodes:true ~seed ~horizon_us:400_000.0
+      ~window_pages:config.Config.log_window_pages
+      ~ckpt_pages:config.Config.ckpt_disk_pages ()
+  in
+  let fwd = Replica.fwd_channel cl and rev = Replica.rev_channel cl in
+  let standby_went_down = ref false in
+  let inj =
+    Injector.install ~plan ~sim ~trace:(Db.trace db)
+      ~log:(Log_disk.duplex (Db.log_disk db))
+      ~ckpt:(Db.ckpt_disk db) ~stable:(Db.stable_mem db)
+      ~recorder:(Mrdb_obs.Obs.recorder (Db.obs db))
+      ~on_node_fail:(fun node ->
+        incr total_node_faults;
+        match node with
+        | Fault_plan.Primary_node ->
+            (* Like the crash bomb: unwind out of whatever device op or
+               commit is in flight, then crash + recover at the catch. *)
+            raise Crash_now
+        | Fault_plan.Standby_node ->
+            standby_went_down := true;
+            Replica.crash_standby cl)
+      ~on_node_resume:(fun node ->
+        match node with
+        | Fault_plan.Primary_node -> () (* the catch recovers immediately *)
+        | Fault_plan.Standby_node -> Replica.resume_standby cl)
+      ~on_link_change:(fun ~delay_us ~drop ->
+        Ship_channel.set_extra_delay fwd delay_us;
+        Ship_channel.set_drop fwd drop;
+        Ship_channel.set_extra_delay rev delay_us;
+        Ship_channel.set_drop rev drop)
+      ()
+  in
+  let model = Hashtbl.create 64 in
+  let history = ref [] (* newest first *) in
+  let addr_of = Hashtbl.create 64 in
+  let staged = ref [] in
+  let committing = ref false in
+  let next_val = ref 0 in
+  let fail_with what =
+    let oc = open_out "torture-flight-dump.txt" in
+    let fmt = Format.formatter_of_out_channel oc in
+    Format.fprintf fmt "replica seed %d: %s@.plan: %a@.replay: %s@.@.== primary ==@."
+      seed what Fault_plan.pp plan (replica_replay_line seed);
+    Mrdb_obs.Flight_recorder.dump fmt (Mrdb_obs.Obs.recorder (Db.obs db));
+    Format.fprintf fmt "@.== standby ==@.";
+    Mrdb_obs.Flight_recorder.dump fmt
+      (Mrdb_obs.Obs.recorder (Db.obs (Replica.standby cl)));
+    Format.pp_print_flush fmt ();
+    close_out oc;
+    Alcotest.failf
+      "replica seed %d: %s@.plan: %a@.replay: %s@.flight recorder dumped to torture-flight-dump.txt"
+      seed what Fault_plan.pp plan (replica_replay_line seed)
+  in
+  let rebuild_addrs () =
+    Hashtbl.reset addr_of;
+    Db.with_txn db (fun tx ->
+        List.iter
+          (fun (a, tup) ->
+            Hashtbl.replace addr_of (Schema.to_int (Tuple.field tup 0)) a)
+          (Db.scan db tx ~rel:"t"))
+  in
+  let rec crash_recover_primary () =
+    Replica.crash_primary cl;
+    Injector.arm inj;
+    (* A re-armed Fail_node can land inside the recovery reads themselves:
+       crash again and restart recovery (fired events never refire, so
+       this terminates). *)
+    (match
+       Replica.recover_primary cl;
+       Db.recover_everything db
+     with
+    | () -> ()
+    | exception Crash_now -> crash_recover_primary ());
+    let obs = observed db in
+    if obs <> snapshot model then begin
+      let committed = Hashtbl.copy model in
+      apply_model committed !staged;
+      if !committing && obs = snapshot committed then begin
+        apply_model model !staged;
+        history := !staged :: !history
+      end
+      else fail_with "primary state diverged after recovery"
+    end;
+    staged := [];
+    committing := false;
+    rebuild_addrs ()
+  in
+  (* A cut pumps the primary's clock, so a bomb or Fail_node can fire
+     inside it; crash-recover and retry until the cut goes through. *)
+  let rec cut_retry () =
+    match Replica.ship_cut cl with
+    | _ -> ()
+    | exception Crash_now ->
+        crash_recover_primary ();
+        cut_retry ()
+  in
+  let run_txns n =
+    try
+      for _ = 1 to n do
+        let ops =
+          List.init
+            (1 + Rng.int rng 3)
+            (fun _ ->
+              let k = Rng.int rng 32 in
+              if Rng.int rng 6 = 0 then (k, `Del)
+              else begin
+                incr next_val;
+                (k, `Put !next_val)
+              end)
+        in
+        staged := ops;
+        committing := false;
+        let tx = Db.begin_txn db in
+        List.iter
+          (fun (k, op) ->
+            match (op, Hashtbl.find_opt addr_of k) with
+            | `Put v, Some a ->
+                Hashtbl.replace addr_of k
+                  (Db.update_field db tx ~rel:"t" a ~column:"v" (Schema.int v))
+            | `Put v, None ->
+                Hashtbl.replace addr_of k
+                  (Db.insert db tx ~rel:"t" [| Schema.int k; Schema.int v |])
+            | `Del, Some a ->
+                Db.delete db tx ~rel:"t" a;
+                Hashtbl.remove addr_of k
+            | `Del, None -> ())
+          ops;
+        committing := true;
+        Db.commit db tx;
+        apply_model model ops;
+        history := ops :: !history;
+        staged := [];
+        committing := false;
+        ignore (Replica.maybe_ship cl);
+        if Rng.int rng 4 = 0 then ignore (Db.process_checkpoints db)
+      done
+    with Crash_now -> crash_recover_primary ()
+  in
+  let rounds = 2 + Rng.int rng 2 in
+  for round = 1 to rounds do
+    let bomb_delay = 10.0 ** (3.0 +. Rng.float rng 2.0) in
+    Sim.schedule sim ~delay:bomb_delay (fun () -> raise Crash_now);
+    (* Sometimes aim a bomb at the standby too: it drops off mid-stream
+       and the cursor freezes until it comes back. *)
+    if Rng.int rng 3 = 0 then
+      Sim.schedule sim ~delay:(Rng.float rng 50_000.0) (fun () ->
+          standby_went_down := true;
+          Replica.crash_standby cl);
+    run_txns (5 + Rng.int rng 12);
+    (* The round outran the bombs or already crashed; crash once more at
+       the quiet point so every round ends with a recovery. *)
+    crash_recover_primary ();
+    if round = 1 && seed mod 3 = 0 then begin
+      (* Headline flow (a): scripted standby outage, then catchup. *)
+      standby_went_down := true;
+      Replica.crash_standby cl;
+      run_txns (4 + Rng.int rng 4);
+      Replica.resume_standby cl;
+      Replica.warm_standby cl;
+      cut_retry ()
+    end;
+    if round = 1 && seed mod 3 = 2 then begin
+      (* Headline flow (c): rot the standby's durable copy so the next
+         cut's audit forces a re-seed. *)
+      (try Db.checkpoint_all db with Crash_now -> crash_recover_primary ());
+      cut_retry ();
+      let s = Replica.standby cl in
+      let page =
+        match
+          List.filter_map
+            (fun part -> Db.checkpoint_location db part)
+            (Db.all_partitions db)
+        with
+        | (first, _) :: _ -> first
+        | [] -> 0
+      in
+      let rot =
+        Fault_plan.scripted
+          [ Fault_plan.Corrupt_page { target = Fault_plan.Ckpt; page; at_us = 1.0 } ]
+      in
+      let rot_inj =
+        Injector.install ~plan:rot ~sim:(Db.sim s) ~trace:(Db.trace s)
+          ~log:(Log_disk.duplex (Db.log_disk s))
+          ~ckpt:(Db.ckpt_disk s) ()
+      in
+      ignore rot_inj;
+      Sim.run (Db.sim s);
+      run_txns 2;
+      cut_retry ();
+      cut_retry ()
+    end
+  done;
+  (* Endgame: heal the link, bring the standby back, and promote.  Late
+     plan events (a leftover node fail, a crash inside a cut) can undo
+     a drain attempt, so keep healing and cutting until the backlog is
+     gone — every retry consumes one-shot events, so this settles. *)
+  let heal () =
+    Replica.resume_standby cl;
+    Ship_channel.set_extra_delay fwd 0.0;
+    Ship_channel.set_drop fwd false;
+    Ship_channel.set_extra_delay rev 0.0;
+    Ship_channel.set_drop rev false
+  in
+  heal ();
+  let drain = seed mod 3 <> 1 in
+  if drain then begin
+    let tries = ref 5 in
+    cut_retry ();
+    while Replica.lag_records cl <> 0 && !tries > 0 do
+      decr tries;
+      heal ();
+      cut_retry ()
+    done;
+    if Replica.lag_records cl <> 0 then
+      fail_with
+        (Printf.sprintf "backlog not drained: lag %d records after final cut"
+           (Replica.lag_records cl))
+  end;
+  let lag = Replica.lag_records cl in
+  let np = Replica.promote ~mode:Config.On_demand cl in
+  incr total_promotions;
+  if !standby_went_down && drain then incr total_catchups;
+  (* Headline flow (b): serve transactions on the new primary while its
+     restore is still in flight (residency below 1 forces on-demand
+     restores under live traffic). *)
+  let resident_before = Db.resident_fraction np in
+  (* The key is outside the workload range, so it is fresh by construction. *)
+  Db.with_txn np (fun tx ->
+      ignore (Db.insert np tx ~rel:"t" [| Schema.int (1000 + seed); Schema.int (- seed - 1) |]));
+  let post = [ [ (1000 + seed, `Put (- seed - 1)) ] ] in
+  if (not drain) && (lag > 0 || resident_before < 1.0) then
+    incr total_midrestore_promotions;
+  Db.recover_everything np;
+  let obs =
+    Db.with_txn np (fun tx ->
+        Db.scan np tx ~rel:"t"
+        |> List.map (fun (_, tup) ->
+               (Schema.to_int (Tuple.field tup 0), Schema.to_int (Tuple.field tup 1)))
+        |> List.sort compare)
+  in
+  let hist = List.rev !history in
+  let n = List.length hist in
+  let candidate p =
+    let t = Hashtbl.create 64 in
+    List.iteri (fun i ops -> if i < p then apply_model t ops) hist;
+    List.iter (apply_model t) post;
+    snapshot t
+  in
+  let rec longest_prefix p = if p < 0 then None else if obs = candidate p then Some p else longest_prefix (p - 1) in
+  (match longest_prefix n with
+  | None -> fail_with "promoted standby state matches no commit-order prefix"
+  | Some p ->
+      if drain && p <> n then
+        fail_with
+          (Printf.sprintf "drained promotion lost committed work (%d of %d durable)" p n));
+  total_divergence_reseeds :=
+    !total_divergence_reseeds + Mrdb_sim.Trace.count (Db.trace db) "ship_reseeds";
+  total_injected := !total_injected + Injector.fired_count inj
+
 let () =
   let group_replay = Sys.getenv_opt "MRDB_GROUP_SEED" in
+  let replica_replay = Sys.getenv_opt "MRDB_REPLICA_SEED" in
+  (* Replaying any one suite zeroes the other suites' seed counts. *)
+  let other_replaying = group_replay <> None || replica_replay <> None in
   let seeds, replay =
     match Sys.getenv_opt "MRDB_TORTURE_SEED" with
     | Some s -> ([ int_of_string s ], true)
@@ -383,7 +686,7 @@ let () =
         let n =
           match Sys.getenv_opt "MRDB_TORTURE_SEEDS" with
           | Some s -> int_of_string s
-          | None -> if group_replay <> None then 0 else 200
+          | None -> if other_replaying then 0 else 200
         in
         (List.init n (fun i -> i), false)
   in
@@ -394,7 +697,18 @@ let () =
         let n =
           match Sys.getenv_opt "MRDB_GROUP_SEEDS" with
           | Some s -> int_of_string s
-          | None -> if replay then 0 else 24
+          | None -> if replay || replica_replay <> None then 0 else 24
+        in
+        (List.init n (fun i -> i), false)
+  in
+  let replica_seeds, replica_replaying =
+    match replica_replay with
+    | Some s -> ([ int_of_string s ], true)
+    | None ->
+        let n =
+          match Sys.getenv_opt "MRDB_REPLICA_SEEDS" with
+          | Some s -> int_of_string s
+          | None -> if replay || group_replay <> None then 0 else 24
         in
         (List.init n (fun i -> i), false)
   in
@@ -446,5 +760,36 @@ let () =
             end);
       ]
   in
+  let replica_cases =
+    List.map
+      (fun seed ->
+        Alcotest.test_case (Printf.sprintf "replica seed %d" seed) `Quick (fun () ->
+            run_replica_seed seed))
+      replica_seeds
+  in
+  let replica_stats =
+    if replica_replaying || replica_seeds = [] then []
+    else
+      [
+        Alcotest.test_case "replication campaign statistics" `Quick (fun () ->
+            Alcotest.(check int) "every seed ends in a promotion"
+              (List.length replica_seeds) !total_promotions;
+            if List.length replica_seeds >= 24 then begin
+              (* Deterministic per seed set: all three headline flows and
+                 the node-level fault machinery must actually fire. *)
+              Alcotest.(check bool) "standby catchup exercised" true (!total_catchups > 0);
+              Alcotest.(check bool) "mid-restore promotion exercised" true
+                (!total_midrestore_promotions > 0);
+              Alcotest.(check bool) "divergence-forced re-seed exercised" true
+                (!total_divergence_reseeds > 0);
+              Alcotest.(check bool) "node-level faults injected" true
+                (!total_node_faults > 0)
+            end);
+      ]
+  in
   Alcotest.run "mrdb_torture"
-    [ ("torture", cases @ stats); ("group_commit", group_cases @ group_stats) ]
+    [
+      ("torture", cases @ stats);
+      ("group_commit", group_cases @ group_stats);
+      ("replication", replica_cases @ replica_stats);
+    ]
