@@ -24,8 +24,16 @@
      throughput alongside ("ops_per_sec_e1") so the striping overhead is
      visible in BENCH.json.
 
+   The codec sweep runs the debit_credit workload once per REDO codec
+   (physical / logical / adaptive) and reports, per codec, the log bytes
+   emitted per transaction (from the codec_log_bytes trace counter, so
+   setup is excluded) and the post-crash replay rate in records/sec
+   (wall-clock over Db.recover + recover_everything).  The sweep fills
+   the "codec" section of BENCH.json and is also written standalone to
+   codec-sweep.json for the CI artifact.
+
    Each bench reports ops/sec and Gc.allocated_bytes per op.  Results are
-   written to BENCH.json (schema mrdb-hotpath/2) at the current directory
+   written to BENCH.json (schema mrdb-hotpath/3) at the current directory
    ("quick" mode shrinks the iteration counts for CI smoke, same
    schema). *)
 
@@ -175,6 +183,63 @@ let bench_txn n =
   let obs_json = Mrdb_obs.Export.json ~t:(Mrdb_core.Db.obs db) () in
   ((float_of_int n /. dt, allocated_per_op), (p50, p99), obs_json)
 
+(* One debit_credit run under a forced REDO codec.  Log volume comes from
+   the codec_log_bytes counter (maintained for every emitted record, any
+   family), deltaed across the timed loop so the bank setup is excluded.
+   Replay rate is the whole post-crash pipeline — SLT scan, catalog
+   restore, every partition restored through Restorer.apply_records with
+   whatever record mix the codec produced — over wall-clock seconds. *)
+type codec_row = {
+  codec_name : string;
+  log_bytes_per_txn : float;
+  replay_records_per_sec : float;
+  cmd_record_share : float;  (** command records / log records, timed loop *)
+  codec_flips : int;  (** adaptive: partitions flipped to command logging *)
+}
+
+let bench_codec ~codec ~codec_name n =
+  let config =
+    { Mrdb_core.Config.default with Mrdb_core.Config.redo_codec = codec }
+  in
+  let db = Mrdb_core.Db.create ~config () in
+  let bank =
+    Mrdb_core.Workload.Bank.setup db ~accounts:400 ~tellers:8 ~branches:2 ()
+  in
+  let rng = Mrdb_util.Rng.of_int 7 in
+  let trace = Mrdb_core.Db.trace db in
+  let count = Mrdb_sim.Trace.count trace in
+  let bytes0 = count "codec_log_bytes"
+  and recs0 = count "log_records"
+  and cmds0 = count "codec_cmd_records" in
+  for _ = 1 to n do
+    Mrdb_core.Workload.Bank.run_debit_credit bank db ~rng
+  done;
+  Mrdb_core.Db.quiesce db;
+  let d c base = float_of_int (count c - base) in
+  let log_bytes_per_txn = d "codec_log_bytes" bytes0 /. float_of_int n in
+  let cmd_record_share = d "codec_cmd_records" cmds0 /. d "log_records" recs0 in
+  Mrdb_core.Db.crash db;
+  let t0 = now () in
+  Mrdb_core.Db.recover db;
+  Mrdb_core.Db.recover_everything db;
+  Mrdb_core.Db.quiesce db;
+  let dt = Float.max (now () -. t0) 1e-9 in
+  let replayed = float_of_int (count "recovery_records_applied") in
+  {
+    codec_name;
+    log_bytes_per_txn;
+    replay_records_per_sec = replayed /. dt;
+    cmd_record_share;
+    codec_flips = count "codec_flips_to_logical";
+  }
+
+let codec_row_json r =
+  Printf.sprintf
+    "\"%s\": { \"log_bytes_per_txn\": %.2f, \"replay_records_per_sec\": \
+     %.1f, \"cmd_record_share\": %.3f, \"codec_flips\": %d }"
+    r.codec_name r.log_bytes_per_txn r.replay_records_per_sec
+    r.cmd_record_share r.codec_flips
+
 let bench_txn_nexec ~executors n =
   let module Executor = Mrdb_exec.Executor in
   let module Schedule = Mrdb_exec.Schedule in
@@ -213,6 +278,30 @@ let () =
   let txn_result, (p50, p99), obs_json = bench_txn (scale 2_000) in
   let ops_e1, _ = bench_txn_nexec ~executors:1 (scale 2_000) in
   let nexec_result = bench_txn_nexec ~executors:4 (scale 2_000) in
+  let codec_rows =
+    List.map
+      (fun (codec, codec_name) -> bench_codec ~codec ~codec_name (scale 2_000))
+      [
+        (Mrdb_core.Config.Physical, "physical");
+        (Mrdb_core.Config.Logical, "logical");
+        (Mrdb_core.Config.Adaptive, "adaptive");
+      ]
+  in
+  let codec_json =
+    Printf.sprintf
+      "{\n    \"workload\": \"debit_credit\", \"iterations\": %d,\n    %s\n  }"
+      (scale 2_000)
+      (String.concat ",\n    " (List.map codec_row_json codec_rows))
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "codec %-9s %7.1f log B/txn  %10.0f replay rec/s  cmd share %.2f%s\n"
+        r.codec_name r.log_bytes_per_txn r.replay_records_per_sec
+        r.cmd_record_share
+        (if r.codec_flips > 0 then Printf.sprintf "  flips %d" r.codec_flips
+         else ""))
+    codec_rows;
   let results =
     [
       ("append", bench_append (scale 200_000), scale 200_000);
@@ -226,7 +315,7 @@ let () =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    (Printf.sprintf "  \"schema\": \"mrdb-hotpath/2\",\n  \"mode\": \"%s\",\n"
+    (Printf.sprintf "  \"schema\": \"mrdb-hotpath/3\",\n  \"mode\": \"%s\",\n"
        (if quick then "quick" else "full"));
   Buffer.add_string buf "  \"benches\": {\n";
   List.iteri
@@ -246,11 +335,18 @@ let () =
            (if i = List.length results - 1 then "" else ","));
       Printf.printf "%-13s %12.0f ops/s  %8.1f B/op  (n=%d)\n" name ops alloc n)
     results;
-  Buffer.add_string buf "  },\n  \"obs\": ";
+  Buffer.add_string buf "  },\n  \"codec\": ";
+  Buffer.add_string buf codec_json;
+  Buffer.add_string buf ",\n  \"obs\": ";
   Buffer.add_string buf obs_json;
   Buffer.add_string buf "\n}\n";
   Printf.printf "debit_credit latency: p50=%dns p99=%dns\n" p50 p99;
   let oc = open_out "BENCH.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  print_endline "wrote BENCH.json"
+  (* Standalone copy of the sweep for the CI artifact. *)
+  let oc = open_out "codec-sweep.json" in
+  output_string oc codec_json;
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH.json, codec-sweep.json"

@@ -1,0 +1,80 @@
+type codec_params = {
+  s_physical : int;
+  s_cmd_update : int;
+  s_cmd_insert : int;
+  i_cmd_apply : int;
+}
+
+(* Measured on the debit_credit sweep (bench/hotpath.ml, BENCH.json
+   "codec" section): the physical stream averages ~32 B/record (header +
+   slot after-image of a 3-4 column integer tuple); a single-cell delta
+   command is ~8 B and a whole-tuple insert command ~10 B on the wire,
+   header included.  i_cmd_apply covers the zigzag decode, the schema
+   offset computation and the read-modify-write of one cell — more work
+   than the memcpy it replaces, which is why command replay runs slightly
+   slower per record even as it reads 4x fewer log bytes. *)
+let default =
+  { s_physical = 32; s_cmd_update = 8; s_cmd_insert = 10; i_cmd_apply = 25 }
+
+let check_hotness h =
+  if not (h >= 0.0 && h <= 1.0) then
+    Mrdb_util.Fatal.misusef "Codec_model: hotness %g outside [0,1]" h
+
+let logical_bytes_per_record cp ~hotness =
+  check_hotness hotness;
+  (hotness *. float_of_int cp.s_cmd_update)
+  +. ((1.0 -. hotness) *. float_of_int cp.s_cmd_insert)
+
+let bytes_ratio cp ~hotness =
+  float_of_int cp.s_physical /. logical_bytes_per_record cp ~hotness
+
+let crossover_hotness cp ~margin =
+  if margin <= 0.0 then Mrdb_util.Fatal.misuse "Codec_model.crossover_hotness";
+  (* Least update fraction where s_physical >= margin * mixed(h); the
+     mix shrinks as updates displace (larger) insert commands, so the
+     ratio is increasing in h and the boundary is linear. *)
+  let target = float_of_int cp.s_physical /. margin in
+  let ci = float_of_int cp.s_cmd_insert and cu = float_of_int cp.s_cmd_update in
+  if ci <= target then Some 0.0 (* even an all-insert mix clears the margin *)
+  else if cu > target then None (* no hotness reaches it *)
+  else Some ((ci -. target) /. (ci -. cu))
+
+let i_replay_physical (p : Params.t) cp =
+  (* Restart replay of a slot image: find the partition, copy the image
+     into (volatile) partition memory, touch the slot directory. *)
+  float_of_int p.Params.i_record_lookup
+  +. float_of_int p.Params.i_copy_fixed
+  +. (p.Params.i_copy_add *. float_of_int cp.s_physical)
+  +. float_of_int p.Params.i_page_update
+
+let i_replay_command (p : Params.t) cp =
+  float_of_int p.Params.i_record_lookup +. float_of_int cp.i_cmd_apply
+
+let replay_rate_ratio p cp ~cmd_share =
+  check_hotness cmd_share;
+  let mixed =
+    (cmd_share *. i_replay_command p cp)
+    +. ((1.0 -. cmd_share) *. i_replay_physical p cp)
+  in
+  i_replay_physical p cp /. mixed
+
+let logging_capacity_gain p cp ~hotness =
+  (* The sorter's byte throughput is fixed (§3.2); shrinking the average
+     record multiplies the sustainable record rate.  Per-record overheads
+     (lookup, page checks) cap the gain below the raw byte ratio. *)
+  let cap s_rec =
+    Log_model.records_logged_per_s (Params.with_sizes ~s_log_record:s_rec p)
+  in
+  let s_mixed =
+    int_of_float (Float.round (logical_bytes_per_record cp ~hotness))
+  in
+  cap (max 1 s_mixed) /. cap cp.s_physical
+
+let crossover_table ~tuple_bytes ~hotness_steps cp =
+  List.map
+    (fun s_tuple ->
+      let cp = { cp with s_physical = s_tuple } in
+      ( s_tuple,
+        List.map (fun h -> bytes_ratio cp ~hotness:h) hotness_steps,
+        crossover_hotness cp ~margin:2.0 ))
+    tuple_bytes

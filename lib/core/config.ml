@@ -7,6 +7,8 @@ let group n = Group { batch_size = n; timeout_us = 0.0 }
 
 type recovery_mode = On_demand | Predeclare | Full_reload
 
+type redo_codec = Physical | Logical | Adaptive
+
 type t = {
   partition_bytes : int;
   executors : int;
@@ -17,6 +19,7 @@ type t = {
   age_grace_pages : int option;
   commit_mode : commit_mode;
   recovery_mode : recovery_mode;
+  redo_codec : redo_codec;
   main_cpu_mips : float;
   recovery_cpu_mips : float;
   undo_block_bytes : int;
@@ -38,6 +41,7 @@ let default =
     age_grace_pages = None;
     commit_mode = Instant;
     recovery_mode = On_demand;
+    redo_codec = Physical;
     main_cpu_mips = 6.0;
     recovery_cpu_mips = 1.0;
     undo_block_bytes = 2048;
@@ -70,6 +74,7 @@ let small =
     age_grace_pages = Some 4;
     commit_mode = Instant;
     recovery_mode = On_demand;
+    redo_codec = Physical;
     main_cpu_mips = 6.0;
     recovery_cpu_mips = 1.0;
     undo_block_bytes = 512;

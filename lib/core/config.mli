@@ -38,6 +38,24 @@ type recovery_mode =
       (** Database-level recovery baseline (Hagmann-style): reload
           everything and process all log before any transaction runs. *)
 
+(** Which REDO record family the commit path emits for relation data
+    partitions.  Catalog, index and string-heap records are always
+    physical; checkpoint images are codec-oblivious. *)
+type redo_codec =
+  | Physical
+      (** Slot-level after-images only — the paper's design and the
+          default; the log stream is byte-identical to the pre-logical
+          encoding. *)
+  | Logical
+      (** Emit a {!Mrdb_logical.Cmd_op} command record whenever the
+          operation on an all-integer relation can be expressed as one
+          (single-cell delta or whole-tuple insert); other operations fall
+          back to physical records in the same stream. *)
+  | Adaptive
+      (** Per-partition policy ({!Mrdb_logical.Codec_policy}): windowed
+          update-rate and record-size counters flip hot well-formed
+          partitions to command logging and back. *)
+
 type t = {
   partition_bytes : int;
   executors : int;
@@ -52,6 +70,7 @@ type t = {
   age_grace_pages : int option;
   commit_mode : commit_mode;
   recovery_mode : recovery_mode;
+  redo_codec : redo_codec;  (** REDO record family policy (default [Physical]) *)
   main_cpu_mips : float;     (** paper: 6 MIPS *)
   recovery_cpu_mips : float; (** paper: 1 MIPS *)
   undo_block_bytes : int;

@@ -54,6 +54,12 @@ type vol = {
       (** bumped on every group flush; a pending timeout event compares
           its captured epoch so a stale deadline never double-flushes *)
   overlay_by_segment : (int, index_inst) Hashtbl.t;
+  codec : Mrdb_logical.Codec_policy.t;
+      (** per-partition REDO codec policy, seeded from
+          [Config.redo_codec] *)
+  cmd_rel_by_seg : (int, int) Hashtbl.t;
+      (** rel_segment -> rel_id for all-Int relations — the only shape the
+          command emitter can derive deltas for *)
 }
 
 val mk_vol :
@@ -75,6 +81,10 @@ val ensure_segment : ctx -> int -> unit
 
 val rt_of : ctx -> vol -> string -> rel_rt
 (** @raise Unknown_relation when the catalog has no such relation. *)
+
+val note_cmd_capable : vol -> Catalog.rel_desc -> unit
+(** Register the relation in [cmd_rel_by_seg] when its schema is all-Int
+    (idempotent); called on every relation-runtime materialization. *)
 
 val attach_index : ctx -> vol -> Catalog.index_desc -> index_inst
 val ensure_indices : ctx -> vol -> rel_rt -> unit

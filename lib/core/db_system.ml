@@ -4,6 +4,9 @@ module Trace = Mrdb_sim.Trace
 module Slb = Mrdb_wal.Slb
 module Slt = Mrdb_wal.Slt
 module Log_record = Mrdb_wal.Log_record
+module Cmd_op = Mrdb_logical.Cmd_op
+module Replay = Mrdb_logical.Replay
+module Codec_policy = Mrdb_logical.Codec_policy
 module Lock_mgr = Mrdb_txn.Lock_mgr
 module Txn_core = Mrdb_txn.Txn
 module Log_sorter = Mrdb_recovery.Log_sorter
@@ -18,6 +21,90 @@ let tag_for v (part : Addr.partition) =
   if part.Addr.segment = Catalog.catalog_segment_id then Log_record.Catalog_op
   else if is_index_segment v part.Addr.segment then Log_record.Index_op
   else Log_record.Relation_op
+
+(* -- logical command derivation -------------------------------------------- *)
+
+(* Derive a command record from the physical images when the operation on
+   an all-Int relation partition is expressible as one: a whole-tuple
+   insert, or an update that changed exactly one cell — emitted as a
+   delta, which zigzag-varints far smaller than an absolute i64.  Any
+   other shape (deletes, multi-cell updates, out-of-range values) keeps
+   its physical record; both families share one stream and one per-
+   partition seq space, so replay interleaves them freely. *)
+
+let cell_bytes = 9
+
+let cell_eq a b off =
+  let rec go i =
+    i = cell_bytes || (Bytes.get a (off + i) = Bytes.get b (off + i) && go (i + 1))
+  in
+  go 0
+
+let delta_cmd ~rel_id ~slot ~data ~old =
+  let cols = Bytes.length data / cell_bytes in
+  let changed = ref (-1) in
+  let viable = ref true in
+  (let c = ref 0 in
+   while !viable && !c < cols do
+     let off = !c * cell_bytes in
+     if not (cell_eq data old off) then
+       if !changed >= 0 then viable := false else changed := !c;
+     incr c
+   done);
+  if (not !viable) || !changed < 0 then None
+  else
+    let c = !changed in
+    let off = c * cell_bytes in
+    if Bytes.get data off <> '\000' || Bytes.get old off <> '\000' then None
+    else
+      let delta =
+        Int64.sub (Mrdb_util.Codec.get_i64 data (off + 1))
+          (Mrdb_util.Codec.get_i64 old (off + 1))
+      in
+      if not (Cmd_op.arg_representable delta) then None
+      else if c < Replay.folded_cols then
+        Some (Cmd_op.make ~op_id:(Replay.op_add_col0 + c) ~rel_id ~key:slot
+                ~args:[| delta |])
+      else
+        Some (Cmd_op.make ~op_id:Replay.op_add_i64 ~rel_id ~key:slot
+                ~args:[| Int64.of_int c; delta |])
+
+let insert_cmd ~rel_id ~slot ~data =
+  let len = Bytes.length data in
+  let cols = len / cell_bytes in
+  let args = Array.make cols 0L in
+  let viable = ref true in
+  (let c = ref 0 in
+   while !viable && !c < cols do
+     let off = !c * cell_bytes in
+     if Bytes.get data off <> '\000' then viable := false
+     else begin
+       let v = Mrdb_util.Codec.get_i64 data (off + 1) in
+       if Cmd_op.arg_representable v then args.(!c) <- v else viable := false
+     end;
+     incr c
+   done);
+  if !viable then
+    Some (Cmd_op.make ~op_id:Replay.op_insert_ints ~rel_id ~key:slot ~args)
+  else None
+
+let cmd_of_images v (part : Addr.partition) ~(redo : Part_op.t) ~(undo : Part_op.t) =
+  match Hashtbl.find_opt v.cmd_rel_by_seg part.Addr.segment with
+  | None -> None
+  | Some rel_id -> (
+      match (redo, undo) with
+      | Part_op.Update { slot; data }, Part_op.Update { data = old; _ }
+        when Bytes.length data = Bytes.length old
+             && Bytes.length data mod cell_bytes = 0 -> (
+          match delta_cmd ~rel_id ~slot ~data ~old with
+          | Some cmd -> Some (cmd, `Update)
+          | None -> None)
+      | Part_op.Insert { slot; data }, _
+        when Bytes.length data mod cell_bytes = 0 -> (
+          match insert_cmd ~rel_id ~slot ~data with
+          | Some cmd -> Some (cmd, `Insert)
+          | None -> None)
+      | _ -> None)
 
 let next_seq v part =
   let c =
@@ -37,9 +124,10 @@ let rec log_redo_raw ctx v ?(exec = 0) ~txn_id (part : Addr.partition) op =
   if part.Addr.segment <> Catalog.catalog_segment_id then ensure_registered ctx v part;
   let bin_index = Slt.bin_index_of v.slt part in
   let seq = next_seq v part in
-  Slb.Region.append (Slb.region v.slb exec) ~txn_id
-    (Log_record.make ~tag:(tag_for v part) ~bin_index ~txn_id ~seq ~op);
-  Trace.incr ctx.trace "log_records"
+  let record = Log_record.make ~tag:(tag_for v part) ~bin_index ~txn_id ~seq ~op in
+  Slb.Region.append (Slb.region v.slb exec) ~txn_id record;
+  Trace.incr ctx.trace "log_records";
+  Trace.add ctx.trace "codec_log_bytes" (Log_record.encoded_size record)
 
 and ensure_registered ctx v part =
   if Catalog.partition_desc v.cat part = None then
@@ -80,12 +168,28 @@ let user_sink ctx v tx : Relation.log_sink =
            the whole point of the striping (lint R7 confines this call
            site).  Group mode stages in volatile memory instead; the group
            flush materializes the chain into the same region. *)
-        let record =
+        let physical () =
           Log_record.make ~tag:(tag_for v part) ~bin_index ~txn_id ~seq ~op:redo
+        in
+        let record =
+          (* The mode check keeps the default [Physical] hot path free of
+             derivation work (and byte-identical — the determinism goldens
+             lock this). *)
+          if Codec_policy.mode v.codec = Codec_policy.Physical then physical ()
+          else
+            match cmd_of_images v part ~redo ~undo with
+            | Some (cmd, kind)
+              when Codec_policy.use_command v.codec part ~kind
+                     ~phys_size:(Part_op.encoded_size redo)
+                     ~cmd_size:(Cmd_op.encoded_size cmd) ->
+                Trace.incr ctx.trace "codec_cmd_records";
+                Log_record.make_cmd ~bin_index ~txn_id ~seq ~cmd
+            | Some _ | None -> physical ()
         in
         if staged then Slb.Region.stage_append region ~txn_id record
         else Slb.Region.append region ~txn_id record;
-        Trace.incr ctx.trace "log_records"
+        Trace.incr ctx.trace "log_records";
+        Trace.add ctx.trace "codec_log_bytes" (Log_record.encoded_size record)
       in
       Txn_core.set_sink tx s;
       s
@@ -108,6 +212,7 @@ let create_relation ctx v ~name ~schema =
           indices_attached = true;
         }
       in
+      note_cmd_capable v desc;
       Hashtbl.add v.rels name rt);
   update_wellknown ctx v;
   Trace.incr ctx.trace "relations_created"

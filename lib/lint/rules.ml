@@ -16,6 +16,7 @@ let libraries =
     ("fault", "mrdb_fault");
     ("storage", "mrdb_storage");
     ("index", "mrdb_index");
+    ("logical", "mrdb_logical");
     ("txn", "mrdb_txn");
     ("wal", "mrdb_wal");
     ("ckpt", "mrdb_ckpt");
@@ -46,8 +47,14 @@ let allowed_deps =
     ("mrdb_fault", [ "mrdb_util"; "mrdb_sim"; "mrdb_obs"; "mrdb_hw" ]);
     ("mrdb_storage", [ "mrdb_util"; "mrdb_hw" ]);
     ("mrdb_index", [ "mrdb_util"; "mrdb_storage" ]);
+    (* The logical-command codec sits directly on storage: command records
+       replay through Relation/Partition, and nothing below the WAL may
+       know about record framing. *)
+    ("mrdb_logical", [ "mrdb_util"; "mrdb_storage" ]);
     ("mrdb_txn", [ "mrdb_util"; "mrdb_hw"; "mrdb_obs"; "mrdb_storage" ]);
-    ("mrdb_wal", [ "mrdb_util"; "mrdb_sim"; "mrdb_obs"; "mrdb_hw"; "mrdb_storage" ]);
+    ( "mrdb_wal",
+      [ "mrdb_util"; "mrdb_sim"; "mrdb_obs"; "mrdb_hw"; "mrdb_storage";
+        "mrdb_logical" ] );
     ("mrdb_ckpt", [ "mrdb_util"; "mrdb_sim"; "mrdb_hw"; "mrdb_storage" ]);
     ("mrdb_analysis", [ "mrdb_util" ]);
     ("mrdb_archive", [ "mrdb_util"; "mrdb_storage"; "mrdb_wal"; "mrdb_ckpt" ]);
@@ -58,6 +65,7 @@ let allowed_deps =
         "mrdb_obs";
         "mrdb_hw";
         "mrdb_storage";
+        "mrdb_logical";
         "mrdb_wal";
         "mrdb_txn";
         "mrdb_ckpt";
@@ -72,6 +80,7 @@ let allowed_deps =
         "mrdb_hw";
         "mrdb_storage";
         "mrdb_index";
+        "mrdb_logical";
         "mrdb_txn";
         "mrdb_wal";
         "mrdb_ckpt";
@@ -416,6 +425,17 @@ let default_config =
             ];
           res_fields = [];
           res_owners = [ "hw/"; "wal/log_disk.ml"; "replica/apply.ml" ];
+        };
+        {
+          (* Command application: a logical record mutates data it does
+             not carry, so WHERE commands may be applied is an integrity
+             boundary.  Only the codec subsystem itself and the shared
+             REDO kernel in the restorer may run the dispatch table (the
+             standby audit reaches it through Restorer.apply_records). *)
+          res_name = "replay dispatch table";
+          res_write_idents = [ ("Replay", "apply_cmd"); ("Dispatch", "register") ];
+          res_fields = [];
+          res_owners = [ "logical/"; "recovery/restorer.ml" ];
         };
         {
           res_name = "lock-manager shards";

@@ -1,0 +1,101 @@
+(* Logical (command) REDO records.
+
+   A command names an operation in the replay dispatch table plus the
+   arguments needed to redo it through the relation layer, instead of
+   carrying the physical after-image.  The operation id itself is not
+   part of this encoding: Log_record folds it into the record's tag byte
+   (tag bytes >= 16 encode [16 + op_id]), so a command record costs no
+   more header bytes than a physical one. *)
+
+let max_op_id = 239 (* tag byte 16 + op_id must fit one byte *)
+
+type t = { op_id : int; rel_id : int; key : int; args : int64 array }
+
+let make ~op_id ~rel_id ~key ~args =
+  if op_id < 1 || op_id > max_op_id then
+    Mrdb_util.Fatal.misusef "Cmd_op: op id %d out of range [1..%d]" op_id
+      max_op_id;
+  if rel_id < 0 then Mrdb_util.Fatal.misuse "Cmd_op.make: negative relation id";
+  if key < 0 then Mrdb_util.Fatal.misuse "Cmd_op.make: negative key";
+  { op_id; rel_id; key; args }
+
+(* -- zigzag varints --------------------------------------------------------
+
+   The shared Codec varints are unsigned (negative input is a misuse);
+   command arguments are signed deltas, so they ride a zigzag mapping.
+   Arguments live in the native-int range that survives [lsl 1] — checked
+   by [arg_representable]; the emitter falls back to a physical record for
+   anything wider, so replay never sees a wrapped value. *)
+
+let sign_shift = Sys.int_size - 2 (* 62 on 64-bit: the top value bit *)
+
+let arg_representable v =
+  let i = Int64.to_int v in
+  Int64.equal (Int64.of_int i) v && i asr sign_shift = i asr (sign_shift + 1)
+
+let zigzag i = (i lsl 1) lxor (i asr (Sys.int_size - 1))
+let unzigzag u = (u lsr 1) lxor (- (u land 1))
+
+let zigzag_of_arg v =
+  if not (arg_representable v) then
+    Mrdb_util.Fatal.misusef "Cmd_op: argument %Ld exceeds the zigzag range" v;
+  zigzag (Int64.to_int v)
+
+(* -- wire format -----------------------------------------------------------
+
+   varint rel_id | varint key | zigzag-varint arg ...
+
+   No argument count: arguments run to the end of the record frame, whose
+   length the SLB/log-page framing already carries (u16 frames), exactly
+   like [Part_op] data runs. *)
+
+let encoded_size t =
+  let open Mrdb_util.Codec in
+  Array.fold_left
+    (fun acc v -> acc + varint_size (zigzag_of_arg v))
+    (varint_size t.rel_id + varint_size t.key)
+    t.args
+
+let encode_into t b ~pos =
+  let open Mrdb_util.Codec in
+  let pos = put_varint b pos t.rel_id in
+  let pos = put_varint b pos t.key in
+  Array.fold_left (fun pos v -> put_varint b pos (zigzag_of_arg v)) pos t.args
+
+let encode enc t =
+  let open Mrdb_util.Codec.Enc in
+  varint enc t.rel_id;
+  varint enc t.key;
+  Array.iter (fun v -> varint enc (zigzag_of_arg v)) t.args
+
+(* Decode a command body that ends exactly at absolute offset [stop]
+   (frame end).  A varint straddling [stop] lands past it and is reported
+   as a frame-length invariant, never read into the next frame. *)
+let decode ~op_id dec ~stop =
+  let open Mrdb_util.Codec.Dec in
+  let rel_id = varint dec in
+  let key = varint dec in
+  let rec parse acc =
+    if pos dec >= stop then List.rev acc
+    else parse (Int64.of_int (unzigzag (varint dec)) :: acc)
+  in
+  let args = Array.of_list (parse []) in
+  if pos dec <> stop then
+    Mrdb_util.Fatal.invariantf ~mod_:"Cmd_op"
+      "decode: arguments overrun the record frame (pos %d, frame end %d)"
+      (pos dec) stop;
+  if op_id < 1 || op_id > max_op_id then
+    Mrdb_util.Fatal.invariantf ~mod_:"Cmd_op" "decode: bad op id %d" op_id;
+  if rel_id < 0 || key < 0 then
+    Mrdb_util.Fatal.invariant ~mod_:"Cmd_op" "decode: negative field";
+  { op_id; rel_id; key; args }
+
+let equal a b =
+  a.op_id = b.op_id && a.rel_id = b.rel_id && a.key = b.key
+  && Array.length a.args = Array.length b.args
+  && Array.for_all2 Int64.equal a.args b.args
+
+let pp ppf t =
+  Format.fprintf ppf "cmd op=%d rel=%d key=%d [%s]" t.op_id t.rel_id t.key
+    (String.concat ";"
+       (Array.to_list (Array.map (Printf.sprintf "%Ld") t.args)))

@@ -1,0 +1,45 @@
+(** Logical (command) REDO records.
+
+    Where a physical {!Mrdb_storage.Part_op} carries the after-image bytes
+    of a slot, a command carries an operation id (an index into the replay
+    dispatch table, see {!Dispatch}), the owning relation's id, a key (the
+    slot for the built-in operations) and signed integer arguments.  The
+    operation id is folded into the enclosing log record's tag byte, so
+    commands share the WAL stream, framing and peek scans with physical
+    records unchanged.
+
+    A debit/credit update shrinks from a ~30-byte after-image to a
+    few-byte delta — the "8 to 24 bytes" logging regime of the paper,
+    taken further in the direction of Yao et al.'s command logging. *)
+
+type t = { op_id : int; rel_id : int; key : int; args : int64 array }
+
+val max_op_id : int
+(** 239: tag byte [16 + op_id] must fit one byte. *)
+
+val make : op_id:int -> rel_id:int -> key:int -> args:int64 array -> t
+(** @raise Mrdb_util.Fatal.Misuse on an out-of-range op id or negative
+    relation id / key. *)
+
+val arg_representable : int64 -> bool
+(** Whether a value survives the zigzag-varint mapping (native-int range
+    minus one bit).  The emitter checks this and falls back to a physical
+    record for wider values. *)
+
+val encoded_size : t -> int
+(** Body bytes (excluding the tag byte carried by {!Mrdb_wal.Log_record}),
+    computed arithmetically — same zero-copy discipline as [Part_op]. *)
+
+val encode_into : t -> bytes -> pos:int -> int
+(** Serialize the body at [pos]; returns [pos + encoded_size t]. *)
+
+val encode : Mrdb_util.Codec.Enc.t -> t -> unit
+
+val decode : op_id:int -> Mrdb_util.Codec.Dec.t -> stop:int -> t
+(** Decode a command body ending exactly at absolute offset [stop] (the
+    record frame end; arguments carry no count and run to it).
+    @raise Mrdb_util.Fatal.Invariant on malformed input or when the body
+    does not consume exactly the frame. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+open Mrdb_storage
+
+type mode = Physical | Logical | Adaptive
+
+(* Per-partition counters, all fed from the commit path — deterministic
+   arithmetic only (no clocks), so the adaptive decision replays
+   identically under the deterministic executor schedule. *)
+type stats = {
+  mutable updates : int;
+  mutable inserts : int;
+  mutable phys_bytes : int;
+  mutable cmd_bytes : int;
+  mutable window_ops : int;
+  mutable logical : bool;
+}
+
+type t = {
+  mode : mode;
+  window : int;
+  stats : stats Addr.Partition_table.t;
+  mutable on_flip : Addr.partition -> logical:bool -> unit;
+}
+
+let default_window = 64
+
+let create ?(window = default_window) ~mode () =
+  if window < 1 then Mrdb_util.Fatal.misuse "Codec_policy: window must be >= 1";
+  { mode; window; stats = Addr.Partition_table.create 64; on_flip = (fun _ ~logical:_ -> ()) }
+
+let mode t = t.mode
+let set_on_flip t f = t.on_flip <- f
+
+let stats_of t part =
+  match Addr.Partition_table.find t.stats part with
+  | s -> s
+  | exception Not_found ->
+      let s =
+        {
+          updates = 0;
+          inserts = 0;
+          phys_bytes = 0;
+          cmd_bytes = 0;
+          window_ops = 0;
+          logical = false;
+        }
+      in
+      Addr.Partition_table.add t.stats part s;
+      s
+
+let partition_logical t part =
+  match t.mode with
+  | Physical -> false
+  | Logical -> true
+  | Adaptive -> (
+      match Addr.Partition_table.find t.stats part with
+      | s -> s.logical
+      | exception Not_found -> false)
+
+(* One decision per window: a partition flips to command logging when its
+   window is update-dominated (not a bulk load — physical insert replay
+   is a memcpy and images cover loads anyway) and the command encodings
+   actually pay (physical bytes at least twice the command bytes). *)
+let decide t part (s : stats) =
+  let logical = s.updates >= 2 * s.inserts && s.phys_bytes >= 2 * s.cmd_bytes in
+  if logical <> s.logical then begin
+    s.logical <- logical;
+    t.on_flip part ~logical
+  end;
+  s.updates <- 0;
+  s.inserts <- 0;
+  s.phys_bytes <- 0;
+  s.cmd_bytes <- 0;
+  s.window_ops <- 0
+
+let use_command t part ~kind ~phys_size ~cmd_size =
+  match t.mode with
+  | Physical -> false
+  | Logical -> true
+  | Adaptive ->
+      let s = stats_of t part in
+      (match kind with
+      | `Update -> s.updates <- s.updates + 1
+      | `Insert -> s.inserts <- s.inserts + 1);
+      s.phys_bytes <- s.phys_bytes + phys_size;
+      s.cmd_bytes <- s.cmd_bytes + cmd_size;
+      s.window_ops <- s.window_ops + 1;
+      let use = s.logical in
+      if s.window_ops >= t.window then decide t part s;
+      use
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with
+    | Physical -> "physical"
+    | Logical -> "logical"
+    | Adaptive -> "adaptive")

@@ -1,0 +1,44 @@
+(** The adaptive per-partition codec policy.
+
+    Yao et al. ("Adaptive Logging for Distributed In-memory Databases")
+    show neither pure command logging nor pure physical logging wins: the
+    right unit of choice is the partition.  This object watches the three
+    signals the commit path already produces — update rate vs insert rate
+    (the bulk-load flag), and physical vs command record sizes — and flips
+    a hot, update-dominated, well-formed partition to command logging; a
+    bulk-loading or cold partition stays physical.
+
+    Decisions are windowed counters only, no clock reads: the policy is
+    deterministic under the executor schedule (lint R8). *)
+
+open Mrdb_storage
+
+type mode = Physical | Logical | Adaptive
+(** Forced modes for [Config.redo_codec]: [Physical] never asks the
+    policy (byte-identical to the pre-logical WAL stream), [Logical]
+    encodes every representable operation as a command, [Adaptive] flips
+    per partition. *)
+
+type t
+
+val default_window : int
+(** Operations per decision window (64). *)
+
+val create : ?window:int -> mode:mode -> unit -> t
+val mode : t -> mode
+
+val set_on_flip : t -> (Addr.partition -> logical:bool -> unit) -> unit
+(** Observation hook invoked on every per-partition flip (trace counters
+    and the flight recorder are wired here by the core layer; the policy
+    itself stays below obs). *)
+
+val use_command : t -> Addr.partition -> kind:[ `Insert | `Update ] ->
+  phys_size:int -> cmd_size:int -> bool
+(** Called once per representable operation with both candidate encoding
+    sizes; returns whether to emit the command form, and (under
+    [Adaptive]) feeds the window counters. *)
+
+val partition_logical : t -> Addr.partition -> bool
+(** The current per-partition decision (introspection/tests). *)
+
+val pp_mode : Format.formatter -> mode -> unit

@@ -1,0 +1,33 @@
+open Mrdb_storage
+
+(* Replay targets.  A restarting node has the catalog and replays through
+   the relation layer; a warm standby audits shipped artifacts with no
+   schema access and replays at the partition-byte level (legal because
+   commands are only ever emitted for all-Int relations, whose canonical
+   tuple encoding is fixed-width — patching the cell bytes produces
+   exactly what a relation-layer re-encode would). *)
+type target =
+  | Rel of { rel : Relation.t; part : Partition.t }
+  | Part of Partition.t
+
+type handler = ?alloc:(int -> bytes) -> target -> key:int -> args:int64 array -> unit
+
+type t = { handlers : handler option array }
+
+let create () = { handlers = Array.make (Cmd_op.max_op_id + 1) None }
+
+let register t ~op_id h =
+  if op_id < 1 || op_id > Cmd_op.max_op_id then
+    Mrdb_util.Fatal.misusef "Dispatch: op id %d out of range" op_id;
+  (match t.handlers.(op_id) with
+  | Some _ -> Mrdb_util.Fatal.misusef "Dispatch: op id %d already registered" op_id
+  | None -> ());
+  t.handlers.(op_id) <- Some h
+
+let find t op_id =
+  if op_id < 1 || op_id > Cmd_op.max_op_id then None else t.handlers.(op_id)
+
+let registered t =
+  let acc = ref [] in
+  Array.iteri (fun i h -> if h <> None then acc := i :: !acc) t.handlers;
+  List.rev !acc

@@ -1,0 +1,36 @@
+(** The replay dispatch table: operation id -> command handler.
+
+    Commands are meaningless without the table that interprets them; it is
+    the logical subsystem's equivalent of [Part_op.apply].  Registration
+    is confined to this subsystem (lint R9 "replay dispatch table"
+    resource) so every replayer — restart recovery and the standby audit
+    alike — interprets a given op id identically. *)
+
+open Mrdb_storage
+
+(** Where a command applies.  [Rel] replays through the relation layer
+    (schema available, the restart-recovery path); [Part] replays at the
+    partition-byte level (the schema-free standby audit path).  Both
+    produce byte-identical partitions for the all-Int relations commands
+    are emitted for. *)
+type target =
+  | Rel of { rel : Relation.t; part : Partition.t }
+  | Part of Partition.t
+
+type handler = ?alloc:(int -> bytes) -> target -> key:int -> args:int64 array -> unit
+(** [alloc] preserves the caller's arena routing for staging buffers
+    (tuple images built during replay), mirroring the relation layer's
+    [?alloc] discipline. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> op_id:int -> handler -> unit
+(** @raise Mrdb_util.Fatal.Misuse on an out-of-range or already-taken
+    op id — the table is write-once per op. *)
+
+val find : t -> int -> handler option
+
+val registered : t -> int list
+(** Registered op ids, ascending. *)

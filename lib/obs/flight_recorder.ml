@@ -15,6 +15,7 @@ type event =
   | Fault of string
   | Partition_restored of { segment : int; partition : int; records : int }
   | Phase of string
+  | Codec_flip of { segment : int; partition : int; logical : bool }
 
 (* Kind codes for the flat encoding. *)
 let k_txn_begin = 0
@@ -28,6 +29,7 @@ and k_crash = 7
 and k_fault = 8
 and k_partition_restored = 9
 and k_phase = 10
+and k_codec_flip = 11
 
 type t = {
   now : unit -> float;
@@ -102,6 +104,9 @@ let partition_restored t ~segment ~partition ~records =
 
 let phase t name = push t k_phase (intern t name) 0 0
 
+let codec_flip t ~segment ~partition ~logical =
+  push t k_codec_flip segment partition (if logical then 1 else 0)
+
 let capacity t = t.cap
 let recorded t = t.next
 
@@ -121,6 +126,7 @@ let decode t slot =
   | 8 -> Fault t.strings.(a)
   | 9 -> Partition_restored { segment = a; partition = b; records = c }
   | 10 -> Phase t.strings.(a)
+  | 11 -> Codec_flip { segment = a; partition = b; logical = c = 1 }
   | k -> Mrdb_util.Fatal.invariantf ~mod_:"Flight_recorder" "unknown event kind %d" k
 
 let events ?limit t =
@@ -152,6 +158,9 @@ let pp_event ppf = function
       Format.fprintf ppf "partition_restored part=%d.%d records=%d" segment
         partition records
   | Phase name -> Format.fprintf ppf "phase %s" name
+  | Codec_flip { segment; partition; logical } ->
+      Format.fprintf ppf "codec_flip part=%d.%d to=%s" segment partition
+        (if logical then "logical" else "physical")
 
 let dump ?(limit = 200) ppf t =
   let evs = events ~limit t in

@@ -82,20 +82,58 @@ let read_ckpt_image env ~(part : Addr.partition) (desc : Catalog.partition_desc)
 
 (* Replay a recovered record stream on top of a checkpoint image: records
    at or below the watermark are already in the image and are skipped
-   (idempotent replay).  Returns the highest sequence number seen.
-   [on_applied] lets the catalogued-partition path bump its trace counter
-   without the catalog-bootstrap path inheriting it. *)
-let apply_records ~partition ~watermark ?(on_applied = fun () -> ()) records =
+   (idempotent replay, for both record families).  Returns the highest
+   sequence number seen.  [rel] supplies the relation runtime for logical
+   command records — the restart path builds one from the catalog schema;
+   callers without schema access (the standby audit) omit it and commands
+   replay at the partition-byte level.  [on_applied] lets the
+   catalogued-partition path bump its trace counter without the
+   catalog-bootstrap path inheriting it. *)
+let apply_records ~partition ?rel ~watermark ?(on_applied = fun () -> ()) records =
   let max_seq = ref watermark in
   List.iter
     (fun (r : Log_record.t) ->
       if r.Log_record.seq > watermark then begin
-        Part_op.apply partition r.Log_record.op;
+        (match r.Log_record.op with
+        | Log_record.Physical op -> Part_op.apply partition op
+        | Log_record.Command cmd ->
+            let target =
+              match rel with
+              | Some rel -> Mrdb_logical.Dispatch.Rel { rel; part = partition }
+              | None -> Mrdb_logical.Dispatch.Part partition
+            in
+            Mrdb_logical.Replay.apply_cmd ~target cmd);
         on_applied ()
       end;
       if r.Log_record.seq > !max_seq then max_seq := r.Log_record.seq)
     records;
   !max_seq
+
+(* A relation runtime for logical replay, when the stream needs one: a
+   private scratch segment holding just this partition, wrapped in a
+   [Relation.t] carrying the catalogued schema.  Private so replay-time
+   reads never perturb the real segment table mid-recovery. *)
+let replay_relation cat ~(part : Addr.partition) ~partition_bytes partition records =
+  let has_command =
+    List.exists
+      (fun (r : Log_record.t) ->
+        match r.Log_record.op with
+        | Log_record.Command _ -> true
+        | Log_record.Physical _ -> false)
+      records
+  in
+  if not has_command then None
+  else
+    match Catalog.relation_of_segment cat part.Addr.segment with
+    | None ->
+        Mrdb_util.Fatal.invariant ~mod_:"Restorer"
+          "command records for a segment no relation owns"
+    | Some desc ->
+        let seg = Segment.create ~id:part.Addr.segment ~partition_bytes in
+        Segment.install seg partition;
+        Some
+          (Relation.create ~id:desc.Catalog.rel_id ~name:desc.Catalog.rel_name
+             ~schema:desc.Catalog.schema ~segment:seg)
 
 (* Restore one partition: checkpoint image and log stream are fetched in
    parallel (different disks), then records with seq > watermark are
@@ -134,8 +172,12 @@ let recover_partition r part k =
               ~segment:part.Addr.segment ~partition:part.Addr.partition,
             0 )
     in
+    let rel =
+      replay_relation r.cat ~part
+        ~partition_bytes:env.Recovery_env.partition_bytes partition !records
+    in
     let max_seq =
-      apply_records ~partition ~watermark
+      apply_records ~partition ?rel ~watermark
         ~on_applied:(fun () ->
           Trace.incr env.Recovery_env.trace "recovery_records_applied")
         !records

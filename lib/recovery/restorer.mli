@@ -28,6 +28,7 @@ val segment_of : t -> int -> Segment.t
 
 val apply_records :
   partition:Partition.t ->
+  ?rel:Relation.t ->
   watermark:int ->
   ?on_applied:(unit -> unit) ->
   Mrdb_wal.Log_record.t list ->
@@ -35,10 +36,14 @@ val apply_records :
 (** The REDO kernel shared by every replay path: apply each record with
     [seq > watermark] to the partition in stream order and return the
     highest sequence seen (or [watermark] for an empty/filtered stream).
-    Reused by the warm-standby apply path ({!Mrdb_replica}), which replays
-    shipped log records onto shadow partitions exactly as restart replay
-    does onto restored ones.  [on_applied] fires once per record actually
-    applied. *)
+    Physical records apply as slot operations; logical command records go
+    through {!Mrdb_logical.Replay} — against the relation layer when
+    [rel] is supplied (restart recovery builds one from the catalog
+    schema), else as schema-free partition-cell patches.  Reused by the
+    warm-standby apply path ({!Mrdb_replica}), which replays shipped log
+    records onto shadow partitions exactly as restart replay does onto
+    restored ones (no [rel]: a standby audits without catalog access).
+    [on_applied] fires once per record actually applied. *)
 
 val ensure_partition : t -> Addr.partition -> unit
 (** Restore the partition if it is not memory-resident: checkpoint image

@@ -1,61 +1,87 @@
 open Mrdb_storage
+module Cmd_op = Mrdb_logical.Cmd_op
 
-type tag = Relation_op | Index_op | Catalog_op
+type tag = Relation_op | Index_op | Catalog_op | Command_op
+
+type body = Physical of Part_op.t | Command of Cmd_op.t
 
 type t = {
   tag : tag;
   bin_index : int;
   txn_id : int;
   seq : int;
-  op : Part_op.t;
+  op : body;
 }
 
-let make ~tag ~bin_index ~txn_id ~seq ~op = { tag; bin_index; txn_id; seq; op }
+let make ~tag ~bin_index ~txn_id ~seq ~op =
+  (match tag with
+  | Command_op ->
+      Mrdb_util.Fatal.misuse "Log_record.make: Command_op carries a Cmd_op (use make_cmd)"
+  | Relation_op | Index_op | Catalog_op -> ());
+  { tag; bin_index; txn_id; seq; op = Physical op }
 
-let tag_byte = function Relation_op -> 0 | Index_op -> 1 | Catalog_op -> 2
+let make_cmd ~bin_index ~txn_id ~seq ~cmd =
+  { tag = Command_op; bin_index; txn_id; seq; op = Command cmd }
+
+(* Physical tags keep their original bytes (0/1/2) so a pure-physical
+   stream — the default codec — is byte-identical to the pre-logical
+   encoding (locked by both determinism goldens).  Tag bytes >= 16 carry
+   a command record with [op_id = byte - 16]: the operation id costs no
+   wire bytes of its own.  3..15 are reserved. *)
+let cmd_tag_base = 16
+
+let tag_byte t =
+  match t.op with
+  | Physical _ -> (
+      match t.tag with
+      | Relation_op -> 0
+      | Index_op -> 1
+      | Catalog_op -> 2
+      | Command_op ->
+          Mrdb_util.Fatal.invariant ~mod_:"Log_record" "Command_op with physical body")
+  | Command c -> cmd_tag_base + c.Cmd_op.op_id
 
 let tag_of_byte = function
   | 0 -> Relation_op
   | 1 -> Index_op
   | 2 -> Catalog_op
+  | n when n >= cmd_tag_base -> Command_op
   | n -> Mrdb_util.Fatal.invariantf ~mod_:"Log_record" "bad tag %d" n
 
 let encode t =
   let open Mrdb_util.Codec.Enc in
   let enc = create () in
-  u8 enc (tag_byte t.tag);
+  u8 enc (tag_byte t);
   varint enc t.bin_index;
   varint enc t.txn_id;
   varint enc t.seq;
-  Part_op.encode enc t.op;
+  (match t.op with
+  | Physical op -> Part_op.encode enc op
+  | Command c -> Cmd_op.encode enc c);
   to_bytes enc
-
-let decode b =
-  let open Mrdb_util.Codec.Dec in
-  let dec = of_bytes b in
-  let tag = tag_of_byte (u8 dec) in
-  let bin_index = varint dec in
-  let txn_id = varint dec in
-  let seq = varint dec in
-  let op = Part_op.decode dec in
-  { tag; bin_index; txn_id; seq; op }
 
 let encoded_size t =
   let open Mrdb_util.Codec in
   1 + varint_size t.bin_index + varint_size t.txn_id + varint_size t.seq
-  + Part_op.encoded_size t.op
+  + (match t.op with
+    | Physical op -> Part_op.encoded_size op
+    | Command c -> Cmd_op.encoded_size c)
 
 let encode_into t b ~pos =
   let open Mrdb_util.Codec in
-  Bytes.unsafe_set b pos (Char.unsafe_chr (tag_byte t.tag));
+  Bytes.unsafe_set b pos (Char.unsafe_chr (tag_byte t));
   let pos = put_varint b (pos + 1) t.bin_index in
   let pos = put_varint b pos t.txn_id in
   let pos = put_varint b pos t.seq in
-  Part_op.encode_into t.op b ~pos
+  match t.op with
+  | Physical op -> Part_op.encode_into op b ~pos
+  | Command c -> Cmd_op.encode_into c b ~pos
 
 (* Allocation-free field scans over an encoded record: the raw drain path
    routes frames by bin index and sequence number without materializing a
-   record value.  All-int recursion — no refs, no tuples. *)
+   record value.  All-int recursion — no refs, no tuples.  The header
+   layout is shared by both record families, so the scans are
+   tag-oblivious. *)
 let rec skip_varint b pos =
   if Char.code (Bytes.unsafe_get b pos) < 0x80 then pos + 1
   else skip_varint b (pos + 1)
@@ -72,29 +98,60 @@ let peek_seq b ~pos =
   let p = skip_varint b p in
   read_varint b p 0 0
 
+(* Shared decode tail once the tag byte is in hand; [stop] is the
+   absolute frame end (commands parse their arguments up to it). *)
+let decode_body dec ~byte ~stop =
+  let open Mrdb_util.Codec.Dec in
+  let tag = tag_of_byte byte in
+  let bin_index = varint dec in
+  let txn_id = varint dec in
+  let seq = varint dec in
+  let op =
+    match tag with
+    | Command_op -> Command (Cmd_op.decode ~op_id:(byte - cmd_tag_base) dec ~stop)
+    | Relation_op | Index_op | Catalog_op -> Physical (Part_op.decode dec)
+  in
+  { tag; bin_index; txn_id; seq; op }
+
+let decode b =
+  let open Mrdb_util.Codec.Dec in
+  let dec = of_bytes b in
+  let r = decode_body dec ~byte:(u8 dec) ~stop:(Bytes.length b) in
+  if not (at_end dec) then
+    Mrdb_util.Fatal.invariantf ~mod_:"Log_record"
+      "decode: %d trailing bytes" (remaining dec);
+  r
+
 let decode_at b ~pos ~len =
   let start = pos in
   let dec = Mrdb_util.Codec.Dec.of_bytes ~pos b in
   let open Mrdb_util.Codec.Dec in
-  let tag = tag_of_byte (u8 dec) in
-  let bin_index = varint dec in
-  let txn_id = varint dec in
-  let seq = varint dec in
-  let op = Part_op.decode dec in
+  let r = decode_body dec ~byte:(u8 dec) ~stop:(start + len) in
   if pos dec <> start + len then
     Mrdb_util.Fatal.invariantf ~mod_:"Log_record"
       "decode_at: frame length %d but consumed %d" len (pos dec - start);
-  { tag; bin_index; txn_id; seq; op }
+  r
+
+let equal_body a b =
+  match (a, b) with
+  | Physical x, Physical y -> Part_op.equal x y
+  | Command x, Command y -> Cmd_op.equal x y
+  | (Physical _ | Command _), _ -> false
 
 let equal a b =
   a.tag = b.tag && a.bin_index = b.bin_index && a.txn_id = b.txn_id
-  && a.seq = b.seq && Part_op.equal a.op b.op
+  && a.seq = b.seq && equal_body a.op b.op
 
 let tag_to_string = function
   | Relation_op -> "rel"
   | Index_op -> "idx"
   | Catalog_op -> "cat"
+  | Command_op -> "cmd"
+
+let pp_body ppf = function
+  | Physical op -> Part_op.pp ppf op
+  | Command c -> Cmd_op.pp ppf c
 
 let pp ppf t =
   Format.fprintf ppf "[%s bin=%d txn=%d seq=%d %a]" (tag_to_string t.tag)
-    t.bin_index t.txn_id t.seq Part_op.pp t.op
+    t.bin_index t.txn_id t.seq pp_body t.op

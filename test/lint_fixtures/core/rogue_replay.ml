@@ -1,0 +1,5 @@
+(* Fixture: R9 violation against the "replay dispatch table" resource —
+   a logical command applied outside the owning subsystem, reachable
+   without passing through logical/ or the sanctioned replayer. *)
+
+let shortcut op arg = Mrdb_logical.Applier.apply_cmd op arg

@@ -1,0 +1,1 @@
+val shortcut : int -> int -> int

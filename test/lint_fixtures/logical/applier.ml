@@ -1,0 +1,11 @@
+(* Fixture: the owning side of the "replay dispatch table" resource.
+   Command application lives here; modules elsewhere must either route
+   through [replay] or be declared owners (recovery/replayer.ml). *)
+
+let table = Array.make 8 None
+let register op f = table.(op) <- Some f
+
+let apply_cmd op arg =
+  match table.(op) with Some f -> f arg | None -> arg
+
+let replay ops = List.map (fun (op, arg) -> apply_cmd op arg) ops

@@ -1,0 +1,3 @@
+val register : int -> (int -> int) -> unit
+val apply_cmd : int -> int -> int
+val replay : (int * int) list -> int list

@@ -1,0 +1,7 @@
+(* Fixture: the sanctioned out-of-directory applier — declared an owner
+   of the replay dispatch table (mirroring recovery/restorer.ml in the
+   real tree), so this apply site stays silent: the negative case for
+   core/rogue_replay.ml. *)
+
+let drain ops =
+  List.map (fun (op, arg) -> Mrdb_logical.Applier.apply_cmd op arg) ops

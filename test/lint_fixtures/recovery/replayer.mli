@@ -1,0 +1,1 @@
+val drain : (int * int) list -> int list

@@ -12,9 +12,9 @@
    schedule over striped SLB regions.
 
    New counters introduced at module seams after the capture (the
-   [sorter_] / [restorer_] / [ckpt_deferred_] families) are excluded from
-   the golden comparison; they are asserted separately in
-   test_recovery.ml. *)
+   [sorter_] / [restorer_] / [ckpt_deferred_] / [codec_] families) are
+   excluded from the golden comparison; they are asserted separately in
+   test_recovery.ml and test_logical.ml. *)
 
 open Mrdb_core
 module Executor = Mrdb_exec.Executor
@@ -24,7 +24,7 @@ let check = Alcotest.check
 
 (* Counters added by the recovery extraction, after the golden capture. *)
 let post_seed_counter name =
-  let prefixes = [ "sorter_"; "restorer_"; "ckpt_deferred_" ] in
+  let prefixes = [ "sorter_"; "restorer_"; "ckpt_deferred_"; "codec_" ] in
   List.exists
     (fun p -> String.length name >= String.length p
               && String.sub name 0 (String.length p) = p)

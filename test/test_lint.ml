@@ -45,6 +45,16 @@ let fixture_config =
           res_fields = [ "cursor" ];
           res_owners = [ "core/keeper.ml" ];
         };
+        (* Mirrors the real tree's "replay dispatch table": write idents
+           instead of fields, a directory owner plus one sanctioned file
+           (recovery/replayer.ml plays restorer.ml's role). *)
+        {
+          Rules.res_name = "replay dispatch table";
+          res_write_idents =
+            [ ("Applier", "apply_cmd"); ("Applier", "register") ];
+          res_fields = [];
+          res_owners = [ "logical/"; "recovery/replayer.ml" ];
+        };
       ];
     r10_exceptions = [ { Rules.x_rel = "storage/boom.ml"; x_name = "Safely" } ];
     r10_stdlib_exceptions = [ "Not_found"; "Exit" ];
@@ -65,6 +75,7 @@ let expected =
     ("R10", "lint_fixtures/core/driver.ml", 10);
     ("R5", "lint_fixtures/core/inject.ml", 4);
     ("R7", "lint_fixtures/core/rogue_append.ml", 4);
+    ("R9", "lint_fixtures/core/rogue_replay.ml", 5);
     ("R1", "lint_fixtures/core/wild_write.ml", 4);
     ("R10", "lint_fixtures/recovery/sloppy.ml", 3);
     ("R2", "lint_fixtures/recovery/upcall.ml", 3);
@@ -122,10 +133,23 @@ let test_r8_message_carries_cross_module_chain () =
 
 let test_r9_message_carries_escape_chain () =
   let r9 = List.filter (fun d -> d.Diag.rule = Diag.R9) (lint_fixtures ()) in
-  check int_t "one R9" 1 (List.length r9);
-  let d = List.hd r9 in
-  check bool_t "escape chain crosses modules" true
-    (contains ~needle:"Driver:kick -> Holder:bump" d.Diag.msg)
+  check int_t "two R9s" 2 (List.length r9);
+  (match
+     List.find_opt (fun d -> contains ~needle:"holder.ml" d.Diag.file) r9
+   with
+  | None -> Alcotest.fail "no R9 at the cursor write"
+  | Some d ->
+      check bool_t "escape chain crosses modules" true
+        (contains ~needle:"Driver:kick -> Holder:bump" d.Diag.msg));
+  match
+    List.find_opt (fun d -> contains ~needle:"rogue_replay.ml" d.Diag.file) r9
+  with
+  | None -> Alcotest.fail "no R9 at the rogue command apply"
+  | Some d ->
+      check bool_t "names the dispatch-table resource" true
+        (contains ~needle:"replay dispatch table" d.Diag.msg);
+      check bool_t "names the write ident" true
+        (contains ~needle:"Applier.apply_cmd" d.Diag.msg)
 
 let test_r10_resolves_exception_cross_module () =
   let r10 =
@@ -338,6 +362,35 @@ let test_replica_confinement_allowlists () =
       check bool_t "the scenario driver does not" false
         (Rules.owner_matches r.Rules.res_owners "replica/scenario.ml")
 
+(* PR 10's confinement: logical command application is an integrity
+   boundary — only the codec subsystem and the shared REDO kernel may run
+   the dispatch table; the codec itself sits below the WAL. *)
+let test_dispatch_table_confinement () =
+  check bool_t "the codec sits on storage" true
+    (Rules.may_depend ~from:"mrdb_logical" ~target:"mrdb_storage");
+  check bool_t "the codec must not see record framing" false
+    (Rules.may_depend ~from:"mrdb_logical" ~target:"mrdb_wal");
+  check bool_t "the WAL frames command records" true
+    (Rules.may_depend ~from:"mrdb_wal" ~target:"mrdb_logical");
+  match
+    List.find_opt
+      (fun r -> r.Rules.res_name = "replay dispatch table")
+      Rules.default_config.Rules.r9_resources
+  with
+  | None -> Alcotest.fail "replay dispatch table not registered for R9"
+  | Some r ->
+      check bool_t "apply_cmd is a registered write" true
+        (Rules.write_ident_call r [ "Mrdb_logical"; "Replay"; "apply_cmd" ]
+        <> None);
+      check bool_t "handler registration is a registered write" true
+        (Rules.write_ident_call r [ "Dispatch"; "register" ] <> None);
+      check bool_t "the codec subsystem owns it" true
+        (Rules.owner_matches r.Rules.res_owners "logical/replay.ml");
+      check bool_t "the shared REDO kernel owns it" true
+        (Rules.owner_matches r.Rules.res_owners "recovery/restorer.ml");
+      check bool_t "the commit path does not" false
+        (Rules.owner_matches r.Rules.res_owners "core/db_system.ml")
+
 let test_nondet_classifier () =
   check bool_t "Sys.time is a clock" true
     (Rules.nondet_ident [ "Sys"; "time" ] = Some (Rules.Clock, "Sys.time"));
@@ -384,6 +437,8 @@ let () =
             test_declared_order_keeps_two_cpu_split;
           Alcotest.test_case "fault containment allowlist" `Quick
             test_fault_containment_allowlist;
+          Alcotest.test_case "replay dispatch-table confinement" `Quick
+            test_dispatch_table_confinement;
           Alcotest.test_case "replica confinement allowlists" `Quick
             test_replica_confinement_allowlists;
           Alcotest.test_case "SLB ownership allowlist" `Quick

@@ -317,6 +317,48 @@ let test_recovery_model_comparison () =
   check bool_t "db-level linear" true
     (c2.RM.first_txn_db_us > 9.0 *. c.RM.first_txn_db_us)
 
+let test_codec_model_shapes () =
+  let module XM = Mrdb_analysis.Codec_model in
+  let cp = XM.default in
+  (* The byte ratio grows with update hotness (deltas displace the larger
+     insert commands) and stays above 1 for the measured sizes. *)
+  let r h = XM.bytes_ratio cp ~hotness:h in
+  check bool_t "monotone in hotness" true (r 1.0 > r 0.5 && r 0.5 > r 0.0);
+  check bool_t "always a win at measured sizes" true (r 0.0 > 1.0);
+  (* At the defaults even an all-insert mix clears the policy's 2x margin;
+     fatten the physical record and the crossover moves into (0,1); make
+     commands as big as images and it vanishes. *)
+  check bool_t "crossover at 0 for measured sizes" true
+    (XM.crossover_hotness cp ~margin:2.0 = Some 0.0);
+  (match XM.crossover_hotness { cp with XM.s_cmd_insert = 20 } ~margin:2.0 with
+  | Some h -> check bool_t "interior crossover" true (h > 0.0 && h < 1.0)
+  | None -> Alcotest.fail "expected an interior crossover");
+  check bool_t "no crossover when commands are as fat" true
+    (XM.crossover_hotness
+       { cp with XM.s_cmd_update = cp.XM.s_physical;
+         XM.s_cmd_insert = cp.XM.s_physical }
+       ~margin:2.0
+    = None);
+  (* Command apply costs more instructions than the image copy it
+     replaces, so the predicted replay rate degrades with command share —
+     matching the measured sweep (logical replays slightly slower). *)
+  let rr s = XM.replay_rate_ratio P.default cp ~cmd_share:s in
+  check (Alcotest.float 1e-9) "all-physical baseline" 1.0 (rr 0.0);
+  check bool_t "command apply costs replay rate" true (rr 1.0 < 1.0 && rr 1.0 > 0.5);
+  (* The logging side: smaller records raise the byte-limited capacity. *)
+  check bool_t "capacity gain > 1" true
+    (XM.logging_capacity_gain P.default cp ~hotness:0.75 > 1.0);
+  let table =
+    XM.crossover_table ~tuple_bytes:[ 16; 32; 64 ]
+      ~hotness_steps:[ 0.0; 0.5; 1.0 ] cp
+  in
+  check int_t "table rows" 3 (List.length table);
+  check bool_t "table series" true
+    (List.for_all (fun (_, ys, _) -> List.length ys = 3) table);
+  match XM.crossover_hotness cp ~margin:(-1.0) with
+  | _ -> Alcotest.fail "expected Invalid_argument on a bad margin"
+  | exception Invalid_argument _ -> ()
+
 let test_params_rows_printable () =
   let rows = P.rows P.default in
   check bool_t "all named" true
@@ -378,6 +420,8 @@ let () =
           Alcotest.test_case "partition estimate" `Quick test_recovery_model_partition;
           Alcotest.test_case "level comparison" `Quick test_recovery_model_comparison;
         ] );
+      ( "codec_model",
+        [ Alcotest.test_case "tradeoff shapes" `Quick test_codec_model_shapes ] );
       ( "params",
         [
           Alcotest.test_case "rows printable" `Quick test_params_rows_printable;

@@ -18,9 +18,15 @@
                               transactions are spread over them by a
                               deterministic round-robin schedule and the
                               fault plan may fail individual executors
+     MRDB_REDO_CODEC=<c>      physical | logical | adaptive (default
+                              physical): the REDO record family the
+                              commit path emits — logical and adaptive
+                              runs recover across mixed-codec chains,
+                              since non-derivable operations fall back
+                              to physical records in the same stream
 
    Every failure message embeds the exact replay command line (including
-   the executor count when it is not 1). *)
+   the executor count and codec when not the defaults). *)
 
 open Mrdb_storage
 open Mrdb_core
@@ -39,12 +45,23 @@ let executors =
   | Some s -> int_of_string s
   | None -> 1
 
+let redo_codec, codec_name =
+  match Sys.getenv_opt "MRDB_REDO_CODEC" with
+  | Some "logical" -> (Config.Logical, "logical")
+  | Some "adaptive" -> (Config.Adaptive, "adaptive")
+  | None | Some "physical" -> (Config.Physical, "physical")
+  | Some other -> Alcotest.failf "MRDB_REDO_CODEC: unknown codec %S" other
+
+(* The env prefix a failure's replay line must carry to reproduce this
+   process's configuration. *)
+let env_prefix =
+  (if codec_name = "physical" then ""
+   else Printf.sprintf "MRDB_REDO_CODEC=%s " codec_name)
+  ^ if executors = 1 then "" else Printf.sprintf "MRDB_EXECUTORS=%d " executors
+
 let replay_line seed =
-  if executors = 1 then
-    Printf.sprintf "MRDB_TORTURE_SEED=%d dune exec test/test_torture.exe" seed
-  else
-    Printf.sprintf "MRDB_EXECUTORS=%d MRDB_TORTURE_SEED=%d dune exec test/test_torture.exe"
-      executors seed
+  Printf.sprintf "%sMRDB_TORTURE_SEED=%d dune exec test/test_torture.exe"
+    env_prefix seed
 
 let schema = Schema.of_list [ ("k", Schema.Int); ("v", Schema.Int) ]
 
@@ -72,7 +89,9 @@ let apply_model tbl ops =
 let run_seed seed =
   (* The archive must be on: random plans corrupt checkpoint-disk pages,
      and a lost image is only recoverable from the archive (§2.6). *)
-  let config = { Config.small with Config.archive = true; Config.executors } in
+  let config =
+    { Config.small with Config.archive = true; Config.executors; Config.redo_codec }
+  in
   let db = Db.create ~config () in
   Db.create_relation db ~name:"t" ~schema;
   let sim = Db.sim db in
@@ -233,7 +252,8 @@ let run_seed seed =
    committed transaction must be durable. *)
 
 let group_replay_line seed =
-  Printf.sprintf "MRDB_GROUP_SEED=%d dune exec test/test_torture.exe" seed
+  Printf.sprintf "%sMRDB_GROUP_SEED=%d dune exec test/test_torture.exe"
+    env_prefix seed
 
 let total_group_flushes = ref 0
 let total_group_timeout_flushes = ref 0
@@ -245,6 +265,7 @@ let run_group_seed seed =
     {
       Config.small with
       Config.commit_mode = Config.Group { Config.batch_size = 3; timeout_us = 5_000.0 };
+      Config.redo_codec;
     }
   in
   let db = Db.create ~config () in
@@ -398,7 +419,8 @@ module Replica = Mrdb_replica.Replica
 module Ship_channel = Mrdb_hw.Ship_channel
 
 let replica_replay_line seed =
-  Printf.sprintf "MRDB_REPLICA_SEED=%d dune exec test/test_torture.exe" seed
+  Printf.sprintf "%sMRDB_REPLICA_SEED=%d dune exec test/test_torture.exe"
+    env_prefix seed
 
 let total_promotions = ref 0
 let total_catchups = ref 0
@@ -407,7 +429,7 @@ let total_divergence_reseeds = ref 0
 let total_node_faults = ref 0
 
 let run_replica_seed seed =
-  let config = { Config.small with Config.archive = true } in
+  let config = { Config.small with Config.archive = true; Config.redo_codec } in
   let cl = Replica.create ~config ~lag_bound:(8 + (seed mod 17)) () in
   let db = Replica.primary cl in
   Db.create_relation db ~name:"t" ~schema;
